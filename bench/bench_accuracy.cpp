@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Classification quality of the generic framework on the six test
+ * cases (paper Section 4.4's training protocol: 75/25 stratified
+ * split, min-max normalization, random subspace of RBF-SVMs with
+ * least-squares-trained weighted voting). The paper does not
+ * tabulate accuracies -- its evaluation presumes the generic
+ * classifier works on all six cases -- so the shape check here is
+ * that every case is learned well above chance and the
+ * non-"difficult" cases reach high accuracy, and that the
+ * quantized (all-Q16.16) inference pipeline agrees with the
+ * double-precision pipeline on nearly every decision -- the
+ * validation of the paper's 32-bit fixed-number design choice.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/fixed_pipeline.hh"
+#include "ml/metrics.hh"
+
+using namespace xpro;
+using namespace xpro::bench;
+
+int
+main()
+{
+    CaseLibrary library;
+    ShapeChecker checker;
+
+    std::printf("Generic classification quality (75/25 split)\n\n");
+    std::printf("%-4s %-16s %10s %10s %8s %10s %10s %10s\n", "case",
+                "dataset", "train acc", "test acc", "bases",
+                "features", "SVs/base", "fixed agr");
+
+    double worst = 1.0;
+    double worst_easy = 1.0;
+    double worst_agreement = 1.0;
+    for (TestCase tc : allTestCases) {
+        const TrainedPipeline &p = library.pipeline(tc);
+        const SignalDataset &ds = library.dataset(tc);
+        size_t sv_total = 0;
+        for (const BaseClassifier &base : p.ensemble.bases())
+            sv_total += base.model.supportVectorCount();
+        const FixedPipeline quantized(p);
+        const double agreement =
+            FixedPipeline::agreement(p, quantized, ds, 150);
+        worst_agreement = std::min(worst_agreement, agreement);
+        std::printf("%-4s %-16s %9.1f%% %9.1f%% %8zu %10zu %10.1f "
+                    "%9.1f%%\n",
+                    ds.symbol.c_str(), ds.name.c_str(),
+                    100.0 * p.trainAccuracy, 100.0 * p.testAccuracy,
+                    p.ensemble.bases().size(),
+                    p.ensemble.usedFeatureIndices().size(),
+                    static_cast<double>(sv_total) /
+                        static_cast<double>(
+                            p.ensemble.bases().size()),
+                    100.0 * agreement);
+        worst = std::min(worst, p.testAccuracy);
+        if (tc != TestCase::E2)
+            worst_easy = std::min(worst_easy, p.testAccuracy);
+    }
+
+    std::printf("\nShape checks:\n");
+    checker.check(worst > 0.55,
+                  "every case is learned above chance (worst " +
+                      std::to_string(100.0 * worst) + "%)");
+    checker.check(worst_easy > 0.8,
+                  "all non-'difficult' cases reach high accuracy");
+    checker.check(worst_agreement > 0.93,
+                  "the all-fixed-point (Q16.16) pipeline agrees with "
+                  "double-precision inference (worst " +
+                      std::to_string(100.0 * worst_agreement) +
+                      "%)");
+    return checker.finish("bench_accuracy");
+}

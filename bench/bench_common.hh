@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Shared infrastructure for the per-figure/per-table benchmark
+ * harnesses: the paper's evaluation configuration (Section 4.4), a
+ * cache of trained designs per test case, and PASS/FAIL shape-check
+ * reporting against the paper's claims.
+ *
+ * Absolute numbers are not expected to match the authors' silicon
+ * measurements (the substrate here is a reconstructed energy model);
+ * each bench therefore prints the series the paper plots *and*
+ * machine-checks the qualitative shape: who wins, by roughly what
+ * factor, and where the crossovers fall.
+ */
+
+#ifndef XPRO_BENCH_COMMON_HH
+#define XPRO_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/pipeline.hh"
+#include "data/testcases.hh"
+#include "sim/system_sim.hh"
+
+namespace xpro::bench
+{
+
+/** The paper's classifier setup (Section 4.4), full candidate
+ *  budget, with a training-set cap so every bench stays fast. */
+inline EngineConfig
+paperConfig()
+{
+    EngineConfig config; // defaults already mirror Section 4.4
+    return config;
+}
+
+inline TrainingOptions
+paperTraining()
+{
+    TrainingOptions options;
+    options.maxTrainingSegments = 300;
+    options.seed = 2017;
+    return options;
+}
+
+/** A trained pipeline per test case, shared by all evaluations. */
+class CaseLibrary
+{
+  public:
+    const TrainedPipeline &
+    pipeline(TestCase tc)
+    {
+        auto it = _pipelines.find(tc);
+        if (it == _pipelines.end()) {
+            const SignalDataset &ds = dataset(tc);
+            it = _pipelines
+                     .emplace(tc, trainPipeline(ds, paperConfig(),
+                                                paperTraining()))
+                     .first;
+        }
+        return it->second;
+    }
+
+    const SignalDataset &
+    dataset(TestCase tc)
+    {
+        auto it = _datasets.find(tc);
+        if (it == _datasets.end())
+            it = _datasets.emplace(tc, makeTestCase(tc)).first;
+        return it->second;
+    }
+
+    /** Topology for a case under a hardware configuration. */
+    EngineTopology
+    topology(TestCase tc, const EngineConfig &config)
+    {
+        const SignalDataset &ds = dataset(tc);
+        return buildEngineTopology(pipeline(tc).ensemble,
+                                   ds.segmentLength, config,
+                                   ds.eventsPerSecond());
+    }
+
+  private:
+    std::map<TestCase, SignalDataset> _datasets;
+    std::map<TestCase, TrainedPipeline> _pipelines;
+};
+
+/** Collects PASS/FAIL shape checks and sets the exit code. */
+class ShapeChecker
+{
+  public:
+    void
+    check(bool ok, const std::string &claim)
+    {
+        std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL",
+                    claim.c_str());
+        _failures += !ok;
+    }
+
+    /** Print a summary; returns the process exit code. */
+    int
+    finish(const char *bench_name) const
+    {
+        if (_failures == 0) {
+            std::printf("\n%s: all shape checks PASSED\n",
+                        bench_name);
+            return 0;
+        }
+        std::printf("\n%s: %zu shape check(s) FAILED\n", bench_name,
+                    _failures);
+        return 1;
+    }
+
+  private:
+    size_t _failures = 0;
+};
+
+/** Evaluate one engine kind for a case under a configuration. */
+inline EngineEvaluation
+evaluateCase(CaseLibrary &library, TestCase tc,
+             const EngineConfig &config, EngineKind kind)
+{
+    const SignalDataset &ds = library.dataset(tc);
+    const EngineTopology topo = library.topology(tc, config);
+    const WirelessLink link(transceiver(config.wireless));
+    SensorNodeConfig sensor_config;
+    sensor_config.process = config.process;
+    const SensorNode sensor(sensor_config);
+    const Aggregator aggregator;
+    const WorkloadContext workload{ds.eventsPerSecond()};
+    return evaluateEngineKind(kind, topo, link, sensor, aggregator,
+                              workload);
+}
+
+} // namespace xpro::bench
+
+#endif // XPRO_BENCH_COMMON_HH

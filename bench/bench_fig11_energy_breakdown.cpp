@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Regenerates paper Fig. 11: per-event sensor-node energy of the
+ * three engines, broken down into functional-cell computation and
+ * wireless communication (90 nm, wireless Model 2). Shape checks:
+ * the aggregator engine's sensor energy is pure transmission and the
+ * largest; the sensor node engine's wireless share is negligible;
+ * and the cross-end engine spends the least in every case (paper:
+ * S saves 36.6% vs A on average, C saves another 31.7% vs S).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace xpro;
+using namespace xpro::bench;
+
+int
+main()
+{
+    CaseLibrary library;
+    ShapeChecker checker;
+    const EngineConfig config = paperConfig();
+
+    std::printf("Fig. 11: sensor energy per event in uJ "
+                "(compute + wireless = total)\n\n");
+    std::printf("%-4s  %-26s %-26s %-26s\n", "case",
+                "aggregator engine (A)", "sensor node engine (S)",
+                "cross-end engine (C)");
+
+    double sum[3] = {0, 0, 0};
+    bool a_is_pure_wireless = true;
+    bool s_wireless_negligible = true;
+    bool c_always_cheapest = true;
+
+    for (TestCase tc : allTestCases) {
+        std::printf("%-4s ", library.dataset(tc).symbol.c_str());
+        double totals[3];
+        int idx = 0;
+        for (EngineKind kind :
+             {EngineKind::InAggregator, EngineKind::InSensor,
+              EngineKind::CrossEnd}) {
+            const SensorEnergyBreakdown e =
+                evaluateCase(library, tc, config, kind).sensorEnergy;
+            std::printf("  %6.2f + %5.2f = %6.2f    ",
+                        e.compute.uj(), e.wireless().uj(),
+                        e.total().uj());
+            totals[idx] = e.total().uj();
+            if (kind == EngineKind::InAggregator)
+                a_is_pure_wireless &= e.compute.uj() < 1e-9;
+            if (kind == EngineKind::InSensor)
+                s_wireless_negligible &=
+                    e.wireless() < e.total() * 0.05;
+            ++idx;
+        }
+        std::printf("\n");
+        c_always_cheapest &= totals[2] <= totals[0] + 1e-9 &&
+                             totals[2] <= totals[1] + 1e-9;
+        for (int i = 0; i < 3; ++i)
+            sum[i] += totals[i];
+    }
+
+    const double n = static_cast<double>(allTestCases.size());
+    std::printf("\naverages: A=%.2f uJ, S=%.2f uJ, C=%.2f uJ "
+                "(S saves %.1f%% vs A; C saves %.1f%% vs S, "
+                "%.1f%% vs A)\n",
+                sum[0] / n, sum[1] / n, sum[2] / n,
+                100.0 * (sum[0] - sum[1]) / sum[0],
+                100.0 * (sum[1] - sum[2]) / sum[1],
+                100.0 * (sum[0] - sum[2]) / sum[0]);
+
+    std::printf("\nShape checks vs. paper Fig. 11:\n");
+    checker.check(a_is_pure_wireless,
+                  "aggregator engine's sensor energy is pure data "
+                  "transmission");
+    checker.check(s_wireless_negligible,
+                  "sensor node engine's wireless energy is barely "
+                  "visible (result only)");
+    checker.check(c_always_cheapest,
+                  "cross-end engine has the lowest sensor energy in "
+                  "every case");
+    checker.check(sum[1] < sum[0],
+                  "sensor node engine saves energy vs the aggregator "
+                  "engine (paper: 36.6%)");
+    checker.check(sum[2] < sum[1],
+                  "cross-end saves additional energy vs the sensor "
+                  "node engine (paper: 31.7%)");
+    return checker.finish("bench_fig11_energy_breakdown");
+}

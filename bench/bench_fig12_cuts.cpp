@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Regenerates paper Fig. 12: sensor battery lifetime of four
+ * possible cuts -- the aggregator engine, the sensor node engine,
+ * the intuitive "trivial" cut between the feature extractors and the
+ * classifiers, and the cut found by the Automatic XPro Generator
+ * (90 nm, wireless Model 2). Shape checks: the generator's cut is
+ * consistently the best, while the trivial cut is inconsistent
+ * (better than both single ends in some cases, worse in others) --
+ * the paper's argument for formal generation over intuition.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace xpro;
+using namespace xpro::bench;
+
+int
+main()
+{
+    CaseLibrary library;
+    ShapeChecker checker;
+    const EngineConfig config = paperConfig();
+
+    std::printf("Fig. 12: battery lifetime of four cuts "
+                "(hours; normalized to A in brackets)\n\n");
+    std::printf("%-4s %14s %14s %14s %14s\n", "case", "Aggregator",
+                "Trivial", "Sensor", "Cross");
+
+    bool cross_always_best = true;
+    size_t trivial_above_both = 0;
+    size_t trivial_below_both = 0;
+
+    for (TestCase tc : allTestCases) {
+        double life[4];
+        int idx = 0;
+        for (EngineKind kind :
+             {EngineKind::InAggregator, EngineKind::TrivialCut,
+              EngineKind::InSensor, EngineKind::CrossEnd}) {
+            life[idx++] = evaluateCase(library, tc, config, kind)
+                              .sensorLifetime.hr();
+        }
+        std::printf("%-4s %8.0f(1.00) %8.0f(%.2f) %8.0f(%.2f) "
+                    "%8.0f(%.2f)\n",
+                    library.dataset(tc).symbol.c_str(), life[0],
+                    life[1], life[1] / life[0], life[2],
+                    life[2] / life[0], life[3], life[3] / life[0]);
+        cross_always_best &= life[3] >= life[0] - 1e-6 &&
+                             life[3] >= life[1] - 1e-6 &&
+                             life[3] >= life[2] - 1e-6;
+        const double best_single = std::max(life[0], life[2]);
+        const double worst_single = std::min(life[0], life[2]);
+        if (life[1] > best_single)
+            ++trivial_above_both;
+        if (life[1] < worst_single)
+            ++trivial_below_both;
+    }
+
+    std::printf("\ntrivial cut: above both single ends in %zu "
+                "case(s), below both in %zu case(s)\n",
+                trivial_above_both, trivial_below_both);
+
+    std::printf("\nShape checks vs. paper Fig. 12:\n");
+    checker.check(cross_always_best,
+                  "the Automatic XPro Generator's cut gives the "
+                  "longest lifetime in every case");
+    checker.check(trivial_above_both + trivial_below_both <
+                      allTestCases.size(),
+                  "the trivial cut is not consistently extreme");
+    checker.check(trivial_above_both < allTestCases.size(),
+                  "the trivial cut does not consistently beat the "
+                  "single-end designs (paper: improvement 'not very "
+                  "consistent')");
+    return checker.finish("bench_fig12_cuts");
+}

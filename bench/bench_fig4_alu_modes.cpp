@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates paper Fig. 4: energy characterization (pJ/event) of
+ * the serial, parallel and pipeline ALU modes for every component of
+ * the generic classification engine at 90 nm, with the optimal mode
+ * starred. Shape checks: the paper's red-star pattern (serial for
+ * most components, pipeline for Std and DWT), near-ties for the
+ * simple comparison cells, and the ~two-orders-of-magnitude parallel
+ * DWT penalty.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "hw/characterize.hh"
+
+using namespace xpro;
+using namespace xpro::bench;
+
+int
+main()
+{
+    const Technology &tech = Technology::get(ProcessNode::Tsmc90);
+    const auto rows = characterizeAllComponents(tech);
+
+    std::printf("Fig. 4: ALU-mode energy characterization at 90nm "
+                "(pJ/event, * = optimal mode)\n\n");
+    std::printf("%-8s %14s %16s %14s\n", "module", "serial",
+                "parallel", "pipeline");
+    for (const auto &row : rows) {
+        const auto star = [&](AluMode mode) {
+            return row.bestMode == mode ? '*' : ' ';
+        };
+        std::printf("%-8s %13.0f%c %15.0f%c %13.0f%c\n",
+                    componentName(row.kind).c_str(),
+                    row.mode(AluMode::Serial).energy.pj(),
+                    star(AluMode::Serial),
+                    row.mode(AluMode::Parallel).energy.pj(),
+                    star(AluMode::Parallel),
+                    row.mode(AluMode::Pipeline).energy.pj(),
+                    star(AluMode::Pipeline));
+    }
+
+    std::printf("\nShape checks vs. paper Fig. 4:\n");
+    ShapeChecker checker;
+    const std::map<ComponentKind, AluMode> stars = {
+        {ComponentKind::Max, AluMode::Serial},
+        {ComponentKind::Min, AluMode::Serial},
+        {ComponentKind::Mean, AluMode::Serial},
+        {ComponentKind::Var, AluMode::Serial},
+        {ComponentKind::Std, AluMode::Pipeline},
+        {ComponentKind::Czero, AluMode::Serial},
+        {ComponentKind::Skew, AluMode::Serial},
+        {ComponentKind::Kurt, AluMode::Serial},
+        {ComponentKind::Dwt, AluMode::Pipeline},
+        {ComponentKind::Svm, AluMode::Serial},
+        {ComponentKind::Fusion, AluMode::Serial},
+    };
+    for (const auto &row : rows) {
+        checker.check(row.bestMode == stars.at(row.kind),
+                      componentName(row.kind) + " optimal mode is " +
+                          aluModeName(stars.at(row.kind)));
+        checker.check(row.bestMode != AluMode::Parallel,
+                      componentName(row.kind) +
+                          " parallel mode is never optimal");
+    }
+    for (ComponentKind kind :
+         {ComponentKind::Max, ComponentKind::Min, ComponentKind::Czero}) {
+        const auto &row = rows[static_cast<size_t>(kind)];
+        const double ratio = row.mode(AluMode::Pipeline).energy /
+                             row.mode(AluMode::Serial).energy;
+        checker.check(ratio > 0.8 && ratio < 1.25,
+                      componentName(kind) +
+                          " serial and pipeline are similar");
+    }
+    {
+        const auto &dwt =
+            rows[static_cast<size_t>(ComponentKind::Dwt)];
+        const double ratio = dwt.mode(AluMode::Parallel).energy /
+                             dwt.mode(AluMode::Serial).energy;
+        checker.check(ratio > 30.0,
+                      "parallel DWT is ~2 orders of magnitude above "
+                      "serial (x" + std::to_string(ratio) + ")");
+    }
+    return checker.finish("bench_fig4_alu_modes");
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Regenerates paper Fig. 8: sensor-node battery life under 130 nm,
+ * 90 nm and 45 nm process technologies with wireless Model 2, for
+ * the sensor node engine (S), aggregator engine (A) and cross-end
+ * engine (C) on all six test cases, normalized to the aggregator
+ * engine. Shape checks: the cross-end engine wins everywhere; the
+ * sensor node engine's advantage over the aggregator engine grows as
+ * the process shrinks (the paper's headline technology trend); and
+ * the average C-vs-A / C-vs-S improvements land in the paper's
+ * reported band.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace xpro;
+using namespace xpro::bench;
+
+int
+main()
+{
+    CaseLibrary library;
+    ShapeChecker checker;
+
+    std::printf("Fig. 8: normalized battery life (wireless Model 2; "
+                "A = 1.0)\n");
+
+    double sum_sa[3] = {0, 0, 0};
+    double sum_ca[3] = {0, 0, 0};
+    double sum_cs[3] = {0, 0, 0};
+    bool cross_always_best = true;
+
+    for (size_t ni = 0; ni < allProcessNodes.size(); ++ni) {
+        const ProcessNode node = allProcessNodes[ni];
+        std::printf("\n-- %s --\n", processNodeName(node).c_str());
+        std::printf("%-4s %10s %10s %10s   (hours: A)\n", "case",
+                    "A", "S", "C");
+        for (TestCase tc : allTestCases) {
+            EngineConfig config = paperConfig();
+            config.process = node;
+            config.wireless = WirelessModel::Model2;
+            const double a =
+                evaluateCase(library, tc, config,
+                             EngineKind::InAggregator)
+                    .sensorLifetime.hr();
+            const double s =
+                evaluateCase(library, tc, config,
+                             EngineKind::InSensor)
+                    .sensorLifetime.hr();
+            const double c =
+                evaluateCase(library, tc, config,
+                             EngineKind::CrossEnd)
+                    .sensorLifetime.hr();
+            std::printf("%-4s %10.2f %10.2f %10.2f   (%.0f h)\n",
+                        library.dataset(tc).symbol.c_str(), 1.0,
+                        s / a, c / a, a);
+            sum_sa[ni] += s / a;
+            sum_ca[ni] += c / a;
+            sum_cs[ni] += c / s;
+            cross_always_best &= c >= s - 1e-9 && c >= a - 1e-9;
+        }
+    }
+
+    const double n = static_cast<double>(allTestCases.size());
+    std::printf("\naverages: ");
+    for (size_t ni = 0; ni < 3; ++ni) {
+        std::printf("[%s: S/A=%.2f C/A=%.2f C/S=%.2f] ",
+                    processNodeName(allProcessNodes[ni]).c_str(),
+                    sum_sa[ni] / n, sum_ca[ni] / n, sum_cs[ni] / n);
+    }
+    std::printf("\n\nShape checks vs. paper Fig. 8:\n");
+    checker.check(cross_always_best,
+                  "cross-end engine has the longest battery life in "
+                  "every case and node");
+    checker.check(sum_sa[0] < sum_sa[1] && sum_sa[1] < sum_sa[2],
+                  "sensor-vs-aggregator advantage grows as the "
+                  "process shrinks (130 -> 90 -> 45 nm)");
+    checker.check(sum_ca[1] / n > 1.5,
+                  "90nm: cross-end extends battery life over the "
+                  "aggregator engine by a large factor (paper: 2.4x; "
+                  "measured " + std::to_string(sum_ca[1] / n) + "x)");
+    checker.check(sum_cs[1] / n > 1.1,
+                  "90nm: cross-end extends battery life over the "
+                  "sensor node engine (paper: 1.6x; measured " +
+                      std::to_string(sum_cs[1] / n) + "x)");
+    return checker.finish("bench_fig8_process_tech");
+}

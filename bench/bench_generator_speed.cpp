@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Microbenchmark of the Automatic XPro Generator (google-benchmark):
+ * the paper's claim is that the generator finds the optimal
+ * partitioning in *polynomial time* by reduction to max-flow
+ * min-cut, where exhaustive search over 2^cells placements is
+ * intractable. This harness measures the generator on growing
+ * synthetic topologies and, for small ones, the exhaustive oracle --
+ * the crossover makes the asymptotic argument concrete.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "core/partitioner.hh"
+
+using namespace xpro;
+
+namespace
+{
+
+/** Layered random topology with the given number of cells. */
+EngineTopology
+syntheticTopology(size_t features, size_t svms, uint64_t seed)
+{
+    Rng rng(seed);
+    EngineTopology topo;
+    topo.graph = DataflowGraph(4096);
+    topo.cells.resize(1);
+    topo.segmentLength = 128;
+
+    auto add = [&](const std::string &name, ComponentKind kind) {
+        DataflowNode node;
+        node.name = name;
+        node.outputBits = 32;
+        node.costs.sensorEnergy =
+            Energy::nanos(rng.uniform(20.0, 2000.0));
+        node.costs.aggregatorEnergy =
+            Energy::nanos(rng.uniform(100.0, 5000.0));
+        node.costs.sensorDelay =
+            Time::micros(rng.uniform(10.0, 300.0));
+        node.costs.aggregatorDelay =
+            Time::micros(rng.uniform(1.0, 30.0));
+        const size_t id = topo.graph.addCell(node);
+        CellInfo info;
+        info.kind = kind;
+        topo.cells.push_back(info);
+        return id;
+    };
+
+    std::vector<size_t> feature_nodes;
+    for (size_t i = 0; i < features; ++i) {
+        const size_t id =
+            add("f" + std::to_string(i), ComponentKind::Var);
+        topo.graph.addEdge(DataflowGraph::sourceId, id);
+        feature_nodes.push_back(id);
+    }
+    std::vector<size_t> svm_nodes;
+    for (size_t i = 0; i < svms; ++i) {
+        const size_t id =
+            add("s" + std::to_string(i), ComponentKind::Svm);
+        for (size_t f : feature_nodes) {
+            if (rng.chance(0.5))
+                topo.graph.addEdge(f, id);
+        }
+        topo.graph.addEdge(
+            feature_nodes[rng.below(feature_nodes.size())], id);
+        svm_nodes.push_back(id);
+    }
+    const size_t fusion = add("fusion", ComponentKind::Fusion);
+    for (size_t s : svm_nodes)
+        topo.graph.addEdge(s, fusion);
+    topo.fusionNode = fusion;
+    return topo;
+}
+
+const WirelessLink &
+link2()
+{
+    static const WirelessLink link(transceiver(WirelessModel::Model2));
+    return link;
+}
+
+void
+BM_GeneratorMinCut(benchmark::State &state)
+{
+    const size_t cells = static_cast<size_t>(state.range(0));
+    const size_t svms = std::max<size_t>(1, cells / 5);
+    const EngineTopology topo =
+        syntheticTopology(cells - svms - 1, svms, 99);
+    const XProGenerator generator(topo, link2());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            generator.minimumEnergyPlacement().sensorCellCount());
+    }
+    state.SetComplexityN(static_cast<int64_t>(cells));
+}
+
+void
+BM_GeneratorWithDelayConstraint(benchmark::State &state)
+{
+    const size_t cells = static_cast<size_t>(state.range(0));
+    const size_t svms = std::max<size_t>(1, cells / 5);
+    const EngineTopology topo =
+        syntheticTopology(cells - svms - 1, svms, 99);
+    const XProGenerator generator(topo, link2());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            generator.generate().placement.sensorCellCount());
+    }
+    state.SetComplexityN(static_cast<int64_t>(cells));
+}
+
+void
+BM_ExhaustiveOracle(benchmark::State &state)
+{
+    const size_t cells = static_cast<size_t>(state.range(0));
+    const size_t svms = std::max<size_t>(1, cells / 5);
+    const EngineTopology topo =
+        syntheticTopology(cells - svms - 1, svms, 99);
+    const XProGenerator generator(topo, link2());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            generator.exhaustiveOptimum(Time::hours(1.0))
+                .sensorCellCount());
+    }
+    state.SetComplexityN(static_cast<int64_t>(cells));
+}
+
+} // namespace
+
+BENCHMARK(BM_GeneratorMinCut)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Complexity();
+BENCHMARK(BM_GeneratorWithDelayConstraint)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_ExhaustiveOracle)->Arg(8)->Arg(12)->Arg(16)->Arg(20)
+    ->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates paper Table 1: attributes of the 6 test cases from
+ * the 5 biosignal datasets, as materialized by the synthetic
+ * generators, plus shape checks that the reproduction matches the
+ * published attributes exactly.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace xpro;
+using namespace xpro::bench;
+
+int
+main()
+{
+    std::printf("Table 1: Attributes of 6 test cases from 5 "
+                "biosignal datasets\n\n");
+    std::printf("%-16s %-8s %-10s %-10s %-10s %-10s\n", "Dataset",
+                "Symbol", "SegLength", "SegNumber", "Class+",
+                "Events/s");
+
+    CaseLibrary library;
+    ShapeChecker checker;
+
+    const struct
+    {
+        TestCase id;
+        size_t length;
+        size_t number;
+    } paper[] = {
+        {TestCase::C1, 82, 1162},  {TestCase::C2, 136, 884},
+        {TestCase::E1, 128, 1000}, {TestCase::E2, 128, 1000},
+        {TestCase::M1, 132, 1200}, {TestCase::M2, 132, 1200},
+    };
+
+    for (const auto &row : paper) {
+        const SignalDataset &ds = library.dataset(row.id);
+        std::printf("%-16s %-8s %-10zu %-10zu %-10zu %-10.2f\n",
+                    ds.name.c_str(), ds.symbol.c_str(),
+                    ds.segmentLength, ds.size(), ds.positiveCount(),
+                    ds.eventsPerSecond());
+    }
+    std::printf("\nShape checks vs. paper Table 1:\n");
+    for (const auto &row : paper) {
+        const SignalDataset &ds = library.dataset(row.id);
+        checker.check(ds.segmentLength == row.length,
+                      ds.symbol + " segment length == " +
+                          std::to_string(row.length));
+        checker.check(ds.size() == row.number,
+                      ds.symbol + " segment number == " +
+                          std::to_string(row.number));
+        const double balance =
+            static_cast<double>(ds.positiveCount()) /
+            static_cast<double>(ds.size());
+        checker.check(balance > 0.45 && balance < 0.55,
+                      ds.symbol + " classes roughly balanced");
+    }
+    return checker.finish("bench_table1_datasets");
+}

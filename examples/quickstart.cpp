@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: design an XPro cross-end engine for one health
+ * application in a few lines.
+ *
+ *   1. Materialize a biosignal test case (synthetic ECG here).
+ *   2. Train the generic classification pipeline (features + random
+ *      subspace ensemble).
+ *   3. Run the Automatic XPro Generator to split the engine between
+ *      the wearable sensor and the aggregator.
+ *   4. Compare the result against the two single-end designs.
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.hh"
+#include "data/testcases.hh"
+
+using namespace xpro;
+
+int
+main()
+{
+    // 1. A wearable ECG workload (paper test case C1).
+    const SignalDataset dataset = makeTestCase(TestCase::C1);
+    std::printf("dataset %s (%s): %zu segments of %zu samples\n",
+                dataset.symbol.c_str(), dataset.name.c_str(),
+                dataset.size(), dataset.segmentLength);
+
+    // 2-3. Train and generate (90 nm process, wireless Model 2).
+    EngineConfig config;
+    config.subspace.candidates = 40; // quick demo budget
+    TrainingOptions options;
+    options.maxTrainingSegments = 250;
+    const XProDesign design = designXPro(dataset, config, options);
+
+    std::printf("classifier accuracy: %.1f%% on held-out data\n",
+                100.0 * design.pipeline.testAccuracy);
+    std::printf("engine topology: %zu functional cells\n",
+                design.topology.graph.cellCount());
+    std::printf("XPro cut: %s\n",
+                design.partition.placement.summary(design.topology)
+                    .c_str());
+    std::printf("sensor energy: %.2f uJ/event "
+                "(compute %.2f, tx %.2f, rx %.2f)\n",
+                design.partition.energy.total().uj(),
+                design.partition.energy.compute.uj(),
+                design.partition.energy.tx.uj(),
+                design.partition.energy.rx.uj());
+    std::printf("event delay: %.3f ms (limit %.3f ms)\n",
+                design.partition.delay.total().ms(),
+                design.partition.delayLimit.ms());
+
+    // 4. Compare against the single-end designs.
+    const WirelessLink link(transceiver(config.wireless));
+    const SensorNode sensor;
+    const Aggregator aggregator;
+    const WorkloadContext workload{dataset.eventsPerSecond()};
+
+    std::printf("\n%-24s %14s %12s %14s\n", "engine", "energy/event",
+                "delay", "battery life");
+    for (EngineKind kind : allEngineKinds) {
+        const EngineEvaluation eval =
+            evaluateEngineKind(kind, design.topology, link, sensor,
+                               aggregator, workload);
+        std::printf("%-24s %11.2f uJ %9.3f ms %11.1f h\n",
+                    engineKindName(kind).c_str(),
+                    eval.sensorEnergy.total().uj(),
+                    eval.delay.total().ms(),
+                    eval.sensorLifetime.hr());
+    }
+    return 0;
+}

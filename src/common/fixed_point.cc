@@ -1,0 +1,34 @@
+#include "common/fixed_point.hh"
+
+namespace xpro
+{
+
+Fixed
+Fixed::sqrt() const
+{
+    if (_raw <= 0)
+        return Fixed();
+
+    // Bit-by-bit integer square root over the value shifted left by
+    // fracBits, so the result lands back on the Q16.16 grid:
+    //   result_raw = floor(sqrt(raw << 16)).
+    uint64_t value = static_cast<uint64_t>(_raw) << fracBits;
+    uint64_t result = 0;
+    // Highest power-of-four at or below the 48-bit operand.
+    uint64_t bit = uint64_t{1} << 46;
+    while (bit > value)
+        bit >>= 2;
+
+    while (bit != 0) {
+        if (value >= result + bit) {
+            value -= result + bit;
+            result = (result >> 1) + bit;
+        } else {
+            result >>= 1;
+        }
+        bit >>= 2;
+    }
+    return Fixed::fromRaw(static_cast<int32_t>(result));
+}
+
+} // namespace xpro

@@ -1,0 +1,108 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace xpro
+{
+
+namespace
+{
+
+/** Default sink: prepend a severity tag and write to stderr. */
+void
+defaultSink(LogLevel level, const std::string &message)
+{
+    const char *tag = "info";
+    switch (level) {
+      case LogLevel::Inform: tag = "info"; break;
+      case LogLevel::Warn:   tag = "warn"; break;
+      case LogLevel::Fatal:  tag = "fatal"; break;
+      case LogLevel::Panic:  tag = "panic"; break;
+    }
+    std::fprintf(stderr, "%s: %s\n", tag, message.c_str());
+}
+
+LogSink currentSink = defaultSink;
+
+/** Render a printf-style format into a std::string. */
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+} // namespace
+
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink old = currentSink;
+    currentSink = sink ? sink : defaultSink;
+    return old;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    currentSink(LogLevel::Panic, msg);
+    throw PanicError(msg);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    currentSink(LogLevel::Fatal, msg);
+    throw FatalError(msg);
+}
+
+void
+panicAssertFailure(const char *condition, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = "assertion '" + std::string(condition) +
+                      "' failed: " + vformat(fmt, args);
+    va_end(args);
+    currentSink(LogLevel::Panic, msg);
+    throw PanicError(msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    currentSink(LogLevel::Warn, msg);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    currentSink(LogLevel::Inform, msg);
+}
+
+} // namespace xpro

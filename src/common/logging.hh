@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Status and error reporting facilities, modeled after the gem5
+ * logging conventions.
+ *
+ * panic() is for conditions that indicate a bug in XPro itself;
+ * fatal() is for user errors (bad configuration, invalid arguments).
+ * Both throw typed exceptions so that library embedders and tests can
+ * observe them; standalone tools simply let them propagate to main().
+ * warn() and inform() report conditions without stopping the run.
+ */
+
+#ifndef XPRO_COMMON_LOGGING_HH
+#define XPRO_COMMON_LOGGING_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace xpro
+{
+
+/** Severity level of a log message. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/** Thrown by fatal(): a user error, the run cannot continue. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** Thrown by panic(): an internal XPro bug was detected. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what_arg)
+        : std::logic_error(what_arg)
+    {}
+};
+
+/**
+ * Sink invoked for every warn()/inform() message. Tests may replace
+ * it to capture output; the default writes to stderr.
+ */
+using LogSink = void (*)(LogLevel level, const std::string &message);
+
+/**
+ * Install a custom log sink.
+ *
+ * @param sink New sink, or nullptr to restore the default.
+ * @return The previously installed sink.
+ */
+LogSink setLogSink(LogSink sink);
+
+/**
+ * Report a condition that should never happen regardless of user
+ * input, i.e. an XPro bug. Throws PanicError.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user error that prevents the run from continuing (bad
+ * configuration, invalid arguments). Throws FatalError.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Alert the user to questionable but non-fatal behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Provide a normal operating status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Implementation hook for xproAssert; formats the failure message
+ * and throws PanicError. The condition text is kept out of the
+ * format string so its characters are never misparsed as
+ * conversions.
+ */
+[[noreturn]] void panicAssertFailure(const char *condition,
+                                     const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Internal assertion for invariants of XPro itself; compiled in all
+ * build types.
+ */
+#define xproAssert(cond, ...)                                          \
+    do {                                                               \
+        if (!(cond))                                                   \
+            ::xpro::panicAssertFailure(#cond, __VA_ARGS__);            \
+    } while (0)
+
+} // namespace xpro
+
+#endif // XPRO_COMMON_LOGGING_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small dense matrix with the linear-algebra kernels the reproduction
+ * needs: products, transpose, Gaussian-elimination solve and ridge
+ * least squares (used to train the weighted-voting score fusion of
+ * the random-subspace classifier).
+ */
+
+#ifndef XPRO_COMMON_MATRIX_HH
+#define XPRO_COMMON_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace xpro
+{
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Construct an empty (0 x 0) matrix. */
+    Matrix() : _rows(0), _cols(0) {}
+
+    /** Construct a rows x cols matrix initialized to @p fill. */
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    /** Identity matrix of order n. */
+    static Matrix identity(size_t n);
+
+    /** Build a column vector from @p values. */
+    static Matrix columnVector(const std::vector<double> &values);
+
+    size_t rows() const { return _rows; }
+    size_t cols() const { return _cols; }
+
+    double &at(size_t r, size_t c) { return _data[r * _cols + c]; }
+    double at(size_t r, size_t c) const { return _data[r * _cols + c]; }
+
+    double &operator()(size_t r, size_t c) { return at(r, c); }
+    double operator()(size_t r, size_t c) const { return at(r, c); }
+
+    Matrix operator+(const Matrix &other) const;
+    Matrix operator-(const Matrix &other) const;
+    Matrix operator*(const Matrix &other) const;
+    Matrix operator*(double scalar) const;
+
+    Matrix transpose() const;
+
+    /** Frobenius norm. */
+    double norm() const;
+
+    /** Flatten to a std::vector (row-major). */
+    std::vector<double> flatten() const;
+
+    /**
+     * Solve A x = b by Gaussian elimination with partial pivoting.
+     * A must be square and non-singular; b must be a column vector of
+     * matching size. Calls fatal() on singular systems.
+     */
+    static Matrix solve(Matrix a, Matrix b);
+
+    /**
+     * Ridge least squares: minimize |A x - b|^2 + ridge * |x|^2 via
+     * the normal equations. With ridge == 0 this is ordinary least
+     * squares; a small positive ridge keeps near-collinear ensemble
+     * score columns well-conditioned.
+     */
+    static Matrix
+    leastSquares(const Matrix &a, const Matrix &b, double ridge = 0.0);
+
+  private:
+    size_t _rows;
+    size_t _cols;
+    std::vector<double> _data;
+};
+
+} // namespace xpro
+
+#endif // XPRO_COMMON_MATRIX_HH

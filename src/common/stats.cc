@@ -1,0 +1,54 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xpro
+{
+
+void
+Summary::add(double value)
+{
+    ++_count;
+    const double delta = value - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (value - _mean);
+    _min = std::min(_min, value);
+    _max = std::max(_max, value);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(_count);
+    const double n2 = static_cast<double>(other._count);
+    const double delta = other._mean - _mean;
+    const double total = n1 + n2;
+    _mean += delta * n2 / total;
+    _m2 += other._m2 + delta * delta * n1 * n2 / total;
+    _count += other._count;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
+double
+Summary::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_count);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace xpro

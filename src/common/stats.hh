@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Streaming summary statistics accumulator.
+ *
+ * Used throughout the evaluation harness to aggregate per-segment
+ * energies, delays and accuracies. Uses Welford's algorithm so the
+ * variance is numerically stable regardless of magnitude.
+ */
+
+#ifndef XPRO_COMMON_STATS_HH
+#define XPRO_COMMON_STATS_HH
+
+#include <cstddef>
+#include <limits>
+
+namespace xpro
+{
+
+/** Online accumulator of count / mean / variance / min / max. */
+class Summary
+{
+  public:
+    /** Add one observation. */
+    void add(double value);
+
+    /** Merge another accumulator into this one. */
+    void merge(const Summary &other);
+
+    size_t count() const { return _count; }
+    double mean() const { return _count ? _mean : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    double sum() const { return _mean * static_cast<double>(_count); }
+
+    /** Population variance (zero for fewer than two samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    size_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace xpro
+
+#endif // XPRO_COMMON_STATS_HH

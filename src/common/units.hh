@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Strong unit types for energy, time and power.
+ *
+ * All quantities are stored in SI base units (joules, seconds, watts)
+ * as doubles, with named factory functions for the magnitudes that
+ * appear throughout the paper (pJ/event cell energies, nJ/bit radio
+ * energies, ms-scale delays, uW-scale power budgets). The types only
+ * allow physically meaningful arithmetic: energy = power * time,
+ * power = energy / time, and so on.
+ */
+
+#ifndef XPRO_COMMON_UNITS_HH
+#define XPRO_COMMON_UNITS_HH
+
+#include <compare>
+
+namespace xpro
+{
+
+class Power;
+class Energy;
+
+/** A duration, stored in seconds. */
+class Time
+{
+  public:
+    constexpr Time() : _seconds(0.0) {}
+
+    static constexpr Time seconds(double s) { return Time(s); }
+    static constexpr Time millis(double ms) { return Time(ms * 1e-3); }
+    static constexpr Time micros(double us) { return Time(us * 1e-6); }
+    static constexpr Time nanos(double ns) { return Time(ns * 1e-9); }
+    static constexpr Time hours(double h) { return Time(h * 3600.0); }
+
+    /** Duration of @p cycles clock cycles at @p frequency_hz. */
+    static constexpr Time
+    cycles(double n, double frequency_hz)
+    {
+        return Time(n / frequency_hz);
+    }
+
+    constexpr double sec() const { return _seconds; }
+    constexpr double ms() const { return _seconds * 1e3; }
+    constexpr double us() const { return _seconds * 1e6; }
+    constexpr double ns() const { return _seconds * 1e9; }
+    constexpr double hr() const { return _seconds / 3600.0; }
+
+    constexpr Time operator+(Time o) const { return Time(_seconds + o._seconds); }
+    constexpr Time operator-(Time o) const { return Time(_seconds - o._seconds); }
+    constexpr Time operator*(double k) const { return Time(_seconds * k); }
+    constexpr double operator/(Time o) const { return _seconds / o._seconds; }
+    constexpr Time &operator+=(Time o) { _seconds += o._seconds; return *this; }
+    constexpr auto operator<=>(const Time &) const = default;
+
+  private:
+    explicit constexpr Time(double s) : _seconds(s) {}
+
+    double _seconds;
+};
+
+/** An amount of energy, stored in joules. */
+class Energy
+{
+  public:
+    constexpr Energy() : _joules(0.0) {}
+
+    static constexpr Energy joules(double j) { return Energy(j); }
+    static constexpr Energy millis(double mj) { return Energy(mj * 1e-3); }
+    static constexpr Energy micros(double uj) { return Energy(uj * 1e-6); }
+    static constexpr Energy nanos(double nj) { return Energy(nj * 1e-9); }
+    static constexpr Energy picos(double pj) { return Energy(pj * 1e-12); }
+
+    constexpr double j() const { return _joules; }
+    constexpr double mj() const { return _joules * 1e3; }
+    constexpr double uj() const { return _joules * 1e6; }
+    constexpr double nj() const { return _joules * 1e9; }
+    constexpr double pj() const { return _joules * 1e12; }
+
+    constexpr Energy operator+(Energy o) const { return Energy(_joules + o._joules); }
+    constexpr Energy operator-(Energy o) const { return Energy(_joules - o._joules); }
+    constexpr Energy operator*(double k) const { return Energy(_joules * k); }
+    constexpr double operator/(Energy o) const { return _joules / o._joules; }
+    constexpr Energy &operator+=(Energy o) { _joules += o._joules; return *this; }
+    constexpr auto operator<=>(const Energy &) const = default;
+
+    /** Average power over duration @p t. */
+    constexpr Power over(Time t) const;
+
+  private:
+    explicit constexpr Energy(double j) : _joules(j) {}
+
+    double _joules;
+};
+
+/** A power draw, stored in watts. */
+class Power
+{
+  public:
+    constexpr Power() : _watts(0.0) {}
+
+    static constexpr Power watts(double w) { return Power(w); }
+    static constexpr Power millis(double mw) { return Power(mw * 1e-3); }
+    static constexpr Power micros(double uw) { return Power(uw * 1e-6); }
+
+    constexpr double w() const { return _watts; }
+    constexpr double mw() const { return _watts * 1e3; }
+    constexpr double uw() const { return _watts * 1e6; }
+
+    constexpr Power operator+(Power o) const { return Power(_watts + o._watts); }
+    constexpr Power operator-(Power o) const { return Power(_watts - o._watts); }
+    constexpr Power operator*(double k) const { return Power(_watts * k); }
+    constexpr double operator/(Power o) const { return _watts / o._watts; }
+    constexpr Power &operator+=(Power o) { _watts += o._watts; return *this; }
+    constexpr auto operator<=>(const Power &) const = default;
+
+    /** Energy consumed over duration @p t. */
+    constexpr Energy
+    during(Time t) const
+    {
+        return Energy::joules(_watts * t.sec());
+    }
+
+  private:
+    explicit constexpr Power(double w) : _watts(w) {}
+
+    double _watts;
+};
+
+constexpr Power
+Energy::over(Time t) const
+{
+    return Power::watts(_joules / t.sec());
+}
+
+constexpr Energy operator*(Power p, Time t) { return p.during(t); }
+constexpr Energy operator*(Time t, Power p) { return p.during(t); }
+constexpr Time operator*(double k, Time t) { return t * k; }
+constexpr Energy operator*(double k, Energy e) { return e * k; }
+constexpr Power operator*(double k, Power p) { return p * k; }
+
+} // namespace xpro
+
+#endif // XPRO_COMMON_UNITS_HH

@@ -1,0 +1,96 @@
+#include "core/delay_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "graph/topo.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/** Cell processing time under the placement. */
+Time
+nodeDelay(const EngineTopology &topology, const Placement &placement,
+          size_t node)
+{
+    if (node == DataflowGraph::sourceId)
+        return Time();
+    const CellCosts &costs = topology.graph.node(node).costs;
+    return placement.inSensor(node) ? costs.sensorDelay
+                                    : costs.aggregatorDelay;
+}
+
+/** Link time charged on edge (u, v) under the placement. */
+Time
+edgeDelay(const EngineTopology &topology, const Placement &placement,
+          const WirelessLink &link, size_t u, size_t v)
+{
+    // Crossing edges cost one payload serialization. Fan-out is a
+    // broadcast: every consumer of the same payload sees the same
+    // arrival time, which the critical path combines with max, so
+    // charging the payload on each crossing edge is exact.
+    if (placement.inSensor(u) == placement.inSensor(v))
+        return Time();
+    return link.transfer(topology.graph.edgeBits(u, v)).airTime;
+}
+
+} // namespace
+
+DelayBreakdown
+eventDelay(const EngineTopology &topology, const Placement &placement,
+           const WirelessLink &link)
+{
+    const DataflowGraph &graph = topology.graph;
+
+    const auto node_fn = [&](size_t node) {
+        return nodeDelay(topology, placement, node);
+    };
+    const auto edge_fn = [&](size_t u, size_t v) {
+        return edgeDelay(topology, placement, link, u, v);
+    };
+    const std::vector<Time> done =
+        completionTimes(graph, node_fn, edge_fn);
+
+    // Backtrack the critical path from the fusion cell, attributing
+    // each element to front-end compute, wireless, or back-end
+    // compute.
+    DelayBreakdown out;
+    size_t node = topology.fusionNode;
+    while (true) {
+        const Time own = nodeDelay(topology, placement, node);
+        if (node != DataflowGraph::sourceId) {
+            if (placement.inSensor(node))
+                out.frontCompute += own;
+            else
+                out.backCompute += own;
+        }
+        if (graph.predecessors(node).empty())
+            break;
+        // The predecessor whose arrival set this node's start time.
+        size_t critical_pred = graph.predecessors(node).front();
+        Time best_arrival;
+        bool first = true;
+        for (size_t p : graph.predecessors(node)) {
+            const Time arrival = done[p] + edge_fn(p, node);
+            if (first || arrival > best_arrival) {
+                best_arrival = arrival;
+                critical_pred = p;
+                first = false;
+            }
+        }
+        out.wireless += edge_fn(critical_pred, node);
+        node = critical_pred;
+    }
+
+    // Result delivery to the aggregator.
+    if (placement.inSensor(topology.fusionNode)) {
+        out.wireless +=
+            link.transfer(EngineTopology::resultBits).airTime;
+    }
+    return out;
+}
+
+} // namespace xpro

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * End-to-end delay model of a placed engine (paper Sections 3.2.3
+ * and 5.3): the time to process one event from data availability,
+ * through front-end cells, the wireless channel, and back-end cells,
+ * to the classification result arriving at the aggregator. Cells
+ * execute data-driven, so the delay is the critical path through the
+ * placed dataflow graph; inter-end edges add link serialization
+ * time.
+ */
+
+#ifndef XPRO_CORE_DELAY_MODEL_HH
+#define XPRO_CORE_DELAY_MODEL_HH
+
+#include "core/placement.hh"
+#include "core/topology.hh"
+#include "wireless/link.hh"
+
+namespace xpro
+{
+
+/** Delay of one event attributed along the critical path
+ *  (paper Fig. 10's stacked bars). */
+struct DelayBreakdown
+{
+    /** In-sensor (front-end) cell processing on the critical path. */
+    Time frontCompute;
+    /** Wireless transfer time on the critical path. */
+    Time wireless;
+    /** In-aggregator (back-end) processing on the critical path. */
+    Time backCompute;
+
+    Time total() const { return frontCompute + wireless + backCompute; }
+};
+
+/** End-to-end delay of one event under a placement. */
+DelayBreakdown eventDelay(const EngineTopology &topology,
+                          const Placement &placement,
+                          const WirelessLink &link);
+
+} // namespace xpro
+
+#endif // XPRO_CORE_DELAY_MODEL_HH

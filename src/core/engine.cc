@@ -1,0 +1,46 @@
+#include "core/engine.hh"
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+const std::string &
+engineKindName(EngineKind kind)
+{
+    static const std::array<std::string, 4> names = {
+        "aggregator engine (A)",
+        "sensor node engine (S)",
+        "trivial cut",
+        "cross-end engine (C)",
+    };
+    return names[static_cast<size_t>(kind)];
+}
+
+const std::string &
+engineKindTag(EngineKind kind)
+{
+    static const std::array<std::string, 4> tags = {
+        "A", "S", "Trivial", "C",
+    };
+    return tags[static_cast<size_t>(kind)];
+}
+
+Placement
+enginePlacement(EngineKind kind, const EngineTopology &topology,
+                const WirelessLink &link)
+{
+    switch (kind) {
+      case EngineKind::InAggregator:
+        return Placement::allInAggregator(topology);
+      case EngineKind::InSensor:
+        return Placement::allInSensor(topology);
+      case EngineKind::TrivialCut:
+        return Placement::trivialCut(topology);
+      case EngineKind::CrossEnd:
+        return XProGenerator(topology, link).generate().placement;
+    }
+    panic("unknown engine kind %d", static_cast<int>(kind));
+}
+
+} // namespace xpro

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The four analytic-engine designs the paper evaluates: the
+ * in-aggregator approach (A), the in-sensor approach (S), the
+ * intuitive trivial cut between features and classifiers, and the
+ * cross-end XPro design produced by the Automatic XPro Generator
+ * (Sections 4.4 and 5.5). The single-end designs are the two extreme
+ * cuts of the XPro design space.
+ */
+
+#ifndef XPRO_CORE_ENGINE_HH
+#define XPRO_CORE_ENGINE_HH
+
+#include <array>
+#include <string>
+
+#include "core/partitioner.hh"
+
+namespace xpro
+{
+
+/** Engine design under comparison. */
+enum class EngineKind
+{
+    InAggregator, ///< "aggregator engine" (A)
+    InSensor,     ///< "sensor node engine" (S)
+    TrivialCut,   ///< features in-sensor, classifiers in-aggregator
+    CrossEnd,     ///< XPro (C)
+};
+
+/** All engine kinds in presentation order. */
+constexpr std::array<EngineKind, 4> allEngineKinds = {
+    EngineKind::InAggregator,
+    EngineKind::InSensor,
+    EngineKind::TrivialCut,
+    EngineKind::CrossEnd,
+};
+
+/** Display name, e.g. "cross-end engine (C)". */
+const std::string &engineKindName(EngineKind kind);
+
+/** Short tag used in tables: "A", "S", "Trivial" or "C". */
+const std::string &engineKindTag(EngineKind kind);
+
+/**
+ * The placement realizing an engine kind on a topology. CrossEnd
+ * runs the Automatic XPro Generator (delay-constrained).
+ */
+Placement enginePlacement(EngineKind kind,
+                          const EngineTopology &topology,
+                          const WirelessLink &link);
+
+} // namespace xpro
+
+#endif // XPRO_CORE_ENGINE_HH

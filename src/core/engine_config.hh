@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared configuration of an XPro engine instance: process node,
+ * wireless model, data word width and classifier hyper-parameters
+ * (paper Section 4.4 defaults).
+ */
+
+#ifndef XPRO_CORE_ENGINE_CONFIG_HH
+#define XPRO_CORE_ENGINE_CONFIG_HH
+
+#include <cstddef>
+
+#include "dsp/dwt.hh"
+#include "hw/technology.hh"
+#include "ml/random_subspace.hh"
+#include "wireless/transceiver.hh"
+
+namespace xpro
+{
+
+/** Word width of raw samples and DWT coefficients on the wire
+ *  (paper Section 4.4: 32-bit fixed numbers). */
+constexpr size_t wordBits = 32;
+
+/**
+ * Wire width of feature values, base-classifier votes and the final
+ * result. Features are min-max normalized to [0, 1] (paper Section
+ * 4.4), so the 16 fractional bits of the Q16.16 datapath carry their
+ * full precision; transmitting the fraction halves the payload of
+ * every post-feature transfer.
+ */
+constexpr size_t featureValueBits = 16;
+
+/**
+ * S-ALU mode selection policy for the in-sensor cells. The paper's
+ * design rule 2 picks the energy-optimal monotonic mode per
+ * component; the forced policies exist for ablation studies.
+ */
+enum class ModePolicy
+{
+    Optimal,
+    ForceSerial,
+    ForceParallel,
+    ForcePipeline,
+};
+
+/** Full configuration of one engine build. */
+struct EngineConfig
+{
+    ProcessNode process = ProcessNode::Tsmc90;
+    WirelessModel wireless = WirelessModel::Model2;
+    /** Random-subspace training setup (paper defaults scaled). */
+    RandomSubspaceConfig subspace = defaultSubspaceConfig();
+    /** Design rule 2: per-component optimal ALU mode. */
+    ModePolicy modePolicy = ModePolicy::Optimal;
+    /** Design rule 3: Std reuses the Var cell (Fig. 5). */
+    bool enableCellReuse = true;
+    /** Wavelet family of the DWT cells (paper default: Db4-class). */
+    Wavelet wavelet = Wavelet::Db4;
+
+    /** Paper Section 4.4 classifier configuration. */
+    static RandomSubspaceConfig
+    defaultSubspaceConfig()
+    {
+        RandomSubspaceConfig config;
+        config.subspaceDimension = 12;
+        config.candidates = 100;
+        config.keepFraction = 0.1;
+        config.svm.kernel = {KernelKind::Rbf, 2.0};
+        config.svm.c = 10.0;
+        return config;
+    }
+};
+
+} // namespace xpro
+
+#endif // XPRO_CORE_ENGINE_CONFIG_HH

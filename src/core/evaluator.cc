@@ -1,0 +1,42 @@
+#include "core/evaluator.hh"
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+EngineEvaluation
+evaluateEngine(EngineKind kind, const EngineTopology &topology,
+               const Placement &placement, const WirelessLink &link,
+               const SensorNode &sensor, const Aggregator &aggregator,
+               const WorkloadContext &workload)
+{
+    xproAssert(workload.eventsPerSecond > 0.0,
+               "event rate must be positive");
+
+    EngineEvaluation eval;
+    eval.kind = kind;
+    eval.placement = placement;
+    eval.sensorEnergy = sensorEventEnergy(topology, placement, link);
+    eval.aggregatorEnergy =
+        aggregatorEventEnergy(topology, placement, link);
+    eval.delay = eventDelay(topology, placement, link);
+    eval.sensorLifetime = sensor.lifetime(
+        eval.sensorEnergy.total(), workload.eventsPerSecond);
+    eval.aggregatorLifetime = aggregator.lifetime(
+        eval.aggregatorEnergy.total(), workload.eventsPerSecond);
+    return eval;
+}
+
+EngineEvaluation
+evaluateEngineKind(EngineKind kind, const EngineTopology &topology,
+                   const WirelessLink &link, const SensorNode &sensor,
+                   const Aggregator &aggregator,
+                   const WorkloadContext &workload)
+{
+    return evaluateEngine(kind, topology,
+                          enginePlacement(kind, topology, link), link,
+                          sensor, aggregator, workload);
+}
+
+} // namespace xpro

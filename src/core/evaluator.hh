@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Full-system evaluation of a placed engine on a workload: sensor
+ * battery lifetime (Figs. 8, 9, 12), delay breakdown (Fig. 10),
+ * sensor energy breakdown (Fig. 11) and aggregator overhead
+ * (Fig. 13).
+ */
+
+#ifndef XPRO_CORE_EVALUATOR_HH
+#define XPRO_CORE_EVALUATOR_HH
+
+#include "core/delay_model.hh"
+#include "core/energy_model.hh"
+#include "core/engine.hh"
+#include "platform/aggregator.hh"
+#include "platform/sensor_node.hh"
+
+namespace xpro
+{
+
+/** Everything measured about one engine on one workload. */
+struct EngineEvaluation
+{
+    EngineKind kind = EngineKind::CrossEnd;
+    Placement placement;
+    /** Sensor per-event energy by contributor. */
+    SensorEnergyBreakdown sensorEnergy;
+    /** Aggregator per-event energy by contributor. */
+    AggregatorEnergyBreakdown aggregatorEnergy;
+    /** End-to-end delay breakdown. */
+    DelayBreakdown delay;
+    /** Sensor battery lifetime. */
+    Time sensorLifetime;
+    /** Aggregator battery lifetime if it ran only this engine. */
+    Time aggregatorLifetime;
+};
+
+/** Workload context: how often events arrive. */
+struct WorkloadContext
+{
+    /** Segments analyzed per second (dataset sample rate / length). */
+    double eventsPerSecond = 4.0;
+};
+
+/** Evaluate one placement end to end. */
+EngineEvaluation
+evaluateEngine(EngineKind kind, const EngineTopology &topology,
+               const Placement &placement, const WirelessLink &link,
+               const SensorNode &sensor, const Aggregator &aggregator,
+               const WorkloadContext &workload);
+
+/** Build the placement for @p kind and evaluate it. */
+EngineEvaluation
+evaluateEngineKind(EngineKind kind, const EngineTopology &topology,
+                   const WirelessLink &link, const SensorNode &sensor,
+                   const Aggregator &aggregator,
+                   const WorkloadContext &workload);
+
+} // namespace xpro
+
+#endif // XPRO_CORE_EVALUATOR_HH

@@ -1,0 +1,200 @@
+#include "core/multiclass_topology.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "platform/aggregator.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/** Words in DWT level @p level's band consumed by feature cells. */
+size_t
+dwtFeatureWords(size_t level)
+{
+    const size_t detail = dwtFrameLength >> level;
+    return level == dwtLevels ? 2 * detail : detail;
+}
+
+size_t
+domainInputLength(FeatureDomain domain, size_t segment_length)
+{
+    if (domain == FeatureDomain::Time)
+        return segment_length;
+    return dwtFeatureWords(domainLevel(domain));
+}
+
+} // namespace
+
+EngineTopology
+buildMultiClassTopology(const MultiClassSubspace &ensemble,
+                        size_t segment_length,
+                        const EngineConfig &config,
+                        double events_per_second)
+{
+    xproAssert(segment_length >= 2, "segment too short");
+    xproAssert(ensemble.classCount() >= 2, "not a multi-class model");
+    xproAssert(events_per_second > 0.0, "event rate must be positive");
+
+    const Technology &tech = Technology::get(config.process);
+    const AggregatorCpu cpu;
+    const Energy standby_per_event =
+        tech.cellStandbyPower() *
+        Time::seconds(1.0 / events_per_second);
+
+    EngineTopology topo;
+    topo.segmentLength = segment_length;
+    topo.graph = DataflowGraph(segment_length * wordBits);
+    topo.cells.resize(1);
+
+    auto addCell = [&](const std::string &name,
+                       const CellWorkload &workload, size_t output_bits,
+                       CellInfo info) {
+        DataflowNode node;
+        node.name = name;
+        node.outputBits = output_bits;
+        const AluMode mode = bestCellMode(workload, tech);
+        const ModeCosts hw = evaluateCellMode(workload, mode, tech);
+        const SoftwareCosts sw = cpu.run(workload);
+        node.costs.sensorEnergy = hw.energy + standby_per_event;
+        node.costs.sensorDelay = hw.delay;
+        node.costs.aggregatorEnergy = sw.energy;
+        node.costs.aggregatorDelay = sw.delay;
+        const size_t id = topo.graph.addCell(node);
+        info.mode = mode;
+        topo.cells.push_back(info);
+        return id;
+    };
+
+    // Shared feature cells: union over every class ensemble.
+    const std::vector<size_t> used = ensemble.usedFeatureIndices();
+    size_t max_level = 0;
+    for (size_t idx : used) {
+        max_level = std::max(
+            max_level, domainLevel(featureFromIndex(idx).domain));
+    }
+
+    for (size_t level = 1; level <= max_level; ++level) {
+        const size_t input_len = dwtFrameLength >> (level - 1);
+        CellInfo info;
+        info.kind = ComponentKind::Dwt;
+        info.dwtLevel = level;
+        const size_t taps =
+            config.wavelet == Wavelet::Haar ? 2 : 4;
+        const size_t id =
+            addCell("DWT-L" + std::to_string(level),
+                    dwtLevelWorkload(input_len, taps),
+                    input_len * wordBits, info);
+        if (level == 1) {
+            topo.graph.addEdge(DataflowGraph::sourceId, id,
+                               segment_length * wordBits);
+        } else {
+            topo.graph.addEdge(topo.dwtNodes.back(), id,
+                               (dwtFrameLength >> (level - 1)) *
+                                   wordBits);
+        }
+        topo.dwtNodes.push_back(id);
+    }
+
+    topo.featureNodes.fill(0);
+    auto hasFeature = [&](FeatureDomain domain, FeatureKind kind) {
+        const size_t idx = featureIndex({domain, kind});
+        return std::find(used.begin(), used.end(), idx) != used.end();
+    };
+    for (size_t idx : used) {
+        const FeatureId id = featureFromIndex(idx);
+        CellInfo info;
+        info.kind = componentForFeature(id.kind);
+        info.feature = id;
+
+        size_t node;
+        if (id.kind == FeatureKind::Std &&
+            hasFeature(id.domain, FeatureKind::Var)) {
+            node = addCell(featureFullName(id), stdFromVarWorkload(),
+                           featureValueBits, info);
+            const size_t var_node =
+                topo.featureNodes[featureIndex(
+                    {id.domain, FeatureKind::Var})];
+            xproAssert(var_node != 0, "Var cell missing for reuse");
+            topo.graph.addEdge(var_node, node, featureValueBits);
+        } else {
+            const size_t input_len =
+                domainInputLength(id.domain, segment_length);
+            node = addCell(featureFullName(id),
+                           featureCellWorkload(id.kind, input_len),
+                           featureValueBits, info);
+            if (id.domain == FeatureDomain::Time) {
+                topo.graph.addEdge(DataflowGraph::sourceId, node,
+                                   segment_length * wordBits);
+            } else {
+                const size_t level = domainLevel(id.domain);
+                topo.graph.addEdge(topo.dwtNodes[level - 1], node,
+                                   dwtFeatureWords(level) * wordBits);
+            }
+        }
+        topo.featureNodes[idx] = node;
+    }
+
+    // Per-class SVM + fusion cells; class fusions feed the argmax.
+    std::vector<size_t> class_fusions;
+    for (size_t cls = 0; cls < ensemble.classCount(); ++cls) {
+        const RandomSubspace &class_ensemble =
+            ensemble.classEnsemble(cls);
+        std::vector<size_t> class_svms;
+        for (size_t b = 0; b < class_ensemble.bases().size(); ++b) {
+            const BaseClassifier &base = class_ensemble.bases()[b];
+            CellInfo info;
+            info.kind = ComponentKind::Svm;
+            info.svmIndex = b;
+            info.classIndex = cls;
+            const size_t sv_count = std::max<size_t>(
+                base.model.supportVectorCount(), 1);
+            const size_t id = addCell(
+                "SVM-c" + std::to_string(cls) + "-" +
+                    std::to_string(b + 1),
+                svmCellWorkload(base.featureIndices.size(), sv_count),
+                featureValueBits, info);
+            for (size_t feat : base.featureIndices) {
+                xproAssert(topo.featureNodes[feat] != 0,
+                           "feature cell %zu missing", feat);
+                topo.graph.addEdge(topo.featureNodes[feat], id,
+                                   featureValueBits);
+            }
+            class_svms.push_back(id);
+            topo.svmNodes.push_back(id);
+        }
+
+        CellInfo info;
+        info.kind = ComponentKind::Fusion;
+        info.classIndex = cls;
+        const size_t fusion = addCell(
+            "Fusion-c" + std::to_string(cls),
+            fusionCellWorkload(class_ensemble.bases().size()),
+            featureValueBits, info);
+        for (size_t svm : class_svms)
+            topo.graph.addEdge(svm, fusion, featureValueBits);
+        class_fusions.push_back(fusion);
+    }
+
+    {
+        CellInfo info;
+        info.kind = ComponentKind::Argmax;
+        topo.fusionNode =
+            addCell("Argmax",
+                    argmaxCellWorkload(ensemble.classCount()),
+                    EngineTopology::resultBits, info);
+        for (size_t fusion : class_fusions)
+            topo.graph.addEdge(fusion, topo.fusionNode,
+                               featureValueBits);
+    }
+
+    const std::string error = topo.graph.validate();
+    xproAssert(error.empty(), "invalid multi-class topology: %s",
+               error.c_str());
+    return topo;
+}
+
+} // namespace xpro

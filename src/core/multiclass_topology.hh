@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Multi-classification topology extension (paper Section 5.7):
+ * "simply add more base classifiers that extend only the topology of
+ * generic classification. The rest of the proposed methodology can
+ * be applied directly."
+ *
+ * A one-vs-rest MultiClassSubspace maps to one engine topology:
+ * feature cells are the union over every class ensemble (shared, so
+ * a feature computed once serves all classes), each class
+ * contributes its SVM cells and a fusion cell, and a final argmax
+ * cell selects the winning class. The resulting EngineTopology runs
+ * through the unchanged Automatic XPro Generator, energy/delay
+ * models, evaluator and simulator.
+ */
+
+#ifndef XPRO_CORE_MULTICLASS_TOPOLOGY_HH
+#define XPRO_CORE_MULTICLASS_TOPOLOGY_HH
+
+#include "core/topology.hh"
+#include "ml/multiclass.hh"
+
+namespace xpro
+{
+
+/**
+ * Build the engine topology of a one-vs-rest multi-class ensemble.
+ *
+ * @param ensemble Trained one-vs-rest classifier.
+ * @param segment_length Samples per raw segment.
+ * @param config Process/wireless configuration.
+ * @param events_per_second Segment analysis rate of the workload.
+ */
+EngineTopology
+buildMultiClassTopology(const MultiClassSubspace &ensemble,
+                        size_t segment_length,
+                        const EngineConfig &config,
+                        double events_per_second = 4.0);
+
+} // namespace xpro
+
+#endif // XPRO_CORE_MULTICLASS_TOPOLOGY_HH

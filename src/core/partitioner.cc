@@ -1,0 +1,216 @@
+#include "core/partitioner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/transfers.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/** Node layout inside the s-t graph. */
+constexpr size_t nodeF = 0; ///< front-end (sensor) terminal
+constexpr size_t nodeB = 1; ///< back-end (aggregator) terminal
+constexpr size_t cellBase = 2;
+
+} // namespace
+
+Placement
+XProGenerator::cutPlacement(double lambda) const
+{
+    const DataflowGraph &graph = _topology.graph;
+    const size_t cells = graph.nodeCount(); // includes source slot
+
+    // Weight of an s-t edge: energy plus lambda times the delay the
+    // corresponding decision adds (joules + lambda * seconds).
+    const auto weight = [lambda](Energy e, Time t) {
+        return e.j() + lambda * t.sec();
+    };
+
+    FlowNetwork net(cellBase + cells);
+
+    // The raw-data source is pinned to the sensor: it is terminal F.
+    const auto mapped = [](size_t node) {
+        return node == DataflowGraph::sourceId ? nodeF
+                                               : cellBase + node;
+    };
+
+    for (size_t u = 1; u < cells; ++u) {
+        const DataflowNode &node = graph.node(u);
+        // cell -> B: the cell's in-sensor execution cost.
+        net.addEdge(cellBase + u, nodeB,
+                    weight(node.costs.sensorEnergy,
+                           node.costs.sensorDelay));
+        // Placing the cell in the aggregator instead costs software
+        // time (no sensor energy). Charge it on the F -> cell side
+        // so the Lagrangian can trade both directions; with
+        // lambda == 0 this edge is zero and never cut.
+        if (lambda > 0.0) {
+            net.addEdge(nodeF, cellBase + u,
+                        weight(Energy(), node.costs.aggregatorDelay));
+        }
+    }
+
+    // Broadcast groups: one dummy node pair per producer payload,
+    // generalizing the paper's dummy "D" node (for the raw source
+    // data this construction *is* the paper's F -> D edge plus
+    // infinite D -> consumer edges).
+    for (const BroadcastGroup &group : broadcastGroups(_topology)) {
+        const TransferCost transfer = _link.transfer(group.bits);
+
+        // Transmit dummy: if any consumer is in the aggregator while
+        // the producer is in the sensor, the payload crosses once.
+        const size_t tx_node = net.addNode();
+        net.addEdge(mapped(group.producer), tx_node,
+                    weight(transfer.txEnergy, transfer.airTime));
+        for (size_t v : group.consumers) {
+            net.addEdge(tx_node, mapped(v),
+                        FlowNetwork::infiniteCapacity());
+        }
+
+        // Receive dummy: if any consumer is in the sensor while the
+        // producer is in the aggregator, the sensor receives once.
+        // The source is always in the sensor, so it needs none.
+        if (group.producer != DataflowGraph::sourceId) {
+            const size_t rx_node = net.addNode();
+            net.addEdge(rx_node, mapped(group.producer),
+                        weight(transfer.rxEnergy, transfer.airTime));
+            for (size_t v : group.consumers) {
+                net.addEdge(mapped(v), rx_node,
+                            FlowNetwork::infiniteCapacity());
+            }
+        }
+    }
+
+    // The result always ends at the aggregator: keeping the fusion
+    // cell in the sensor costs one result transfer.
+    const TransferCost result =
+        _link.transfer(EngineTopology::resultBits);
+    net.addEdge(cellBase + _topology.fusionNode, nodeB,
+                weight(result.txEnergy, result.airTime));
+
+    const MinCutResult cut = net.minCut(nodeF, nodeB);
+
+    std::vector<bool> in_sensor(cells, false);
+    in_sensor[DataflowGraph::sourceId] = true;
+    for (size_t u = 1; u < cells; ++u)
+        in_sensor[u] = cut.sourceSide[cellBase + u];
+    return Placement::fromMask(_topology, std::move(in_sensor));
+}
+
+Placement
+XProGenerator::minimumEnergyPlacement() const
+{
+    return cutPlacement(0.0);
+}
+
+Time
+XProGenerator::delayLimit() const
+{
+    const Time t_sensor =
+        eventDelay(_topology, Placement::allInSensor(_topology),
+                   _link)
+            .total();
+    const Time t_aggregator =
+        eventDelay(_topology,
+                   Placement::allInAggregator(_topology), _link)
+            .total();
+    return std::min(t_sensor, t_aggregator);
+}
+
+PartitionResult
+XProGenerator::generate() const
+{
+    const Time limit = delayLimit();
+
+    // Unconstrained energy-optimal cut first.
+    Placement best = minimumEnergyPlacement();
+    SensorEnergyBreakdown best_energy =
+        sensorEventEnergy(_topology, best, _link);
+    DelayBreakdown best_delay = eventDelay(_topology, best, _link);
+
+    PartitionResult result;
+    result.unconstrainedCutValue = best_energy.total();
+    result.delayLimit = limit;
+    result.unconstrainedFeasible = best_delay.total() <= limit;
+
+    if (!result.unconstrainedFeasible) {
+        bool found = false;
+        const auto consider = [&](const Placement &candidate) {
+            const DelayBreakdown delay =
+                eventDelay(_topology, candidate, _link);
+            if (delay.total() > limit)
+                return;
+            const SensorEnergyBreakdown energy =
+                sensorEventEnergy(_topology, candidate, _link);
+            if (!found || energy.total() < best_energy.total()) {
+                best = candidate;
+                best_energy = energy;
+                best_delay = delay;
+                found = true;
+            }
+        };
+
+        // Lagrangian sweep: penalize delay with growing lambda
+        // (joules per second) until feasible cuts appear; keep the
+        // cheapest feasible placement found.
+        for (double lambda = 1e-10; lambda <= 1e4; lambda *= 1.3)
+            consider(cutPlacement(lambda));
+
+        // The faster single end is always feasible by construction
+        // (the limit is the minimum of the two); considering both
+        // also guarantees the "not worse than either feasible
+        // single-end design" property of Section 3.2.3.
+        consider(Placement::allInSensor(_topology));
+        consider(Placement::allInAggregator(_topology));
+        consider(Placement::trivialCut(_topology));
+        xproAssert(found, "delay limit excludes every design");
+    }
+
+    result.placement = best;
+    result.energy = best_energy;
+    result.delay = best_delay;
+    return result;
+}
+
+Placement
+XProGenerator::exhaustiveOptimum(Time delay_limit,
+                                 size_t max_cells) const
+{
+    const size_t cells = _topology.graph.cellCount();
+    if (cells > max_cells) {
+        fatal("exhaustive search over %zu cells exceeds the cap of "
+              "%zu",
+              cells, max_cells);
+    }
+
+    Placement best = Placement::allInSensor(_topology);
+    bool found = false;
+    Energy best_energy;
+    for (size_t mask = 0; mask < (size_t{1} << cells); ++mask) {
+        std::vector<bool> in_sensor(cells + 1, false);
+        in_sensor[DataflowGraph::sourceId] = true;
+        for (size_t c = 0; c < cells; ++c)
+            in_sensor[1 + c] = (mask >> c) & 1;
+        const Placement candidate =
+            Placement::fromMask(_topology, std::move(in_sensor));
+        if (eventDelay(_topology, candidate, _link).total() >
+            delay_limit) {
+            continue;
+        }
+        const Energy energy =
+            sensorEventEnergy(_topology, candidate, _link).total();
+        if (!found || energy < best_energy) {
+            best = candidate;
+            best_energy = energy;
+            found = true;
+        }
+    }
+    xproAssert(found, "no placement meets the delay limit");
+    return best;
+}
+
+} // namespace xpro

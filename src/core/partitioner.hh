@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The Automatic XPro Generator (paper Section 3.2): formally finds
+ * the functional-cell distribution that minimizes the sensor node's
+ * per-event energy, under the delay constraint
+ * T <= min(T_in-sensor, T_in-aggregator).
+ *
+ * The unconstrained problem reduces to a minimum s-t cut on a graph
+ * with a front-end terminal F, a back-end terminal B and a dummy
+ * node D for the raw source data (Fig. 7):
+ *
+ *  - F -> D, weight = energy to transmit the raw segment; infinite
+ *    D -> cell edges for every cell reading raw data enforce the
+ *    "grouped" lemma;
+ *  - cell -> B, weight = the cell's in-sensor compute energy;
+ *  - for each dataflow edge u -> v, a forward edge weighted with the
+ *    tx energy of u's output and a reverse edge weighted with the rx
+ *    energy;
+ *  - fusion -> B carries an extra parallel edge with the result
+ *    transmission energy (the classification always ends at the
+ *    aggregator).
+ *
+ * A cut's capacity then equals the sensor-node energy of the induced
+ * placement (tested invariant), and Dinic solves it in polynomial
+ * time. The delay constraint is handled as in the paper's max-flow
+ * min-cut reformulation by a Lagrangian sweep: edges carry a second
+ * (delay) attribute, cuts of capacity E + lambda*D are enumerated
+ * over lambda, every induced placement's true critical-path delay is
+ * checked, and the cheapest feasible one wins; the faster single-end
+ * design is the guaranteed-feasible fallback.
+ */
+
+#ifndef XPRO_CORE_PARTITIONER_HH
+#define XPRO_CORE_PARTITIONER_HH
+
+#include <vector>
+
+#include "core/energy_model.hh"
+#include "core/delay_model.hh"
+#include "core/placement.hh"
+#include "graph/flow_network.hh"
+
+namespace xpro
+{
+
+/** Result of one generator run. */
+struct PartitionResult
+{
+    Placement placement;
+    /** Sensor-node per-event energy of the chosen placement. */
+    SensorEnergyBreakdown energy;
+    /** End-to-end delay of the chosen placement. */
+    DelayBreakdown delay;
+    /** The delay limit that was enforced. */
+    Time delayLimit;
+    /** Min-cut value of the unconstrained solve (diagnostics). */
+    Energy unconstrainedCutValue;
+    /** True when the unconstrained min-cut already met the limit. */
+    bool unconstrainedFeasible = false;
+};
+
+/** The Automatic XPro Generator. */
+class XProGenerator
+{
+  public:
+    XProGenerator(const EngineTopology &topology,
+                  const WirelessLink &link)
+        : _topology(topology), _link(link)
+    {}
+
+    /**
+     * Unconstrained minimum-energy placement via min s-t cut.
+     */
+    Placement minimumEnergyPlacement() const;
+
+    /**
+     * Full generation with the paper's delay constraint
+     * T <= min(T_F, T_B).
+     */
+    PartitionResult generate() const;
+
+    /**
+     * Exhaustive oracle for small topologies (tests): enumerate all
+     * placements, minimize energy subject to the delay limit.
+     * Fatal for topologies with more than @p max_cells cells.
+     */
+    Placement exhaustiveOptimum(Time delay_limit,
+                                size_t max_cells = 24) const;
+
+    /** The delay limit min(T_in-sensor, T_in-aggregator). */
+    Time delayLimit() const;
+
+  private:
+    /**
+     * Build the s-t graph with capacities energy + lambda * delay
+     * and return the induced placement of its min cut.
+     */
+    Placement cutPlacement(double lambda_seconds_weight) const;
+
+    const EngineTopology &_topology;
+    const WirelessLink &_link;
+};
+
+} // namespace xpro
+
+#endif // XPRO_CORE_PARTITIONER_HH

@@ -1,0 +1,92 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "ml/crossval.hh"
+
+namespace xpro
+{
+
+int
+TrainedPipeline::classify(const std::vector<double> &segment) const
+{
+    const std::vector<double> raw = extractor.extractAll(segment);
+    return ensemble.predict(scaler.transform(raw));
+}
+
+TrainedPipeline
+trainPipeline(const SignalDataset &dataset, const EngineConfig &config,
+              const TrainingOptions &options)
+{
+    xproAssert(dataset.size() >= 8, "dataset too small to train on");
+
+    TrainedPipeline pipeline;
+    pipeline.extractor = FeatureExtractor(config.wavelet);
+
+    // Extract the full 48-feature pool for every segment.
+    std::vector<std::vector<double>> raw_rows;
+    std::vector<int> labels;
+    raw_rows.reserve(dataset.size());
+    labels.reserve(dataset.size());
+    for (const Segment &segment : dataset.segments) {
+        raw_rows.push_back(
+            pipeline.extractor.extractAll(segment.samples));
+        labels.push_back(segment.label);
+    }
+
+    // Split 75/25 (paper Section 4.4), stratified.
+    Rng rng(options.seed);
+    const Split split =
+        stratifiedSplit(labels, options.trainFraction, rng);
+    std::vector<size_t> train_idx = split.trainIndices;
+    if (options.maxTrainingSegments > 0 &&
+        train_idx.size() > options.maxTrainingSegments) {
+        train_idx.resize(options.maxTrainingSegments);
+    }
+
+    // Min-max normalization fitted on the training rows only.
+    std::vector<std::vector<double>> train_raw;
+    train_raw.reserve(train_idx.size());
+    for (size_t idx : train_idx)
+        train_raw.push_back(raw_rows[idx]);
+    pipeline.scaler.fit(train_raw);
+
+    LabeledData train;
+    for (size_t idx : train_idx) {
+        train.rows.push_back(pipeline.scaler.transform(raw_rows[idx]));
+        train.labels.push_back(labels[idx]);
+    }
+    LabeledData test;
+    for (size_t idx : split.testIndices) {
+        test.rows.push_back(pipeline.scaler.transform(raw_rows[idx]));
+        test.labels.push_back(labels[idx]);
+    }
+
+    RandomSubspaceConfig subspace = config.subspace;
+    subspace.seed = options.seed ^ 0xABCDEF;
+    pipeline.ensemble = RandomSubspace::train(train, subspace);
+    pipeline.trainAccuracy = pipeline.ensemble.accuracy(train);
+    pipeline.testAccuracy =
+        test.size() > 0 ? pipeline.ensemble.accuracy(test) : 0.0;
+    pipeline.trainCount = train.size();
+    pipeline.testCount = test.size();
+    return pipeline;
+}
+
+XProDesign
+designXPro(const SignalDataset &dataset, const EngineConfig &config,
+           const TrainingOptions &options)
+{
+    XProDesign design;
+    design.config = config;
+    design.pipeline = trainPipeline(dataset, config, options);
+    design.topology = buildEngineTopology(
+        design.pipeline.ensemble, dataset.segmentLength, config);
+    const WirelessLink link(transceiver(config.wireless));
+    design.partition =
+        XProGenerator(design.topology, link).generate();
+    return design;
+}
+
+} // namespace xpro

@@ -1,0 +1,78 @@
+#include "core/placement.hh"
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+Placement
+Placement::allInSensor(const EngineTopology &topology)
+{
+    return Placement(
+        std::vector<bool>(topology.graph.nodeCount(), true));
+}
+
+Placement
+Placement::allInAggregator(const EngineTopology &topology)
+{
+    std::vector<bool> mask(topology.graph.nodeCount(), false);
+    mask[DataflowGraph::sourceId] = true;
+    return Placement(std::move(mask));
+}
+
+Placement
+Placement::trivialCut(const EngineTopology &topology)
+{
+    std::vector<bool> mask(topology.graph.nodeCount(), false);
+    mask[DataflowGraph::sourceId] = true;
+    for (size_t node = 1; node < topology.graph.nodeCount(); ++node) {
+        const ComponentKind kind = topology.cells[node].kind;
+        mask[node] = kind != ComponentKind::Svm &&
+                     kind != ComponentKind::Fusion;
+    }
+    return Placement(std::move(mask));
+}
+
+Placement
+Placement::fromMask(const EngineTopology &topology,
+                    std::vector<bool> in_sensor)
+{
+    xproAssert(in_sensor.size() == topology.graph.nodeCount(),
+               "placement size %zu, topology has %zu nodes",
+               in_sensor.size(), topology.graph.nodeCount());
+    xproAssert(in_sensor[DataflowGraph::sourceId],
+               "the raw-data source lives at the sensor");
+    return Placement(std::move(in_sensor));
+}
+
+size_t
+Placement::sensorCellCount() const
+{
+    size_t count = 0;
+    for (size_t node = 1; node < _inSensor.size(); ++node)
+        count += _inSensor[node];
+    return count;
+}
+
+bool
+Placement::rawDataTransmitted(const EngineTopology &topology) const
+{
+    for (size_t consumer :
+         topology.graph.successors(DataflowGraph::sourceId)) {
+        if (!_inSensor[consumer])
+            return true;
+    }
+    return false;
+}
+
+std::string
+Placement::summary(const EngineTopology &topology) const
+{
+    return std::to_string(sensorCellCount()) + "/" +
+           std::to_string(topology.graph.cellCount()) +
+           " cells in-sensor" +
+           (rawDataTransmitted(topology) ? ", raw data transmitted"
+                                         : "");
+}
+
+} // namespace xpro

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A placement assigns every functional cell to the sensor end or
+ * the aggregator end; the source node is always at the sensor. The
+ * in-sensor analytic part is the true-side, the in-aggregator part
+ * the false-side (paper Section 2.2).
+ */
+
+#ifndef XPRO_CORE_PLACEMENT_HH
+#define XPRO_CORE_PLACEMENT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/topology.hh"
+
+namespace xpro
+{
+
+/** Per-node end assignment; true = in-sensor. */
+class Placement
+{
+  public:
+    Placement() = default;
+
+    /** All cells on one end (the two extreme designs). */
+    static Placement allInSensor(const EngineTopology &topology);
+    static Placement allInAggregator(const EngineTopology &topology);
+
+    /**
+     * The intuitive "trivial cut" of paper Fig. 12: DWT and feature
+     * cells in the sensor, classifiers (SVM + fusion) in the
+     * aggregator.
+     */
+    static Placement trivialCut(const EngineTopology &topology);
+
+    /** Build from an explicit per-node boolean vector. */
+    static Placement fromMask(const EngineTopology &topology,
+                              std::vector<bool> in_sensor);
+
+    bool inSensor(size_t node) const { return _inSensor[node]; }
+    size_t size() const { return _inSensor.size(); }
+
+    /** Number of cells (excluding source) placed in the sensor. */
+    size_t sensorCellCount() const;
+
+    /** True if any cell reading the raw source sits in the
+     *  aggregator, i.e. the raw segment must be transmitted. */
+    bool rawDataTransmitted(const EngineTopology &topology) const;
+
+    /** One-line summary, e.g. "5/12 cells in-sensor". */
+    std::string summary(const EngineTopology &topology) const;
+
+  private:
+    explicit Placement(std::vector<bool> in_sensor)
+        : _inSensor(std::move(in_sensor))
+    {}
+
+    std::vector<bool> _inSensor;
+};
+
+} // namespace xpro
+
+#endif // XPRO_CORE_PLACEMENT_HH

@@ -1,0 +1,102 @@
+#include "core/report.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+CsvTable::CsvTable(std::vector<std::string> columns)
+    : _columns(std::move(columns))
+{
+    xproAssert(!_columns.empty(), "CSV table needs columns");
+}
+
+CsvTable &
+CsvTable::beginRow()
+{
+    if (!_rows.empty()) {
+        xproAssert(_rows.back().size() == _columns.size(),
+                   "previous row has %zu of %zu cells",
+                   _rows.back().size(), _columns.size());
+    }
+    _rows.emplace_back();
+    return *this;
+}
+
+CsvTable &
+CsvTable::add(const std::string &value)
+{
+    xproAssert(!_rows.empty(), "add() before beginRow()");
+    xproAssert(_rows.back().size() < _columns.size(),
+               "row already has %zu cells", _columns.size());
+    _rows.back().push_back(value);
+    return *this;
+}
+
+CsvTable &
+CsvTable::add(double value)
+{
+    std::ostringstream out;
+    if (std::isfinite(value) &&
+        value == std::floor(value) && std::fabs(value) < 1e15) {
+        out << static_cast<long long>(value);
+    } else {
+        out.precision(9);
+        out << value;
+    }
+    return add(out.str());
+}
+
+CsvTable &
+CsvTable::add(size_t value)
+{
+    return add(std::to_string(value));
+}
+
+std::string
+CsvTable::escape(const std::string &value)
+{
+    if (value.find_first_of(",\"\n") == std::string::npos)
+        return value;
+    std::string out = "\"";
+    for (char c : value) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvTable::write(std::ostream &out) const
+{
+    for (size_t c = 0; c < _columns.size(); ++c)
+        out << (c ? "," : "") << escape(_columns[c]);
+    out << '\n';
+    for (const auto &row : _rows) {
+        xproAssert(row.size() == _columns.size(),
+                   "ragged row with %zu of %zu cells", row.size(),
+                   _columns.size());
+        for (size_t c = 0; c < row.size(); ++c)
+            out << (c ? "," : "") << escape(row[c]);
+        out << '\n';
+    }
+}
+
+void
+CsvTable::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    write(out);
+    if (!out)
+        fatal("write to '%s' failed", path.c_str());
+}
+
+} // namespace xpro

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reporting helpers: CSV emission for the evaluation series so the
+ * paper's figures can be re-plotted from machine-readable data, and
+ * a small fixed-width table writer shared by tools.
+ */
+
+#ifndef XPRO_CORE_REPORT_HH
+#define XPRO_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xpro
+{
+
+/** Accumulates rows and writes RFC-4180-style CSV. */
+class CsvTable
+{
+  public:
+    /** Define the header row. */
+    explicit CsvTable(std::vector<std::string> columns);
+
+    /** Start a new row; values are appended with add(). */
+    CsvTable &beginRow();
+
+    /** Append a string cell (quoted/escaped as needed). */
+    CsvTable &add(const std::string &value);
+
+    /** Append a numeric cell. */
+    CsvTable &add(double value);
+    CsvTable &add(size_t value);
+
+    size_t rowCount() const { return _rows.size(); }
+
+    /** Write header plus rows. Panics on ragged rows. */
+    void write(std::ostream &out) const;
+
+    /** Convenience: write to a file path; fatal on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    static std::string escape(const std::string &value);
+
+    std::vector<std::string> _columns;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace xpro
+
+#endif // XPRO_CORE_REPORT_HH

@@ -1,0 +1,229 @@
+#include "core/topology.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "platform/aggregator.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/** Words in DWT level @p level's band consumed by feature cells. */
+size_t
+dwtFeatureWords(size_t level)
+{
+    const size_t detail = dwtFrameLength >> level;
+    // Level 5 exposes both 4-sample segments (detail + approx).
+    return level == dwtLevels ? 2 * detail : detail;
+}
+
+/** Samples a feature cell at @p domain processes. */
+size_t
+domainInputLength(FeatureDomain domain, size_t segment_length)
+{
+    if (domain == FeatureDomain::Time)
+        return segment_length;
+    return dwtFeatureWords(domainLevel(domain));
+}
+
+} // namespace
+
+EngineTopology
+buildEngineTopology(const RandomSubspace &ensemble,
+                    size_t segment_length, const EngineConfig &config,
+                    double events_per_second)
+{
+    xproAssert(segment_length >= 2, "segment too short");
+    xproAssert(!ensemble.bases().empty(), "ensemble not trained");
+    xproAssert(events_per_second > 0.0, "event rate must be positive");
+
+    const Technology &tech = Technology::get(config.process);
+    const AggregatorCpu cpu;
+    const Energy standby_per_event =
+        tech.cellStandbyPower() *
+        Time::seconds(1.0 / events_per_second);
+
+    EngineTopology topo;
+    topo.segmentLength = segment_length;
+    topo.graph = DataflowGraph(segment_length * wordBits);
+    topo.cells.resize(1); // placeholder for the source node
+
+    const auto chooseMode = [&](const CellWorkload &workload) {
+        switch (config.modePolicy) {
+          case ModePolicy::Optimal:
+            return bestCellMode(workload, tech);
+          case ModePolicy::ForceSerial:
+            return AluMode::Serial;
+          case ModePolicy::ForceParallel:
+            return AluMode::Parallel;
+          case ModePolicy::ForcePipeline:
+            return AluMode::Pipeline;
+        }
+        panic("unknown mode policy %d",
+              static_cast<int>(config.modePolicy));
+    };
+
+    auto addCell = [&](const std::string &name,
+                       const CellWorkload &workload, size_t output_bits,
+                       CellInfo info) {
+        DataflowNode node;
+        node.name = name;
+        node.outputBits = output_bits;
+        const AluMode mode = chooseMode(workload);
+        const ModeCosts hw = evaluateCellMode(workload, mode, tech);
+        const SoftwareCosts sw = cpu.run(workload);
+        node.costs.sensorEnergy = hw.energy + standby_per_event;
+        node.costs.sensorDelay = hw.delay;
+        node.costs.aggregatorEnergy = sw.energy;
+        node.costs.aggregatorDelay = sw.delay;
+        const size_t id = topo.graph.addCell(node);
+        info.mode = mode;
+        topo.cells.push_back(info);
+        xproAssert(topo.cells.size() == topo.graph.nodeCount(),
+                   "cell metadata out of sync");
+        return id;
+    };
+
+    // Which pool features the surviving bases consume.
+    const std::vector<size_t> used = ensemble.usedFeatureIndices();
+    size_t max_level = 0;
+    for (size_t idx : used) {
+        max_level = std::max(
+            max_level, domainLevel(featureFromIndex(idx).domain));
+    }
+
+    // DWT level chain. Level k transforms the level k-1
+    // approximation; level 1 reads the framed raw segment.
+    topo.dwtNodes.clear();
+    for (size_t level = 1; level <= max_level; ++level) {
+        const size_t input_len = dwtFrameLength >> (level - 1);
+        CellInfo info;
+        info.kind = ComponentKind::Dwt;
+        info.dwtLevel = level;
+        const size_t taps =
+            config.wavelet == Wavelet::Haar ? 2 : 4;
+        const size_t id =
+            addCell("DWT-L" + std::to_string(level),
+                    dwtLevelWorkload(input_len, taps),
+                    input_len * wordBits, info);
+        if (level == 1) {
+            // The DWT frame is derived from the same raw segment the
+            // time-domain cells read (padding is not transmitted),
+            // so this edge carries the raw segment itself and joins
+            // the source's single broadcast group.
+            topo.graph.addEdge(DataflowGraph::sourceId, id,
+                               segment_length * wordBits);
+        } else {
+            // Approximation band of the previous level.
+            topo.graph.addEdge(topo.dwtNodes.back(), id,
+                               (dwtFrameLength >> (level - 1)) *
+                                   wordBits);
+        }
+        topo.dwtNodes.push_back(id);
+    }
+
+    // Feature cells, with Var-cell reuse for Std (Fig. 5).
+    topo.featureNodes.fill(0);
+    auto hasFeature = [&](FeatureDomain domain, FeatureKind kind) {
+        const size_t idx = featureIndex({domain, kind});
+        return std::find(used.begin(), used.end(), idx) != used.end();
+    };
+    auto domainProducer = [&](FeatureDomain domain) -> size_t {
+        if (domain == FeatureDomain::Time)
+            return DataflowGraph::sourceId;
+        return topo.dwtNodes[domainLevel(domain) - 1];
+    };
+    auto domainEdgeBits = [&](FeatureDomain domain) -> size_t {
+        if (domain == FeatureDomain::Time)
+            return segment_length * wordBits;
+        return dwtFeatureWords(domainLevel(domain)) * wordBits;
+    };
+
+    for (size_t idx : used) {
+        const FeatureId id = featureFromIndex(idx);
+        const size_t input_len =
+            domainInputLength(id.domain, segment_length);
+
+        CellInfo info;
+        info.kind = componentForFeature(id.kind);
+        info.feature = id;
+
+        size_t node;
+        if (config.enableCellReuse && id.kind == FeatureKind::Std &&
+            hasFeature(id.domain, FeatureKind::Var)) {
+            // Reuse: Std consumes the Var cell output, adds a sqrt.
+            node = addCell(featureFullName(id), stdFromVarWorkload(),
+                           featureValueBits, info);
+            // Var cells are created in pool-index order; Var's index
+            // precedes Std's within a domain, so it already exists.
+            const size_t var_node =
+                topo.featureNodes[featureIndex(
+                    {id.domain, FeatureKind::Var})];
+            xproAssert(var_node != 0, "Var cell missing for reuse");
+            topo.graph.addEdge(var_node, node, featureValueBits);
+        } else {
+            node = addCell(featureFullName(id),
+                           featureCellWorkload(id.kind, input_len),
+                           featureValueBits, info);
+            topo.graph.addEdge(domainProducer(id.domain), node,
+                               domainEdgeBits(id.domain));
+        }
+        topo.featureNodes[idx] = node;
+    }
+
+    // One SVM cell per surviving base classifier.
+    topo.svmNodes.clear();
+    for (size_t b = 0; b < ensemble.bases().size(); ++b) {
+        const BaseClassifier &base = ensemble.bases()[b];
+        CellInfo info;
+        info.kind = ComponentKind::Svm;
+        info.svmIndex = b;
+        const size_t sv_count =
+            std::max<size_t>(base.model.supportVectorCount(), 1);
+        const size_t id = addCell(
+            "SVM-" + std::to_string(b + 1),
+            svmCellWorkload(base.featureIndices.size(), sv_count),
+            featureValueBits, info);
+        for (size_t feat : base.featureIndices) {
+            const size_t feat_node = topo.featureNodes[feat];
+            xproAssert(feat_node != 0, "feature cell %zu missing",
+                       feat);
+            topo.graph.addEdge(feat_node, id, featureValueBits);
+        }
+        topo.svmNodes.push_back(id);
+    }
+
+    // Weighted-voting score fusion.
+    {
+        CellInfo info;
+        info.kind = ComponentKind::Fusion;
+        topo.fusionNode =
+            addCell("Fusion",
+                    fusionCellWorkload(ensemble.bases().size()),
+                    EngineTopology::resultBits, info);
+        for (size_t svm : topo.svmNodes)
+            topo.graph.addEdge(svm, topo.fusionNode,
+                               featureValueBits);
+    }
+
+    const std::string error = topo.graph.validate();
+    xproAssert(error.empty(), "invalid topology: %s", error.c_str());
+    return topo;
+}
+
+std::string
+describeCell(const EngineTopology &topology, size_t node)
+{
+    const DataflowNode &n = topology.graph.node(node);
+    if (node == DataflowGraph::sourceId)
+        return "source (" + std::to_string(n.outputBits) + " bits)";
+    const CellInfo &info = topology.cells[node];
+    return n.name + " [" + componentName(info.kind) + ", " +
+           aluModeName(info.mode) + ", " +
+           std::to_string(n.costs.sensorEnergy.nj()) + " nJ hw]";
+}
+
+} // namespace xpro

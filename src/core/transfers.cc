@@ -1,0 +1,28 @@
+#include "core/transfers.hh"
+
+#include <map>
+
+namespace xpro
+{
+
+std::vector<BroadcastGroup>
+broadcastGroups(const EngineTopology &topology)
+{
+    const DataflowGraph &graph = topology.graph;
+    std::vector<BroadcastGroup> groups;
+    for (size_t u = 0; u < graph.nodeCount(); ++u) {
+        std::map<size_t, BroadcastGroup> by_bits;
+        for (size_t v : graph.successors(u)) {
+            const size_t bits = graph.edgeBits(u, v);
+            BroadcastGroup &group = by_bits[bits];
+            group.producer = u;
+            group.bits = bits;
+            group.consumers.push_back(v);
+        }
+        for (auto &[bits, group] : by_bits)
+            groups.push_back(std::move(group));
+    }
+    return groups;
+}
+
+} // namespace xpro

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Broadcast transfer groups.
+ *
+ * A producer whose output crosses the wireless link transmits it
+ * once; every consumer on the other end hears the same payload. The
+ * paper expresses this for the raw source data with the dummy "D"
+ * node (Section 3.2.2, "grouped" cells); XPro generalizes the same
+ * construction to every fan-out producer. Consumers of one producer
+ * are grouped by the payload they read (e.g. a DWT level's detail
+ * band vs. its approximation band); each group is one potential
+ * broadcast.
+ */
+
+#ifndef XPRO_CORE_TRANSFERS_HH
+#define XPRO_CORE_TRANSFERS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/topology.hh"
+
+namespace xpro
+{
+
+/** One potential broadcast: a producer payload and its readers. */
+struct BroadcastGroup
+{
+    size_t producer = 0;
+    /** Payload bits on the air if this group crosses the link. */
+    size_t bits = 0;
+    std::vector<size_t> consumers;
+};
+
+/** All broadcast groups of a topology, source node included. */
+std::vector<BroadcastGroup>
+broadcastGroups(const EngineTopology &topology);
+
+} // namespace xpro
+
+#endif // XPRO_CORE_TRANSFERS_HH

@@ -1,0 +1,26 @@
+#include "data/biosignal.hh"
+
+#include <array>
+
+namespace xpro
+{
+
+const std::string &
+modalityName(Modality modality)
+{
+    static const std::array<std::string, 3> names = {
+        "ECG", "EEG", "EMG",
+    };
+    return names[static_cast<size_t>(modality)];
+}
+
+size_t
+SignalDataset::positiveCount() const
+{
+    size_t count = 0;
+    for (const Segment &segment : segments)
+        count += segment.label == 1;
+    return count;
+}
+
+} // namespace xpro

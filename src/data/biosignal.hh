@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Core containers for biosignal segment datasets.
+ *
+ * The paper evaluates on six binary-classification test cases drawn
+ * from the UCR time-series archive, the Quiroga neural spike data and
+ * the UCI EMG corpus (Table 1). Those corpora are not redistributable
+ * here, so the `xpro::data` generators synthesize waveforms with the
+ * same segment shapes and two separable classes per case; everything
+ * downstream (features, training, partitioning, energy accounting)
+ * only depends on segment length, bit width and event rate.
+ */
+
+#ifndef XPRO_DATA_BIOSIGNAL_HH
+#define XPRO_DATA_BIOSIGNAL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xpro
+{
+
+/** Biosignal modality. */
+enum class Modality
+{
+    Ecg,
+    Eeg,
+    Emg,
+};
+
+/** Display name of a modality. */
+const std::string &modalityName(Modality modality);
+
+/** One labeled signal segment. */
+struct Segment
+{
+    std::vector<double> samples;
+    /** Binary class label in {-1, +1}. */
+    int label = 1;
+};
+
+/** A segmented biosignal dataset. */
+struct SignalDataset
+{
+    /** Long name, e.g. "ECGTwoLead". */
+    std::string name;
+    /** Paper symbol, e.g. "C1". */
+    std::string symbol;
+    Modality modality = Modality::Ecg;
+    /** Samples per segment. */
+    size_t segmentLength = 0;
+    /** ADC sampling rate; fixes the event (segment) rate. */
+    double sampleRateHz = 0.0;
+    std::vector<Segment> segments;
+
+    size_t size() const { return segments.size(); }
+
+    /** Segments analyzed per second of monitoring. */
+    double
+    eventsPerSecond() const
+    {
+        return sampleRateHz / static_cast<double>(segmentLength);
+    }
+
+    /** Count of segments with label +1. */
+    size_t positiveCount() const;
+};
+
+} // namespace xpro
+
+#endif // XPRO_DATA_BIOSIGNAL_HH

@@ -1,0 +1,90 @@
+#include "data/eeg_synth.hh"
+
+#include <cmath>
+#include <numbers>
+
+namespace xpro
+{
+
+namespace
+{
+
+/** One rhythmic background band. */
+struct Band
+{
+    double loHz;
+    double hiHz;
+    double amplitude;
+};
+
+} // namespace
+
+std::vector<double>
+synthesizeEegSegment(size_t length, double sample_rate_hz,
+                     bool positive, const EegSynthConfig &config,
+                     Rng &rng)
+{
+    const Band bands[] = {
+        {1.0, 4.0, 0.8},   // delta
+        {4.0, 8.0, 0.5},   // theta
+        {8.0, 13.0, 0.6},  // alpha
+        {13.0, 30.0, 0.3}, // beta
+    };
+
+    // Each band contributes a few sinusoids at random frequencies
+    // and phases; alpha power differs across classes.
+    struct Component
+    {
+        double freq;
+        double phase;
+        double amp;
+    };
+    std::vector<Component> components;
+    for (const Band &band : bands) {
+        const bool is_alpha = band.loHz == 8.0;
+        const double scale =
+            (positive && is_alpha) ? config.positiveAlphaScale : 1.0;
+        for (int k = 0; k < 3; ++k) {
+            components.push_back({
+                rng.uniform(band.loHz, band.hiHz),
+                rng.uniform(0.0, 2.0 * std::numbers::pi),
+                band.amplitude * scale * rng.uniform(0.5, 1.0),
+            });
+        }
+    }
+
+    std::vector<double> segment(length, 0.0);
+    for (size_t i = 0; i < length; ++i) {
+        const double t = static_cast<double>(i) / sample_rate_hz;
+        double value = 0.0;
+        for (const Component &c : components)
+            value += c.amp *
+                     std::sin(2.0 * std::numbers::pi * c.freq * t +
+                              c.phase);
+        value += config.noiseLevel * rng.gaussian();
+        segment[i] = value;
+    }
+
+    if (positive) {
+        // Inject biphasic spike transients at random positions away
+        // from the edges.
+        const double duration =
+            static_cast<double>(length) / sample_rate_hz;
+        for (size_t s = 0; s < config.spikesPerPositive; ++s) {
+            const double center = duration * rng.uniform(0.15, 0.85);
+            const double polarity = rng.chance(0.5) ? 1.0 : -1.0;
+            for (size_t i = 0; i < length; ++i) {
+                const double t =
+                    static_cast<double>(i) / sample_rate_hz;
+                const double z =
+                    (t - center) / config.spikeWidthSec;
+                // Biphasic: derivative-of-Gaussian shape.
+                segment[i] += polarity * config.spikeAmplitude *
+                              (-z) * std::exp(-0.5 * z * z);
+            }
+        }
+    }
+    return segment;
+}
+
+} // namespace xpro

@@ -1,0 +1,57 @@
+#include "data/gestures.hh"
+
+#include "common/random.hh"
+#include "data/emg_synth.hh"
+
+namespace xpro
+{
+
+GestureDataset
+makeEmgGestureDataset(size_t segments_per_class, uint64_t seed)
+{
+    GestureDataset dataset;
+    dataset.name = "EMGHandGestures";
+    dataset.segmentLength = 132;
+    dataset.sampleRateHz = 1000.0;
+    dataset.classCount = 4;
+    dataset.classNames = {"lateral", "spherical", "tip", "hook"};
+
+    // Per-grasp activation envelopes: each class differs in burst
+    // count, duration and contraction strength, extending the binary
+    // M1/M2 contrasts to a four-way problem.
+    struct GraspProfile
+    {
+        size_t bursts;
+        double lengthSec;
+        double amplitude;
+    };
+    const GraspProfile profiles[4] = {
+        {1, 0.30, 1.00}, // lateral: one long moderate burst
+        {2, 0.14, 1.45}, // spherical: two short strong bursts
+        {2, 0.22, 0.85}, // tip: two medium weak bursts
+        {3, 0.10, 1.20}, // hook: three brief strong bursts
+    };
+
+    Rng rng(seed ^ 0x6E57ull);
+    for (size_t i = 0; i < segments_per_class; ++i) {
+        for (size_t cls = 0; cls < dataset.classCount; ++cls) {
+            const GraspProfile &profile = profiles[cls];
+            // Reuse the binary generator's positive-class path with
+            // per-class envelope parameters.
+            EmgSynthConfig config;
+            config.burstsClassPositive = profile.bursts;
+            config.burstLenPositiveSec = profile.lengthSec;
+            config.amplitudePositive = profile.amplitude;
+
+            GestureSegment segment;
+            segment.label = cls;
+            segment.samples = synthesizeEmgSegment(
+                dataset.segmentLength, dataset.sampleRateHz, true,
+                config, rng);
+            dataset.segments.push_back(std::move(segment));
+        }
+    }
+    return dataset;
+}
+
+} // namespace xpro

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Multi-class EMG gesture dataset for the paper's Section 5.7
+ * multi-classification extension.
+ *
+ * The UCI EMG corpus behind the paper's M1/M2 cases discriminates
+ * hand movements pairwise (lateral vs. spherical, tip vs. hook);
+ * this generator synthesizes all four grasps as one 4-class problem
+ * with per-class burst envelopes, so the one-vs-rest extension can
+ * be exercised end to end.
+ */
+
+#ifndef XPRO_DATA_GESTURES_HH
+#define XPRO_DATA_GESTURES_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/biosignal.hh"
+
+namespace xpro
+{
+
+/** One labeled multi-class segment. */
+struct GestureSegment
+{
+    std::vector<double> samples;
+    /** Class label in [0, classCount). */
+    size_t label = 0;
+};
+
+/** A multi-class EMG gesture dataset. */
+struct GestureDataset
+{
+    std::string name;
+    size_t segmentLength = 0;
+    double sampleRateHz = 0.0;
+    size_t classCount = 0;
+    std::vector<GestureSegment> segments;
+    std::vector<std::string> classNames;
+
+    size_t size() const { return segments.size(); }
+
+    double
+    eventsPerSecond() const
+    {
+        return sampleRateHz / static_cast<double>(segmentLength);
+    }
+};
+
+/**
+ * Generate the 4-class hand-grasp dataset (lateral, spherical, tip,
+ * hook).
+ *
+ * @param segments_per_class Segments generated per grasp.
+ * @param seed Generator seed.
+ */
+GestureDataset makeEmgGestureDataset(size_t segments_per_class = 250,
+                                     uint64_t seed = 2017);
+
+} // namespace xpro
+
+#endif // XPRO_DATA_GESTURES_HH

@@ -1,0 +1,142 @@
+#include "dsp/dwt.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/** Analysis low-pass filter taps for each wavelet family. */
+const std::vector<double> &
+lowPassTaps(Wavelet wavelet)
+{
+    static const std::vector<double> haar = {
+        1.0 / std::numbers::sqrt2, 1.0 / std::numbers::sqrt2,
+    };
+    // Daubechies-4 (two vanishing moments) analysis taps.
+    static const std::vector<double> db4 = {
+        0.48296291314469025, 0.83651630373746899,
+        0.22414386804185735, -0.12940952255092145,
+    };
+    return wavelet == Wavelet::Haar ? haar : db4;
+}
+
+/** High-pass taps by the quadrature-mirror relation. */
+std::vector<double>
+highPassTaps(Wavelet wavelet)
+{
+    const std::vector<double> &low = lowPassTaps(wavelet);
+    std::vector<double> high(low.size());
+    for (size_t i = 0; i < low.size(); ++i) {
+        const double sign = (i % 2 == 0) ? 1.0 : -1.0;
+        high[i] = sign * low[low.size() - 1 - i];
+    }
+    return high;
+}
+
+} // namespace
+
+const std::string &
+waveletName(Wavelet wavelet)
+{
+    static const std::string haar = "Haar";
+    static const std::string db4 = "Db4";
+    return wavelet == Wavelet::Haar ? haar : db4;
+}
+
+DwtLevel
+dwtStep(const std::vector<double> &signal, Wavelet wavelet)
+{
+    const std::vector<double> &low = lowPassTaps(wavelet);
+    const std::vector<double> high = highPassTaps(wavelet);
+    const size_t n = signal.size();
+    xproAssert(n % 2 == 0, "DWT input length %zu must be even", n);
+    xproAssert(n >= low.size(), "DWT input shorter than filter");
+
+    DwtLevel out;
+    out.approx.resize(n / 2);
+    out.detail.resize(n / 2);
+    for (size_t k = 0; k < n / 2; ++k) {
+        double a = 0.0;
+        double d = 0.0;
+        for (size_t tap = 0; tap < low.size(); ++tap) {
+            const double sample = signal[(2 * k + tap) % n];
+            a += low[tap] * sample;
+            d += high[tap] * sample;
+        }
+        out.approx[k] = a;
+        out.detail[k] = d;
+    }
+    return out;
+}
+
+std::vector<double>
+idwtStep(const DwtLevel &level, Wavelet wavelet)
+{
+    const std::vector<double> &low = lowPassTaps(wavelet);
+    const std::vector<double> high = highPassTaps(wavelet);
+    const size_t half = level.approx.size();
+    xproAssert(level.detail.size() == half,
+               "approx/detail length mismatch");
+
+    std::vector<double> out(2 * half, 0.0);
+    for (size_t k = 0; k < half; ++k) {
+        for (size_t tap = 0; tap < low.size(); ++tap) {
+            const size_t idx = (2 * k + tap) % (2 * half);
+            out[idx] += low[tap] * level.approx[k] +
+                        high[tap] * level.detail[k];
+        }
+    }
+    return out;
+}
+
+DwtDecomposition
+dwtDecompose(const std::vector<double> &signal, Wavelet wavelet,
+             size_t levels)
+{
+    xproAssert(levels > 0, "need at least one DWT level");
+    const size_t divisor = size_t{1} << levels;
+    xproAssert(signal.size() % divisor == 0,
+               "signal length %zu not divisible by 2^%zu",
+               signal.size(), levels);
+
+    DwtDecomposition decomp;
+    std::vector<double> current = signal;
+    for (size_t level = 0; level < levels; ++level) {
+        DwtLevel step = dwtStep(current, wavelet);
+        decomp.detail.push_back(std::move(step.detail));
+        current = std::move(step.approx);
+    }
+    decomp.approx = std::move(current);
+    return decomp;
+}
+
+std::vector<double>
+dwtReconstruct(const DwtDecomposition &decomp, Wavelet wavelet)
+{
+    std::vector<double> current = decomp.approx;
+    for (size_t level = decomp.detail.size(); level-- > 0;) {
+        DwtLevel step;
+        step.approx = std::move(current);
+        step.detail = decomp.detail[level];
+        current = idwtStep(step, wavelet);
+    }
+    return current;
+}
+
+std::vector<double>
+frameForDwt(const std::vector<double> &signal)
+{
+    std::vector<double> frame(dwtFrameLength, 0.0);
+    const size_t n = std::min(signal.size(), dwtFrameLength);
+    for (size_t i = 0; i < n; ++i)
+        frame[i] = signal[i];
+    return frame;
+}
+
+} // namespace xpro

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Discrete wavelet transform for multi-scale biosignal analysis
+ * (paper Sections 2.1 and 4.4).
+ *
+ * The generic framework extracts the statistical feature set on up to
+ * five DWT levels. For the paper's segment sizes the transform runs
+ * on a 128-sample frame (inputs are zero-padded or truncated), giving
+ * detail lengths 64, 32, 16, 8 and 4, with the 5th level also
+ * producing the 4-sample approximation ("the 5-th level has two
+ * 4-sample segments").
+ */
+
+#ifndef XPRO_DSP_DWT_HH
+#define XPRO_DSP_DWT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xpro
+{
+
+/** Supported wavelet families. */
+enum class Wavelet
+{
+    Haar,
+    Db4,
+};
+
+/** Display name of a wavelet. */
+const std::string &waveletName(Wavelet wavelet);
+
+/** Result of a single decomposition level. */
+struct DwtLevel
+{
+    /** Approximation (low-pass) coefficients, length N/2. */
+    std::vector<double> approx;
+    /** Detail (high-pass) coefficients, length N/2. */
+    std::vector<double> detail;
+};
+
+/**
+ * One DWT analysis step with periodic boundary extension. The input
+ * length must be even and >= the filter length.
+ */
+DwtLevel dwtStep(const std::vector<double> &signal, Wavelet wavelet);
+
+/** Inverse of dwtStep(); reconstructs the even-length input. */
+std::vector<double> idwtStep(const DwtLevel &level, Wavelet wavelet);
+
+/** Multi-level decomposition result. */
+struct DwtDecomposition
+{
+    /** detail[k] holds level k+1 coefficients (length N/2^(k+1)). */
+    std::vector<std::vector<double>> detail;
+    /** Final approximation at the deepest level. */
+    std::vector<double> approx;
+};
+
+/**
+ * Decompose @p signal into @p levels DWT levels. The signal length
+ * must be divisible by 2^levels.
+ */
+DwtDecomposition dwtDecompose(const std::vector<double> &signal,
+                              Wavelet wavelet, size_t levels);
+
+/** Reconstruct the signal from a full decomposition. */
+std::vector<double> dwtReconstruct(const DwtDecomposition &decomp,
+                                   Wavelet wavelet);
+
+/**
+ * Frame length used by the generic classification engine: inputs are
+ * zero-padded or truncated to this power of two before the DWT.
+ */
+constexpr size_t dwtFrameLength = 128;
+
+/** Pad with zeros or truncate to dwtFrameLength samples. */
+std::vector<double> frameForDwt(const std::vector<double> &signal);
+
+} // namespace xpro
+
+#endif // XPRO_DSP_DWT_HH

@@ -1,0 +1,126 @@
+#include "dsp/dwt_fixed.hh"
+
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/** Quantize double taps onto the Q16.16 grid. */
+std::vector<Fixed>
+quantizeTaps(const std::vector<double> &taps)
+{
+    std::vector<Fixed> out;
+    out.reserve(taps.size());
+    for (double tap : taps)
+        out.push_back(Fixed::fromDouble(tap));
+    return out;
+}
+
+/** Double-precision analysis taps (shared with dsp/dwt.cc values). */
+std::vector<double>
+doubleLowPass(Wavelet wavelet)
+{
+    if (wavelet == Wavelet::Haar) {
+        return {1.0 / std::numbers::sqrt2, 1.0 / std::numbers::sqrt2};
+    }
+    return {0.48296291314469025, 0.83651630373746899,
+            0.22414386804185735, -0.12940952255092145};
+}
+
+std::vector<double>
+doubleHighPass(Wavelet wavelet)
+{
+    const std::vector<double> low = doubleLowPass(wavelet);
+    std::vector<double> high(low.size());
+    for (size_t i = 0; i < low.size(); ++i) {
+        const double sign = (i % 2 == 0) ? 1.0 : -1.0;
+        high[i] = sign * low[low.size() - 1 - i];
+    }
+    return high;
+}
+
+/**
+ * One output coefficient: a taps-wide MAC with a 64-bit (Q32.32)
+ * accumulator, rounded back to Q16.16 once at the end -- the wide
+ * accumulator every synthesized MAC unit provides.
+ */
+Fixed
+macCoefficient(const std::vector<Fixed> &signal, size_t start,
+               const std::vector<Fixed> &taps)
+{
+    int64_t acc_q32 = 0;
+    const size_t n = signal.size();
+    for (size_t t = 0; t < taps.size(); ++t) {
+        const Fixed sample = signal[(start + t) % n];
+        acc_q32 += static_cast<int64_t>(sample.raw()) * taps[t].raw();
+    }
+    const int64_t rounding = int64_t{1} << (Fixed::fracBits - 1);
+    const int64_t raw = (acc_q32 + rounding) >> Fixed::fracBits;
+    if (raw > std::numeric_limits<int32_t>::max())
+        return Fixed::max();
+    if (raw < std::numeric_limits<int32_t>::min())
+        return Fixed::min();
+    return Fixed::fromRaw(static_cast<int32_t>(raw));
+}
+
+} // namespace
+
+std::vector<Fixed>
+fixedLowPassTaps(Wavelet wavelet)
+{
+    return quantizeTaps(doubleLowPass(wavelet));
+}
+
+std::vector<Fixed>
+fixedHighPassTaps(Wavelet wavelet)
+{
+    return quantizeTaps(doubleHighPass(wavelet));
+}
+
+FixedDwtLevel
+fixedDwtStep(const std::vector<Fixed> &signal, Wavelet wavelet)
+{
+    const std::vector<Fixed> low = fixedLowPassTaps(wavelet);
+    const std::vector<Fixed> high = fixedHighPassTaps(wavelet);
+    const size_t n = signal.size();
+    xproAssert(n % 2 == 0, "fixed DWT input length %zu must be even",
+               n);
+    xproAssert(n >= low.size(), "fixed DWT input shorter than filter");
+
+    FixedDwtLevel out;
+    out.approx.reserve(n / 2);
+    out.detail.reserve(n / 2);
+    for (size_t k = 0; k < n / 2; ++k) {
+        out.approx.push_back(macCoefficient(signal, 2 * k, low));
+        out.detail.push_back(macCoefficient(signal, 2 * k, high));
+    }
+    return out;
+}
+
+FixedDwtDecomposition
+fixedDwtDecompose(const std::vector<Fixed> &signal, Wavelet wavelet,
+                  size_t levels)
+{
+    xproAssert(levels > 0, "need at least one DWT level");
+    const size_t divisor = size_t{1} << levels;
+    xproAssert(signal.size() % divisor == 0,
+               "signal length %zu not divisible by 2^%zu",
+               signal.size(), levels);
+
+    FixedDwtDecomposition decomp;
+    std::vector<Fixed> current = signal;
+    for (size_t level = 0; level < levels; ++level) {
+        FixedDwtLevel step = fixedDwtStep(current, wavelet);
+        decomp.detail.push_back(std::move(step.detail));
+        current = std::move(step.approx);
+    }
+    decomp.approx = std::move(current);
+    return decomp;
+}
+
+} // namespace xpro

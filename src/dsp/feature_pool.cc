@@ -1,0 +1,148 @@
+#include "dsp/feature_pool.hh"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+const std::string &
+domainName(FeatureDomain domain)
+{
+    static const std::array<std::string, featureDomainCount> names = {
+        "time", "dwt1", "dwt2", "dwt3", "dwt4", "dwt5",
+    };
+    return names[static_cast<size_t>(domain)];
+}
+
+size_t
+domainLevel(FeatureDomain domain)
+{
+    return static_cast<size_t>(domain);
+}
+
+size_t
+featureIndex(FeatureId id)
+{
+    return static_cast<size_t>(id.domain) * featureKindCount +
+           static_cast<size_t>(id.kind);
+}
+
+FeatureId
+featureFromIndex(size_t index)
+{
+    xproAssert(index < featurePoolSize, "feature index %zu out of range",
+               index);
+    return FeatureId{
+        static_cast<FeatureDomain>(index / featureKindCount),
+        static_cast<FeatureKind>(index % featureKindCount),
+    };
+}
+
+std::string
+featureFullName(FeatureId id)
+{
+    return featureName(id.kind) + "@" + domainName(id.domain);
+}
+
+FeatureExtractor::FeatureExtractor(Wavelet wavelet)
+    : _wavelet(wavelet)
+{
+}
+
+std::vector<double>
+FeatureExtractor::domainSignal(const std::vector<double> &segment,
+                               FeatureDomain domain) const
+{
+    if (domain == FeatureDomain::Time)
+        return segment;
+
+    const std::vector<double> frame = frameForDwt(segment);
+    const DwtDecomposition decomp =
+        dwtDecompose(frame, _wavelet, dwtLevels);
+    const size_t level = domainLevel(domain);
+    std::vector<double> out = decomp.detail[level - 1];
+    if (level == dwtLevels) {
+        // Level 5 covers both 4-sample segments: detail and final
+        // approximation.
+        out.insert(out.end(), decomp.approx.begin(), decomp.approx.end());
+    }
+    return out;
+}
+
+double
+FeatureExtractor::extract(const std::vector<double> &segment,
+                          FeatureId id) const
+{
+    return computeFeature(id.kind, domainSignal(segment, id.domain));
+}
+
+std::vector<double>
+FeatureExtractor::extractAll(const std::vector<double> &segment) const
+{
+    std::vector<double> out(featurePoolSize, 0.0);
+
+    // Decompose once and reuse across all domains, as the shared DWT
+    // cells do in the hardware pipeline.
+    const std::vector<double> frame = frameForDwt(segment);
+    const DwtDecomposition decomp =
+        dwtDecompose(frame, _wavelet, dwtLevels);
+
+    for (size_t d = 0; d < featureDomainCount; ++d) {
+        const auto domain = static_cast<FeatureDomain>(d);
+        std::vector<double> signal;
+        if (domain == FeatureDomain::Time) {
+            signal = segment;
+        } else {
+            const size_t level = domainLevel(domain);
+            signal = decomp.detail[level - 1];
+            if (level == dwtLevels) {
+                signal.insert(signal.end(), decomp.approx.begin(),
+                              decomp.approx.end());
+            }
+        }
+        const auto values = computeAllFeatures(signal);
+        for (size_t k = 0; k < featureKindCount; ++k) {
+            out[featureIndex({domain, allFeatureKinds[k]})] = values[k];
+        }
+    }
+    return out;
+}
+
+void
+FeatureScaler::fit(const std::vector<std::vector<double>> &rows)
+{
+    xproAssert(!rows.empty(), "cannot fit scaler on empty data");
+    const size_t cols = rows.front().size();
+    _min.assign(cols, std::numeric_limits<double>::infinity());
+    _max.assign(cols, -std::numeric_limits<double>::infinity());
+    for (const auto &row : rows) {
+        xproAssert(row.size() == cols, "ragged feature rows");
+        for (size_t c = 0; c < cols; ++c) {
+            _min[c] = std::min(_min[c], row[c]);
+            _max[c] = std::max(_max[c], row[c]);
+        }
+    }
+}
+
+std::vector<double>
+FeatureScaler::transform(const std::vector<double> &row) const
+{
+    xproAssert(fitted(), "scaler not fitted");
+    xproAssert(row.size() == _min.size(), "column count mismatch");
+    std::vector<double> out(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+        const double range = _max[c] - _min[c];
+        if (range < 1e-12) {
+            out[c] = 0.0;
+        } else {
+            out[c] = std::clamp((row[c] - _min[c]) / range, 0.0, 1.0);
+        }
+    }
+    return out;
+}
+
+} // namespace xpro

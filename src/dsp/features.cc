@@ -1,0 +1,131 @@
+#include "dsp/features.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+const std::string &
+featureName(FeatureKind kind)
+{
+    static const std::array<std::string, featureKindCount> names = {
+        "Max", "Min", "Mean", "Var", "Std", "Czero", "Skew", "Kurt",
+    };
+    return names[static_cast<size_t>(kind)];
+}
+
+double
+featureMax(const std::vector<double> &signal)
+{
+    xproAssert(!signal.empty(), "feature on empty signal");
+    return *std::max_element(signal.begin(), signal.end());
+}
+
+double
+featureMin(const std::vector<double> &signal)
+{
+    xproAssert(!signal.empty(), "feature on empty signal");
+    return *std::min_element(signal.begin(), signal.end());
+}
+
+double
+featureMean(const std::vector<double> &signal)
+{
+    xproAssert(!signal.empty(), "feature on empty signal");
+    double sum = 0.0;
+    for (double v : signal)
+        sum += v;
+    return sum / static_cast<double>(signal.size());
+}
+
+double
+featureVar(const std::vector<double> &signal)
+{
+    const double mu = featureMean(signal);
+    double acc = 0.0;
+    for (double v : signal) {
+        const double d = v - mu;
+        acc += d * d;
+    }
+    return acc / static_cast<double>(signal.size());
+}
+
+double
+featureStd(const std::vector<double> &signal)
+{
+    return std::sqrt(featureVar(signal));
+}
+
+double
+featureCzero(const std::vector<double> &signal)
+{
+    xproAssert(!signal.empty(), "feature on empty signal");
+    size_t crossings = 0;
+    for (size_t i = 1; i < signal.size(); ++i) {
+        if ((signal[i - 1] < 0.0 && signal[i] >= 0.0) ||
+            (signal[i - 1] >= 0.0 && signal[i] < 0.0)) {
+            ++crossings;
+        }
+    }
+    return static_cast<double>(crossings);
+}
+
+double
+featureSkew(const std::vector<double> &signal)
+{
+    const double mu = featureMean(signal);
+    const double sigma = featureStd(signal);
+    if (sigma < 1e-12)
+        return 0.0;
+    double acc = 0.0;
+    for (double v : signal) {
+        const double z = (v - mu) / sigma;
+        acc += z * z * z;
+    }
+    return acc / static_cast<double>(signal.size());
+}
+
+double
+featureKurt(const std::vector<double> &signal)
+{
+    const double mu = featureMean(signal);
+    const double sigma = featureStd(signal);
+    if (sigma < 1e-12)
+        return 0.0;
+    double acc = 0.0;
+    for (double v : signal) {
+        const double z = (v - mu) / sigma;
+        acc += z * z * z * z;
+    }
+    return acc / static_cast<double>(signal.size());
+}
+
+double
+computeFeature(FeatureKind kind, const std::vector<double> &signal)
+{
+    switch (kind) {
+      case FeatureKind::Max:   return featureMax(signal);
+      case FeatureKind::Min:   return featureMin(signal);
+      case FeatureKind::Mean:  return featureMean(signal);
+      case FeatureKind::Var:   return featureVar(signal);
+      case FeatureKind::Std:   return featureStd(signal);
+      case FeatureKind::Czero: return featureCzero(signal);
+      case FeatureKind::Skew:  return featureSkew(signal);
+      case FeatureKind::Kurt:  return featureKurt(signal);
+    }
+    panic("unknown feature kind %d", static_cast<int>(kind));
+}
+
+std::array<double, featureKindCount>
+computeAllFeatures(const std::vector<double> &signal)
+{
+    std::array<double, featureKindCount> out{};
+    for (size_t i = 0; i < featureKindCount; ++i)
+        out[i] = computeFeature(allFeatureKinds[i], signal);
+    return out;
+}
+
+} // namespace xpro

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The eight hardware-friendly statistical features of the generic
+ * classification framework (paper Section 2.1): Max, Min, Mean, Var,
+ * Std, Czero, Skew and Kurt, computed in double precision. The
+ * fixed-point datapath the in-sensor cells implement lives in
+ * features_fixed.hh; tests check both agree within quantization error.
+ */
+
+#ifndef XPRO_DSP_FEATURES_HH
+#define XPRO_DSP_FEATURES_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xpro
+{
+
+/** The statistical feature set of the generic framework. */
+enum class FeatureKind
+{
+    Max,
+    Min,
+    Mean,
+    Var,
+    Std,
+    Czero,
+    Skew,
+    Kurt,
+};
+
+/** Number of distinct statistical features. */
+constexpr size_t featureKindCount = 8;
+
+/** All feature kinds in a fixed canonical order. */
+constexpr std::array<FeatureKind, featureKindCount> allFeatureKinds = {
+    FeatureKind::Max,  FeatureKind::Min,  FeatureKind::Mean,
+    FeatureKind::Var,  FeatureKind::Std,  FeatureKind::Czero,
+    FeatureKind::Skew, FeatureKind::Kurt,
+};
+
+/** Short display name, e.g. "Var". */
+const std::string &featureName(FeatureKind kind);
+
+/** Maximal sample value. */
+double featureMax(const std::vector<double> &signal);
+/** Minimal sample value. */
+double featureMin(const std::vector<double> &signal);
+/** Arithmetic mean. */
+double featureMean(const std::vector<double> &signal);
+/** Population variance. */
+double featureVar(const std::vector<double> &signal);
+/** Population standard deviation. */
+double featureStd(const std::vector<double> &signal);
+/** Number of zero crossings (sign changes between samples). */
+double featureCzero(const std::vector<double> &signal);
+/** Skewness E[(x-mu)^3] / sigma^3 (zero for constant signals). */
+double featureSkew(const std::vector<double> &signal);
+/** Kurtosis E[(x-mu)^4] / sigma^4, non-excess form. */
+double featureKurt(const std::vector<double> &signal);
+
+/** Dispatch by kind. */
+double computeFeature(FeatureKind kind, const std::vector<double> &signal);
+
+/** Compute all eight features in canonical order. */
+std::array<double, featureKindCount>
+computeAllFeatures(const std::vector<double> &signal);
+
+} // namespace xpro
+
+#endif // XPRO_DSP_FEATURES_HH

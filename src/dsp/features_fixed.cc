@@ -1,0 +1,157 @@
+#include "dsp/features_fixed.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/**
+ * Divide a wide Q16.16 accumulator by the sample count, rounding to
+ * nearest, and saturate back to a Fixed. This models the wide
+ * accumulator register every synthesized mean/variance cell uses.
+ */
+Fixed
+accumulatorToFixed(int64_t acc_raw, size_t n)
+{
+    const int64_t count = static_cast<int64_t>(n);
+    const int64_t half = acc_raw >= 0 ? count / 2 : -(count / 2);
+    const int64_t mean_raw = (acc_raw + half) / count;
+    if (mean_raw > std::numeric_limits<int32_t>::max())
+        return Fixed::max();
+    if (mean_raw < std::numeric_limits<int32_t>::min())
+        return Fixed::min();
+    return Fixed::fromRaw(static_cast<int32_t>(mean_raw));
+}
+
+} // namespace
+
+std::vector<Fixed>
+quantizeSignal(const std::vector<double> &signal)
+{
+    std::vector<Fixed> out;
+    out.reserve(signal.size());
+    for (double v : signal)
+        out.push_back(Fixed::fromDouble(v));
+    return out;
+}
+
+Fixed
+fixedMax(const std::vector<Fixed> &signal)
+{
+    xproAssert(!signal.empty(), "fixed feature on empty signal");
+    return *std::max_element(signal.begin(), signal.end());
+}
+
+Fixed
+fixedMin(const std::vector<Fixed> &signal)
+{
+    xproAssert(!signal.empty(), "fixed feature on empty signal");
+    return *std::min_element(signal.begin(), signal.end());
+}
+
+Fixed
+fixedMean(const std::vector<Fixed> &signal)
+{
+    xproAssert(!signal.empty(), "fixed feature on empty signal");
+    int64_t acc = 0;
+    for (Fixed v : signal)
+        acc += v.raw();
+    return accumulatorToFixed(acc, signal.size());
+}
+
+Fixed
+fixedVar(const std::vector<Fixed> &signal)
+{
+    const Fixed mu = fixedMean(signal);
+    // Squared deviations accumulate in Q32.32 inside the wide
+    // register, then shift back to Q16.16 after the division.
+    int64_t acc_q32 = 0;
+    for (Fixed v : signal) {
+        const int64_t d = static_cast<int64_t>(v.raw()) - mu.raw();
+        acc_q32 += d * d;
+    }
+    const int64_t count = static_cast<int64_t>(signal.size());
+    const int64_t var_q32 = (acc_q32 + count / 2) / count;
+    const int64_t var_q16 =
+        (var_q32 + (int64_t{1} << (Fixed::fracBits - 1))) >>
+        Fixed::fracBits;
+    if (var_q16 > std::numeric_limits<int32_t>::max())
+        return Fixed::max();
+    return Fixed::fromRaw(static_cast<int32_t>(var_q16));
+}
+
+Fixed
+fixedStd(const std::vector<Fixed> &signal)
+{
+    // The Std cell reuses the Var cell output and adds one hardware
+    // square root (paper Fig. 5).
+    return fixedVar(signal).sqrt();
+}
+
+Fixed
+fixedCzero(const std::vector<Fixed> &signal)
+{
+    xproAssert(!signal.empty(), "fixed feature on empty signal");
+    int32_t crossings = 0;
+    for (size_t i = 1; i < signal.size(); ++i) {
+        const bool prev_neg = signal[i - 1].raw() < 0;
+        const bool cur_neg = signal[i].raw() < 0;
+        if (prev_neg != cur_neg)
+            ++crossings;
+    }
+    return Fixed::fromInt(crossings);
+}
+
+Fixed
+fixedSkew(const std::vector<Fixed> &signal)
+{
+    const Fixed mu = fixedMean(signal);
+    const Fixed sigma = fixedStd(signal);
+    if (sigma.raw() <= 1)
+        return Fixed();
+    int64_t acc = 0;
+    for (Fixed v : signal) {
+        const Fixed z = (v - mu) / sigma;
+        acc += (z * z * z).raw();
+    }
+    return accumulatorToFixed(acc, signal.size());
+}
+
+Fixed
+fixedKurt(const std::vector<Fixed> &signal)
+{
+    const Fixed mu = fixedMean(signal);
+    const Fixed sigma = fixedStd(signal);
+    if (sigma.raw() <= 1)
+        return Fixed();
+    int64_t acc = 0;
+    for (Fixed v : signal) {
+        const Fixed z = (v - mu) / sigma;
+        const Fixed z2 = z * z;
+        acc += (z2 * z2).raw();
+    }
+    return accumulatorToFixed(acc, signal.size());
+}
+
+Fixed
+computeFixedFeature(FeatureKind kind, const std::vector<Fixed> &signal)
+{
+    switch (kind) {
+      case FeatureKind::Max:   return fixedMax(signal);
+      case FeatureKind::Min:   return fixedMin(signal);
+      case FeatureKind::Mean:  return fixedMean(signal);
+      case FeatureKind::Var:   return fixedVar(signal);
+      case FeatureKind::Std:   return fixedStd(signal);
+      case FeatureKind::Czero: return fixedCzero(signal);
+      case FeatureKind::Skew:  return fixedSkew(signal);
+      case FeatureKind::Kurt:  return fixedKurt(signal);
+    }
+    panic("unknown feature kind %d", static_cast<int>(kind));
+}
+
+} // namespace xpro

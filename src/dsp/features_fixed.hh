@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fixed-point implementations of the statistical feature set.
+ *
+ * These mirror the Q16.16 datapath of the in-sensor functional cells
+ * (paper Section 4.4: 32-bit fixed numbers, 16 integer / 16 decimal
+ * bits). Accumulations use wide (64-bit) internal registers, as a
+ * synthesized accumulator would, and quantize back to Q16.16 at the
+ * cell output. Tests verify each feature tracks the double-precision
+ * reference within quantization error.
+ */
+
+#ifndef XPRO_DSP_FEATURES_FIXED_HH
+#define XPRO_DSP_FEATURES_FIXED_HH
+
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "dsp/features.hh"
+
+namespace xpro
+{
+
+/** Quantize a double-precision signal onto the Q16.16 grid. */
+std::vector<Fixed> quantizeSignal(const std::vector<double> &signal);
+
+Fixed fixedMax(const std::vector<Fixed> &signal);
+Fixed fixedMin(const std::vector<Fixed> &signal);
+Fixed fixedMean(const std::vector<Fixed> &signal);
+Fixed fixedVar(const std::vector<Fixed> &signal);
+Fixed fixedStd(const std::vector<Fixed> &signal);
+Fixed fixedCzero(const std::vector<Fixed> &signal);
+Fixed fixedSkew(const std::vector<Fixed> &signal);
+Fixed fixedKurt(const std::vector<Fixed> &signal);
+
+/** Dispatch by kind. */
+Fixed computeFixedFeature(FeatureKind kind,
+                          const std::vector<Fixed> &signal);
+
+} // namespace xpro
+
+#endif // XPRO_DSP_FEATURES_FIXED_HH

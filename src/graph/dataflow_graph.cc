@@ -1,0 +1,155 @@
+#include "graph/dataflow_graph.hh"
+
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+DataflowGraph::DataflowGraph(size_t source_bits)
+{
+    DataflowNode source;
+    source.name = "source";
+    source.outputBits = source_bits;
+    _nodes.push_back(source);
+    _successors.emplace_back();
+    _predecessors.emplace_back();
+}
+
+size_t
+DataflowGraph::addCell(const DataflowNode &node)
+{
+    _nodes.push_back(node);
+    _successors.emplace_back();
+    _predecessors.emplace_back();
+    return _nodes.size() - 1;
+}
+
+void
+DataflowGraph::addEdge(size_t producer, size_t consumer,
+                       size_t payload_bits)
+{
+    xproAssert(producer < _nodes.size() && consumer < _nodes.size(),
+               "edge endpoint out of range");
+    xproAssert(producer != consumer, "self-loop on node %zu", producer);
+    xproAssert(consumer != sourceId, "source node cannot consume data");
+    for (size_t existing : _successors[producer]) {
+        if (existing == consumer)
+            return; // Idempotent: duplicate edges carry no new data.
+    }
+    _successors[producer].push_back(consumer);
+    _predecessors[consumer].push_back(producer);
+    if (payload_bits > 0)
+        _edgePayloadBits[{producer, consumer}] = payload_bits;
+}
+
+size_t
+DataflowGraph::edgeBits(size_t producer, size_t consumer) const
+{
+    xproAssert(producer < _nodes.size() && consumer < _nodes.size(),
+               "edge endpoint out of range");
+    const auto it = _edgePayloadBits.find({producer, consumer});
+    if (it != _edgePayloadBits.end())
+        return it->second;
+    return _nodes[producer].outputBits;
+}
+
+const std::vector<size_t> &
+DataflowGraph::successors(size_t id) const
+{
+    xproAssert(id < _nodes.size(), "node %zu out of range", id);
+    return _successors[id];
+}
+
+const std::vector<size_t> &
+DataflowGraph::predecessors(size_t id) const
+{
+    xproAssert(id < _nodes.size(), "node %zu out of range", id);
+    return _predecessors[id];
+}
+
+std::vector<size_t>
+DataflowGraph::terminals() const
+{
+    std::vector<size_t> result;
+    for (size_t id = 1; id < _nodes.size(); ++id) {
+        if (_successors[id].empty())
+            result.push_back(id);
+    }
+    return result;
+}
+
+std::vector<size_t>
+DataflowGraph::tryTopologicalOrder() const
+{
+    std::vector<size_t> indegree(_nodes.size(), 0);
+    for (size_t id = 0; id < _nodes.size(); ++id)
+        indegree[id] = _predecessors[id].size();
+
+    std::queue<size_t> ready;
+    for (size_t id = 0; id < _nodes.size(); ++id) {
+        if (indegree[id] == 0)
+            ready.push(id);
+    }
+
+    std::vector<size_t> order;
+    order.reserve(_nodes.size());
+    while (!ready.empty()) {
+        const size_t u = ready.front();
+        ready.pop();
+        order.push_back(u);
+        for (size_t v : _successors[u]) {
+            if (--indegree[v] == 0)
+                ready.push(v);
+        }
+    }
+    if (order.size() != _nodes.size())
+        order.clear();
+    return order;
+}
+
+std::vector<size_t>
+DataflowGraph::topologicalOrder() const
+{
+    std::vector<size_t> order = tryTopologicalOrder();
+    xproAssert(!order.empty() || _nodes.empty(),
+               "cycle in dataflow graph");
+    return order;
+}
+
+std::string
+DataflowGraph::validate() const
+{
+    if (tryTopologicalOrder().empty() && !_nodes.empty())
+        return "graph contains a cycle";
+
+    // Reachability from the source node.
+    std::vector<bool> reached(_nodes.size(), false);
+    std::queue<size_t> frontier;
+    reached[sourceId] = true;
+    frontier.push(sourceId);
+    while (!frontier.empty()) {
+        const size_t u = frontier.front();
+        frontier.pop();
+        for (size_t v : _successors[u]) {
+            if (!reached[v]) {
+                reached[v] = true;
+                frontier.push(v);
+            }
+        }
+    }
+    for (size_t id = 1; id < _nodes.size(); ++id) {
+        if (!reached[id]) {
+            return "cell '" + _nodes[id].name +
+                   "' is not reachable from the source";
+        }
+        if (_predecessors[id].empty()) {
+            return "cell '" + _nodes[id].name +
+                   "' has no input edge";
+        }
+    }
+    return "";
+}
+
+} // namespace xpro

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Functional-cell topology graph (paper Section 3.2.2, Fig. 6b).
+ *
+ * A DataflowGraph is a DAG whose nodes are the functional cells of a
+ * generic classification engine plus a distinguished source node
+ * representing the raw sensed segment. Each node records the data
+ * volume it produces per event and the cost of executing it on each
+ * end; edges carry data from producer to consumer in data-driven
+ * execution order.
+ */
+
+#ifndef XPRO_GRAPH_DATAFLOW_GRAPH_HH
+#define XPRO_GRAPH_DATAFLOW_GRAPH_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace xpro
+{
+
+/** Per-end execution costs of one functional cell for one event. */
+struct CellCosts
+{
+    /** Energy drawn from the sensor battery if placed in-sensor. */
+    Energy sensorEnergy;
+    /** Processing latency of the in-sensor hardware implementation. */
+    Time sensorDelay;
+    /** Energy drawn from the aggregator battery if placed there. */
+    Energy aggregatorEnergy;
+    /** Processing latency of the software implementation. */
+    Time aggregatorDelay;
+};
+
+/** One node of the functional-cell topology graph. */
+struct DataflowNode
+{
+    /** Human-readable cell name, e.g. "Var@dwt2". */
+    std::string name;
+    /** Bits this cell outputs per analyzed event. */
+    size_t outputBits = 0;
+    /** Execution costs on the two ends (zero for the source node). */
+    CellCosts costs;
+};
+
+/**
+ * DAG of functional cells. Node 0 is always the source node that
+ * models the raw sensed data segment; its outputBits is the raw
+ * segment size in bits.
+ */
+class DataflowGraph
+{
+  public:
+    /** Index of the raw-data source pseudo-node. */
+    static constexpr size_t sourceId = 0;
+
+    /** Create a graph whose source emits @p source_bits per event. */
+    explicit DataflowGraph(size_t source_bits);
+
+    /** Add a functional cell; returns its node index (>= 1). */
+    size_t addCell(const DataflowNode &node);
+
+    /**
+     * Add a dependency edge: @p producer's output feeds
+     * @p consumer. Rejects self-loops and unknown nodes; cycles are
+     * caught by validate().
+     *
+     * @param payload_bits Bits actually moved along this edge per
+     *        event; 0 (default) means the producer's full
+     *        outputBits. Lets a multi-band producer (e.g. a DWT
+     *        level) feed each consumer only the band it reads.
+     */
+    void addEdge(size_t producer, size_t consumer,
+                 size_t payload_bits = 0);
+
+    /** Bits moved along edge (producer, consumer) per event. */
+    size_t edgeBits(size_t producer, size_t consumer) const;
+
+    size_t nodeCount() const { return _nodes.size(); }
+    /** Number of functional cells, excluding the source node. */
+    size_t cellCount() const { return _nodes.size() - 1; }
+
+    const DataflowNode &node(size_t id) const { return _nodes[id]; }
+    DataflowNode &node(size_t id) { return _nodes[id]; }
+
+    const std::vector<size_t> &successors(size_t id) const;
+    const std::vector<size_t> &predecessors(size_t id) const;
+
+    /** Cells with no successors (the engine outputs). */
+    std::vector<size_t> terminals() const;
+
+    /**
+     * Topological order over all nodes (source first). Calls
+     * panic() if the graph contains a cycle; use validate() to check
+     * user-supplied graphs gracefully.
+     */
+    std::vector<size_t> topologicalOrder() const;
+
+    /**
+     * Check structural invariants: acyclic, every cell reachable
+     * from the source, every cell has at least one predecessor.
+     * @return An empty string when valid, else a description of the
+     *         first violation found.
+     */
+    std::string validate() const;
+
+  private:
+    /** Kahn's algorithm; empty result indicates a cycle. */
+    std::vector<size_t> tryTopologicalOrder() const;
+
+    std::vector<DataflowNode> _nodes;
+    std::vector<std::vector<size_t>> _successors;
+    std::vector<std::vector<size_t>> _predecessors;
+    /** Per-edge payload overrides; absent means producer's output. */
+    std::map<std::pair<size_t, size_t>, size_t> _edgePayloadBits;
+};
+
+} // namespace xpro
+
+#endif // XPRO_GRAPH_DATAFLOW_GRAPH_HH

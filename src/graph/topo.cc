@@ -1,0 +1,63 @@
+#include "graph/topo.hh"
+
+#include <algorithm>
+#include <queue>
+
+namespace xpro
+{
+
+std::vector<Time>
+completionTimes(const DataflowGraph &graph,
+                const NodeDelayFn &node_delay,
+                const EdgeDelayFn &edge_delay)
+{
+    const std::vector<size_t> order = graph.topologicalOrder();
+    std::vector<Time> done(graph.nodeCount());
+
+    for (size_t u : order) {
+        Time ready;
+        for (size_t p : graph.predecessors(u)) {
+            const Time arrival = done[p] + edge_delay(p, u);
+            ready = std::max(ready, arrival);
+        }
+        done[u] = ready + node_delay(u);
+    }
+    return done;
+}
+
+Time
+criticalPath(const DataflowGraph &graph,
+             const NodeDelayFn &node_delay,
+             const EdgeDelayFn &edge_delay)
+{
+    const std::vector<Time> done =
+        completionTimes(graph, node_delay, edge_delay);
+    Time worst;
+    for (size_t t : graph.terminals())
+        worst = std::max(worst, done[t]);
+    // A graph with no cells still takes the source's own delay.
+    worst = std::max(worst, done[DataflowGraph::sourceId]);
+    return worst;
+}
+
+std::vector<bool>
+reachableFrom(const DataflowGraph &graph, size_t start)
+{
+    std::vector<bool> reached(graph.nodeCount(), false);
+    std::queue<size_t> frontier;
+    reached[start] = true;
+    frontier.push(start);
+    while (!frontier.empty()) {
+        const size_t u = frontier.front();
+        frontier.pop();
+        for (size_t v : graph.successors(u)) {
+            if (!reached[v]) {
+                reached[v] = true;
+                frontier.push(v);
+            }
+        }
+    }
+    return reached;
+}
+
+} // namespace xpro

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Topology utilities over DataflowGraph: critical-path (longest
+ * path) evaluation and reachability, used by the delay model and the
+ * partition validators.
+ */
+
+#ifndef XPRO_GRAPH_TOPO_HH
+#define XPRO_GRAPH_TOPO_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/units.hh"
+#include "graph/dataflow_graph.hh"
+
+namespace xpro
+{
+
+/** Delay charged for executing a node, given its id. */
+using NodeDelayFn = std::function<Time(size_t)>;
+
+/** Delay charged for moving data along edge (producer, consumer). */
+using EdgeDelayFn = std::function<Time(size_t, size_t)>;
+
+/**
+ * Longest (critical) path through the DAG from the source node to
+ * any terminal, where each node contributes node_delay(id) and each
+ * edge contributes edge_delay(u, v). This models data-driven
+ * execution: a cell starts when its slowest input is available.
+ *
+ * @return Completion time of the slowest terminal.
+ */
+Time criticalPath(const DataflowGraph &graph,
+                  const NodeDelayFn &node_delay,
+                  const EdgeDelayFn &edge_delay);
+
+/**
+ * Per-node completion times under the same model as criticalPath().
+ */
+std::vector<Time> completionTimes(const DataflowGraph &graph,
+                                  const NodeDelayFn &node_delay,
+                                  const EdgeDelayFn &edge_delay);
+
+/** Nodes reachable from @p start following successor edges. */
+std::vector<bool> reachableFrom(const DataflowGraph &graph, size_t start);
+
+} // namespace xpro
+
+#endif // XPRO_GRAPH_TOPO_HH

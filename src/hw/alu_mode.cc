@@ -1,0 +1,15 @@
+#include "hw/alu_mode.hh"
+
+namespace xpro
+{
+
+const std::string &
+aluModeName(AluMode mode)
+{
+    static const std::array<std::string, 3> names = {
+        "serial", "parallel", "pipeline",
+    };
+    return names[static_cast<size_t>(mode)];
+}
+
+} // namespace xpro

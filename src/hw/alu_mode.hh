@@ -1,0 +1,36 @@
+/**
+ * @file
+ * S-ALU working modes (paper Section 3.1.2). Every component of XPro
+ * uses one monotonic mode for all its functional cells; different
+ * components may use different modes.
+ */
+
+#ifndef XPRO_HW_ALU_MODE_HH
+#define XPRO_HW_ALU_MODE_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace xpro
+{
+
+/** The three S-ALU working modes. */
+enum class AluMode
+{
+    Serial,
+    Parallel,
+    Pipeline,
+};
+
+/** All modes, in the paper's order. */
+constexpr std::array<AluMode, 3> allAluModes = {
+    AluMode::Serial, AluMode::Parallel, AluMode::Pipeline,
+};
+
+/** Display name, e.g. "serial". */
+const std::string &aluModeName(AluMode mode);
+
+} // namespace xpro
+
+#endif // XPRO_HW_ALU_MODE_HH

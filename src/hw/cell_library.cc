@@ -1,0 +1,177 @@
+#include "hw/cell_library.hh"
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+const std::string &
+componentName(ComponentKind kind)
+{
+    static const std::array<std::string, 12> names = {
+        "Max",  "Min",  "Mean",   "Var", "Std", "Czero",
+        "Skew", "Kurt", "DWT",    "SVM", "Fusion", "Argmax",
+    };
+    return names[static_cast<size_t>(kind)];
+}
+
+ComponentKind
+componentForFeature(FeatureKind kind)
+{
+    switch (kind) {
+      case FeatureKind::Max:   return ComponentKind::Max;
+      case FeatureKind::Min:   return ComponentKind::Min;
+      case FeatureKind::Mean:  return ComponentKind::Mean;
+      case FeatureKind::Var:   return ComponentKind::Var;
+      case FeatureKind::Std:   return ComponentKind::Std;
+      case FeatureKind::Czero: return ComponentKind::Czero;
+      case FeatureKind::Skew:  return ComponentKind::Skew;
+      case FeatureKind::Kurt:  return ComponentKind::Kurt;
+    }
+    panic("unknown feature kind %d", static_cast<int>(kind));
+}
+
+CellWorkload
+featureCellWorkload(FeatureKind kind, size_t n)
+{
+    xproAssert(n >= 2, "feature cell needs at least 2 samples");
+    CellWorkload w;
+    switch (kind) {
+      case FeatureKind::Max:
+      case FeatureKind::Min:
+        // Running compare over the stream.
+        w.count(AluOp::Cmp) = n - 1;
+        w.count(AluOp::Buf) = n;
+        w.pipelineStream = n;
+        break;
+      case FeatureKind::Mean:
+        // Accumulate, then one divide by the sample count (the
+        // executable cell simulator confirms these counts).
+        w.count(AluOp::Add) = n;
+        w.count(AluOp::Div) = 1;
+        w.count(AluOp::Buf) = n;
+        w.pipelineStream = n;
+        break;
+      case FeatureKind::Var:
+        // Two passes: mean (accumulate + divide), then subtract,
+        // square and accumulate per sample, then divide.
+        w.count(AluOp::Add) = 3 * n;
+        w.count(AluOp::Mul) = n;
+        w.count(AluOp::Div) = 2;
+        w.count(AluOp::Buf) = 2 * n;
+        w.pipelineStream = 2 * n;
+        break;
+      case FeatureKind::Std:
+        // Standalone variant: full Var plus a hardware square root.
+        w = featureCellWorkload(FeatureKind::Var, n);
+        w += stdFromVarWorkload();
+        break;
+      case FeatureKind::Czero:
+        // Sign compare per adjacent pair plus a counter increment on
+        // roughly half the transitions.
+        w.count(AluOp::Cmp) = n - 1;
+        w.count(AluOp::Add) = n / 2;
+        w.count(AluOp::Buf) = n;
+        w.pipelineStream = n;
+        break;
+      case FeatureKind::Skew:
+        // Passes for mean and sigma (reusing the mean), then
+        // z = (x-mu)/sigma and z^3 per sample.
+        w.count(AluOp::Add) = 5 * n;
+        w.count(AluOp::Mul) = 3 * n;
+        w.count(AluOp::Div) = n + 3;
+        w.count(AluOp::Sqrt) = 1;
+        w.count(AluOp::Buf) = 3 * n;
+        w.pipelineStream = 3 * n;
+        break;
+      case FeatureKind::Kurt:
+        w.count(AluOp::Add) = 5 * n;
+        w.count(AluOp::Mul) = 3 * n;
+        w.count(AluOp::Div) = n + 3;
+        w.count(AluOp::Sqrt) = 1;
+        w.count(AluOp::Buf) = 3 * n;
+        w.pipelineStream = 3 * n;
+        break;
+    }
+    return w;
+}
+
+CellWorkload
+stdFromVarWorkload()
+{
+    CellWorkload w;
+    w.count(AluOp::Sqrt) = 1;
+    w.count(AluOp::Buf) = 2;
+    w.pipelineStream = 1;
+    return w;
+}
+
+CellWorkload
+dwtLevelWorkload(size_t input_length, size_t taps)
+{
+    xproAssert(input_length >= 2 && input_length % 2 == 0,
+               "DWT level input length %zu must be even",
+               input_length);
+    xproAssert(taps >= 2, "need at least a 2-tap filter");
+
+    // Each of the input_length output coefficients (half approx,
+    // half detail) is a taps-wide MAC.
+    const size_t outputs = input_length;
+    CellWorkload w;
+    w.count(AluOp::Mul) = taps * outputs;
+    w.count(AluOp::Add) = (taps - 1) * outputs;
+    // Serial implementation re-reads operands and taps per MAC and
+    // writes the coefficient arrays back to the buffer.
+    w.count(AluOp::Buf) = 2 * taps * outputs + outputs;
+    w.pipelineStream = taps * outputs;
+    // Streaming pipeline keeps the sliding window and taps in
+    // registers; only input reads and output writes remain.
+    w.pipelineBufferScale = 0.15;
+    return w;
+}
+
+CellWorkload
+svmCellWorkload(size_t dimension, size_t support_vectors)
+{
+    xproAssert(dimension > 0, "SVM needs a positive dimension");
+    xproAssert(support_vectors > 0, "SVM needs support vectors");
+
+    // Per support vector: d differences, d squarings, d-1 adds for
+    // the distance, one exp for the RBF kernel and one MAC for the
+    // weighted sum.
+    CellWorkload w;
+    w.count(AluOp::Add) = 2 * dimension * support_vectors;
+    w.count(AluOp::Mul) = (dimension + 1) * support_vectors;
+    w.count(AluOp::Exp) = support_vectors;
+    w.count(AluOp::Cmp) = 1;
+    w.count(AluOp::Buf) =
+        dimension * support_vectors + dimension + support_vectors;
+    w.pipelineStream = 2 * dimension * support_vectors;
+    return w;
+}
+
+CellWorkload
+argmaxCellWorkload(size_t classes)
+{
+    xproAssert(classes >= 2, "argmax needs at least two classes");
+    CellWorkload w;
+    w.count(AluOp::Cmp) = classes - 1;
+    w.count(AluOp::Buf) = classes;
+    w.pipelineStream = classes;
+    return w;
+}
+
+CellWorkload
+fusionCellWorkload(size_t bases)
+{
+    xproAssert(bases > 0, "fusion needs at least one base vote");
+    CellWorkload w;
+    w.count(AluOp::Mul) = bases;
+    w.count(AluOp::Add) = bases;
+    w.count(AluOp::Cmp) = 1;
+    w.count(AluOp::Buf) = 2 * bases;
+    w.pipelineStream = bases;
+    return w;
+}
+
+} // namespace xpro

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Operation-count models for every component of the generic
+ * classification engine: the eight statistical feature cells, the
+ * DWT level cells, the SVM base-classifier cell and the score-fusion
+ * cell. Workloads are parameterized by input length (and, for SVM,
+ * by subspace dimension and support-vector count) so the same
+ * library serves every test case and every trained ensemble.
+ *
+ * Cell-level reuse (paper Section 3.1.3, Fig. 5) is expressed by the
+ * "incremental" Std variant that reuses a Var cell's output and only
+ * adds the square root.
+ */
+
+#ifndef XPRO_HW_CELL_LIBRARY_HH
+#define XPRO_HW_CELL_LIBRARY_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dsp/features.hh"
+#include "hw/cell_model.hh"
+
+namespace xpro
+{
+
+/** Kinds of components a generic classification engine contains. */
+enum class ComponentKind
+{
+    Max,
+    Min,
+    Mean,
+    Var,
+    Std,
+    Czero,
+    Skew,
+    Kurt,
+    Dwt,
+    Svm,
+    Fusion,
+    Argmax, ///< multi-classification extension (paper Section 5.7)
+};
+
+/** All component kinds, feature cells first (paper Fig. 4 order). */
+constexpr std::array<ComponentKind, 11> allComponentKinds = {
+    ComponentKind::Max,  ComponentKind::Min,   ComponentKind::Mean,
+    ComponentKind::Var,  ComponentKind::Std,   ComponentKind::Czero,
+    ComponentKind::Skew, ComponentKind::Kurt,  ComponentKind::Dwt,
+    ComponentKind::Svm,  ComponentKind::Fusion,
+};
+
+/** Display name, e.g. "DWT". */
+const std::string &componentName(ComponentKind kind);
+
+/** Component kind implementing a statistical feature. */
+ComponentKind componentForFeature(FeatureKind kind);
+
+/**
+ * Workload of a statistical feature cell over @p input_length
+ * samples. Std is the full standalone variant (Var + sqrt).
+ */
+CellWorkload featureCellWorkload(FeatureKind kind, size_t input_length);
+
+/**
+ * Workload of an Std cell that reuses an existing Var cell's output
+ * (paper Fig. 5): just the hardware square root.
+ */
+CellWorkload stdFromVarWorkload();
+
+/**
+ * Workload of one DWT analysis level transforming @p input_length
+ * samples into two half-length bands with a @p taps -tap filter pair
+ * (4 taps for Db4, 2 for Haar).
+ */
+CellWorkload dwtLevelWorkload(size_t input_length, size_t taps = 4);
+
+/**
+ * Workload of an RBF-SVM base-classifier cell with @p dimension
+ * inputs and @p support_vectors stored vectors.
+ */
+CellWorkload svmCellWorkload(size_t dimension, size_t support_vectors);
+
+/** Workload of the weighted-voting score fusion over @p bases votes. */
+CellWorkload fusionCellWorkload(size_t bases);
+
+/**
+ * Workload of the argmax cell that selects the winning class from
+ * @p classes one-vs-rest fusion scores (multi-classification
+ * extension, paper Section 5.7).
+ */
+CellWorkload argmaxCellWorkload(size_t classes);
+
+} // namespace xpro
+
+#endif // XPRO_HW_CELL_LIBRARY_HH

@@ -1,0 +1,254 @@
+#include "hw/cell_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/**
+ * Mode-dependent dynamic-energy factors per operation, relative to
+ * the Technology base energy.
+ *
+ * Serial: multi-cycle units pay feedback-register and loop-control
+ * energy per iteration; the serial sqrt is microcoded as Newton
+ * iterations on the shared S-ALU, costing several dividers' worth.
+ *
+ * Pipeline: registered stage boundaries add a few percent to cheap
+ * ops; the unrolled divider replicates quotient-selection logic per
+ * stage (expensive), whereas the non-restoring sqrt array is made of
+ * cheap add/sub stages and beats its microcoded serial form.
+ */
+constexpr std::array<double, aluOpCount> serialFactor = {
+    1.00, // Add
+    1.00, // Cmp
+    1.00, // Mul
+    1.05, // Div
+    4.00, // Sqrt (microcoded: ~4 divide-class iterations)
+    1.15, // Exp
+    1.00, // Buf
+};
+
+constexpr std::array<double, aluOpCount> pipelineFactor = {
+    1.03, // Add
+    1.03, // Cmp
+    1.10, // Mul
+    1.40, // Div
+    0.90, // Sqrt (dedicated non-restoring array)
+    1.60, // Exp (unrolled iterative exponent: expensive stages)
+    1.00, // Buf
+};
+
+/** Pipeline stage depth contributed by one unit of each kind. */
+constexpr std::array<size_t, aluOpCount> pipelineDepth = {
+    1,  // Add
+    1,  // Cmp
+    2,  // Mul
+    16, // Div
+    4,  // Sqrt
+    24, // Exp
+    0,  // Buf (access overlaps the stream)
+};
+
+/**
+ * Broadcast/mux overhead per instantiated unit in fully-unrolled
+ * parallel mode: each operand fans out across, and each result is
+ * selected from, a network whose energy grows with the array size.
+ */
+constexpr double parallelRoutingPerUnit = 0.15;
+
+/** Clock-load growth per instantiated parallel unit. */
+constexpr double parallelClockPerUnit = 0.02;
+
+/** Pipeline register clock overhead per stage-traversal. */
+constexpr double pipelineClockPerStage = 0.35;
+
+/** Fixed pipeline fill/drain + configuration cost, in clock-cycles
+ * worth of energy. */
+constexpr double pipelineFixedCycles = 130.0;
+
+ModeCosts
+evaluateSerial(const CellWorkload &w, const Technology &tech)
+{
+    size_t cycles = 0;
+    Energy dynamic;
+    size_t unit_kinds = 0;
+    for (AluOp op : allAluOps) {
+        const size_t n = w.count(op);
+        if (n == 0)
+            continue;
+        ++unit_kinds;
+        cycles += n * tech.opCycles(op);
+        dynamic += tech.opEnergy(op) *
+                   (static_cast<double>(n) *
+                    serialFactor[static_cast<size_t>(op)]);
+    }
+
+    ModeCosts costs;
+    costs.cycles = cycles;
+    costs.delay = Time::cycles(static_cast<double>(cycles),
+                               Technology::cellClockHz);
+    costs.energy = dynamic +
+                   tech.clockEnergyPerCycle() *
+                       static_cast<double>(cycles) +
+                   tech.unitLeakage() *
+                       static_cast<double>(std::max<size_t>(
+                           unit_kinds, 1)) *
+                       costs.delay +
+                   tech.wakeEnergy();
+    return costs;
+}
+
+ModeCosts
+evaluatePipeline(const CellWorkload &w, const Technology &tech)
+{
+    size_t depth = 0;
+    Energy dynamic;
+    Energy stage_clock;
+    for (AluOp op : allAluOps) {
+        const size_t n = w.count(op);
+        if (n == 0)
+            continue;
+        const size_t idx = static_cast<size_t>(op);
+        depth += pipelineDepth[idx];
+        double effective = static_cast<double>(n);
+        if (op == AluOp::Buf)
+            effective *= w.pipelineBufferScale;
+        dynamic += tech.opEnergy(op) * (effective * pipelineFactor[idx]);
+        // Register energy: every op traverses its unit's stages.
+        stage_clock += tech.clockEnergyPerCycle() *
+                       (pipelineClockPerStage * effective *
+                        static_cast<double>(pipelineDepth[idx]));
+    }
+
+    const size_t stream =
+        w.pipelineStream > 0 ? w.pipelineStream : w.datapathOps();
+    const size_t cycles = stream + depth;
+
+    ModeCosts costs;
+    costs.cycles = cycles;
+    costs.delay = Time::cycles(static_cast<double>(cycles),
+                               Technology::cellClockHz);
+    costs.energy = dynamic + stage_clock +
+                   tech.clockEnergyPerCycle() *
+                       static_cast<double>(cycles) +
+                   tech.clockEnergyPerCycle() * pipelineFixedCycles +
+                   tech.unitLeakage() *
+                       static_cast<double>(std::max<size_t>(depth, 1)) *
+                       costs.delay +
+                   tech.wakeEnergy();
+    return costs;
+}
+
+ModeCosts
+evaluateParallel(const CellWorkload &w, const Technology &tech)
+{
+    const size_t units = std::max<size_t>(w.datapathOps(), 1);
+    const double routing =
+        1.0 + parallelRoutingPerUnit * static_cast<double>(units);
+
+    size_t cycles = 0;
+    Energy dynamic;
+    for (AluOp op : allAluOps) {
+        const size_t n = w.count(op);
+        if (n == 0)
+            continue;
+        if (op == AluOp::Buf) {
+            // Operand staging still touches every word once.
+            dynamic += tech.opEnergy(op) * static_cast<double>(n);
+            continue;
+        }
+        // One wave per op kind: all instances fire simultaneously.
+        cycles += tech.opCycles(op);
+        dynamic += tech.opEnergy(op) *
+                   (static_cast<double>(n) * routing);
+    }
+    // Reduction/selection tree to collect the unrolled results.
+    cycles += static_cast<size_t>(
+                  std::ceil(std::log2(static_cast<double>(units) + 1.0))) +
+              1;
+
+    ModeCosts costs;
+    costs.cycles = cycles;
+    costs.delay = Time::cycles(static_cast<double>(cycles),
+                               Technology::cellClockHz);
+    costs.energy = dynamic +
+                   tech.clockEnergyPerCycle() *
+                       (static_cast<double>(cycles) *
+                        (1.0 + parallelClockPerUnit *
+                                   static_cast<double>(units))) +
+                   tech.unitLeakage() * static_cast<double>(units) *
+                       costs.delay +
+                   tech.wakeEnergy();
+    return costs;
+}
+
+} // namespace
+
+size_t
+CellWorkload::datapathOps() const
+{
+    size_t total = 0;
+    for (AluOp op : allAluOps) {
+        if (op != AluOp::Buf)
+            total += count(op);
+    }
+    return total;
+}
+
+CellWorkload &
+CellWorkload::operator+=(const CellWorkload &other)
+{
+    for (size_t i = 0; i < aluOpCount; ++i)
+        ops[i] += other.ops[i];
+    pipelineStream += other.pipelineStream;
+    // Composite cells inherit the weaker streaming benefit.
+    pipelineBufferScale =
+        std::max(pipelineBufferScale, other.pipelineBufferScale);
+    return *this;
+}
+
+ModeCosts
+evaluateCellMode(const CellWorkload &workload, AluMode mode,
+                 const Technology &tech)
+{
+    switch (mode) {
+      case AluMode::Serial:
+        return evaluateSerial(workload, tech);
+      case AluMode::Pipeline:
+        return evaluatePipeline(workload, tech);
+      case AluMode::Parallel:
+        return evaluateParallel(workload, tech);
+    }
+    panic("unknown ALU mode %d", static_cast<int>(mode));
+}
+
+AluMode
+bestCellMode(const CellWorkload &workload, const Technology &tech)
+{
+    AluMode best = AluMode::Serial;
+    Energy best_energy =
+        evaluateCellMode(workload, AluMode::Serial, tech).energy;
+    for (AluMode mode : {AluMode::Parallel, AluMode::Pipeline}) {
+        const Energy e = evaluateCellMode(workload, mode, tech).energy;
+        if (e < best_energy) {
+            best_energy = e;
+            best = mode;
+        }
+    }
+    return best;
+}
+
+ModeCosts
+bestCellCosts(const CellWorkload &workload, const Technology &tech)
+{
+    return evaluateCellMode(workload, bestCellMode(workload, tech),
+                            tech);
+}
+
+} // namespace xpro

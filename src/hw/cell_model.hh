@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Circuit-level functional-cell cost model (paper Sections 3.1 and
+ * 4.3).
+ *
+ * A functional cell is an asynchronous micro-computing unit with a
+ * private S-ALU, buffer and clock (Fig. 3), power gated while idle.
+ * Given a cell's operation workload, this model evaluates the energy
+ * per event and processing delay in each of the three S-ALU modes
+ * (Section 3.1.2):
+ *
+ *  - Serial: one shared unit per op kind, microcoded multi-cycle
+ *    "super computation"; lowest area, longest runtime, and the
+ *    runtime is paid in private-clock/control energy every cycle.
+ *  - Pipeline: initiation-interval-1 streaming datapath; registers
+ *    between stages add per-stage clock energy, an unrolled divider
+ *    is disproportionately expensive, but a non-restoring sqrt array
+ *    pipelines cheaply and streaming transforms (DWT) avoid most
+ *    intermediate buffer traffic.
+ *  - Parallel: fully unrolled (monotonic) array of units; a large
+ *    operand-broadcast/result-mux network makes per-op energy grow
+ *    with the unit count, which is what puts the parallel DWT two
+ *    orders of magnitude above serial in Fig. 4.
+ *
+ * Energies are "effective cell-level" values (datapath + local
+ * control + I/O registers), calibrated against published uW-class
+ * in-sensor classification ASICs so that a full generic
+ * classification engine lands in the uJ/event range.
+ */
+
+#ifndef XPRO_HW_CELL_MODEL_HH
+#define XPRO_HW_CELL_MODEL_HH
+
+#include <array>
+#include <cstddef>
+
+#include "common/units.hh"
+#include "hw/alu_mode.hh"
+#include "hw/technology.hh"
+
+namespace xpro
+{
+
+/** Per-event operation workload of one functional cell. */
+struct CellWorkload
+{
+    /** Operation counts indexed by AluOp. */
+    std::array<size_t, aluOpCount> ops{};
+
+    /**
+     * Element initiations in pipeline mode (the II=1 stream length,
+     * usually the number of input elements times the passes over
+     * them).
+     */
+    size_t pipelineStream = 0;
+
+    /**
+     * Fraction of the serial-mode buffer traffic that remains in
+     * pipeline mode. Streaming transforms forward intermediates in
+     * registers (well below 1); reduction cells already touch each
+     * input only once (1.0).
+     */
+    double pipelineBufferScale = 1.0;
+
+    size_t &count(AluOp op) { return ops[static_cast<size_t>(op)]; }
+    size_t count(AluOp op) const { return ops[static_cast<size_t>(op)]; }
+
+    /** Total non-buffer operations (parallel-mode unit count). */
+    size_t datapathOps() const;
+
+    /** Merge another workload into this one (cell composition). */
+    CellWorkload &operator+=(const CellWorkload &other);
+};
+
+/** Evaluated costs of one cell in one mode. */
+struct ModeCosts
+{
+    Energy energy;
+    Time delay;
+    size_t cycles = 0;
+
+    /** Average power while the cell is active. */
+    Power
+    activePower() const
+    {
+        return delay.sec() > 0.0 ? energy.over(delay) : Power();
+    }
+};
+
+/** Evaluate a workload under one S-ALU mode and technology. */
+ModeCosts evaluateCellMode(const CellWorkload &workload, AluMode mode,
+                           const Technology &tech);
+
+/** The energy-optimal mode for a workload (paper's red stars). */
+AluMode bestCellMode(const CellWorkload &workload,
+                     const Technology &tech);
+
+/** Costs of the energy-optimal mode. */
+ModeCosts bestCellCosts(const CellWorkload &workload,
+                        const Technology &tech);
+
+} // namespace xpro
+
+#endif // XPRO_HW_CELL_MODEL_HH

@@ -1,0 +1,173 @@
+#include "hw/cell_sim.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+#include "dsp/features_fixed.hh"
+
+namespace xpro
+{
+
+Fixed
+SerialAluSim::divAccumulator(int64_t acc_raw, size_t n)
+{
+    issue(AluOp::Div);
+    const int64_t count = static_cast<int64_t>(n);
+    const int64_t half = acc_raw >= 0 ? count / 2 : -(count / 2);
+    const int64_t mean_raw = (acc_raw + half) / count;
+    if (mean_raw > std::numeric_limits<int32_t>::max())
+        return Fixed::max();
+    if (mean_raw < std::numeric_limits<int32_t>::min())
+        return Fixed::min();
+    return Fixed::fromRaw(static_cast<int32_t>(mean_raw));
+}
+
+Fixed
+SerialAluSim::divAccumulatorWide(int64_t acc_q32, size_t n)
+{
+    issue(AluOp::Div);
+    const int64_t count = static_cast<int64_t>(n);
+    const int64_t var_q32 = (acc_q32 + count / 2) / count;
+    const int64_t var_q16 =
+        (var_q32 + (int64_t{1} << (Fixed::fracBits - 1))) >>
+        Fixed::fracBits;
+    if (var_q16 > std::numeric_limits<int32_t>::max())
+        return Fixed::max();
+    return Fixed::fromRaw(static_cast<int32_t>(var_q16));
+}
+
+namespace
+{
+
+Fixed
+runMax(SerialAluSim &alu, const std::vector<Fixed> &input, bool max)
+{
+    Fixed best = alu.load(input, 0);
+    for (size_t i = 1; i < input.size(); ++i) {
+        const Fixed v = alu.load(input, i);
+        const bool take = max ? alu.less(best, v) : alu.less(v, best);
+        if (take)
+            best = v;
+    }
+    return best;
+}
+
+Fixed
+runMean(SerialAluSim &alu, const std::vector<Fixed> &input)
+{
+    int64_t acc = 0;
+    for (size_t i = 0; i < input.size(); ++i)
+        acc = alu.accumulate(acc, alu.load(input, i));
+    return alu.divAccumulator(acc, input.size());
+}
+
+Fixed
+runVarGivenMean(SerialAluSim &alu, const std::vector<Fixed> &input,
+                Fixed mu)
+{
+    int64_t acc_q32 = 0;
+    for (size_t i = 0; i < input.size(); ++i) {
+        const Fixed v = alu.load(input, i);
+        // Wide subtract + square, as the synthesized datapath does
+        // (the deviation cannot saturate in the 64-bit register).
+        const Fixed d = alu.sub(v, mu);
+        acc_q32 = alu.accumulateWide(acc_q32, alu.mulWide(d, d));
+    }
+    return alu.divAccumulatorWide(acc_q32, input.size());
+}
+
+Fixed
+runVar(SerialAluSim &alu, const std::vector<Fixed> &input)
+{
+    return runVarGivenMean(alu, input, runMean(alu, input));
+}
+
+Fixed
+runCzero(SerialAluSim &alu, const std::vector<Fixed> &input)
+{
+    int32_t crossings = 0;
+    bool prev_neg = alu.signBit(alu.load(input, 0));
+    for (size_t i = 1; i < input.size(); ++i) {
+        const bool cur_neg = alu.signBit(alu.load(input, i));
+        if (cur_neg != prev_neg) {
+            alu.add(Fixed::fromInt(crossings), Fixed::fromInt(1));
+            ++crossings;
+        }
+        prev_neg = cur_neg;
+    }
+    return Fixed::fromInt(crossings);
+}
+
+Fixed
+runMoment(SerialAluSim &alu, const std::vector<Fixed> &input,
+          bool fourth)
+{
+    const Fixed mu = runMean(alu, input);
+    // sigma via the Var path (reusing mu) plus one sqrt (Fig. 5).
+    const Fixed sigma =
+        alu.sqrt(runVarGivenMean(alu, input, mu));
+    if (sigma.raw() <= 1)
+        return Fixed();
+    int64_t acc = 0;
+    for (size_t i = 0; i < input.size(); ++i) {
+        const Fixed v = alu.load(input, i);
+        const Fixed z = alu.div(alu.sub(v, mu), sigma);
+        Fixed term;
+        if (fourth) {
+            const Fixed z2 = alu.mul(z, z);
+            term = alu.mul(z2, z2);
+        } else {
+            term = alu.mul(alu.mul(z, z), z);
+        }
+        acc = alu.accumulateWide(acc, term.raw());
+    }
+    return alu.divAccumulator(acc, input.size());
+}
+
+} // namespace
+
+CellExecution
+executeFeatureCell(FeatureKind kind, const std::vector<Fixed> &input,
+                   const Technology &tech)
+{
+    xproAssert(input.size() >= 2, "cell input too short");
+    SerialAluSim alu(tech);
+
+    Fixed result;
+    switch (kind) {
+      case FeatureKind::Max:
+        result = runMax(alu, input, true);
+        break;
+      case FeatureKind::Min:
+        result = runMax(alu, input, false);
+        break;
+      case FeatureKind::Mean:
+        result = runMean(alu, input);
+        break;
+      case FeatureKind::Var:
+        result = runVar(alu, input);
+        break;
+      case FeatureKind::Std:
+        result = alu.sqrt(runVar(alu, input));
+        break;
+      case FeatureKind::Czero:
+        result = runCzero(alu, input);
+        break;
+      case FeatureKind::Skew:
+        result = runMoment(alu, input, false);
+        break;
+      case FeatureKind::Kurt:
+        result = runMoment(alu, input, true);
+        break;
+      default:
+        panic("unknown feature kind %d", static_cast<int>(kind));
+    }
+
+    CellExecution execution;
+    execution.result = result;
+    execution.ops = alu.ops();
+    execution.cycles = alu.cycles();
+    return execution;
+}
+
+} // namespace xpro

@@ -1,0 +1,77 @@
+#include "hw/characterize.hh"
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+CellWorkload
+componentWorkload(ComponentKind kind,
+                  const CharacterizationSetup &setup)
+{
+    switch (kind) {
+      case ComponentKind::Max:
+        return featureCellWorkload(FeatureKind::Max,
+                                   setup.featureInputLength);
+      case ComponentKind::Min:
+        return featureCellWorkload(FeatureKind::Min,
+                                   setup.featureInputLength);
+      case ComponentKind::Mean:
+        return featureCellWorkload(FeatureKind::Mean,
+                                   setup.featureInputLength);
+      case ComponentKind::Var:
+        return featureCellWorkload(FeatureKind::Var,
+                                   setup.featureInputLength);
+      case ComponentKind::Std:
+        return featureCellWorkload(FeatureKind::Std,
+                                   setup.featureInputLength);
+      case ComponentKind::Czero:
+        return featureCellWorkload(FeatureKind::Czero,
+                                   setup.featureInputLength);
+      case ComponentKind::Skew:
+        return featureCellWorkload(FeatureKind::Skew,
+                                   setup.featureInputLength);
+      case ComponentKind::Kurt:
+        return featureCellWorkload(FeatureKind::Kurt,
+                                   setup.featureInputLength);
+      case ComponentKind::Dwt:
+        return dwtLevelWorkload(setup.dwtInputLength, setup.dwtTaps);
+      case ComponentKind::Svm:
+        return svmCellWorkload(setup.svmDimension,
+                               setup.svmSupportVectors);
+      case ComponentKind::Fusion:
+        return fusionCellWorkload(setup.fusionBases);
+      case ComponentKind::Argmax:
+        return argmaxCellWorkload(4);
+    }
+    panic("unknown component kind %d", static_cast<int>(kind));
+}
+
+ComponentCharacterization
+characterizeComponent(ComponentKind kind, const Technology &tech,
+                      const CharacterizationSetup &setup)
+{
+    const CellWorkload workload = componentWorkload(kind, setup);
+
+    ComponentCharacterization result;
+    result.kind = kind;
+    for (AluMode mode : allAluModes) {
+        result.costs[static_cast<size_t>(mode)] =
+            evaluateCellMode(workload, mode, tech);
+    }
+    result.bestMode = bestCellMode(workload, tech);
+    return result;
+}
+
+std::vector<ComponentCharacterization>
+characterizeAllComponents(const Technology &tech,
+                          const CharacterizationSetup &setup)
+{
+    std::vector<ComponentCharacterization> results;
+    results.reserve(allComponentKinds.size());
+    for (ComponentKind kind : allComponentKinds)
+        results.push_back(characterizeComponent(kind, tech, setup));
+    return results;
+}
+
+} // namespace xpro

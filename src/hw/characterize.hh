@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-component ALU-mode energy characterization (paper Section
+ * 3.1.2, Fig. 4): evaluate every component of the generic engine in
+ * the three S-ALU modes and identify the energy-optimal mode (the
+ * figure's red stars).
+ */
+
+#ifndef XPRO_HW_CHARACTERIZE_HH
+#define XPRO_HW_CHARACTERIZE_HH
+
+#include <vector>
+
+#include "hw/cell_library.hh"
+#include "hw/cell_model.hh"
+
+namespace xpro
+{
+
+/** Energy characterization of one component across the modes. */
+struct ComponentCharacterization
+{
+    ComponentKind kind = ComponentKind::Max;
+    /** Costs indexed by AluMode. */
+    std::array<ModeCosts, 3> costs;
+    /** Energy-optimal mode (the red star). */
+    AluMode bestMode = AluMode::Serial;
+
+    const ModeCosts &
+    mode(AluMode m) const
+    {
+        return costs[static_cast<size_t>(m)];
+    }
+
+    const ModeCosts &best() const { return mode(bestMode); }
+};
+
+/** Parameters of the representative workloads used in Fig. 4. */
+struct CharacterizationSetup
+{
+    /** Samples per feature-cell input (time-domain frame). */
+    size_t featureInputLength = 128;
+    /** DWT level-1 input length. */
+    size_t dwtInputLength = 128;
+    /** Filter taps (Db4). */
+    size_t dwtTaps = 4;
+    /** SVM subspace dimension (paper: 12). */
+    size_t svmDimension = 12;
+    /** Representative support-vector count. */
+    size_t svmSupportVectors = 40;
+    /** Ensemble size feeding the fusion cell. */
+    size_t fusionBases = 10;
+};
+
+/** Workload of one component under a characterization setup. */
+CellWorkload componentWorkload(ComponentKind kind,
+                               const CharacterizationSetup &setup);
+
+/** Characterize one component on one technology. */
+ComponentCharacterization
+characterizeComponent(ComponentKind kind, const Technology &tech,
+                      const CharacterizationSetup &setup = {});
+
+/** Characterize all 11 components (the full Fig. 4 row set). */
+std::vector<ComponentCharacterization>
+characterizeAllComponents(const Technology &tech,
+                          const CharacterizationSetup &setup = {});
+
+} // namespace xpro
+
+#endif // XPRO_HW_CHARACTERIZE_HH

@@ -1,0 +1,144 @@
+#include "hw/technology.hh"
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/**
+ * 90 nm baseline effective energy per operation, in pJ. These are
+ * cell-level values (datapath + local control + operand/result
+ * registers + short interconnect), not bare standard-cell datapath
+ * energies, calibrated so a full generic-classification engine lands
+ * in the uJ/event range of published uW-class in-sensor biosignal
+ * classifiers (e.g. Shoaib et al. 2014). The ratios carry the
+ * architecture results: multiply is ~8x an add, the iterative super
+ * computation units are an order above that, and a buffer word
+ * access is half an add.
+ */
+constexpr std::array<double, aluOpCount> baselineOpPj = {
+    16.0,  // Add
+    10.0,  // Cmp
+    120.0, // Mul
+    240.0, // Div
+    240.0, // Sqrt (dedicated non-restoring array, full computation)
+    260.0, // Exp
+    8.0,   // Buf
+};
+
+/** Serial-mode latencies in 16 MHz cell cycles. */
+constexpr std::array<size_t, aluOpCount> serialCycles = {
+    1,  // Add
+    1,  // Cmp
+    2,  // Mul
+    16, // Div (iterative SRT)
+    64, // Sqrt (microcoded Newton iterations on the shared S-ALU)
+    24, // Exp (iterative shift-and-add)
+    1,  // Buf
+};
+
+} // namespace
+
+const std::string &
+processNodeName(ProcessNode node)
+{
+    static const std::array<std::string, 3> names = {
+        "130nm", "90nm", "45nm",
+    };
+    return names[static_cast<size_t>(node)];
+}
+
+const std::string &
+aluOpName(AluOp op)
+{
+    static const std::array<std::string, aluOpCount> names = {
+        "add", "cmp", "mul", "div", "sqrt", "exp", "buf",
+    };
+    return names[static_cast<size_t>(op)];
+}
+
+Technology::Technology(ProcessNode node)
+    : _node(node)
+{
+    switch (node) {
+      case ProcessNode::Tsmc130:
+        // Dynamic energy roughly follows (feature size)^2 at equal
+        // voltage headroom; leakage improves less.
+        _dynamicScale = 2.1;
+        _leakageScale = 1.3;
+        break;
+      case ProcessNode::Tsmc90:
+        _dynamicScale = 1.0;
+        _leakageScale = 1.0;
+        break;
+      case ProcessNode::Tsmc45:
+        _dynamicScale = 0.33;
+        _leakageScale = 0.85;
+        break;
+      default:
+        panic("unknown process node %d", static_cast<int>(node));
+    }
+}
+
+const Technology &
+Technology::get(ProcessNode node)
+{
+    static const Technology tsmc130(ProcessNode::Tsmc130);
+    static const Technology tsmc90(ProcessNode::Tsmc90);
+    static const Technology tsmc45(ProcessNode::Tsmc45);
+    switch (node) {
+      case ProcessNode::Tsmc130: return tsmc130;
+      case ProcessNode::Tsmc90:  return tsmc90;
+      case ProcessNode::Tsmc45:  return tsmc45;
+    }
+    panic("unknown process node %d", static_cast<int>(node));
+}
+
+Energy
+Technology::opEnergy(AluOp op) const
+{
+    return Energy::picos(baselineOpPj[static_cast<size_t>(op)] *
+                         _dynamicScale);
+}
+
+size_t
+Technology::opCycles(AluOp op) const
+{
+    return serialCycles[static_cast<size_t>(op)];
+}
+
+Energy
+Technology::clockEnergyPerCycle() const
+{
+    // Private clock + enable/control of a single-unit cell.
+    return Energy::picos(6.0 * _dynamicScale);
+}
+
+Power
+Technology::unitLeakage() const
+{
+    // Leakage of one powered-on datapath unit; idle cells are power
+    // gated so this only applies while a cell works on an event.
+    return Power::micros(0.02 * _leakageScale);
+}
+
+Power
+Technology::cellStandbyPower() const
+{
+    // Always-on input-channel/enable logic of an idle (power-gated)
+    // cell; scales with leakage.
+    return Power::micros(0.15 * _leakageScale);
+}
+
+Energy
+Technology::wakeEnergy() const
+{
+    // Power-gating wake cost; prior work (and the paper, Section
+    // 4.3) finds this small enough not to affect conclusions.
+    return Energy::picos(60.0 * _dynamicScale);
+}
+
+} // namespace xpro

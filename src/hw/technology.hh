@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Reconstructed process-technology energy library.
+ *
+ * The paper characterizes functional cells with Synopsys Design
+ * Compiler / Power Compiler against TSMC 130nm, 90nm and 45nm
+ * standard-cell libraries (Section 4.3). Those tools and libraries
+ * are unavailable here, so this module provides an analytic
+ * per-operation energy/delay table per process node, calibrated so
+ * the relative costs that drive every result in the paper hold:
+ *
+ *  - multiply >> add/compare; divide, square root and exponent are
+ *    expensive multi-cycle "super computation" ops (Section 3.1.1);
+ *  - dynamic energy shrinks roughly quadratically with feature size
+ *    while leakage shrinks more slowly;
+ *  - a serial (microcoded) square root costs several divisions,
+ *    whereas a dedicated pipelined non-restoring array is cheap --
+ *    this is what makes Std pipeline-optimal in Fig. 4;
+ *  - an unrolled pipelined divider is area/energy-expensive, keeping
+ *    the division-heavy Skew/Kurt cells serial-optimal.
+ *
+ * All cells run from private asynchronous 16 MHz clocks (Section
+ * 4.3) and are power gated while idle (Section 3.1.1).
+ */
+
+#ifndef XPRO_HW_TECHNOLOGY_HH
+#define XPRO_HW_TECHNOLOGY_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "common/units.hh"
+
+namespace xpro
+{
+
+/** Available process nodes. */
+enum class ProcessNode
+{
+    Tsmc130,
+    Tsmc90,
+    Tsmc45,
+};
+
+/** All process nodes, largest feature size first (paper order). */
+constexpr std::array<ProcessNode, 3> allProcessNodes = {
+    ProcessNode::Tsmc130, ProcessNode::Tsmc90, ProcessNode::Tsmc45,
+};
+
+/** Display name, e.g. "90nm". */
+const std::string &processNodeName(ProcessNode node);
+
+/** Primitive datapath operations of the S-ALU. */
+enum class AluOp
+{
+    Add,    ///< 32-bit add/subtract/shift.
+    Cmp,    ///< comparison / sign test.
+    Mul,    ///< 32-bit fixed-point multiply.
+    Div,    ///< iterative divider.
+    Sqrt,   ///< square root ("super computation").
+    Exp,    ///< exponential ("super computation", RBF kernel).
+    Buf,    ///< local buffer/SRAM access (one word).
+};
+
+/** Number of distinct ALU operations. */
+constexpr size_t aluOpCount = 7;
+
+/** All ALU ops in declaration order. */
+constexpr std::array<AluOp, aluOpCount> allAluOps = {
+    AluOp::Add, AluOp::Cmp, AluOp::Mul, AluOp::Div,
+    AluOp::Sqrt, AluOp::Exp, AluOp::Buf,
+};
+
+/** Short op name, e.g. "mul". */
+const std::string &aluOpName(AluOp op);
+
+/** Per-node energy/delay parameters. */
+class Technology
+{
+  public:
+    /** Functional-cell clock frequency (paper Section 4.3). */
+    static constexpr double cellClockHz = 16.0e6;
+
+    /** Look up the singleton table for a node. */
+    static const Technology &get(ProcessNode node);
+
+    ProcessNode node() const { return _node; }
+    const std::string &name() const { return processNodeName(_node); }
+
+    /** Dynamic energy of one execution of @p op. */
+    Energy opEnergy(AluOp op) const;
+
+    /** Serial-mode latency of @p op in cell clock cycles. */
+    size_t opCycles(AluOp op) const;
+
+    /** Clock-tree + control energy per active cell cycle. */
+    Energy clockEnergyPerCycle() const;
+
+    /** Leakage power of one powered-on functional unit. */
+    Power unitLeakage() const;
+
+    /**
+     * Standby power of one functional cell while idle. Power gating
+     * removes the datapath, but the input channel ("Data Ready"
+     * latches and the Enable logic of Fig. 3) keeps passively
+     * waiting for data and cannot be gated; it draws this power for
+     * the whole event period, which is what makes parking many cells
+     * in the sensor a real energy commitment.
+     */
+    Power cellStandbyPower() const;
+
+    /** One-time wake-up cost when power gating un-gates the cell. */
+    Energy wakeEnergy() const;
+
+  private:
+    explicit Technology(ProcessNode node);
+
+    ProcessNode _node;
+    /** Dynamic-energy scale relative to the 90nm baseline. */
+    double _dynamicScale;
+    /** Leakage scale relative to the 90nm baseline. */
+    double _leakageScale;
+};
+
+} // namespace xpro
+
+#endif // XPRO_HW_TECHNOLOGY_HH

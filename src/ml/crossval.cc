@@ -1,0 +1,122 @@
+#include "ml/crossval.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/** Indices of each class, shuffled. */
+std::pair<std::vector<size_t>, std::vector<size_t>>
+shuffledClassIndices(const std::vector<int> &labels, Rng &rng)
+{
+    std::vector<size_t> pos;
+    std::vector<size_t> neg;
+    for (size_t i = 0; i < labels.size(); ++i)
+        (labels[i] == 1 ? pos : neg).push_back(i);
+    rng.shuffle(pos);
+    rng.shuffle(neg);
+    return {std::move(pos), std::move(neg)};
+}
+
+} // namespace
+
+Split
+stratifiedSplit(const std::vector<int> &labels, double train_fraction,
+                Rng &rng)
+{
+    xproAssert(train_fraction > 0.0 && train_fraction < 1.0,
+               "train fraction %f out of (0,1)", train_fraction);
+    auto [pos, neg] = shuffledClassIndices(labels, rng);
+
+    Split split;
+    for (const std::vector<size_t> *group : {&pos, &neg}) {
+        const size_t train_count = static_cast<size_t>(
+            train_fraction * static_cast<double>(group->size()) + 0.5);
+        for (size_t i = 0; i < group->size(); ++i) {
+            if (i < train_count)
+                split.trainIndices.push_back((*group)[i]);
+            else
+                split.testIndices.push_back((*group)[i]);
+        }
+    }
+    rng.shuffle(split.trainIndices);
+    rng.shuffle(split.testIndices);
+    return split;
+}
+
+std::vector<std::vector<size_t>>
+stratifiedFolds(const std::vector<int> &labels, size_t folds, Rng &rng)
+{
+    xproAssert(folds >= 2, "need at least two folds, got %zu", folds);
+    auto [pos, neg] = shuffledClassIndices(labels, rng);
+
+    std::vector<std::vector<size_t>> result(folds);
+    size_t next = 0;
+    for (const std::vector<size_t> *group : {&pos, &neg}) {
+        for (size_t idx : *group) {
+            result[next % folds].push_back(idx);
+            ++next;
+        }
+    }
+    return result;
+}
+
+LabeledData
+subset(const LabeledData &data, const std::vector<size_t> &indices)
+{
+    LabeledData out;
+    out.rows.reserve(indices.size());
+    out.labels.reserve(indices.size());
+    for (size_t idx : indices) {
+        xproAssert(idx < data.size(), "subset index %zu out of range",
+                   idx);
+        out.rows.push_back(data.rows[idx]);
+        out.labels.push_back(data.labels[idx]);
+    }
+    return out;
+}
+
+double
+crossValidatedAccuracy(const LabeledData &data, const SvmConfig &config,
+                       size_t folds, Rng &rng)
+{
+    const std::vector<std::vector<size_t>> parts =
+        stratifiedFolds(data.labels, folds, rng);
+
+    double accuracy_sum = 0.0;
+    size_t evaluated = 0;
+    for (size_t held_out = 0; held_out < folds; ++held_out) {
+        std::vector<size_t> train_idx;
+        for (size_t f = 0; f < folds; ++f) {
+            if (f == held_out)
+                continue;
+            train_idx.insert(train_idx.end(), parts[f].begin(),
+                             parts[f].end());
+        }
+        const LabeledData train = subset(data, train_idx);
+        const LabeledData test = subset(data, parts[held_out]);
+        if (test.size() == 0)
+            continue;
+        // Skip degenerate folds missing a class.
+        const bool trainable =
+            std::count(train.labels.begin(), train.labels.end(), 1) >
+                0 &&
+            std::count(train.labels.begin(), train.labels.end(), -1) >
+                0;
+        if (!trainable)
+            continue;
+        const Svm model = Svm::train(train, config);
+        accuracy_sum += model.accuracy(test);
+        ++evaluated;
+    }
+    if (evaluated == 0)
+        fatal("cross-validation had no usable folds");
+    return accuracy_sum / static_cast<double>(evaluated);
+}
+
+} // namespace xpro

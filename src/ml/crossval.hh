@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Train/test splitting and k-fold cross-validation utilities
+ * (paper Section 4.4: 75/25 random split, 10-fold cross-validation
+ * on the training set).
+ */
+
+#ifndef XPRO_ML_CROSSVAL_HH
+#define XPRO_ML_CROSSVAL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.hh"
+#include "ml/svm.hh"
+
+namespace xpro
+{
+
+/** A train/test index split. */
+struct Split
+{
+    std::vector<size_t> trainIndices;
+    std::vector<size_t> testIndices;
+};
+
+/**
+ * Random stratified split keeping the class balance: each class
+ * contributes @p train_fraction of its members to the training set.
+ */
+Split stratifiedSplit(const std::vector<int> &labels,
+                      double train_fraction, Rng &rng);
+
+/**
+ * Stratified k-fold partition: returns @p folds index sets of nearly
+ * equal size, each with approximately the global class balance.
+ */
+std::vector<std::vector<size_t>>
+stratifiedFolds(const std::vector<int> &labels, size_t folds, Rng &rng);
+
+/** Materialize a subset of a dataset by indices. */
+LabeledData subset(const LabeledData &data,
+                   const std::vector<size_t> &indices);
+
+/**
+ * Mean k-fold cross-validated accuracy of an SVM configuration on a
+ * dataset.
+ */
+double crossValidatedAccuracy(const LabeledData &data,
+                              const SvmConfig &config, size_t folds,
+                              Rng &rng);
+
+} // namespace xpro
+
+#endif // XPRO_ML_CROSSVAL_HH

@@ -1,0 +1,56 @@
+#include "ml/kernel.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+double
+dotProduct(const std::vector<double> &x, const std::vector<double> &z)
+{
+    xproAssert(x.size() == z.size(), "vector size mismatch %zu vs %zu",
+               x.size(), z.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < x.size(); ++i)
+        acc += x[i] * z[i];
+    return acc;
+}
+
+double
+squaredDistance(const std::vector<double> &x,
+                const std::vector<double> &z)
+{
+    xproAssert(x.size() == z.size(), "vector size mismatch %zu vs %zu",
+               x.size(), z.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        const double d = x[i] - z[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+double
+Kernel::operator()(const std::vector<double> &x,
+                   const std::vector<double> &z) const
+{
+    switch (kind) {
+      case KernelKind::Linear:
+        return dotProduct(x, z);
+      case KernelKind::Rbf:
+        return std::exp(-gamma * squaredDistance(x, z));
+    }
+    panic("unknown kernel kind %d", static_cast<int>(kind));
+}
+
+std::string
+Kernel::name() const
+{
+    if (kind == KernelKind::Linear)
+        return "linear";
+    return "rbf(gamma=" + std::to_string(gamma) + ")";
+}
+
+} // namespace xpro

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Kernel functions for the SVM base classifiers. The paper's
+ * evaluation uses a binary SVM with a radial basis function kernel
+ * (Section 4.4); the linear kernel is kept both for tests and because
+ * prior in-sensor designs are linear-SVM-only (Section 1).
+ */
+
+#ifndef XPRO_ML_KERNEL_HH
+#define XPRO_ML_KERNEL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xpro
+{
+
+/** Kernel family. */
+enum class KernelKind
+{
+    Linear,
+    Rbf,
+};
+
+/** Kernel configuration: family plus RBF width. */
+struct Kernel
+{
+    KernelKind kind = KernelKind::Rbf;
+    /** RBF gamma in K(x,z) = exp(-gamma * |x - z|^2). */
+    double gamma = 1.0;
+
+    /** Evaluate the kernel on two equally sized vectors. */
+    double operator()(const std::vector<double> &x,
+                      const std::vector<double> &z) const;
+
+    /** Display name, e.g. "rbf(gamma=0.5)". */
+    std::string name() const;
+};
+
+/** Squared Euclidean distance between two equally sized vectors. */
+double squaredDistance(const std::vector<double> &x,
+                       const std::vector<double> &z);
+
+/** Dot product of two equally sized vectors. */
+double dotProduct(const std::vector<double> &x,
+                  const std::vector<double> &z);
+
+} // namespace xpro
+
+#endif // XPRO_ML_KERNEL_HH

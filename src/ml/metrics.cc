@@ -1,0 +1,78 @@
+#include "ml/metrics.hh"
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+double
+Confusion::accuracy() const
+{
+    const size_t n = total();
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(truePositives + trueNegatives) /
+           static_cast<double>(n);
+}
+
+double
+Confusion::precision() const
+{
+    const size_t denom = truePositives + falsePositives;
+    if (denom == 0)
+        return 0.0;
+    return static_cast<double>(truePositives) /
+           static_cast<double>(denom);
+}
+
+double
+Confusion::recall() const
+{
+    const size_t denom = truePositives + falseNegatives;
+    if (denom == 0)
+        return 0.0;
+    return static_cast<double>(truePositives) /
+           static_cast<double>(denom);
+}
+
+double
+Confusion::f1() const
+{
+    const double p = precision();
+    const double r = recall();
+    if (p + r < 1e-12)
+        return 0.0;
+    return 2.0 * p * r / (p + r);
+}
+
+Confusion
+confusionMatrix(const std::vector<int> &predicted,
+                const std::vector<int> &actual)
+{
+    xproAssert(predicted.size() == actual.size(),
+               "prediction/label count mismatch");
+    Confusion c;
+    for (size_t i = 0; i < predicted.size(); ++i) {
+        if (actual[i] == 1) {
+            if (predicted[i] == 1)
+                ++c.truePositives;
+            else
+                ++c.falseNegatives;
+        } else {
+            if (predicted[i] == 1)
+                ++c.falsePositives;
+            else
+                ++c.trueNegatives;
+        }
+    }
+    return c;
+}
+
+double
+accuracyScore(const std::vector<int> &predicted,
+              const std::vector<int> &actual)
+{
+    return confusionMatrix(predicted, actual).accuracy();
+}
+
+} // namespace xpro

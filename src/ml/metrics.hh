@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Classification quality metrics for binary +-1 labels.
+ */
+
+#ifndef XPRO_ML_METRICS_HH
+#define XPRO_ML_METRICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace xpro
+{
+
+/** 2x2 confusion counts for binary classification. */
+struct Confusion
+{
+    size_t truePositives = 0;
+    size_t trueNegatives = 0;
+    size_t falsePositives = 0;
+    size_t falseNegatives = 0;
+
+    size_t
+    total() const
+    {
+        return truePositives + trueNegatives + falsePositives +
+               falseNegatives;
+    }
+
+    double accuracy() const;
+    double precision() const;
+    double recall() const;
+    double f1() const;
+};
+
+/**
+ * Tabulate the confusion matrix of predicted vs. true labels
+ * (both in {-1, +1}; +1 is "positive").
+ */
+Confusion confusionMatrix(const std::vector<int> &predicted,
+                          const std::vector<int> &actual);
+
+/** Fraction of agreeing entries. */
+double accuracyScore(const std::vector<int> &predicted,
+                     const std::vector<int> &actual);
+
+} // namespace xpro
+
+#endif // XPRO_ML_METRICS_HH

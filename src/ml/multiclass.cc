@@ -1,0 +1,81 @@
+#include "ml/multiclass.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+MultiClassSubspace
+MultiClassSubspace::train(const MultiClassData &data,
+                          const RandomSubspaceConfig &config)
+{
+    xproAssert(data.classCount >= 2, "need at least two classes");
+    xproAssert(data.labels.size() == data.rows.size(),
+               "label/row count mismatch");
+    for (size_t label : data.labels)
+        xproAssert(label < data.classCount, "label %zu out of range",
+                   label);
+
+    MultiClassSubspace model;
+    model._perClass.reserve(data.classCount);
+    for (size_t cls = 0; cls < data.classCount; ++cls) {
+        LabeledData binary;
+        binary.rows = data.rows;
+        binary.labels.reserve(data.size());
+        for (size_t label : data.labels)
+            binary.labels.push_back(label == cls ? 1 : -1);
+
+        RandomSubspaceConfig per_class = config;
+        per_class.seed = config.seed ^ (0x9E37ull * (cls + 1));
+        model._perClass.push_back(
+            RandomSubspace::train(binary, per_class));
+    }
+    return model;
+}
+
+std::vector<double>
+MultiClassSubspace::scores(const std::vector<double> &full_row) const
+{
+    xproAssert(!_perClass.empty(), "model not trained");
+    std::vector<double> out;
+    out.reserve(_perClass.size());
+    for (const RandomSubspace &ensemble : _perClass)
+        out.push_back(ensemble.score(full_row));
+    return out;
+}
+
+size_t
+MultiClassSubspace::predict(const std::vector<double> &full_row) const
+{
+    const std::vector<double> s = scores(full_row);
+    return static_cast<size_t>(
+        std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+double
+MultiClassSubspace::accuracy(const MultiClassData &data) const
+{
+    xproAssert(data.size() > 0, "accuracy on empty dataset");
+    size_t correct = 0;
+    for (size_t i = 0; i < data.size(); ++i)
+        correct += predict(data.rows[i]) == data.labels[i];
+    return static_cast<double>(correct) /
+           static_cast<double>(data.size());
+}
+
+std::vector<size_t>
+MultiClassSubspace::usedFeatureIndices() const
+{
+    std::set<size_t> used;
+    for (const RandomSubspace &ensemble : _perClass) {
+        const std::vector<size_t> indices =
+            ensemble.usedFeatureIndices();
+        used.insert(indices.begin(), indices.end());
+    }
+    return {used.begin(), used.end()};
+}
+
+} // namespace xpro

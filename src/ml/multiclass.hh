@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Multi-classification extension (paper Section 5.7): "if
+ * multi-classification is needed, we can simply add more base
+ * classifiers that extend only the topology of generic
+ * classification; the rest of the proposed methodology can be
+ * applied directly."
+ *
+ * Implemented as one-vs-rest: one random-subspace ensemble per
+ * class, each voting "this class vs. everything else"; prediction
+ * takes the class with the highest fused score. The XPro topology
+ * builder maps every per-class ensemble to additional SVM and fusion
+ * cells plus a final argmax cell.
+ */
+
+#ifndef XPRO_ML_MULTICLASS_HH
+#define XPRO_ML_MULTICLASS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/random_subspace.hh"
+
+namespace xpro
+{
+
+/** Multi-class dataset: row-major features plus labels in [0, K). */
+struct MultiClassData
+{
+    std::vector<std::vector<double>> rows;
+    std::vector<size_t> labels;
+    size_t classCount = 0;
+
+    size_t size() const { return rows.size(); }
+    size_t dimension() const { return rows.empty() ? 0 : rows[0].size(); }
+};
+
+/** One-vs-rest ensemble of random-subspace classifiers. */
+class MultiClassSubspace
+{
+  public:
+    /**
+     * Train on @p data; each class gets its own one-vs-rest
+     * ensemble built with @p config (seeds are decorrelated per
+     * class).
+     */
+    static MultiClassSubspace train(const MultiClassData &data,
+                                    const RandomSubspaceConfig &config);
+
+    /** Predicted class in [0, classCount). */
+    size_t predict(const std::vector<double> &full_row) const;
+
+    /** Per-class fused scores (argmax = prediction). */
+    std::vector<double> scores(const std::vector<double> &full_row) const;
+
+    /** Fraction of correct predictions. */
+    double accuracy(const MultiClassData &data) const;
+
+    size_t classCount() const { return _perClass.size(); }
+
+    /** The one-vs-rest ensemble for @p cls. */
+    const RandomSubspace &
+    classEnsemble(size_t cls) const
+    {
+        return _perClass[cls];
+    }
+
+    /** Union of feature-pool indices used by every class ensemble. */
+    std::vector<size_t> usedFeatureIndices() const;
+
+  private:
+    std::vector<RandomSubspace> _perClass;
+};
+
+} // namespace xpro
+
+#endif // XPRO_ML_MULTICLASS_HH

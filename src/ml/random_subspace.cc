@@ -1,0 +1,157 @@
+#include "ml/random_subspace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/matrix.hh"
+#include "ml/crossval.hh"
+
+namespace xpro
+{
+
+std::vector<double>
+RandomSubspace::project(const std::vector<double> &full_row,
+                        const std::vector<size_t> &indices)
+{
+    std::vector<double> out;
+    out.reserve(indices.size());
+    for (size_t idx : indices) {
+        xproAssert(idx < full_row.size(),
+                   "feature index %zu out of range", idx);
+        out.push_back(full_row[idx]);
+    }
+    return out;
+}
+
+RandomSubspace
+RandomSubspace::train(const LabeledData &data,
+                      const RandomSubspaceConfig &config)
+{
+    xproAssert(config.candidates > 0, "need at least one candidate");
+    xproAssert(config.keepFraction > 0.0 && config.keepFraction <= 1.0,
+               "keep fraction %f out of (0,1]", config.keepFraction);
+    const size_t pool = data.dimension();
+    xproAssert(config.subspaceDimension <= pool,
+               "subspace dimension %zu exceeds pool %zu",
+               config.subspaceDimension, pool);
+
+    Rng rng(config.seed);
+
+    // Hold out a validation part of the training data for candidate
+    // selection so accuracies are not measured on the fit set.
+    const Split split = stratifiedSplit(data.labels, 0.8, rng);
+    const LabeledData fit_set = subset(data, split.trainIndices);
+    const LabeledData val_set = subset(data, split.testIndices);
+
+    std::vector<BaseClassifier> candidates;
+    candidates.reserve(config.candidates);
+    for (size_t c = 0; c < config.candidates; ++c) {
+        BaseClassifier base;
+        base.featureIndices =
+            rng.sampleWithoutReplacement(pool, config.subspaceDimension);
+        std::sort(base.featureIndices.begin(),
+                  base.featureIndices.end());
+
+        LabeledData projected;
+        projected.labels = fit_set.labels;
+        projected.rows.reserve(fit_set.size());
+        for (const auto &row : fit_set.rows)
+            projected.rows.push_back(project(row, base.featureIndices));
+
+        base.model = Svm::train(projected, config.svm);
+
+        LabeledData val_projected;
+        val_projected.labels = val_set.labels;
+        for (const auto &row : val_set.rows)
+            val_projected.rows.push_back(
+                project(row, base.featureIndices));
+        base.validationAccuracy =
+            val_projected.size() > 0
+                ? base.model.accuracy(val_projected)
+                : 0.5;
+        candidates.push_back(std::move(base));
+    }
+
+    // Keep the top fraction by validation accuracy.
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(std::lround(
+               config.keepFraction *
+               static_cast<double>(config.candidates))));
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const BaseClassifier &a, const BaseClassifier &b) {
+                         return a.validationAccuracy >
+                                b.validationAccuracy;
+                     });
+    candidates.resize(std::min(keep, candidates.size()));
+
+    RandomSubspace ensemble;
+    ensemble._bases = std::move(candidates);
+
+    // Least-squares voting weights: regress the +-1 label on the
+    // base decision signs over the whole training set (weighted
+    // voting trained by least squares, paper Section 4.4).
+    const size_t members = ensemble._bases.size();
+    Matrix design(data.size(), members + 1);
+    Matrix target(data.size(), 1);
+    for (size_t i = 0; i < data.size(); ++i) {
+        for (size_t m = 0; m < members; ++m) {
+            const BaseClassifier &base = ensemble._bases[m];
+            const int vote = base.model.predict(
+                project(data.rows[i], base.featureIndices));
+            design(i, m) = static_cast<double>(vote);
+        }
+        design(i, members) = 1.0; // bias column
+        target(i, 0) = static_cast<double>(data.labels[i]);
+    }
+    const Matrix weights =
+        Matrix::leastSquares(design, target, config.fusionRidge);
+    ensemble._weights.resize(members);
+    for (size_t m = 0; m < members; ++m)
+        ensemble._weights[m] = weights(m, 0);
+    ensemble._weightBias = weights(members, 0);
+    return ensemble;
+}
+
+double
+RandomSubspace::score(const std::vector<double> &full_row) const
+{
+    xproAssert(!_bases.empty(), "ensemble not trained");
+    double acc = _weightBias;
+    for (size_t m = 0; m < _bases.size(); ++m) {
+        const int vote = _bases[m].model.predict(
+            project(full_row, _bases[m].featureIndices));
+        acc += _weights[m] * static_cast<double>(vote);
+    }
+    return acc;
+}
+
+int
+RandomSubspace::predict(const std::vector<double> &full_row) const
+{
+    return score(full_row) >= 0.0 ? 1 : -1;
+}
+
+double
+RandomSubspace::accuracy(const LabeledData &data) const
+{
+    xproAssert(data.size() > 0, "accuracy on empty dataset");
+    size_t correct = 0;
+    for (size_t i = 0; i < data.size(); ++i)
+        correct += predict(data.rows[i]) == data.labels[i];
+    return static_cast<double>(correct) /
+           static_cast<double>(data.size());
+}
+
+std::vector<size_t>
+RandomSubspace::usedFeatureIndices() const
+{
+    std::set<size_t> used;
+    for (const BaseClassifier &base : _bases)
+        used.insert(base.featureIndices.begin(),
+                    base.featureIndices.end());
+    return {used.begin(), used.end()};
+}
+
+} // namespace xpro

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Random subspace ensemble classifier (paper Sections 2.1 and 4.4).
+ *
+ * Base SVMs are trained on random 12-feature subsets of the
+ * 48-feature pool; the best candidates by validation accuracy are
+ * kept (the paper keeps the top 10% of 100 candidates) and fused by
+ * a weighted voting scheme whose weights are trained with least
+ * squares. The set of features the surviving base classifiers
+ * actually consume determines which functional cells exist in the
+ * XPro topology.
+ */
+
+#ifndef XPRO_ML_RANDOM_SUBSPACE_HH
+#define XPRO_ML_RANDOM_SUBSPACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.hh"
+#include "ml/svm.hh"
+
+namespace xpro
+{
+
+/** Random subspace training hyper-parameters. */
+struct RandomSubspaceConfig
+{
+    /** Features drawn per base classifier (paper: 12). */
+    size_t subspaceDimension = 12;
+    /** Candidate base classifiers trained (paper: 100). */
+    size_t candidates = 100;
+    /** Fraction of candidates kept by accuracy (paper: top 10%). */
+    double keepFraction = 0.1;
+    /** SVM configuration shared by all base classifiers. */
+    SvmConfig svm;
+    /** Ridge regularizer for the least-squares voting weights. */
+    double fusionRidge = 1e-6;
+    /** RNG seed for subspace sampling. */
+    uint64_t seed = 1;
+};
+
+/** One trained member of the ensemble. */
+struct BaseClassifier
+{
+    /** Indices into the full feature pool this member consumes. */
+    std::vector<size_t> featureIndices;
+    Svm model;
+    /** Validation accuracy used for candidate selection. */
+    double validationAccuracy = 0.0;
+};
+
+/** Trained random subspace ensemble with weighted-voting fusion. */
+class RandomSubspace
+{
+  public:
+    /**
+     * Train on full-pool feature rows with +-1 labels.
+     * @param data Rows over the complete feature pool.
+     * @param config Ensemble hyper-parameters.
+     */
+    static RandomSubspace train(const LabeledData &data,
+                                const RandomSubspaceConfig &config);
+
+    /** Fused score; positive means class +1. */
+    double score(const std::vector<double> &full_row) const;
+
+    /** Predicted label in {-1, +1}. */
+    int predict(const std::vector<double> &full_row) const;
+
+    /** Accuracy over a full-pool dataset. */
+    double accuracy(const LabeledData &data) const;
+
+    const std::vector<BaseClassifier> &bases() const { return _bases; }
+    const std::vector<double> &fusionWeights() const { return _weights; }
+    /** Bias term of the least-squares voting combiner. */
+    double fusionBias() const { return _weightBias; }
+
+    /** Union of feature-pool indices used by surviving bases. */
+    std::vector<size_t> usedFeatureIndices() const;
+
+  private:
+    /** Project a full-pool row onto a base's subspace. */
+    static std::vector<double>
+    project(const std::vector<double> &full_row,
+            const std::vector<size_t> &indices);
+
+    std::vector<BaseClassifier> _bases;
+    std::vector<double> _weights;
+    double _weightBias = 0.0;
+};
+
+} // namespace xpro
+
+#endif // XPRO_ML_RANDOM_SUBSPACE_HH

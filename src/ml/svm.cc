@@ -1,0 +1,203 @@
+#include "ml/svm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/** Dense kernel matrix for small training sets. */
+class KernelMatrix
+{
+  public:
+    KernelMatrix(const LabeledData &data, const Kernel &kernel)
+        : _n(data.size()), _values(_n * _n)
+    {
+        for (size_t i = 0; i < _n; ++i) {
+            for (size_t j = i; j < _n; ++j) {
+                const double k = kernel(data.rows[i], data.rows[j]);
+                _values[i * _n + j] = k;
+                _values[j * _n + i] = k;
+            }
+        }
+    }
+
+    double at(size_t i, size_t j) const { return _values[i * _n + j]; }
+
+  private:
+    size_t _n;
+    std::vector<double> _values;
+};
+
+} // namespace
+
+Svm
+Svm::train(const LabeledData &data, const SvmConfig &config)
+{
+    const size_t n = data.size();
+    xproAssert(n >= 2, "SVM training needs at least two samples");
+    xproAssert(data.labels.size() == n, "label/row count mismatch");
+    bool has_pos = false;
+    bool has_neg = false;
+    for (int label : data.labels) {
+        xproAssert(label == 1 || label == -1,
+                   "labels must be +-1, got %d", label);
+        has_pos |= label == 1;
+        has_neg |= label == -1;
+    }
+    if (!has_pos || !has_neg)
+        fatal("SVM training data must contain both classes");
+
+    const KernelMatrix gram(data, config.kernel);
+
+    // Simplified SMO (Platt 1998 as in the CS229 formulation):
+    // repeatedly pick KKT-violating multipliers and optimize pairs
+    // analytically.
+    std::vector<double> alpha(n, 0.0);
+    double bias = 0.0;
+    Rng rng(0xC0FFEE);
+
+    auto decision_on_train = [&](size_t i) {
+        double acc = bias;
+        for (size_t k = 0; k < n; ++k) {
+            if (alpha[k] > 0.0)
+                acc += alpha[k] * data.labels[k] * gram.at(k, i);
+        }
+        return acc;
+    };
+
+    size_t quiet_passes = 0;
+    size_t iterations = 0;
+    while (quiet_passes < config.maxPassesWithoutChange &&
+           iterations < config.maxIterations) {
+        ++iterations;
+        size_t changed = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const double error_i =
+                decision_on_train(i) - data.labels[i];
+            const bool violates =
+                (data.labels[i] * error_i < -config.tolerance &&
+                 alpha[i] < config.c) ||
+                (data.labels[i] * error_i > config.tolerance &&
+                 alpha[i] > 0.0);
+            if (!violates)
+                continue;
+
+            // Pick a random second multiplier distinct from i.
+            size_t j = static_cast<size_t>(rng.below(n - 1));
+            if (j >= i)
+                ++j;
+            const double error_j =
+                decision_on_train(j) - data.labels[j];
+
+            const double alpha_i_old = alpha[i];
+            const double alpha_j_old = alpha[j];
+
+            double low;
+            double high;
+            if (data.labels[i] != data.labels[j]) {
+                low = std::max(0.0, alpha[j] - alpha[i]);
+                high = std::min(config.c,
+                                config.c + alpha[j] - alpha[i]);
+            } else {
+                low = std::max(0.0, alpha[i] + alpha[j] - config.c);
+                high = std::min(config.c, alpha[i] + alpha[j]);
+            }
+            if (high - low < 1e-12)
+                continue;
+
+            const double eta = 2.0 * gram.at(i, j) - gram.at(i, i) -
+                               gram.at(j, j);
+            if (eta >= -1e-12)
+                continue;
+
+            double alpha_j_new =
+                alpha_j_old -
+                data.labels[j] * (error_i - error_j) / eta;
+            alpha_j_new = std::clamp(alpha_j_new, low, high);
+            if (std::fabs(alpha_j_new - alpha_j_old) < 1e-7)
+                continue;
+
+            const double alpha_i_new =
+                alpha_i_old + data.labels[i] * data.labels[j] *
+                                  (alpha_j_old - alpha_j_new);
+            alpha[i] = alpha_i_new;
+            alpha[j] = alpha_j_new;
+
+            const double b1 =
+                bias - error_i -
+                data.labels[i] * (alpha_i_new - alpha_i_old) *
+                    gram.at(i, i) -
+                data.labels[j] * (alpha_j_new - alpha_j_old) *
+                    gram.at(i, j);
+            const double b2 =
+                bias - error_j -
+                data.labels[i] * (alpha_i_new - alpha_i_old) *
+                    gram.at(i, j) -
+                data.labels[j] * (alpha_j_new - alpha_j_old) *
+                    gram.at(j, j);
+            if (alpha_i_new > 0.0 && alpha_i_new < config.c) {
+                bias = b1;
+            } else if (alpha_j_new > 0.0 && alpha_j_new < config.c) {
+                bias = b2;
+            } else {
+                bias = 0.5 * (b1 + b2);
+            }
+            ++changed;
+        }
+        quiet_passes = changed == 0 ? quiet_passes + 1 : 0;
+    }
+
+    Svm model;
+    model._kernel = config.kernel;
+    model._bias = bias;
+    model._dimension = data.dimension();
+    for (size_t i = 0; i < n; ++i) {
+        if (alpha[i] > 1e-9) {
+            model._supportVectors.push_back(data.rows[i]);
+            model._weights.push_back(alpha[i] * data.labels[i]);
+        }
+    }
+    // Degenerate but possible on separable data with loose
+    // tolerances: keep the model usable as a constant classifier.
+    if (model._supportVectors.empty())
+        warn("SVM training produced no support vectors");
+    return model;
+}
+
+double
+Svm::decision(const std::vector<double> &x) const
+{
+    xproAssert(x.size() == _dimension,
+               "input dimension %zu, model expects %zu", x.size(),
+               _dimension);
+    double acc = _bias;
+    for (size_t k = 0; k < _supportVectors.size(); ++k)
+        acc += _weights[k] * _kernel(_supportVectors[k], x);
+    return acc;
+}
+
+int
+Svm::predict(const std::vector<double> &x) const
+{
+    return decision(x) >= 0.0 ? 1 : -1;
+}
+
+double
+Svm::accuracy(const LabeledData &data) const
+{
+    xproAssert(data.size() > 0, "accuracy on empty dataset");
+    size_t correct = 0;
+    for (size_t i = 0; i < data.size(); ++i)
+        correct += predict(data.rows[i]) == data.labels[i];
+    return static_cast<double>(correct) /
+           static_cast<double>(data.size());
+}
+
+} // namespace xpro

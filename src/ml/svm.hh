@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Binary support vector machine trained with sequential minimal
+ * optimization (SMO). This is the base classifier of the random
+ * subspace ensemble (paper Section 2.1), and the number of support
+ * vectors of a trained model drives the hardware cost of its SVM
+ * functional cell.
+ */
+
+#ifndef XPRO_ML_SVM_HH
+#define XPRO_ML_SVM_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/kernel.hh"
+
+namespace xpro
+{
+
+/** Labeled dataset: row-major features plus +-1 labels. */
+struct LabeledData
+{
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+
+    size_t size() const { return rows.size(); }
+    size_t dimension() const { return rows.empty() ? 0 : rows[0].size(); }
+};
+
+/** SVM training hyper-parameters. */
+struct SvmConfig
+{
+    Kernel kernel;
+    /** Soft-margin penalty. */
+    double c = 1.0;
+    /** KKT violation tolerance. */
+    double tolerance = 1e-3;
+    /** Stop after this many passes without alpha updates. */
+    size_t maxPassesWithoutChange = 3;
+    /** Hard cap on optimization sweeps. */
+    size_t maxIterations = 200;
+};
+
+/** A trained binary SVM. */
+class Svm
+{
+  public:
+    /**
+     * Train on @p data with labels in {-1, +1}. The data must
+     * contain both classes.
+     */
+    static Svm train(const LabeledData &data, const SvmConfig &config);
+
+    /** Signed decision value; positive means class +1. */
+    double decision(const std::vector<double> &x) const;
+
+    /** Predicted label in {-1, +1}. */
+    int predict(const std::vector<double> &x) const;
+
+    /** Fraction of correct predictions on @p data. */
+    double accuracy(const LabeledData &data) const;
+
+    /** Number of support vectors retained. */
+    size_t supportVectorCount() const { return _supportVectors.size(); }
+
+    /** Input dimensionality. */
+    size_t dimension() const { return _dimension; }
+
+    const Kernel &kernel() const { return _kernel; }
+    double bias() const { return _bias; }
+
+    /** Stored support vectors (for quantized inference). */
+    const std::vector<std::vector<double>> &
+    supportVectors() const
+    {
+        return _supportVectors;
+    }
+
+    /** alpha_i * y_i weight per support vector. */
+    const std::vector<double> &weights() const { return _weights; }
+
+  private:
+    Kernel _kernel;
+    double _bias = 0.0;
+    size_t _dimension = 0;
+    std::vector<std::vector<double>> _supportVectors;
+    /** alpha_i * y_i for each support vector. */
+    std::vector<double> _weights;
+};
+
+} // namespace xpro
+
+#endif // XPRO_ML_SVM_HH

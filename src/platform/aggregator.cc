@@ -1,0 +1,61 @@
+#include "platform/aggregator.hh"
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+size_t
+AggregatorCpu::opCycles(AluOp op)
+{
+    // A8-class in-order core: single-cycle ALU, a few cycles for the
+    // multiplier, library-call latencies for divide/sqrt/exp, and an
+    // average two cycles per memory word (L1 hits with occasional
+    // misses amortized).
+    switch (op) {
+      case AluOp::Add:  return 1;
+      case AluOp::Cmp:  return 1;
+      case AluOp::Mul:  return 3;
+      case AluOp::Div:  return 20;
+      case AluOp::Sqrt: return 30;
+      case AluOp::Exp:  return 60;
+      case AluOp::Buf:  return 2;
+    }
+    panic("unknown ALU op %d", static_cast<int>(op));
+}
+
+Energy
+AggregatorCpu::energyPerCycle()
+{
+    // ~0.5 W at 600 MHz for core plus caches (McPAT-class numbers
+    // for a 65-90 nm A8 SoC).
+    return Energy::nanos(0.8);
+}
+
+SoftwareCosts
+AggregatorCpu::run(const CellWorkload &workload) const
+{
+    size_t cycles = 0;
+    for (AluOp op : allAluOps)
+        cycles += workload.count(op) * opCycles(op);
+
+    SoftwareCosts costs;
+    costs.cycles = cycles;
+    costs.delay =
+        Time::seconds(static_cast<double>(cycles) / clockHz);
+    costs.energy = energyPerCycle() * static_cast<double>(cycles);
+    return costs;
+}
+
+Time
+Aggregator::lifetime(Energy per_event, double events_per_second) const
+{
+    xproAssert(events_per_second > 0.0,
+               "event rate must be positive");
+    const Power load =
+        _idlePower +
+        per_event.over(Time::seconds(1.0 / events_per_second));
+    return _battery.lifetime(load);
+}
+
+} // namespace xpro

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Data aggregator (smartphone) platform model.
+ *
+ * The paper simulates an ARM Cortex-A8 with gem5 and derives its
+ * power with McPAT (Section 5.6). Neither tool is available here, so
+ * the aggregator is modeled as a per-operation software cost table
+ * for an A8-class in-order core at 600 MHz with ~0.5 W active power,
+ * entering a low-power state between events. Fig. 13 only needs the
+ * relative software energy of back-end functional cells, which this
+ * preserves.
+ */
+
+#ifndef XPRO_PLATFORM_AGGREGATOR_HH
+#define XPRO_PLATFORM_AGGREGATOR_HH
+
+#include "common/units.hh"
+#include "hw/cell_model.hh"
+#include "platform/battery.hh"
+
+namespace xpro
+{
+
+/** Cost of executing one cell's workload in software. */
+struct SoftwareCosts
+{
+    Energy energy;
+    Time delay;
+    size_t cycles = 0;
+};
+
+/** An A8-class aggregator CPU. */
+class AggregatorCpu
+{
+  public:
+    /** Core clock (A8-class mobile SoC). */
+    static constexpr double clockHz = 600.0e6;
+
+    AggregatorCpu() = default;
+
+    /** CPU cycles to execute one instance of @p op in software. */
+    static size_t opCycles(AluOp op);
+
+    /** Energy per active CPU cycle (core + caches). */
+    static Energy energyPerCycle();
+
+    /** Execute a functional-cell workload in software. */
+    SoftwareCosts run(const CellWorkload &workload) const;
+};
+
+/** Aggregator platform: CPU plus its battery. */
+class Aggregator
+{
+  public:
+    /**
+     * @param battery Aggregator battery.
+     * @param idle_power Power drawn between events (low-power
+     *        states; the paper lets the aggregator sleep while the
+     *        sensor processes, so the default is a deep-sleep
+     *        residue).
+     */
+    explicit Aggregator(Battery battery = Battery::aggregatorBattery(),
+                        Power idle_power = Power::micros(5.0))
+        : _battery(battery), _idlePower(idle_power)
+    {}
+
+    const AggregatorCpu &cpu() const { return _cpu; }
+    const Battery &battery() const { return _battery; }
+
+    /**
+     * Battery lifetime if the aggregator only ran the given
+     * per-event workload (the paper's Fig. 13 overhead view; the
+     * CPU sleeps between events).
+     */
+    Time lifetime(Energy per_event, double events_per_second) const;
+
+    Power idlePower() const { return _idlePower; }
+
+  private:
+    AggregatorCpu _cpu;
+    Battery _battery;
+    Power _idlePower;
+};
+
+} // namespace xpro
+
+#endif // XPRO_PLATFORM_AGGREGATOR_HH

@@ -1,0 +1,66 @@
+#include "platform/battery.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+Battery::Battery(double capacity_mah, double voltage,
+                 double usable_fraction, double rate_derating)
+    : _capacityMah(capacity_mah),
+      _voltage(voltage),
+      _usableFraction(usable_fraction),
+      _rateDerating(rate_derating)
+{
+    xproAssert(capacity_mah > 0.0, "capacity must be positive");
+    xproAssert(voltage > 0.0, "voltage must be positive");
+    xproAssert(usable_fraction > 0.0 && usable_fraction <= 1.0,
+               "usable fraction %f out of (0,1]", usable_fraction);
+    xproAssert(rate_derating >= 0.0, "negative rate derating");
+}
+
+Battery
+Battery::sensorNodeBattery()
+{
+    return Battery(40.0, 3.7);
+}
+
+Battery
+Battery::aggregatorBattery()
+{
+    // iPhone 7 class: 2900 mAh at 3.5 V (paper Section 5.6).
+    return Battery(2900.0, 3.5);
+}
+
+Energy
+Battery::nominalEnergy() const
+{
+    // mAh -> coulombs is *3.6; times volts gives joules.
+    return Energy::joules(_capacityMah * 3.6 * _voltage);
+}
+
+double
+Battery::cRate(Power load) const
+{
+    const double one_c_watts = _capacityMah * 1e-3 * _voltage;
+    return load.w() / one_c_watts;
+}
+
+Energy
+Battery::usableEnergy(Power load) const
+{
+    const double derate = std::max(
+        0.1, _usableFraction - _rateDerating * cRate(load));
+    return nominalEnergy() * derate;
+}
+
+Time
+Battery::lifetime(Power load) const
+{
+    xproAssert(load.w() > 0.0, "lifetime under zero load is infinite");
+    return Time::seconds(usableEnergy(load).j() / load.w());
+}
+
+} // namespace xpro

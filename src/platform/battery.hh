@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Battery runtime model following the popular polymer Li-ion model
+ * of Chen and Rincon-Mora (paper Section 5.1, ref. [8]): nominal
+ * capacity, a usable-charge fraction, and a mild rate-dependent
+ * capacity derating so heavy loads get less total charge out of the
+ * cell than light loads.
+ */
+
+#ifndef XPRO_PLATFORM_BATTERY_HH
+#define XPRO_PLATFORM_BATTERY_HH
+
+#include "common/units.hh"
+
+namespace xpro
+{
+
+/** A battery with rate-dependent usable capacity. */
+class Battery
+{
+  public:
+    /**
+     * @param capacity_mah Nominal capacity.
+     * @param voltage Nominal terminal voltage.
+     * @param usable_fraction Charge extractable at a C/100 trickle.
+     * @param rate_derating Usable-capacity loss per unit of C-rate;
+     *        0.05 means a 1C load loses 5% of the trickle capacity.
+     */
+    Battery(double capacity_mah, double voltage,
+            double usable_fraction = 0.9, double rate_derating = 0.05);
+
+    /** The wearable sensor node's 40 mAh cell (paper Section 1). */
+    static Battery sensorNodeBattery();
+
+    /** The aggregator's iPhone-7-class cell (paper Section 5.6). */
+    static Battery aggregatorBattery();
+
+    double capacityMah() const { return _capacityMah; }
+    double voltage() const { return _voltage; }
+
+    /** Total stored energy at nominal voltage, before derating. */
+    Energy nominalEnergy() const;
+
+    /**
+     * Usable energy under a constant load, after the trickle
+     * fraction and rate derating.
+     */
+    Energy usableEnergy(Power load) const;
+
+    /** Runtime under a constant load. */
+    Time lifetime(Power load) const;
+
+  private:
+    /** Load current in multiples of the 1C current. */
+    double cRate(Power load) const;
+
+    double _capacityMah;
+    double _voltage;
+    double _usableFraction;
+    double _rateDerating;
+};
+
+} // namespace xpro
+
+#endif // XPRO_PLATFORM_BATTERY_HH

@@ -1,0 +1,25 @@
+#include "platform/sensor_node.hh"
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+Power
+SensorNode::averagePower(Energy per_event,
+                         double events_per_second) const
+{
+    xproAssert(events_per_second > 0.0,
+               "event rate must be positive");
+    return _config.sensingPower +
+           per_event.over(Time::seconds(1.0 / events_per_second));
+}
+
+Time
+SensorNode::lifetime(Energy per_event, double events_per_second) const
+{
+    return _config.battery.lifetime(
+        averagePower(per_event, events_per_second));
+}
+
+} // namespace xpro

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Wearable sensor node platform model: the 40 mAh battery, the
+ * always-on uW-class sensing/ADC front-end, and the process node the
+ * in-sensor analytic part is synthesized in. The paper's energy
+ * model (Eq. 1) is E = Ep + Ew + Es with Es reducible "to an
+ * extremely small level"; sensing is therefore modeled as a small
+ * constant power.
+ */
+
+#ifndef XPRO_PLATFORM_SENSOR_NODE_HH
+#define XPRO_PLATFORM_SENSOR_NODE_HH
+
+#include "common/units.hh"
+#include "hw/technology.hh"
+#include "platform/battery.hh"
+
+namespace xpro
+{
+
+/** Static configuration of a sensor node. */
+struct SensorNodeConfig
+{
+    Battery battery = Battery::sensorNodeBattery();
+    /** Constant power of the sensing/ADC front-end (Es). */
+    Power sensingPower = Power::micros(2.0);
+    /** Process node of the in-sensor analytic part. */
+    ProcessNode process = ProcessNode::Tsmc90;
+};
+
+/** A wearable sensor node. */
+class SensorNode
+{
+  public:
+    explicit SensorNode(const SensorNodeConfig &config = {})
+        : _config(config)
+    {}
+
+    const SensorNodeConfig &config() const { return _config; }
+
+    const Technology &
+    technology() const
+    {
+        return Technology::get(_config.process);
+    }
+
+    /** Average power given per-event analytics+radio energy. */
+    Power averagePower(Energy per_event, double events_per_second) const;
+
+    /** Battery lifetime given per-event energy and event rate. */
+    Time lifetime(Energy per_event, double events_per_second) const;
+
+  private:
+    SensorNodeConfig _config;
+};
+
+} // namespace xpro
+
+#endif // XPRO_PLATFORM_SENSOR_NODE_HH

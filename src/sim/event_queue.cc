@@ -1,0 +1,47 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+void
+EventQueue::schedule(Time at, Handler handler)
+{
+    xproAssert(at >= _now, "cannot schedule into the past");
+    _events.push({at, _nextSequence++, std::move(handler)});
+}
+
+void
+EventQueue::scheduleAfter(Time delay, Handler handler)
+{
+    schedule(_now + delay, std::move(handler));
+}
+
+bool
+EventQueue::runOne()
+{
+    if (_events.empty())
+        return false;
+    // Copy out before popping: the handler may schedule new events.
+    Event event = _events.top();
+    _events.pop();
+    _now = event.at;
+    event.handler();
+    return true;
+}
+
+void
+EventQueue::runAll(size_t max_events)
+{
+    size_t executed = 0;
+    while (runOne()) {
+        if (++executed > max_events)
+            panic("event cap %zu exceeded; simulated system loops",
+                  max_events);
+    }
+}
+
+} // namespace xpro

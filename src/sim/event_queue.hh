@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel: a time-ordered queue of
+ * callbacks. Used by the cross-end system simulator to execute the
+ * data-driven cell schedule and the serialized radio channel.
+ */
+
+#ifndef XPRO_SIM_EVENT_QUEUE_HH
+#define XPRO_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace xpro
+{
+
+/** A time-ordered event queue. */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Current simulation time. */
+    Time now() const { return _now; }
+
+    /** Schedule @p handler at absolute time @p at (>= now). */
+    void schedule(Time at, Handler handler);
+
+    /** Schedule @p handler @p delay after the current time. */
+    void scheduleAfter(Time delay, Handler handler);
+
+    /** Events currently pending. */
+    size_t pending() const { return _events.size(); }
+
+    /**
+     * Pop and run the earliest event.
+     * @return False when the queue is empty.
+     */
+    bool runOne();
+
+    /**
+     * Run until the queue drains.
+     * @param max_events Safety cap; exceeding it panics (an event
+     *        loop in the simulated system).
+     */
+    void runAll(size_t max_events = 1000000);
+
+  private:
+    struct Event
+    {
+        Time at;
+        uint64_t sequence; // FIFO tie-break for simultaneous events
+        Handler handler;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.at.sec() != b.at.sec())
+                return a.at > b.at;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    Time _now;
+    uint64_t _nextSequence = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> _events;
+};
+
+} // namespace xpro
+
+#endif // XPRO_SIM_EVENT_QUEUE_HH

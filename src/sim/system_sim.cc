@@ -1,0 +1,288 @@
+#include "sim/system_sim.hh"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+
+#include "common/logging.hh"
+#include "core/transfers.hh"
+#include "sim/event_queue.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/** Shared half-duplex radio: serializes transfer requests FIFO. */
+class Radio
+{
+  public:
+    Radio(EventQueue &queue, SimResult &result)
+        : _queue(queue), _result(result)
+    {}
+
+    /**
+     * Request a transfer of @p cost; @p on_delivered fires when the
+     * payload lands on the other end.
+     */
+    void
+    request(const TransferCost &cost, EventQueue::Handler on_delivered,
+            const std::string &what)
+    {
+        _backlog.push_back({cost, std::move(on_delivered), what});
+        if (!_busy)
+            startNext();
+    }
+
+  private:
+    struct Pending
+    {
+        TransferCost cost;
+        EventQueue::Handler onDelivered;
+        std::string what;
+    };
+
+    void
+    startNext()
+    {
+        if (_backlog.empty()) {
+            _busy = false;
+            return;
+        }
+        _busy = true;
+        Pending job = std::move(_backlog.front());
+        _backlog.erase(_backlog.begin());
+        _result.trace.push_back(
+            {_queue.now(), "radio start: " + job.what});
+        _result.radioBusy += job.cost.airTime;
+        ++_result.transfers;
+        _queue.scheduleAfter(
+            job.cost.airTime,
+            [this, job = std::move(job)]() mutable {
+                _result.trace.push_back(
+                    {_queue.now(), "radio done: " + job.what});
+                job.onDelivered();
+                startNext();
+            });
+    }
+
+    EventQueue &_queue;
+    SimResult &_result;
+    bool _busy = false;
+    std::vector<Pending> _backlog;
+};
+
+/**
+ * Simulates a sequence of independent events through one placed
+ * engine sharing a single radio. Per-event dataflow state is kept
+ * per instance so consecutive segments may overlap in time.
+ */
+class SystemSimulator
+{
+  public:
+    SystemSimulator(const EngineTopology &topology,
+                    const Placement &placement,
+                    const WirelessLink &link, size_t events)
+        : _topology(topology),
+          _placement(placement),
+          _link(link),
+          _groups(broadcastGroups(topology)),
+          _radio(_queue, _result),
+          _instances(events)
+    {
+        const DataflowGraph &graph = topology.graph;
+        for (Instance &instance : _instances) {
+            instance.inputsPending.assign(graph.nodeCount(), 0);
+            for (size_t v = 1; v < graph.nodeCount(); ++v) {
+                instance.inputsPending[v] =
+                    graph.predecessors(v).size();
+            }
+            instance.done.assign(graph.nodeCount(), false);
+        }
+    }
+
+    /** Inject event @p k's raw segment at time @p at. */
+    void
+    inject(size_t k, Time at)
+    {
+        _queue.schedule(at, [this, k]() {
+            completeNode(k, DataflowGraph::sourceId);
+        });
+    }
+
+    /** Run to completion and harvest results. */
+    SimResult
+    run()
+    {
+        _queue.runAll();
+        for (size_t k = 0; k < _instances.size(); ++k) {
+            const Instance &instance = _instances[k];
+            xproAssert(instance.resultAt.has_value(),
+                       "event %zu never completed", k);
+            for (size_t v = 1; v < _topology.graph.nodeCount(); ++v) {
+                xproAssert(instance.done[v],
+                           "cell '%s' never executed for event %zu",
+                           _topology.graph.node(v).name.c_str(), k);
+            }
+        }
+        _result.completion = *_instances.back().resultAt;
+        return _result;
+    }
+
+    /** Completion time of event @p k. */
+    Time
+    completionOf(size_t k) const
+    {
+        return *_instances[k].resultAt;
+    }
+
+  private:
+    struct Instance
+    {
+        std::vector<size_t> inputsPending;
+        std::vector<bool> done;
+        std::optional<Time> resultAt;
+        Time injectedAt;
+    };
+
+    void
+    deliverTo(size_t k, size_t v)
+    {
+        Instance &instance = _instances[k];
+        xproAssert(instance.inputsPending[v] > 0,
+                   "duplicate delivery to '%s'",
+                   _topology.graph.node(v).name.c_str());
+        if (--instance.inputsPending[v] == 0)
+            completeNode(k, v);
+    }
+
+    void
+    completeNode(size_t k, size_t u)
+    {
+        const DataflowGraph &graph = _topology.graph;
+        Time exec;
+        if (u != DataflowGraph::sourceId) {
+            const CellCosts &costs = graph.node(u).costs;
+            if (_placement.inSensor(u)) {
+                exec = costs.sensorDelay;
+                _result.sensorEnergy.compute += costs.sensorEnergy;
+            } else {
+                exec = costs.aggregatorDelay;
+            }
+        } else {
+            _instances[k].injectedAt = _queue.now();
+        }
+        _queue.scheduleAfter(exec, [this, k, u]() {
+            finishNode(k, u);
+        });
+    }
+
+    void
+    finishNode(size_t k, size_t u)
+    {
+        const DataflowGraph &graph = _topology.graph;
+        Instance &instance = _instances[k];
+        instance.done[u] = true;
+        _result.trace.push_back(
+            {_queue.now(), "done " + graph.node(u).name + " #" +
+                               std::to_string(k)});
+
+        if (u == _topology.fusionNode) {
+            if (_placement.inSensor(u)) {
+                const TransferCost cost =
+                    _link.transfer(EngineTopology::resultBits);
+                _result.sensorEnergy.tx += cost.txEnergy;
+                _radio.request(
+                    cost,
+                    [this, k]() {
+                        _instances[k].resultAt = _queue.now();
+                    },
+                    "result #" + std::to_string(k));
+            } else {
+                instance.resultAt = _queue.now();
+            }
+        }
+
+        for (const BroadcastGroup &group : _groups) {
+            if (group.producer != u)
+                continue;
+            std::vector<size_t> other_end;
+            for (size_t v : group.consumers) {
+                if (_placement.inSensor(v) == _placement.inSensor(u))
+                    deliverTo(k, v);
+                else
+                    other_end.push_back(v);
+            }
+            if (!other_end.empty()) {
+                const TransferCost cost = _link.transfer(group.bits);
+                if (_placement.inSensor(u))
+                    _result.sensorEnergy.tx += cost.txEnergy;
+                else
+                    _result.sensorEnergy.rx += cost.rxEnergy;
+                _radio.request(
+                    cost,
+                    [this, k, other_end]() {
+                        for (size_t v : other_end)
+                            deliverTo(k, v);
+                    },
+                    graph.node(u).name + " payload #" +
+                        std::to_string(k));
+            }
+        }
+    }
+
+    const EngineTopology &_topology;
+    const Placement &_placement;
+    const WirelessLink &_link;
+    std::vector<BroadcastGroup> _groups;
+    EventQueue _queue;
+    SimResult _result;
+    Radio _radio;
+    std::vector<Instance> _instances;
+};
+
+} // namespace
+
+SimResult
+simulateEvent(const EngineTopology &topology,
+              const Placement &placement, const WirelessLink &link)
+{
+    SystemSimulator simulator(topology, placement, link, 1);
+    simulator.inject(0, Time());
+    return simulator.run();
+}
+
+StreamResult
+simulateStream(const EngineTopology &topology,
+               const Placement &placement, const WirelessLink &link,
+               double events_per_second, size_t events)
+{
+    xproAssert(events_per_second > 0.0, "event rate must be positive");
+    xproAssert(events > 0, "need at least one event");
+
+    SystemSimulator simulator(topology, placement, link, events);
+    const Time period = Time::seconds(1.0 / events_per_second);
+    for (size_t k = 0; k < events; ++k)
+        simulator.inject(k, period * static_cast<double>(k));
+    simulator.run();
+
+    StreamResult result;
+    result.events = events;
+    Time latency_sum;
+    for (size_t k = 0; k < events; ++k) {
+        const Time latency = simulator.completionOf(k) -
+                             period * static_cast<double>(k);
+        latency_sum += latency;
+        result.worstLatency = std::max(result.worstLatency, latency);
+        // Real-time requirement: done before the next segment has
+        // been fully acquired.
+        if (latency > period)
+            ++result.deadlineMisses;
+    }
+    result.meanLatency =
+        Time::seconds(latency_sum.sec() / static_cast<double>(events));
+    return result;
+}
+
+} // namespace xpro

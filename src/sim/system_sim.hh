@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Event-driven cross-end system simulator.
+ *
+ * Where the analytic models (core/energy_model, core/delay_model)
+ * compute closed-form per-event costs, this simulator actually
+ * executes one event through the placed engine: cells fire
+ * data-driven as their inputs land on their end, and every inter-end
+ * payload is serialized over a single half-duplex radio channel
+ * (first come, first served). Energies must agree exactly with the
+ * analytic model; the completion time is lower-bounded by the
+ * analytic critical path and exceeds it exactly when transfers
+ * contend for the radio -- both are tested invariants, and the gap
+ * is reported so the bench for Fig. 10 can show radio contention is
+ * negligible for these workloads.
+ */
+
+#ifndef XPRO_SIM_SYSTEM_SIM_HH
+#define XPRO_SIM_SYSTEM_SIM_HH
+
+#include <string>
+#include <vector>
+
+#include "core/energy_model.hh"
+#include "core/placement.hh"
+#include "core/topology.hh"
+#include "wireless/link.hh"
+
+namespace xpro
+{
+
+/** One timestamped trace record. */
+struct TraceEntry
+{
+    Time at;
+    std::string what;
+};
+
+/** Outcome of simulating one event. */
+struct SimResult
+{
+    /** Time the classification result reaches the aggregator. */
+    Time completion;
+    /** Sensor energy accumulated by the simulation. */
+    SensorEnergyBreakdown sensorEnergy;
+    /** Number of radio transfers performed. */
+    size_t transfers = 0;
+    /** Total radio occupancy. */
+    Time radioBusy;
+    /** Chronological activity trace. */
+    std::vector<TraceEntry> trace;
+};
+
+/** Simulate one event end to end. */
+SimResult simulateEvent(const EngineTopology &topology,
+                        const Placement &placement,
+                        const WirelessLink &link);
+
+/** Outcome of simulating a periodic stream of events. */
+struct StreamResult
+{
+    size_t events = 0;
+    /** Events whose result missed the next segment boundary. */
+    size_t deadlineMisses = 0;
+    /** Worst observed completion latency. */
+    Time worstLatency;
+    /** Mean completion latency. */
+    Time meanLatency;
+};
+
+/**
+ * Simulate @p events consecutive segments arriving every
+ * 1/events_per_second; each event must complete before the next
+ * segment is fully acquired to count as real-time.
+ */
+StreamResult simulateStream(const EngineTopology &topology,
+                            const Placement &placement,
+                            const WirelessLink &link,
+                            double events_per_second, size_t events);
+
+} // namespace xpro
+
+#endif // XPRO_SIM_SYSTEM_SIM_HH

@@ -1,0 +1,141 @@
+#include "sim/trace_export.hh"
+
+#include <fstream>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/** Track ids in the exported trace. */
+constexpr int tidSensor = 0;
+constexpr int tidRadio = 1;
+constexpr int tidAggregator = 2;
+
+/** Escape a string for a JSON literal. */
+std::string
+jsonEscape(const std::string &value)
+{
+    std::string out;
+    for (char c : value) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** One complete ("X") trace event. */
+struct TraceEvent
+{
+    std::string name;
+    double startUs;
+    double durationUs;
+    int tid;
+};
+
+/** Find the topology node whose name matches @p name. */
+std::optional<size_t>
+findNodeByName(const EngineTopology &topology, const std::string &name)
+{
+    for (size_t id = 1; id < topology.graph.nodeCount(); ++id) {
+        if (topology.graph.node(id).name == name)
+            return id;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const SimResult &result,
+                 const EngineTopology &topology,
+                 const Placement &placement, std::ostream &out)
+{
+    std::vector<TraceEvent> events;
+    // Radio transfers: pair "radio start: X" with the next
+    // "radio done: X" (the channel is FIFO, so order pairs them).
+    std::vector<std::pair<std::string, double>> radio_starts;
+
+    for (const TraceEntry &entry : result.trace) {
+        const double at_us = entry.at.us();
+        if (entry.what.rfind("radio start: ", 0) == 0) {
+            radio_starts.emplace_back(entry.what.substr(13), at_us);
+            continue;
+        }
+        if (entry.what.rfind("radio done: ", 0) == 0) {
+            const std::string what = entry.what.substr(12);
+            xproAssert(!radio_starts.empty() &&
+                           radio_starts.front().first == what,
+                       "unpaired radio completion '%s'",
+                       what.c_str());
+            events.push_back({what, radio_starts.front().second,
+                              at_us - radio_starts.front().second,
+                              tidRadio});
+            radio_starts.erase(radio_starts.begin());
+            continue;
+        }
+        if (entry.what.rfind("done ", 0) == 0) {
+            // "done <name> #<k>" or "done <name>".
+            std::string name = entry.what.substr(5);
+            const size_t hash = name.rfind(" #");
+            if (hash != std::string::npos)
+                name = name.substr(0, hash);
+            const auto node = findNodeByName(topology, name);
+            if (!node)
+                continue; // the source node or foreign entries
+            const CellCosts &costs =
+                topology.graph.node(*node).costs;
+            const bool sensor = placement.inSensor(*node);
+            const double duration = sensor
+                                        ? costs.sensorDelay.us()
+                                        : costs.aggregatorDelay.us();
+            events.push_back({entry.what.substr(5),
+                              at_us - duration, duration,
+                              sensor ? tidSensor : tidAggregator});
+        }
+    }
+
+    out << "[\n";
+    // Track-name metadata.
+    const std::pair<int, const char *> tracks[] = {
+        {tidSensor, "sensor node"},
+        {tidRadio, "wireless channel"},
+        {tidAggregator, "aggregator"},
+    };
+    for (const auto &[tid, name] : tracks) {
+        out << "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+            << "\"tid\":" << tid << ",\"args\":{\"name\":\"" << name
+            << "\"}},\n";
+    }
+    for (size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &e = events[i];
+        out << "  {\"name\":\"" << jsonEscape(e.name)
+            << "\",\"ph\":\"X\",\"ts\":" << e.startUs
+            << ",\"dur\":" << e.durationUs
+            << ",\"pid\":0,\"tid\":" << e.tid << "}"
+            << (i + 1 < events.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+}
+
+void
+writeChromeTraceFile(const SimResult &result,
+                     const EngineTopology &topology,
+                     const Placement &placement,
+                     const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeChromeTrace(result, topology, placement, out);
+    if (!out)
+        fatal("write to '%s' failed", path.c_str());
+}
+
+} // namespace xpro

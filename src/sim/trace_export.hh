@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Export a system-simulation trace as Chrome trace-event JSON
+ * (load it at chrome://tracing or https://ui.perfetto.dev) so a
+ * cross-end schedule — cells firing on both ends, payloads
+ * serializing over the radio — can be inspected visually.
+ */
+
+#ifndef XPRO_SIM_TRACE_EXPORT_HH
+#define XPRO_SIM_TRACE_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "sim/system_sim.hh"
+
+namespace xpro
+{
+
+/**
+ * Write @p result's trace as a Chrome trace-event JSON array.
+ *
+ * "start X"/"done X" pairs become duration events on the sensor or
+ * aggregator track; "radio start"/"radio done" pairs land on the
+ * radio track. Unpaired entries become instant events.
+ *
+ * @param result Simulation result with a populated trace.
+ * @param topology Topology the simulation ran on (for placement).
+ * @param placement Placement used (selects the track per cell).
+ * @param out Destination stream.
+ */
+void writeChromeTrace(const SimResult &result,
+                      const EngineTopology &topology,
+                      const Placement &placement, std::ostream &out);
+
+/** Convenience: write to a file path; fatal on I/O failure. */
+void writeChromeTraceFile(const SimResult &result,
+                          const EngineTopology &topology,
+                          const Placement &placement,
+                          const std::string &path);
+
+} // namespace xpro
+
+#endif // XPRO_SIM_TRACE_EXPORT_HH

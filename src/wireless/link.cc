@@ -1,0 +1,57 @@
+#include "wireless/link.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+double
+ChannelModel::expectedTransmissions(size_t bits) const
+{
+    xproAssert(bitErrorRate >= 0.0 && bitErrorRate < 1.0,
+               "bit error rate %f out of [0,1)", bitErrorRate);
+    if (bitErrorRate == 0.0)
+        return 1.0;
+    const double success =
+        std::pow(1.0 - bitErrorRate, static_cast<double>(bits));
+    xproAssert(success > 1e-12,
+               "packet of %zu bits is practically undeliverable at "
+               "BER %f",
+               bits, bitErrorRate);
+    return 1.0 / success;
+}
+
+TransferCost
+WirelessLink::transfer(size_t payload_bits) const
+{
+    xproAssert(payload_bits > 0, "empty transfer");
+    TransferCost cost;
+    cost.bits = payload_bits + packetHeaderBits;
+    cost.attempts = _channel.expectedTransmissions(cost.bits);
+
+    if (_channel.bitErrorRate == 0.0) {
+        // Ideal channel: no ACK traffic, exactly the paper's model.
+        cost.txEnergy = _radio.txEnergy(cost.bits);
+        cost.rxEnergy = _radio.rxEnergy(cost.bits);
+        cost.airTime = _radio.airTime(cost.bits);
+        return cost;
+    }
+
+    // Per attempt: the sender transmits the packet and receives the
+    // ACK; the receiver mirrors this. Expected totals scale with the
+    // attempt count.
+    const double ack =
+        static_cast<double>(_channel.ackBits + packetHeaderBits);
+    const double data = static_cast<double>(cost.bits);
+    cost.txEnergy = (_radio.txPerBit * data + _radio.rxPerBit * ack) *
+                    cost.attempts;
+    cost.rxEnergy = (_radio.rxPerBit * data + _radio.txPerBit * ack) *
+                    cost.attempts;
+    cost.airTime = Time::seconds((data + ack) / _radio.dataRateBps *
+                                 cost.attempts);
+    return cost;
+}
+
+} // namespace xpro

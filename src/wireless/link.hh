@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Inter-end wireless link: packetization and per-transfer energy and
+ * delay. The paper's transceiver simulator "employs a common
+ * communication protocol and considers an 8-bit header in each
+ * payload" (Section 4.2); each functional-cell output crossing the
+ * ends is one payload.
+ *
+ * The link optionally models a lossy channel (paper Section 5.7:
+ * "more detailed wireless communication models can be used"): with
+ * an independent per-bit error rate p under stop-and-wait ARQ, an
+ * n-bit packet needs 1/(1-p)^n transmissions in expectation, plus an
+ * acknowledgement per attempt. Costs are expectations, so the
+ * generator's min-cut stays exact in expectation; a zero error rate
+ * reproduces the ideal channel bit for bit.
+ */
+
+#ifndef XPRO_WIRELESS_LINK_HH
+#define XPRO_WIRELESS_LINK_HH
+
+#include "common/units.hh"
+#include "wireless/transceiver.hh"
+
+namespace xpro
+{
+
+/** Bits of protocol header prepended to each payload. */
+constexpr size_t packetHeaderBits = 8;
+
+/** Channel reliability parameters. */
+struct ChannelModel
+{
+    /** Independent per-bit error probability (0 = ideal channel). */
+    double bitErrorRate = 0.0;
+    /** Acknowledgement packet length in bits. */
+    size_t ackBits = 8;
+
+    /** Expected transmissions for an n-bit packet under ARQ. */
+    double expectedTransmissions(size_t bits) const;
+};
+
+/** Energy/latency cost of one payload transfer over the link. */
+struct TransferCost
+{
+    /** Bits of one transmission attempt including the header. */
+    size_t bits = 0;
+    /** Expected energy drawn from the transmitting end's battery. */
+    Energy txEnergy;
+    /** Expected energy drawn from the receiving end's battery. */
+    Energy rxEnergy;
+    /** Expected link occupancy (serialization + ACKs). */
+    Time airTime;
+    /** Expected number of transmission attempts. */
+    double attempts = 1.0;
+};
+
+/** A point-to-point link bound to one transceiver model. */
+class WirelessLink
+{
+  public:
+    explicit WirelessLink(const Transceiver &radio,
+                          const ChannelModel &channel = {})
+        : _radio(radio), _channel(channel)
+    {}
+
+    /** Expected cost of delivering @p payload_bits once. */
+    TransferCost transfer(size_t payload_bits) const;
+
+    const Transceiver &radio() const { return _radio; }
+    const ChannelModel &channel() const { return _channel; }
+
+  private:
+    Transceiver _radio;
+    ChannelModel _channel;
+};
+
+} // namespace xpro
+
+#endif // XPRO_WIRELESS_LINK_HH

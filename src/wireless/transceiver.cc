@@ -1,0 +1,32 @@
+#include "wireless/transceiver.hh"
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+const Transceiver &
+transceiver(WirelessModel model)
+{
+    // Function-local so lookups from other translation units'
+    // static initializers are safe (initialized on first use).
+    static const std::array<Transceiver, 3> models = {{
+        {"Model 1 (2.9/3.3 nJ/bit)", Energy::nanos(2.9),
+         Energy::nanos(3.3), 2.0e6},
+        {"Model 2 (1.53/1.71 nJ/bit)", Energy::nanos(1.53),
+         Energy::nanos(1.71), 2.0e6},
+        {"Model 3 (0.42/0.295 nJ/bit)", Energy::nanos(0.42),
+         Energy::nanos(0.295), 2.0e6},
+    }};
+    const size_t idx = static_cast<size_t>(model);
+    xproAssert(idx < models.size(), "unknown wireless model %zu", idx);
+    return models[idx];
+}
+
+const std::string &
+wirelessModelName(WirelessModel model)
+{
+    return transceiver(model).name;
+}
+
+} // namespace xpro

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the time-stepping battery discharge simulator and the
+ * Chrome trace exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/partitioner.hh"
+#include "platform/battery_sim.hh"
+#include "sim/trace_export.hh"
+#include "topology_fixtures.hh"
+
+namespace
+{
+
+using namespace xpro;
+using xpro::test::chainTopology;
+
+TEST(BatterySimTest, ConstantLoadMatchesClosedForm)
+{
+    const Battery battery = Battery::sensorNodeBattery();
+    const BatterySimulator sim(battery, Time::seconds(10.0));
+    const Power load = Power::micros(25.0);
+    const Time closed_form = battery.lifetime(load);
+    const Time simulated =
+        sim.lifetime({{load, Time::hours(1.0)}});
+    EXPECT_NEAR(simulated.hr() / closed_form.hr(), 1.0, 0.01);
+}
+
+TEST(BatterySimTest, FinishedProfileReportsRemainingEnergy)
+{
+    const Battery battery = Battery::sensorNodeBattery();
+    const BatterySimulator sim(battery);
+    const DischargeResult result = sim.run(
+        {{Power::micros(20.0), Time::hours(24.0)}});
+    EXPECT_FALSE(result.depleted);
+    EXPECT_GT(result.remaining.j(), 0.0);
+    EXPECT_GT(result.depthOfDischarge, 0.0);
+    EXPECT_LT(result.depthOfDischarge, 0.01);
+}
+
+TEST(BatterySimTest, HeavyLoadDepletesMidProfile)
+{
+    const Battery battery(1.0, 3.7); // tiny 1 mAh cell
+    const BatterySimulator sim(battery, Time::seconds(1.0));
+    const DischargeResult result = sim.run(
+        {{Power::millis(100.0), Time::hours(1.0)}});
+    EXPECT_TRUE(result.depleted);
+    EXPECT_GT(result.diedAt.sec(), 0.0);
+    EXPECT_LT(result.diedAt.hr(), 1.0);
+    EXPECT_DOUBLE_EQ(result.remaining.j(), 0.0);
+}
+
+TEST(BatterySimTest, DutyCycledProfileOutlivesContinuous)
+{
+    const Battery battery = Battery::sensorNodeBattery();
+    const BatterySimulator sim(battery, Time::seconds(30.0));
+    const Power active = Power::micros(100.0);
+    const Power sleep = Power::micros(2.0);
+    const Time continuous = sim.lifetime({{active, Time::hours(1.0)}});
+    const Time duty_cycled = sim.lifetime({
+        {active, Time::hours(1.0)},
+        {sleep, Time::hours(3.0)},
+    });
+    EXPECT_GT(duty_cycled, continuous);
+    // ~4x less average energy -> roughly 4x the life (modulo
+    // rate derating, which favours the duty-cycled profile).
+    EXPECT_GT(duty_cycled / continuous, 3.5);
+}
+
+TEST(BatterySimTest, ZeroLoadProfileIsFatal)
+{
+    const BatterySimulator sim(Battery::sensorNodeBattery());
+    EXPECT_THROW(sim.lifetime({{Power(), Time::hours(1.0)}}),
+                 FatalError);
+}
+
+TEST(BatterySimTest, InvalidInputsPanic)
+{
+    const BatterySimulator sim(Battery::sensorNodeBattery());
+    EXPECT_THROW(sim.run({}), PanicError);
+    EXPECT_THROW(sim.run({{Power::micros(1.0), Time()}}),
+                 PanicError);
+    EXPECT_THROW(BatterySimulator(Battery::sensorNodeBattery(),
+                                  Time()),
+                 PanicError);
+}
+
+TEST(TraceExportTest, ProducesValidLookingJson)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const WirelessLink link(transceiver(WirelessModel::Model2));
+    const Placement placement =
+        Placement::fromMask(topo, {true, true, false, false});
+    const SimResult sim = simulateEvent(topo, placement, link);
+
+    std::ostringstream out;
+    writeChromeTrace(sim, topo, placement, out);
+    const std::string json = out.str();
+
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("wireless channel"), std::string::npos);
+    EXPECT_NE(json.find("sensor node"), std::string::npos);
+    // The chain's cells appear as duration events.
+    EXPECT_NE(json.find("feature"), std::string::npos);
+    EXPECT_NE(json.find("svm"), std::string::npos);
+    // Balanced brackets at the ends.
+    EXPECT_EQ(json.back(), '\n');
+    EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(TraceExportTest, RadioEventsMatchTransferCount)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const WirelessLink link(transceiver(WirelessModel::Model2));
+    const Placement placement =
+        Placement::fromMask(topo, {true, true, false, false});
+    const SimResult sim = simulateEvent(topo, placement, link);
+
+    std::ostringstream out;
+    writeChromeTrace(sim, topo, placement, out);
+    const std::string json = out.str();
+    size_t radio_events = 0;
+    size_t pos = 0;
+    while ((pos = json.find("\"tid\":1}", pos)) != std::string::npos) {
+        ++radio_events;
+        pos += 1;
+    }
+    EXPECT_EQ(radio_events, sim.transfers);
+}
+
+TEST(TraceExportTest, FileWriterRoundTrips)
+{
+    const EngineTopology topo = chainTopology(10, 10, 10, 256);
+    const WirelessLink link(transceiver(WirelessModel::Model2));
+    const Placement placement = Placement::allInSensor(topo);
+    const SimResult sim = simulateEvent(topo, placement, link);
+    const std::string path = "/tmp/xpro_trace_test.json";
+    writeChromeTraceFile(sim, topo, placement, path);
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good());
+    std::remove(path.c_str());
+    EXPECT_THROW(writeChromeTraceFile(sim, topo, placement,
+                                      "/nonexistent-dir/t.json"),
+                 FatalError);
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the component op-count library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hw/cell_library.hh"
+
+namespace
+{
+
+using namespace xpro;
+
+TEST(CellLibraryTest, MaxMinAreCompareOnly)
+{
+    for (FeatureKind kind : {FeatureKind::Max, FeatureKind::Min}) {
+        const CellWorkload w = featureCellWorkload(kind, 128);
+        EXPECT_EQ(w.count(AluOp::Cmp), 127u);
+        EXPECT_EQ(w.count(AluOp::Mul), 0u);
+        EXPECT_EQ(w.count(AluOp::Div), 0u);
+        EXPECT_EQ(w.count(AluOp::Buf), 128u);
+    }
+}
+
+TEST(CellLibraryTest, MeanIsAddDominated)
+{
+    const CellWorkload w = featureCellWorkload(FeatureKind::Mean, 100);
+    EXPECT_GE(w.count(AluOp::Add), 100u);
+    EXPECT_EQ(w.count(AluOp::Mul), 0u);
+}
+
+TEST(CellLibraryTest, VarHasOneMultiplyPerSample)
+{
+    const CellWorkload w = featureCellWorkload(FeatureKind::Var, 128);
+    EXPECT_EQ(w.count(AluOp::Mul), 128u);
+    EXPECT_EQ(w.count(AluOp::Sqrt), 0u);
+}
+
+TEST(CellLibraryTest, StdIsVarPlusSqrt)
+{
+    const CellWorkload var = featureCellWorkload(FeatureKind::Var, 128);
+    const CellWorkload std_full =
+        featureCellWorkload(FeatureKind::Std, 128);
+    EXPECT_EQ(std_full.count(AluOp::Sqrt), 1u);
+    EXPECT_EQ(std_full.count(AluOp::Mul), var.count(AluOp::Mul));
+    EXPECT_EQ(std_full.count(AluOp::Add), var.count(AluOp::Add));
+}
+
+TEST(CellLibraryTest, StdFromVarIsSqrtOnly)
+{
+    // Paper Fig. 5: the Std cell reuses the Var cell and adds only a
+    // square root.
+    const CellWorkload w = stdFromVarWorkload();
+    EXPECT_EQ(w.count(AluOp::Sqrt), 1u);
+    EXPECT_EQ(w.count(AluOp::Mul), 0u);
+    EXPECT_EQ(w.count(AluOp::Add), 0u);
+    EXPECT_EQ(w.datapathOps(), 1u);
+}
+
+TEST(CellLibraryTest, SkewKurtUseDividePerSample)
+{
+    for (FeatureKind kind : {FeatureKind::Skew, FeatureKind::Kurt}) {
+        const CellWorkload w = featureCellWorkload(kind, 64);
+        EXPECT_EQ(w.count(AluOp::Div), 67u) << featureName(kind);
+        EXPECT_EQ(w.count(AluOp::Sqrt), 1u) << featureName(kind);
+    }
+    // Skew's z^3 and Kurt's (z^2)^2 both take two multiplies per
+    // sample on top of the variance pass (the executable cell
+    // simulator confirms the counts are equal).
+    EXPECT_EQ(featureCellWorkload(FeatureKind::Kurt, 64)
+                  .count(AluOp::Mul),
+              featureCellWorkload(FeatureKind::Skew, 64)
+                  .count(AluOp::Mul));
+}
+
+TEST(CellLibraryTest, DwtWorkloadScalesWithLengthAndTaps)
+{
+    const CellWorkload db4 = dwtLevelWorkload(128, 4);
+    EXPECT_EQ(db4.count(AluOp::Mul), 4u * 128u);
+    EXPECT_EQ(db4.count(AluOp::Add), 3u * 128u);
+    const CellWorkload haar = dwtLevelWorkload(128, 2);
+    EXPECT_LT(haar.count(AluOp::Mul), db4.count(AluOp::Mul));
+    const CellWorkload short_level = dwtLevelWorkload(16, 4);
+    EXPECT_EQ(short_level.count(AluOp::Mul), 4u * 16u);
+}
+
+TEST(CellLibraryTest, DwtStreamsInPipelineMode)
+{
+    const CellWorkload w = dwtLevelWorkload(128, 4);
+    EXPECT_LT(w.pipelineBufferScale, 0.5);
+    // Feature reductions have no streaming buffer advantage.
+    EXPECT_DOUBLE_EQ(featureCellWorkload(FeatureKind::Var, 128)
+                         .pipelineBufferScale,
+                     1.0);
+}
+
+TEST(CellLibraryTest, SvmWorkloadScalesWithSupportVectors)
+{
+    const CellWorkload small = svmCellWorkload(12, 10);
+    const CellWorkload large = svmCellWorkload(12, 40);
+    EXPECT_EQ(small.count(AluOp::Exp), 10u);
+    EXPECT_EQ(large.count(AluOp::Exp), 40u);
+    EXPECT_EQ(large.count(AluOp::Mul), 13u * 40u);
+    EXPECT_GT(large.count(AluOp::Add), small.count(AluOp::Add));
+}
+
+TEST(CellLibraryTest, FusionIsTiny)
+{
+    const CellWorkload w = fusionCellWorkload(10);
+    EXPECT_EQ(w.count(AluOp::Mul), 10u);
+    EXPECT_EQ(w.count(AluOp::Cmp), 1u);
+    EXPECT_LT(w.datapathOps(), 30u);
+}
+
+TEST(CellLibraryTest, InvalidParametersPanic)
+{
+    EXPECT_THROW(featureCellWorkload(FeatureKind::Var, 1), PanicError);
+    EXPECT_THROW(dwtLevelWorkload(3, 4), PanicError);
+    EXPECT_THROW(svmCellWorkload(0, 10), PanicError);
+    EXPECT_THROW(svmCellWorkload(12, 0), PanicError);
+    EXPECT_THROW(fusionCellWorkload(0), PanicError);
+}
+
+TEST(CellLibraryTest, ComponentNamesUnique)
+{
+    std::set<std::string> names;
+    for (ComponentKind kind : allComponentKinds)
+        names.insert(componentName(kind));
+    EXPECT_EQ(names.size(), allComponentKinds.size());
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the functional-cell mode cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hw/cell_library.hh"
+#include "hw/cell_model.hh"
+
+namespace
+{
+
+using namespace xpro;
+
+const Technology &tech90 = Technology::get(ProcessNode::Tsmc90);
+
+CellWorkload
+addOnlyWorkload(size_t n)
+{
+    CellWorkload w;
+    w.count(AluOp::Add) = n;
+    w.count(AluOp::Buf) = n;
+    w.pipelineStream = n;
+    return w;
+}
+
+TEST(CellModelTest, DatapathOpsExcludesBuffer)
+{
+    CellWorkload w;
+    w.count(AluOp::Add) = 10;
+    w.count(AluOp::Mul) = 5;
+    w.count(AluOp::Buf) = 100;
+    EXPECT_EQ(w.datapathOps(), 15u);
+}
+
+TEST(CellModelTest, WorkloadComposition)
+{
+    CellWorkload a;
+    a.count(AluOp::Add) = 3;
+    a.pipelineStream = 3;
+    a.pipelineBufferScale = 0.2;
+    CellWorkload b;
+    b.count(AluOp::Add) = 2;
+    b.count(AluOp::Sqrt) = 1;
+    b.pipelineStream = 2;
+    a += b;
+    EXPECT_EQ(a.count(AluOp::Add), 5u);
+    EXPECT_EQ(a.count(AluOp::Sqrt), 1u);
+    EXPECT_EQ(a.pipelineStream, 5u);
+    // Composition keeps the weaker streaming benefit.
+    EXPECT_DOUBLE_EQ(a.pipelineBufferScale, 1.0);
+}
+
+TEST(CellModelTest, SerialCyclesMatchOpLatencies)
+{
+    CellWorkload w;
+    w.count(AluOp::Add) = 10; // 1 cycle each
+    w.count(AluOp::Mul) = 5;  // 2 cycles each
+    w.count(AluOp::Div) = 1;  // 16 cycles
+    const ModeCosts costs =
+        evaluateCellMode(w, AluMode::Serial, tech90);
+    EXPECT_EQ(costs.cycles, 10u + 10u + 16u);
+    EXPECT_DOUBLE_EQ(costs.delay.us(),
+                     static_cast<double>(costs.cycles) / 16.0);
+}
+
+TEST(CellModelTest, EnergyScalesWithWork)
+{
+    const ModeCosts small =
+        evaluateCellMode(addOnlyWorkload(64), AluMode::Serial, tech90);
+    const ModeCosts large =
+        evaluateCellMode(addOnlyWorkload(256), AluMode::Serial,
+                         tech90);
+    EXPECT_GT(large.energy, small.energy);
+    EXPECT_GT(large.delay, small.delay);
+    // Roughly proportional (fixed wake cost breaks exactness).
+    EXPECT_NEAR(large.energy / small.energy, 4.0, 0.5);
+}
+
+TEST(CellModelTest, ParallelIsFastestSerialIsSlowest)
+{
+    const CellWorkload w = dwtLevelWorkload(128);
+    const ModeCosts serial =
+        evaluateCellMode(w, AluMode::Serial, tech90);
+    const ModeCosts parallel =
+        evaluateCellMode(w, AluMode::Parallel, tech90);
+    const ModeCosts pipeline =
+        evaluateCellMode(w, AluMode::Pipeline, tech90);
+    EXPECT_LT(parallel.delay, pipeline.delay);
+    EXPECT_LT(pipeline.delay, serial.delay);
+}
+
+TEST(CellModelTest, ParallelDwtIsTwoOrdersAboveSerial)
+{
+    // Paper Fig. 4: the monotonic parallel DWT needs a large number
+    // of simultaneous multipliers and lands about two orders of
+    // magnitude above serial.
+    const CellWorkload w = dwtLevelWorkload(128);
+    const double ratio =
+        evaluateCellMode(w, AluMode::Parallel, tech90).energy /
+        evaluateCellMode(w, AluMode::Serial, tech90).energy;
+    EXPECT_GT(ratio, 30.0);
+    EXPECT_LT(ratio, 300.0);
+}
+
+TEST(CellModelTest, EnergyScalesAcrossTechnologies)
+{
+    const CellWorkload w = svmCellWorkload(12, 40);
+    const Energy e130 =
+        evaluateCellMode(w, AluMode::Serial,
+                         Technology::get(ProcessNode::Tsmc130))
+            .energy;
+    const Energy e90 =
+        evaluateCellMode(w, AluMode::Serial, tech90).energy;
+    const Energy e45 =
+        evaluateCellMode(w, AluMode::Serial,
+                         Technology::get(ProcessNode::Tsmc45))
+            .energy;
+    EXPECT_GT(e130, e90);
+    EXPECT_GT(e90, e45);
+    // Delay is technology-independent at the fixed 16 MHz clock.
+    EXPECT_EQ(evaluateCellMode(w, AluMode::Serial,
+                               Technology::get(ProcessNode::Tsmc130))
+                  .cycles,
+              evaluateCellMode(w, AluMode::Serial,
+                               Technology::get(ProcessNode::Tsmc45))
+                  .cycles);
+}
+
+TEST(CellModelTest, PipelineBufferScaleReducesEnergy)
+{
+    CellWorkload streaming = dwtLevelWorkload(128);
+    CellWorkload nonstreaming = streaming;
+    nonstreaming.pipelineBufferScale = 1.0;
+    const Energy with_streaming =
+        evaluateCellMode(streaming, AluMode::Pipeline, tech90).energy;
+    const Energy without =
+        evaluateCellMode(nonstreaming, AluMode::Pipeline, tech90)
+            .energy;
+    EXPECT_LT(with_streaming, without);
+}
+
+TEST(CellModelTest, BestModeMatchesExhaustiveMinimum)
+{
+    for (ComponentKind kind : allComponentKinds) {
+        const CellWorkload w = [&] {
+            switch (kind) {
+              case ComponentKind::Dwt:
+                return dwtLevelWorkload(64);
+              case ComponentKind::Svm:
+                return svmCellWorkload(12, 25);
+              case ComponentKind::Fusion:
+                return fusionCellWorkload(10);
+              default:
+                return featureCellWorkload(
+                    static_cast<FeatureKind>(kind), 128);
+            }
+        }();
+        const AluMode best = bestCellMode(w, tech90);
+        const Energy best_energy = bestCellCosts(w, tech90).energy;
+        for (AluMode mode : allAluModes) {
+            EXPECT_LE(best_energy.pj(),
+                      evaluateCellMode(w, mode, tech90).energy.pj() +
+                          1e-9)
+                << componentName(kind) << " " << aluModeName(mode);
+        }
+        EXPECT_EQ(best_energy.pj(),
+                  evaluateCellMode(w, best, tech90).energy.pj());
+    }
+}
+
+TEST(CellModelTest, ActivePowerIsEnergyOverDelay)
+{
+    const ModeCosts costs =
+        evaluateCellMode(addOnlyWorkload(100), AluMode::Serial,
+                         tech90);
+    EXPECT_NEAR(costs.activePower().uw(),
+                costs.energy.uj() / costs.delay.sec(), 1e-9);
+}
+
+TEST(CellModelTest, ModeNames)
+{
+    std::set<std::string> names;
+    for (AluMode mode : allAluModes)
+        names.insert(aluModeName(mode));
+    EXPECT_EQ(names.size(), 3u);
+}
+
+} // namespace

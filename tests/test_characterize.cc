@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests that the ALU-mode characterization reproduces the shape of
+ * paper Fig. 4: serial optimal for most components, pipeline optimal
+ * for Std and DWT, simple comparison cells near-tied between serial
+ * and pipeline, and parallel never optimal (with the parallel DWT
+ * about two orders of magnitude above serial).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/characterize.hh"
+
+namespace
+{
+
+using namespace xpro;
+
+const Technology &tech90 = Technology::get(ProcessNode::Tsmc90);
+
+TEST(CharacterizeTest, CoversAllComponents)
+{
+    const auto rows = characterizeAllComponents(tech90);
+    ASSERT_EQ(rows.size(), allComponentKinds.size());
+    for (size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(rows[i].kind, allComponentKinds[i]);
+}
+
+TEST(CharacterizeTest, Fig4OptimalModes)
+{
+    // Paper Fig. 4 red stars.
+    const struct
+    {
+        ComponentKind kind;
+        AluMode expected;
+    } stars[] = {
+        {ComponentKind::Max, AluMode::Serial},
+        {ComponentKind::Min, AluMode::Serial},
+        {ComponentKind::Mean, AluMode::Serial},
+        {ComponentKind::Var, AluMode::Serial},
+        {ComponentKind::Std, AluMode::Pipeline},
+        {ComponentKind::Czero, AluMode::Serial},
+        {ComponentKind::Skew, AluMode::Serial},
+        {ComponentKind::Kurt, AluMode::Serial},
+        {ComponentKind::Dwt, AluMode::Pipeline},
+        {ComponentKind::Svm, AluMode::Serial},
+        {ComponentKind::Fusion, AluMode::Serial},
+    };
+    for (const auto &row : stars) {
+        const auto c = characterizeComponent(row.kind, tech90);
+        EXPECT_EQ(c.bestMode, row.expected)
+            << componentName(row.kind);
+    }
+}
+
+TEST(CharacterizeTest, ParallelNeverOptimal)
+{
+    for (const auto &c : characterizeAllComponents(tech90))
+        EXPECT_NE(c.bestMode, AluMode::Parallel)
+            << componentName(c.kind);
+}
+
+TEST(CharacterizeTest, SimpleCellsNearTieWithPipeline)
+{
+    // "Some simple operations, such as Max, Min and Czero, being
+    // similar to the pipeline mode."
+    for (ComponentKind kind :
+         {ComponentKind::Max, ComponentKind::Min, ComponentKind::Czero}) {
+        const auto c = characterizeComponent(kind, tech90);
+        const double ratio = c.mode(AluMode::Pipeline).energy /
+                             c.mode(AluMode::Serial).energy;
+        EXPECT_GT(ratio, 0.8) << componentName(kind);
+        EXPECT_LT(ratio, 1.25) << componentName(kind);
+    }
+}
+
+TEST(CharacterizeTest, ParallelDwtTwoOrdersAboveSerial)
+{
+    const auto c = characterizeComponent(ComponentKind::Dwt, tech90);
+    const double ratio = c.mode(AluMode::Parallel).energy /
+                         c.mode(AluMode::Serial).energy;
+    EXPECT_GT(ratio, 30.0);
+}
+
+TEST(CharacterizeTest, BestAccessorIsConsistent)
+{
+    const auto c = characterizeComponent(ComponentKind::Svm, tech90);
+    EXPECT_DOUBLE_EQ(c.best().energy.pj(),
+                     c.mode(c.bestMode).energy.pj());
+}
+
+TEST(CharacterizeTest, StarsStableAcrossTechnologies)
+{
+    // The optimal-mode pattern is set by relative costs, which are
+    // shared across nodes; absolute energies shift, stars should
+    // not.
+    for (ProcessNode node : allProcessNodes) {
+        const auto rows =
+            characterizeAllComponents(Technology::get(node));
+        for (const auto &c : rows) {
+            const auto baseline =
+                characterizeComponent(c.kind, tech90);
+            EXPECT_EQ(c.bestMode, baseline.bestMode)
+                << componentName(c.kind) << " at "
+                << processNodeName(node);
+        }
+    }
+}
+
+TEST(CharacterizeTest, EnergiesInPicojoulePerEventRange)
+{
+    // Fig. 4 reports pJ/event on a log axis from hundreds of pJ up;
+    // our reconstruction should land within sane bounds.
+    for (const auto &c : characterizeAllComponents(tech90)) {
+        EXPECT_GT(c.best().energy.pj(), 100.0)
+            << componentName(c.kind);
+        EXPECT_LT(c.best().energy.pj(), 1.0e6)
+            << componentName(c.kind);
+    }
+}
+
+TEST(CharacterizeTest, DelaysWellUnderRealTimeBudget)
+{
+    // Every single cell must finish far inside a segment period
+    // (hundreds of ms) at the 16 MHz cell clock.
+    for (const auto &c : characterizeAllComponents(tech90)) {
+        EXPECT_LT(c.best().delay.ms(), 1.0) << componentName(c.kind);
+    }
+}
+
+TEST(CharacterizeTest, SetupParametersPropagate)
+{
+    CharacterizationSetup small;
+    small.featureInputLength = 32;
+    small.svmSupportVectors = 5;
+    const auto small_var = characterizeComponent(
+        ComponentKind::Var, tech90, small);
+    const auto big_var = characterizeComponent(ComponentKind::Var,
+                                               tech90);
+    EXPECT_LT(small_var.best().energy, big_var.best().energy);
+
+    const auto small_svm = characterizeComponent(
+        ComponentKind::Svm, tech90, small);
+    const auto big_svm = characterizeComponent(ComponentKind::Svm,
+                                               tech90);
+    EXPECT_LT(small_svm.best().energy, big_svm.best().energy);
+}
+
+TEST(CharacterizeTest, ComponentForFeatureRoundTrip)
+{
+    for (FeatureKind kind : allFeatureKinds) {
+        const ComponentKind comp = componentForFeature(kind);
+        EXPECT_EQ(componentName(comp), featureName(kind));
+    }
+}
+
+} // namespace

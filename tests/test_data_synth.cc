@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the synthetic biosignal generators and the Table-1 test
+ * cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "data/ecg_synth.hh"
+#include "data/eeg_synth.hh"
+#include "data/emg_synth.hh"
+#include "data/testcases.hh"
+#include "dsp/features.hh"
+
+namespace
+{
+
+using namespace xpro;
+
+TEST(EcgSynthTest, SegmentShapeAndRange)
+{
+    Rng rng(501);
+    EcgSynthConfig config;
+    const auto segment =
+        synthesizeEcgSegment(82, 360.0, false, config, rng);
+    EXPECT_EQ(segment.size(), 82u);
+    // R peak dominates: max well above noise floor.
+    EXPECT_GT(featureMax(segment), 0.5);
+    EXPECT_LT(featureMax(segment), 3.0);
+}
+
+TEST(EcgSynthTest, AbnormalHasSmallerRAndT)
+{
+    Rng rng(503);
+    EcgSynthConfig config;
+    config.noiseLevel = 0.0;
+    config.baselineWander = 0.0;
+    xpro::Summary normal_max;
+    xpro::Summary abnormal_max;
+    for (int i = 0; i < 50; ++i) {
+        normal_max.add(featureMax(
+            synthesizeEcgSegment(128, 360.0, false, config, rng)));
+        abnormal_max.add(featureMax(
+            synthesizeEcgSegment(128, 360.0, true, config, rng)));
+    }
+    EXPECT_GT(normal_max.mean(), abnormal_max.mean());
+}
+
+TEST(EegSynthTest, PositiveClassHasHigherPeaks)
+{
+    Rng rng(505);
+    EegSynthConfig config;
+    xpro::Summary pos_kurt;
+    xpro::Summary neg_kurt;
+    for (int i = 0; i < 50; ++i) {
+        pos_kurt.add(featureKurt(
+            synthesizeEegSegment(128, 512.0, true, config, rng)));
+        neg_kurt.add(featureKurt(
+            synthesizeEegSegment(128, 512.0, false, config, rng)));
+    }
+    // Spike transients raise kurtosis on average.
+    EXPECT_GT(pos_kurt.mean(), neg_kurt.mean());
+}
+
+TEST(EmgSynthTest, ClassesDifferInVariance)
+{
+    Rng rng(507);
+    EmgSynthConfig config;
+    xpro::Summary pos_var;
+    xpro::Summary neg_var;
+    for (int i = 0; i < 50; ++i) {
+        pos_var.add(featureVar(
+            synthesizeEmgSegment(132, 1000.0, true, config, rng)));
+        neg_var.add(featureVar(
+            synthesizeEmgSegment(132, 1000.0, false, config, rng)));
+    }
+    EXPECT_NE(pos_var.mean(), neg_var.mean());
+}
+
+TEST(EmgSynthTest, NearZeroMean)
+{
+    Rng rng(509);
+    EmgSynthConfig config;
+    const auto segment =
+        synthesizeEmgSegment(132, 1000.0, true, config, rng);
+    EXPECT_EQ(segment.size(), 132u);
+    EXPECT_NEAR(featureMean(segment), 0.0, 0.3);
+}
+
+TEST(TestCasesTest, Table1ShapesMatchPaper)
+{
+    const struct
+    {
+        TestCase id;
+        const char *symbol;
+        size_t length;
+        size_t count;
+    } expected[] = {
+        {TestCase::C1, "C1", 82, 1162},
+        {TestCase::C2, "C2", 136, 884},
+        {TestCase::E1, "E1", 128, 1000},
+        {TestCase::E2, "E2", 128, 1000},
+        {TestCase::M1, "M1", 132, 1200},
+        {TestCase::M2, "M2", 132, 1200},
+    };
+    for (const auto &row : expected) {
+        const TestCaseInfo &info = testCaseInfo(row.id);
+        EXPECT_STREQ(info.symbol, row.symbol);
+        EXPECT_EQ(info.segmentLength, row.length);
+        EXPECT_EQ(info.segmentCount, row.count);
+    }
+}
+
+TEST(TestCasesTest, MaterializedDatasetsMatchInfo)
+{
+    for (TestCase id : allTestCases) {
+        const TestCaseInfo &info = testCaseInfo(id);
+        const SignalDataset dataset = makeTestCase(id, 99);
+        EXPECT_EQ(dataset.size(), info.segmentCount);
+        EXPECT_EQ(dataset.symbol, info.symbol);
+        for (size_t i = 0; i < 5; ++i) {
+            EXPECT_EQ(dataset.segments[i].samples.size(),
+                      info.segmentLength);
+        }
+    }
+}
+
+TEST(TestCasesTest, ClassBalanceIsEven)
+{
+    const SignalDataset dataset = makeTestCase(TestCase::E1, 99);
+    const size_t pos = dataset.positiveCount();
+    EXPECT_NEAR(static_cast<double>(pos) /
+                    static_cast<double>(dataset.size()),
+                0.5, 0.01);
+}
+
+TEST(TestCasesTest, DeterministicBySeed)
+{
+    const SignalDataset a = makeTestCase(TestCase::M1, 7);
+    const SignalDataset b = makeTestCase(TestCase::M1, 7);
+    const SignalDataset c = makeTestCase(TestCase::M1, 8);
+    EXPECT_EQ(a.segments[0].samples, b.segments[0].samples);
+    EXPECT_NE(a.segments[0].samples, c.segments[0].samples);
+}
+
+TEST(TestCasesTest, CasesAreDistinct)
+{
+    const SignalDataset e1 = makeTestCase(TestCase::E1, 7);
+    const SignalDataset e2 = makeTestCase(TestCase::E2, 7);
+    EXPECT_NE(e1.segments[0].samples, e2.segments[0].samples);
+}
+
+TEST(TestCasesTest, EventRatesArePlausible)
+{
+    for (TestCase id : allTestCases) {
+        const SignalDataset dataset = makeTestCase(id, 3);
+        const double rate = dataset.eventsPerSecond();
+        // Segments last a fraction of a second up to a second.
+        EXPECT_GT(rate, 1.0);
+        EXPECT_LT(rate, 20.0);
+    }
+}
+
+TEST(TestCasesTest, ModalityNames)
+{
+    EXPECT_EQ(modalityName(Modality::Ecg), "ECG");
+    EXPECT_EQ(modalityName(Modality::Eeg), "EEG");
+    EXPECT_EQ(modalityName(Modality::Emg), "EMG");
+}
+
+} // namespace

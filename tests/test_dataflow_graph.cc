@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the functional-cell topology DAG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "graph/dataflow_graph.hh"
+
+namespace
+{
+
+using xpro::DataflowGraph;
+using xpro::DataflowNode;
+
+DataflowNode
+makeCell(const std::string &name, size_t output_bits = 32)
+{
+    DataflowNode node;
+    node.name = name;
+    node.outputBits = output_bits;
+    return node;
+}
+
+TEST(DataflowGraphTest, SourceNodeExists)
+{
+    DataflowGraph g(4096);
+    EXPECT_EQ(g.nodeCount(), 1u);
+    EXPECT_EQ(g.cellCount(), 0u);
+    EXPECT_EQ(g.node(DataflowGraph::sourceId).name, "source");
+    EXPECT_EQ(g.node(DataflowGraph::sourceId).outputBits, 4096u);
+}
+
+TEST(DataflowGraphTest, AddCellsAndEdges)
+{
+    DataflowGraph g(1024);
+    const size_t feat = g.addCell(makeCell("Var@time"));
+    const size_t svm = g.addCell(makeCell("SVM-1"));
+    g.addEdge(DataflowGraph::sourceId, feat);
+    g.addEdge(feat, svm);
+
+    EXPECT_EQ(g.cellCount(), 2u);
+    ASSERT_EQ(g.successors(DataflowGraph::sourceId).size(), 1u);
+    EXPECT_EQ(g.successors(DataflowGraph::sourceId)[0], feat);
+    ASSERT_EQ(g.predecessors(svm).size(), 1u);
+    EXPECT_EQ(g.predecessors(svm)[0], feat);
+}
+
+TEST(DataflowGraphTest, DuplicateEdgeIgnored)
+{
+    DataflowGraph g(64);
+    const size_t a = g.addCell(makeCell("a"));
+    g.addEdge(DataflowGraph::sourceId, a);
+    g.addEdge(DataflowGraph::sourceId, a);
+    EXPECT_EQ(g.successors(DataflowGraph::sourceId).size(), 1u);
+    EXPECT_EQ(g.predecessors(a).size(), 1u);
+}
+
+TEST(DataflowGraphTest, SelfLoopPanics)
+{
+    DataflowGraph g(64);
+    const size_t a = g.addCell(makeCell("a"));
+    EXPECT_THROW(g.addEdge(a, a), xpro::PanicError);
+}
+
+TEST(DataflowGraphTest, EdgeIntoSourcePanics)
+{
+    DataflowGraph g(64);
+    const size_t a = g.addCell(makeCell("a"));
+    EXPECT_THROW(g.addEdge(a, DataflowGraph::sourceId),
+                 xpro::PanicError);
+}
+
+TEST(DataflowGraphTest, TerminalsAreSinkCells)
+{
+    DataflowGraph g(64);
+    const size_t f1 = g.addCell(makeCell("f1"));
+    const size_t f2 = g.addCell(makeCell("f2"));
+    const size_t fusion = g.addCell(makeCell("fusion"));
+    g.addEdge(DataflowGraph::sourceId, f1);
+    g.addEdge(DataflowGraph::sourceId, f2);
+    g.addEdge(f1, fusion);
+    g.addEdge(f2, fusion);
+    const std::vector<size_t> terminals = g.terminals();
+    ASSERT_EQ(terminals.size(), 1u);
+    EXPECT_EQ(terminals[0], fusion);
+}
+
+TEST(DataflowGraphTest, TopologicalOrderRespectsEdges)
+{
+    DataflowGraph g(64);
+    const size_t a = g.addCell(makeCell("a"));
+    const size_t b = g.addCell(makeCell("b"));
+    const size_t c = g.addCell(makeCell("c"));
+    g.addEdge(DataflowGraph::sourceId, a);
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, c);
+
+    const std::vector<size_t> order = g.topologicalOrder();
+    ASSERT_EQ(order.size(), 4u);
+    auto position = [&](size_t node) {
+        return std::find(order.begin(), order.end(), node) -
+               order.begin();
+    };
+    EXPECT_LT(position(DataflowGraph::sourceId), position(a));
+    EXPECT_LT(position(a), position(b));
+    EXPECT_LT(position(b), position(c));
+}
+
+TEST(DataflowGraphTest, ValidatePassesOnWellFormedGraph)
+{
+    DataflowGraph g(64);
+    const size_t a = g.addCell(makeCell("a"));
+    const size_t b = g.addCell(makeCell("b"));
+    g.addEdge(DataflowGraph::sourceId, a);
+    g.addEdge(a, b);
+    EXPECT_EQ(g.validate(), "");
+}
+
+TEST(DataflowGraphTest, ValidateFlagsUnreachableCell)
+{
+    DataflowGraph g(64);
+    const size_t a = g.addCell(makeCell("a"));
+    const size_t orphan = g.addCell(makeCell("orphan"));
+    g.addEdge(DataflowGraph::sourceId, a);
+    g.addEdge(orphan, a); // orphan feeds a but nothing feeds orphan
+    const std::string error = g.validate();
+    EXPECT_NE(error.find("orphan"), std::string::npos);
+}
+
+TEST(DataflowGraphTest, ValidateFlagsMissingInput)
+{
+    DataflowGraph g(64);
+    g.addCell(makeCell("floating"));
+    const std::string error = g.validate();
+    EXPECT_NE(error.find("floating"), std::string::npos);
+}
+
+TEST(DataflowGraphTest, CostsStoredPerNode)
+{
+    DataflowGraph g(64);
+    DataflowNode cell = makeCell("Var@time", 32);
+    cell.costs.sensorEnergy = xpro::Energy::nanos(12.0);
+    cell.costs.sensorDelay = xpro::Time::micros(3.0);
+    cell.costs.aggregatorEnergy = xpro::Energy::nanos(40.0);
+    cell.costs.aggregatorDelay = xpro::Time::micros(0.5);
+    const size_t id = g.addCell(cell);
+    EXPECT_DOUBLE_EQ(g.node(id).costs.sensorEnergy.nj(), 12.0);
+    EXPECT_DOUBLE_EQ(g.node(id).costs.aggregatorDelay.us(), 0.5);
+}
+
+} // namespace

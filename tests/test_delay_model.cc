@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the end-to-end delay model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/delay_model.hh"
+#include "topology_fixtures.hh"
+
+namespace
+{
+
+using namespace xpro;
+using xpro::test::CellSpec;
+using xpro::test::MiniTopology;
+using xpro::test::chainTopology;
+
+const WirelessLink link2(transceiver(WirelessModel::Model2));
+
+TEST(DelayModelTest, AllInSensorIsFrontComputePlusResult)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50);
+    const DelayBreakdown d =
+        eventDelay(topo, Placement::allInSensor(topo), link2);
+    // 3 cells x 50 us hardware delay each.
+    EXPECT_NEAR(d.frontCompute.us(), 150.0, 1e-9);
+    EXPECT_NEAR(d.backCompute.us(), 0.0, 1e-9);
+    EXPECT_NEAR(d.wireless.us(),
+                link2.transfer(EngineTopology::resultBits)
+                    .airTime.us(),
+                1e-9);
+}
+
+TEST(DelayModelTest, AllInAggregatorIsRawPlusSoftware)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 4096);
+    const DelayBreakdown d =
+        eventDelay(topo, Placement::allInAggregator(topo), link2);
+    EXPECT_NEAR(d.frontCompute.us(), 0.0, 1e-9);
+    // 3 cells x 5 us software each.
+    EXPECT_NEAR(d.backCompute.us(), 15.0, 1e-9);
+    EXPECT_NEAR(d.wireless.us(), link2.transfer(4096).airTime.us(),
+                1e-9);
+}
+
+TEST(DelayModelTest, MixedPlacementAccumulatesBothEnds)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 4096);
+    const Placement p =
+        Placement::fromMask(topo, {true, true, false, false});
+    const DelayBreakdown d = eventDelay(topo, p, link2);
+    EXPECT_NEAR(d.frontCompute.us(), 50.0, 1e-9);
+    EXPECT_NEAR(d.backCompute.us(), 10.0, 1e-9);
+    EXPECT_NEAR(d.wireless.us(), link2.transfer(32).airTime.us(),
+                1e-9);
+    EXPECT_NEAR(d.total().us(), 60.0 + d.wireless.us(), 1e-9);
+}
+
+TEST(DelayModelTest, ParallelBranchesTakeSlowest)
+{
+    MiniTopology mini(1024);
+    CellSpec fast;
+    fast.sensorUs = 10.0;
+    CellSpec slow;
+    slow.sensorUs = 300.0;
+    const size_t a = mini.addCell(fast);
+    const size_t b = mini.addCell(slow);
+    CellSpec join;
+    join.sensorUs = 5.0;
+    const size_t fusion = mini.addCell(join);
+    mini.connect(DataflowGraph::sourceId, a);
+    mini.connect(DataflowGraph::sourceId, b);
+    mini.connect(a, fusion);
+    mini.connect(b, fusion);
+    const EngineTopology topo = mini.build(fusion);
+
+    const DelayBreakdown d =
+        eventDelay(topo, Placement::allInSensor(topo), link2);
+    // Critical path goes through the slow branch only.
+    EXPECT_NEAR(d.frontCompute.us(), 305.0, 1e-9);
+}
+
+TEST(DelayModelTest, CrossEndCanBeFasterThanEitherEnd)
+{
+    // Slow hardware, fast software, large raw payload: a mid cut
+    // transfers one word and uses the fast back-end.
+    const EngineTopology topo = chainTopology(100, 200, 50, 8192);
+    const Time t_sensor =
+        eventDelay(topo, Placement::allInSensor(topo), link2)
+            .total();
+    const Time t_agg =
+        eventDelay(topo, Placement::allInAggregator(topo), link2)
+            .total();
+    const Time t_mid =
+        eventDelay(topo,
+                   Placement::fromMask(topo,
+                                       {true, true, false, false}),
+                   link2)
+            .total();
+    EXPECT_LT(t_mid, t_sensor);
+    EXPECT_LT(t_mid, t_agg);
+}
+
+TEST(DelayModelTest, WirelessDelayScalesWithPayload)
+{
+    const EngineTopology small = chainTopology(10, 10, 10, 1024);
+    const EngineTopology large = chainTopology(10, 10, 10, 8192);
+    const Time t_small =
+        eventDelay(small, Placement::allInAggregator(small), link2)
+            .wireless;
+    const Time t_large =
+        eventDelay(large, Placement::allInAggregator(large), link2)
+            .wireless;
+    EXPECT_GT(t_large, t_small);
+    EXPECT_NEAR(t_large / t_small, (8192.0 + 8) / (1024.0 + 8),
+                1e-9);
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the per-event energy model (Eq. 1-3 semantics,
+ * broadcast transfers, result delivery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/energy_model.hh"
+#include "topology_fixtures.hh"
+
+namespace
+{
+
+using namespace xpro;
+using xpro::test::CellSpec;
+using xpro::test::MiniTopology;
+using xpro::test::chainTopology;
+
+const WirelessLink link2(transceiver(WirelessModel::Model2));
+
+TEST(EnergyModelTest, AllInSensorPaysComputePlusResult)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50);
+    const auto e = sensorEventEnergy(
+        topo, Placement::allInSensor(topo), link2);
+    EXPECT_NEAR(e.compute.nj(), 350.0, 1e-9);
+    // Only the result leaves the sensor.
+    const Energy result =
+        link2.transfer(EngineTopology::resultBits).txEnergy;
+    EXPECT_NEAR(e.tx.nj(), result.nj(), 1e-9);
+    EXPECT_NEAR(e.rx.nj(), 0.0, 1e-9);
+}
+
+TEST(EnergyModelTest, AllInAggregatorPaysRawOnly)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const auto e = sensorEventEnergy(
+        topo, Placement::allInAggregator(topo), link2);
+    EXPECT_NEAR(e.compute.nj(), 0.0, 1e-9);
+    EXPECT_NEAR(e.tx.nj(), link2.transfer(2048).txEnergy.nj(), 1e-9);
+    EXPECT_NEAR(e.rx.nj(), 0.0, 1e-9);
+}
+
+TEST(EnergyModelTest, MidChainCutPaysIntermediateTransfer)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    // Feature in sensor; svm and fusion offloaded.
+    const Placement p =
+        Placement::fromMask(topo, {true, true, false, false});
+    const auto e = sensorEventEnergy(topo, p, link2);
+    EXPECT_NEAR(e.compute.nj(), 100.0, 1e-9);
+    EXPECT_NEAR(e.tx.nj(), link2.transfer(32).txEnergy.nj(), 1e-9);
+}
+
+TEST(EnergyModelTest, ReverseCrossingPaysReception)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    // Feature offloaded but svm+fusion kept in the sensor: the
+    // sensor sends raw and receives the feature value back.
+    const Placement p =
+        Placement::fromMask(topo, {true, false, true, true});
+    const auto e = sensorEventEnergy(topo, p, link2);
+    EXPECT_NEAR(e.compute.nj(), 250.0, 1e-9);
+    EXPECT_NEAR(e.tx.nj(),
+                link2.transfer(2048).txEnergy.nj() +
+                    link2.transfer(EngineTopology::resultBits)
+                        .txEnergy.nj(),
+                1e-9);
+    EXPECT_NEAR(e.rx.nj(), link2.transfer(32).rxEnergy.nj(), 1e-9);
+}
+
+TEST(EnergyModelTest, BroadcastChargedOncePerFanout)
+{
+    // One feature feeding three SVM cells across the link.
+    MiniTopology mini(1024);
+    CellSpec spec;
+    const size_t feature = mini.addCell(spec, ComponentKind::Var);
+    const size_t s1 = mini.addCell(spec, ComponentKind::Svm);
+    const size_t s2 = mini.addCell(spec, ComponentKind::Svm);
+    const size_t s3 = mini.addCell(spec, ComponentKind::Svm);
+    const size_t fusion = mini.addCell(spec);
+    mini.connect(DataflowGraph::sourceId, feature);
+    mini.connect(feature, s1);
+    mini.connect(feature, s2);
+    mini.connect(feature, s3);
+    mini.connect(s1, fusion);
+    mini.connect(s2, fusion);
+    mini.connect(s3, fusion);
+    const EngineTopology topo = mini.build(fusion);
+
+    // Feature in sensor; all SVMs and fusion in the aggregator.
+    const Placement p = Placement::fromMask(
+        topo, {true, true, false, false, false, false});
+    const auto e = sensorEventEnergy(topo, p, link2);
+    // One broadcast of the 32-bit feature value, not three.
+    EXPECT_NEAR(e.tx.nj(), link2.transfer(32).txEnergy.nj(), 1e-9);
+}
+
+TEST(EnergyModelTest, DistinctPayloadsAreSeparateBroadcasts)
+{
+    // A DWT-like producer with two bands read by different cells.
+    MiniTopology mini(4096);
+    CellSpec dwt;
+    dwt.outputBits = 2048;
+    const size_t dwt_node = mini.addCell(dwt, ComponentKind::Dwt);
+    CellSpec spec;
+    const size_t detail_reader = mini.addCell(spec);
+    const size_t approx_reader = mini.addCell(spec);
+    const size_t fusion = mini.addCell(spec);
+    mini.connect(DataflowGraph::sourceId, dwt_node);
+    mini.connect(dwt_node, detail_reader, 1024);
+    mini.connect(dwt_node, approx_reader, 512);
+    mini.connect(detail_reader, fusion);
+    mini.connect(approx_reader, fusion);
+    const EngineTopology topo = mini.build(fusion);
+
+    const Placement p = Placement::fromMask(
+        topo, {true, true, false, false, false});
+    const auto e = sensorEventEnergy(topo, p, link2);
+    EXPECT_NEAR(e.tx.nj(),
+                link2.transfer(1024).txEnergy.nj() +
+                    link2.transfer(512).txEnergy.nj(),
+                1e-9);
+}
+
+TEST(EnergyModelTest, AggregatorMirrorsSensorTraffic)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const Placement p =
+        Placement::fromMask(topo, {true, true, false, false});
+    const auto sensor = sensorEventEnergy(topo, p, link2);
+    const auto agg = aggregatorEventEnergy(topo, p, link2);
+    // svm(500) + fusion(500) software energy.
+    EXPECT_NEAR(agg.compute.nj(), 1000.0, 1e-9);
+    // The aggregator receives the one crossing transfer.
+    EXPECT_NEAR(agg.radio.nj(), link2.transfer(32).rxEnergy.nj(),
+                1e-9);
+    EXPECT_GT(sensor.tx.nj(), 0.0);
+}
+
+TEST(EnergyModelTest, WirelessModelScalesTransferCosts)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const Placement p = Placement::allInAggregator(topo);
+    const WirelessLink link1(transceiver(WirelessModel::Model1));
+    const WirelessLink link3(transceiver(WirelessModel::Model3));
+    const double high =
+        sensorEventEnergy(topo, p, link1).tx.nj();
+    const double mid = sensorEventEnergy(topo, p, link2).tx.nj();
+    const double low = sensorEventEnergy(topo, p, link3).tx.nj();
+    EXPECT_GT(high, mid);
+    EXPECT_GT(mid, low);
+    EXPECT_NEAR(high / mid, 2.9 / 1.53, 1e-6);
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the engine-kind helpers and a full integration
+ * sweep: every paper test case evaluated under every engine kind,
+ * with the paper's structural orderings asserted per case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pipeline.hh"
+#include "data/testcases.hh"
+
+namespace
+{
+
+using namespace xpro;
+
+TEST(EngineTest, NamesAndTagsAreDistinct)
+{
+    std::set<std::string> names;
+    std::set<std::string> tags;
+    for (EngineKind kind : allEngineKinds) {
+        names.insert(engineKindName(kind));
+        tags.insert(engineKindTag(kind));
+    }
+    EXPECT_EQ(names.size(), allEngineKinds.size());
+    EXPECT_EQ(tags.size(), allEngineKinds.size());
+    EXPECT_EQ(engineKindTag(EngineKind::CrossEnd), "C");
+    EXPECT_EQ(engineKindTag(EngineKind::InAggregator), "A");
+}
+
+/** Integration sweep across the six paper cases. */
+class EngineSweepTest : public ::testing::TestWithParam<TestCase>
+{
+};
+
+TEST_P(EngineSweepTest, PaperOrderingsHoldPerCase)
+{
+    const TestCase tc = GetParam();
+    const SignalDataset dataset = makeTestCase(tc, 21);
+
+    EngineConfig config;
+    config.subspace.candidates = 25;
+    config.subspace.keepFraction = 0.2;
+    TrainingOptions options;
+    options.maxTrainingSegments = 150;
+    options.seed = 31;
+    const TrainedPipeline pipeline =
+        trainPipeline(dataset, config, options);
+
+    const EngineTopology topology = buildEngineTopology(
+        pipeline.ensemble, dataset.segmentLength, config,
+        dataset.eventsPerSecond());
+    const WirelessLink link(transceiver(config.wireless));
+    const SensorNode sensor;
+    const Aggregator aggregator;
+    const WorkloadContext workload{dataset.eventsPerSecond()};
+
+    const auto a = evaluateEngineKind(EngineKind::InAggregator,
+                                      topology, link, sensor,
+                                      aggregator, workload);
+    const auto s =
+        evaluateEngineKind(EngineKind::InSensor, topology, link,
+                           sensor, aggregator, workload);
+    const auto c =
+        evaluateEngineKind(EngineKind::CrossEnd, topology, link,
+                           sensor, aggregator, workload);
+
+    // A's sensor energy is pure transmission; S's is pure compute
+    // plus the result packet.
+    EXPECT_NEAR(a.sensorEnergy.compute.nj(), 0.0, 1e-9);
+    EXPECT_GT(s.sensorEnergy.compute.nj(), 0.0);
+    EXPECT_LT(s.sensorEnergy.wireless().uj(),
+              0.05 * s.sensorEnergy.total().uj());
+
+    // XPro: at least as good as the best feasible single end, under
+    // the delay limit, and under 4 ms (paper Fig. 10).
+    const double limit_us =
+        std::min(a.delay.total().us(), s.delay.total().us());
+    EXPECT_LE(c.delay.total().us(), limit_us + 1e-6);
+    EXPECT_LT(c.delay.total().ms(), 4.0);
+    EXPECT_LT(a.delay.total().ms(), 4.0);
+    EXPECT_GE(c.sensorLifetime.hr() + 1e-9,
+              std::min(a.sensorLifetime.hr(), s.sensorLifetime.hr()));
+
+    // Aggregator overhead ordering (paper Fig. 13 direction).
+    EXPECT_LE(c.aggregatorEnergy.total().uj(),
+              a.aggregatorEnergy.total().uj() + 1e-9);
+    EXPECT_NEAR(s.aggregatorEnergy.compute.uj(), 0.0, 1e-9);
+
+    // The aggregator engine has the largest delay (Fig. 10).
+    EXPECT_GE(a.delay.total().us(), s.delay.total().us());
+    EXPECT_GE(a.delay.total().us(), c.delay.total().us());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, EngineSweepTest, ::testing::ValuesIn(allTestCases),
+    [](const ::testing::TestParamInfo<TestCase> &info) {
+        return std::string(testCaseInfo(info.param).symbol);
+    });
+
+} // namespace

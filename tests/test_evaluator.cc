@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for platform models (battery, sensor node, aggregator)
+ * and the engine evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/evaluator.hh"
+#include "topology_fixtures.hh"
+
+namespace
+{
+
+using namespace xpro;
+using xpro::test::chainTopology;
+
+const WirelessLink link2(transceiver(WirelessModel::Model2));
+
+TEST(BatteryTest, NominalEnergyMatchesCapacity)
+{
+    const Battery battery(40.0, 3.7);
+    EXPECT_NEAR(battery.nominalEnergy().j(), 40.0 * 3.6 * 3.7, 1e-9);
+}
+
+TEST(BatteryTest, LifetimeInverselyProportionalToLoad)
+{
+    const Battery battery = Battery::sensorNodeBattery();
+    const Time light = battery.lifetime(Power::micros(10.0));
+    const Time heavy = battery.lifetime(Power::micros(100.0));
+    EXPECT_GT(light, heavy);
+    // Rate derating makes the heavy load slightly worse than 10x.
+    EXPECT_GT(light / heavy, 9.99);
+}
+
+TEST(BatteryTest, RateDeratingReducesUsableEnergy)
+{
+    const Battery battery(40.0, 3.7, 0.9, 0.05);
+    const Energy trickle = battery.usableEnergy(Power::micros(1.0));
+    const Energy heavy = battery.usableEnergy(Power::watts(0.148));
+    EXPECT_GT(trickle, heavy);
+}
+
+TEST(BatteryTest, InvalidParametersPanic)
+{
+    EXPECT_THROW(Battery(0.0, 3.7), PanicError);
+    EXPECT_THROW(Battery(40.0, 3.7, 1.5), PanicError);
+}
+
+TEST(SensorNodeTest, PowerCombinesSensingAndEvents)
+{
+    SensorNodeConfig config;
+    config.sensingPower = Power::micros(2.0);
+    const SensorNode node(config);
+    const Power p = node.averagePower(Energy::micros(4.0), 5.0);
+    EXPECT_NEAR(p.uw(), 2.0 + 20.0, 1e-9);
+}
+
+TEST(SensorNodeTest, LifetimeDropsWithEventEnergy)
+{
+    const SensorNode node;
+    EXPECT_GT(node.lifetime(Energy::micros(1.0), 4.0),
+              node.lifetime(Energy::micros(10.0), 4.0));
+}
+
+TEST(AggregatorCpuTest, SoftwareCostsScaleWithWork)
+{
+    const AggregatorCpu cpu;
+    CellWorkload small;
+    small.count(AluOp::Mul) = 100;
+    CellWorkload large;
+    large.count(AluOp::Mul) = 1000;
+    EXPECT_NEAR(cpu.run(large).energy / cpu.run(small).energy, 10.0,
+                1e-9);
+    EXPECT_EQ(cpu.run(small).cycles, 300u);
+}
+
+TEST(AggregatorCpuTest, SuperComputationCostsMoreCycles)
+{
+    EXPECT_GT(AggregatorCpu::opCycles(AluOp::Exp),
+              AggregatorCpu::opCycles(AluOp::Mul));
+    EXPECT_GT(AggregatorCpu::opCycles(AluOp::Div),
+              AggregatorCpu::opCycles(AluOp::Add));
+}
+
+TEST(EvaluatorTest, EvaluationFieldsAreConsistent)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const SensorNode sensor;
+    const Aggregator aggregator;
+    const WorkloadContext workload{4.0};
+    const EngineEvaluation eval = evaluateEngineKind(
+        EngineKind::InSensor, topo, link2, sensor, aggregator,
+        workload);
+    EXPECT_EQ(eval.kind, EngineKind::InSensor);
+    EXPECT_EQ(eval.placement.sensorCellCount(),
+              topo.graph.cellCount());
+    EXPECT_GT(eval.sensorLifetime.hr(), 0.0);
+    EXPECT_GT(eval.aggregatorLifetime.hr(), 0.0);
+    EXPECT_NEAR(eval.sensorEnergy.total().nj(),
+                sensorEventEnergy(topo,
+                                  Placement::allInSensor(topo),
+                                  link2)
+                    .total()
+                    .nj(),
+                1e-9);
+}
+
+TEST(EvaluatorTest, LowerSensorEnergyMeansLongerLifetime)
+{
+    const EngineTopology topo = chainTopology(100, 9000, 9000, 512);
+    const SensorNode sensor;
+    const Aggregator aggregator;
+    const WorkloadContext workload{4.0};
+    const auto a = evaluateEngineKind(EngineKind::InAggregator, topo,
+                                      link2, sensor, aggregator,
+                                      workload);
+    const auto s = evaluateEngineKind(EngineKind::InSensor, topo,
+                                      link2, sensor, aggregator,
+                                      workload);
+    EXPECT_LT(a.sensorEnergy.total(), s.sensorEnergy.total());
+    EXPECT_GT(a.sensorLifetime, s.sensorLifetime);
+}
+
+TEST(EvaluatorTest, CrossEndNeverHasShorterLifetimeUnconstrained)
+{
+    const EngineTopology topo = chainTopology(300, 700, 100, 4096);
+    const SensorNode sensor;
+    const Aggregator aggregator;
+    const WorkloadContext workload{4.0};
+    const auto c =
+        evaluateEngineKind(EngineKind::CrossEnd, topo, link2, sensor,
+                           aggregator, workload);
+    const auto a = evaluateEngineKind(EngineKind::InAggregator, topo,
+                                      link2, sensor, aggregator,
+                                      workload);
+    const auto s = evaluateEngineKind(EngineKind::InSensor, topo,
+                                      link2, sensor, aggregator,
+                                      workload);
+    // The delay constraint can exclude the cheaper single end, but
+    // XPro must always at least match the faster one.
+    const double limit =
+        std::min(a.delay.total().us(), s.delay.total().us());
+    EXPECT_LE(c.delay.total().us(), limit + 1e-6);
+    EXPECT_GE(c.sensorLifetime.hr() + 1e-9,
+              std::min(a.sensorLifetime.hr(), s.sensorLifetime.hr()));
+}
+
+TEST(EvaluatorTest, AggregatorOverheadDependsOnPlacement)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const SensorNode sensor;
+    const Aggregator aggregator;
+    const WorkloadContext workload{4.0};
+    const auto a = evaluateEngineKind(EngineKind::InAggregator, topo,
+                                      link2, sensor, aggregator,
+                                      workload);
+    const auto s = evaluateEngineKind(EngineKind::InSensor, topo,
+                                      link2, sensor, aggregator,
+                                      workload);
+    // All software cells on the aggregator in A, none in S.
+    EXPECT_GT(a.aggregatorEnergy.compute.nj(), 0.0);
+    EXPECT_NEAR(s.aggregatorEnergy.compute.nj(), 0.0, 1e-9);
+    EXPECT_LT(s.aggregatorEnergy.total(), a.aggregatorEnergy.total());
+}
+
+TEST(EvaluatorTest, ZeroEventRatePanics)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50);
+    const SensorNode sensor;
+    const Aggregator aggregator;
+    EXPECT_THROW(
+        evaluateEngineKind(EngineKind::InSensor, topo, link2, sensor,
+                           aggregator, WorkloadContext{0.0}),
+        PanicError);
+}
+
+} // namespace

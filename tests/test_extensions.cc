@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the paper's Section 5.7 extension points beyond
+ * multi-classification: plugging in custom wireless transceiver
+ * models and custom sensor-platform parameters, and the Argmax
+ * component added for multi-class engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/partitioner.hh"
+#include "core/evaluator.hh"
+#include "hw/characterize.hh"
+#include "sim/system_sim.hh"
+#include "topology_fixtures.hh"
+
+namespace
+{
+
+using namespace xpro;
+using xpro::test::chainTopology;
+
+TEST(CustomWirelessTest, UserDefinedTransceiverWorksEndToEnd)
+{
+    // A hypothetical BLE-class radio: much higher energy per bit at
+    // a lower rate; the generator should lean toward the sensor.
+    Transceiver ble;
+    ble.name = "BLE-class (15/14 nJ/bit, 1 Mbps)";
+    ble.txPerBit = Energy::nanos(15.0);
+    ble.rxPerBit = Energy::nanos(14.0);
+    ble.dataRateBps = 1.0e6;
+    const WirelessLink ble_link(ble);
+
+    const EngineTopology topo = chainTopology(100, 200, 50, 4096);
+    const Placement ble_cut =
+        XProGenerator(topo, ble_link).minimumEnergyPlacement();
+
+    const WirelessLink cheap_link(
+        transceiver(WirelessModel::Model3));
+    const Placement cheap_cut =
+        XProGenerator(topo, cheap_link).minimumEnergyPlacement();
+
+    // The expensive radio keeps at least as many cells local.
+    EXPECT_GE(ble_cut.sensorCellCount(),
+              cheap_cut.sensorCellCount());
+
+    // Full evaluation plumbing accepts the custom link.
+    const SensorNode sensor;
+    const Aggregator aggregator;
+    const auto eval = evaluateEngineKind(
+        EngineKind::CrossEnd, topo, ble_link, sensor, aggregator,
+        WorkloadContext{4.0});
+    EXPECT_GT(eval.sensorLifetime.hr(), 0.0);
+
+    // And the event simulator agrees with the analytic energy.
+    const SimResult sim =
+        simulateEvent(topo, eval.placement, ble_link);
+    EXPECT_NEAR(sim.sensorEnergy.total().nj(),
+                eval.sensorEnergy.total().nj(), 1e-6);
+}
+
+TEST(CustomWirelessTest, SlowerRadioLengthensWirelessDelay)
+{
+    Transceiver slow;
+    slow.name = "slow";
+    slow.txPerBit = Energy::nanos(1.0);
+    slow.rxPerBit = Energy::nanos(1.0);
+    slow.dataRateBps = 250.0e3; // 250 kbps
+    const WirelessLink slow_link(slow);
+    const WirelessLink fast_link(
+        transceiver(WirelessModel::Model2));
+
+    const EngineTopology topo = chainTopology(10, 10, 10, 4096);
+    const Placement agg = Placement::allInAggregator(topo);
+    EXPECT_GT(eventDelay(topo, agg, slow_link).wireless,
+              eventDelay(topo, agg, fast_link).wireless);
+}
+
+TEST(CustomPlatformTest, BiggerBatteryScalesLifetime)
+{
+    SensorNodeConfig small;
+    small.battery = Battery(40.0, 3.7);
+    SensorNodeConfig large;
+    large.battery = Battery(400.0, 3.7);
+    const SensorNode small_node(small);
+    const SensorNode large_node(large);
+    const Energy per_event = Energy::micros(4.0);
+    const double ratio = large_node.lifetime(per_event, 4.0) /
+                         small_node.lifetime(per_event, 4.0);
+    EXPECT_NEAR(ratio, 10.0, 0.2);
+}
+
+TEST(CustomPlatformTest, SensingPowerSetsTheFloor)
+{
+    SensorNodeConfig hungry;
+    hungry.sensingPower = Power::micros(50.0);
+    const SensorNode hungry_node(hungry);
+    const SensorNode default_node;
+    EXPECT_LT(hungry_node.lifetime(Energy::micros(1.0), 4.0),
+              default_node.lifetime(Energy::micros(1.0), 4.0));
+}
+
+TEST(ArgmaxComponentTest, WorkloadIsCompareOnly)
+{
+    const CellWorkload w = argmaxCellWorkload(4);
+    EXPECT_EQ(w.count(AluOp::Cmp), 3u);
+    EXPECT_EQ(w.count(AluOp::Mul), 0u);
+    EXPECT_EQ(w.datapathOps(), 3u);
+    EXPECT_THROW(argmaxCellWorkload(1), PanicError);
+}
+
+TEST(ArgmaxComponentTest, NameAndCharacterization)
+{
+    EXPECT_EQ(componentName(ComponentKind::Argmax), "Argmax");
+    const auto c = characterizeComponent(
+        ComponentKind::Argmax, Technology::get(ProcessNode::Tsmc90));
+    // A tiny compare tree: far cheaper than any feature cell in
+    // every mode (a 3-comparator cell is so small that even full
+    // unrolling is harmless, so the optimal mode may be parallel).
+    for (AluMode mode : allAluModes)
+        EXPECT_LT(c.mode(mode).energy.pj(), 1000.0)
+            << aluModeName(mode);
+}
+
+TEST(ModePolicyTest, ForcedPoliciesAreHonored)
+{
+    // Covered at engine scale by bench_ablation_design_rules; here
+    // just check the enum round-trips through EngineConfig.
+    EngineConfig config;
+    EXPECT_EQ(config.modePolicy, ModePolicy::Optimal);
+    EXPECT_TRUE(config.enableCellReuse);
+    config.modePolicy = ModePolicy::ForceParallel;
+    config.enableCellReuse = false;
+    EXPECT_EQ(config.modePolicy, ModePolicy::ForceParallel);
+    EXPECT_FALSE(config.enableCellReuse);
+}
+
+TEST(WaveletConfigTest, HaarCheapensTheDwtChain)
+{
+    // Build two equal topologies differing only in wavelet family;
+    // every DWT cell must get cheaper with the 2-tap Haar filters.
+    xpro::test::MiniTopology unused(64); // keep fixture header used
+    (void)unused;
+
+    const CellWorkload db4 = dwtLevelWorkload(128, 4);
+    const CellWorkload haar = dwtLevelWorkload(128, 2);
+    const Technology &tech = Technology::get(ProcessNode::Tsmc90);
+    EXPECT_LT(bestCellCosts(haar, tech).energy.nj(),
+              0.7 * bestCellCosts(db4, tech).energy.nj());
+}
+
+TEST(AggregatorIdleTest, IdlePowerShortensLifetime)
+{
+    const Aggregator sleepy(Battery::aggregatorBattery(),
+                            Power::micros(5.0));
+    const Aggregator awake(Battery::aggregatorBattery(),
+                           Power::millis(50.0));
+    const Energy per_event = Energy::micros(50.0);
+    EXPECT_GT(sleepy.lifetime(per_event, 4.0),
+              awake.lifetime(per_event, 4.0));
+    EXPECT_DOUBLE_EQ(sleepy.idlePower().uw(), 5.0);
+}
+
+TEST(StreamContentionTest, OverlappingEventsShareTheRadio)
+{
+    // An engine whose event takes longer than the period: later
+    // events must queue behind earlier radio transfers, so per-event
+    // latency grows monotonically across the stream.
+    const EngineTopology topo = chainTopology(10, 10, 10, 65536);
+    const WirelessLink link(transceiver(WirelessModel::Model2));
+    const Placement agg = Placement::allInAggregator(topo);
+    // One raw transfer takes ~33 ms; feed events every 10 ms.
+    const StreamResult stream =
+        simulateStream(topo, agg, link, 100.0, 4);
+    EXPECT_EQ(stream.events, 4u);
+    EXPECT_GT(stream.deadlineMisses, 0u);
+    EXPECT_GT(stream.worstLatency, stream.meanLatency);
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the 48-feature pool, the extractor and the min-max
+ * scaler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "dsp/feature_pool.hh"
+
+namespace
+{
+
+using namespace xpro;
+
+TEST(FeaturePoolTest, PoolSizeIs48)
+{
+    EXPECT_EQ(featurePoolSize, 48u);
+    EXPECT_EQ(featureDomainCount * featureKindCount, featurePoolSize);
+}
+
+TEST(FeaturePoolTest, IndexRoundTrips)
+{
+    for (size_t i = 0; i < featurePoolSize; ++i) {
+        const FeatureId id = featureFromIndex(i);
+        EXPECT_EQ(featureIndex(id), i);
+    }
+}
+
+TEST(FeaturePoolTest, IndexOutOfRangePanics)
+{
+    EXPECT_THROW(featureFromIndex(featurePoolSize), PanicError);
+}
+
+TEST(FeaturePoolTest, FullNamesAreUnique)
+{
+    std::set<std::string> names;
+    for (size_t i = 0; i < featurePoolSize; ++i)
+        names.insert(featureFullName(featureFromIndex(i)));
+    EXPECT_EQ(names.size(), featurePoolSize);
+}
+
+TEST(FeaturePoolTest, DomainLevels)
+{
+    EXPECT_EQ(domainLevel(FeatureDomain::Time), 0u);
+    EXPECT_EQ(domainLevel(FeatureDomain::Dwt1), 1u);
+    EXPECT_EQ(domainLevel(FeatureDomain::Dwt5), 5u);
+}
+
+TEST(FeaturePoolTest, DomainSignalLengths)
+{
+    FeatureExtractor extractor;
+    Rng rng(81);
+    std::vector<double> segment(128);
+    for (double &v : segment)
+        v = rng.gaussian();
+
+    EXPECT_EQ(extractor.domainSignal(segment, FeatureDomain::Time).size(),
+              128u);
+    EXPECT_EQ(extractor.domainSignal(segment, FeatureDomain::Dwt1).size(),
+              64u);
+    EXPECT_EQ(extractor.domainSignal(segment, FeatureDomain::Dwt4).size(),
+              8u);
+    // Level 5 holds both 4-sample segments (detail + approximation).
+    EXPECT_EQ(extractor.domainSignal(segment, FeatureDomain::Dwt5).size(),
+              8u);
+}
+
+TEST(FeaturePoolTest, ExtractAllMatchesSingleExtract)
+{
+    FeatureExtractor extractor;
+    Rng rng(83);
+    std::vector<double> segment(128);
+    for (double &v : segment)
+        v = rng.gaussian();
+
+    const std::vector<double> all = extractor.extractAll(segment);
+    ASSERT_EQ(all.size(), featurePoolSize);
+    for (size_t i = 0; i < featurePoolSize; ++i) {
+        const FeatureId id = featureFromIndex(i);
+        EXPECT_NEAR(all[i], extractor.extract(segment, id), 1e-12)
+            << featureFullName(id);
+    }
+}
+
+TEST(FeaturePoolTest, TimeDomainUsesRawSegmentLength)
+{
+    // Short segments keep their native length in the time domain
+    // (only the DWT path is framed to 128 samples).
+    FeatureExtractor extractor;
+    std::vector<double> segment(82, 0.0);
+    segment[0] = 82.0; // make the mean depend on the divisor
+    const double mean = extractor.extract(
+        segment, {FeatureDomain::Time, FeatureKind::Mean});
+    EXPECT_NEAR(mean, 1.0, 1e-12);
+}
+
+TEST(FeaturePoolTest, HaarAndDb4Differ)
+{
+    Rng rng(85);
+    std::vector<double> segment(128);
+    for (double &v : segment)
+        v = rng.gaussian();
+    FeatureExtractor haar(Wavelet::Haar);
+    FeatureExtractor db4(Wavelet::Db4);
+    const FeatureId var_d1{FeatureDomain::Dwt1, FeatureKind::Var};
+    EXPECT_NE(haar.extract(segment, var_d1),
+              db4.extract(segment, var_d1));
+}
+
+TEST(FeatureScalerTest, MapsToUnitInterval)
+{
+    FeatureScaler scaler;
+    std::vector<std::vector<double>> rows = {
+        {0.0, 10.0}, {5.0, 20.0}, {10.0, 30.0},
+    };
+    scaler.fit(rows);
+    const std::vector<double> mid = scaler.transform({5.0, 20.0});
+    EXPECT_DOUBLE_EQ(mid[0], 0.5);
+    EXPECT_DOUBLE_EQ(mid[1], 0.5);
+    const std::vector<double> low = scaler.transform({0.0, 10.0});
+    EXPECT_DOUBLE_EQ(low[0], 0.0);
+    const std::vector<double> high = scaler.transform({10.0, 30.0});
+    EXPECT_DOUBLE_EQ(high[1], 1.0);
+}
+
+TEST(FeatureScalerTest, ClampsOutOfRangeTestValues)
+{
+    FeatureScaler scaler;
+    scaler.fit({{0.0}, {1.0}});
+    EXPECT_DOUBLE_EQ(scaler.transform({-5.0})[0], 0.0);
+    EXPECT_DOUBLE_EQ(scaler.transform({5.0})[0], 1.0);
+}
+
+TEST(FeatureScalerTest, ConstantColumnMapsToZero)
+{
+    FeatureScaler scaler;
+    scaler.fit({{3.0, 1.0}, {3.0, 2.0}});
+    EXPECT_DOUBLE_EQ(scaler.transform({3.0, 1.5})[0], 0.0);
+}
+
+TEST(FeatureScalerTest, UnfittedTransformPanics)
+{
+    FeatureScaler scaler;
+    EXPECT_THROW(scaler.transform({1.0}), PanicError);
+    EXPECT_FALSE(scaler.fitted());
+}
+
+TEST(FeatureScalerTest, ColumnMismatchPanics)
+{
+    FeatureScaler scaler;
+    scaler.fit({{1.0, 2.0}});
+    EXPECT_THROW(scaler.transform({1.0}), PanicError);
+}
+
+} // namespace

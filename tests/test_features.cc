@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the double-precision statistical feature set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "dsp/features.hh"
+
+namespace
+{
+
+using namespace xpro;
+
+const std::vector<double> ramp = {1.0, 2.0, 3.0, 4.0, 5.0};
+
+TEST(FeaturesTest, MaxMinMean)
+{
+    EXPECT_DOUBLE_EQ(featureMax(ramp), 5.0);
+    EXPECT_DOUBLE_EQ(featureMin(ramp), 1.0);
+    EXPECT_DOUBLE_EQ(featureMean(ramp), 3.0);
+}
+
+TEST(FeaturesTest, VarAndStd)
+{
+    EXPECT_DOUBLE_EQ(featureVar(ramp), 2.0);
+    EXPECT_DOUBLE_EQ(featureStd(ramp), std::sqrt(2.0));
+}
+
+TEST(FeaturesTest, ConstantSignal)
+{
+    const std::vector<double> flat(16, 7.0);
+    EXPECT_DOUBLE_EQ(featureVar(flat), 0.0);
+    EXPECT_DOUBLE_EQ(featureStd(flat), 0.0);
+    EXPECT_DOUBLE_EQ(featureSkew(flat), 0.0);
+    EXPECT_DOUBLE_EQ(featureKurt(flat), 0.0);
+    EXPECT_DOUBLE_EQ(featureCzero(flat), 0.0);
+}
+
+TEST(FeaturesTest, ZeroCrossingsAlternating)
+{
+    const std::vector<double> alternating = {1.0, -1.0, 1.0, -1.0, 1.0};
+    EXPECT_DOUBLE_EQ(featureCzero(alternating), 4.0);
+}
+
+TEST(FeaturesTest, ZeroCrossingsWithZeroSamples)
+{
+    // Zero counts as non-negative, matching the hardware comparator
+    // on the sign bit.
+    const std::vector<double> signal = {-1.0, 0.0, -1.0, 2.0};
+    EXPECT_DOUBLE_EQ(featureCzero(signal), 3.0);
+}
+
+TEST(FeaturesTest, SkewOfSymmetricIsZero)
+{
+    const std::vector<double> symmetric = {-2.0, -1.0, 0.0, 1.0, 2.0};
+    EXPECT_NEAR(featureSkew(symmetric), 0.0, 1e-12);
+}
+
+TEST(FeaturesTest, SkewSignFollowsTail)
+{
+    const std::vector<double> right_tail = {0.0, 0.0, 0.0, 0.0, 10.0};
+    EXPECT_GT(featureSkew(right_tail), 0.0);
+    const std::vector<double> left_tail = {0.0, 0.0, 0.0, 0.0, -10.0};
+    EXPECT_LT(featureSkew(left_tail), 0.0);
+}
+
+TEST(FeaturesTest, KurtosisOfTwoPointMassIsOne)
+{
+    // Bernoulli(+-1) has kurtosis exactly 1 (non-excess).
+    const std::vector<double> two_point = {1.0, -1.0, 1.0, -1.0};
+    EXPECT_NEAR(featureKurt(two_point), 1.0, 1e-12);
+}
+
+TEST(FeaturesTest, GaussianKurtosisNearThree)
+{
+    Rng rng(77);
+    std::vector<double> noise(200000);
+    for (double &v : noise)
+        v = rng.gaussian();
+    EXPECT_NEAR(featureKurt(noise), 3.0, 0.1);
+    EXPECT_NEAR(featureSkew(noise), 0.0, 0.05);
+}
+
+TEST(FeaturesTest, DispatchMatchesDirectCalls)
+{
+    for (FeatureKind kind : allFeatureKinds) {
+        const double via_dispatch = computeFeature(kind, ramp);
+        double direct = 0.0;
+        switch (kind) {
+          case FeatureKind::Max:   direct = featureMax(ramp); break;
+          case FeatureKind::Min:   direct = featureMin(ramp); break;
+          case FeatureKind::Mean:  direct = featureMean(ramp); break;
+          case FeatureKind::Var:   direct = featureVar(ramp); break;
+          case FeatureKind::Std:   direct = featureStd(ramp); break;
+          case FeatureKind::Czero: direct = featureCzero(ramp); break;
+          case FeatureKind::Skew:  direct = featureSkew(ramp); break;
+          case FeatureKind::Kurt:  direct = featureKurt(ramp); break;
+        }
+        EXPECT_DOUBLE_EQ(via_dispatch, direct)
+            << featureName(kind);
+    }
+}
+
+TEST(FeaturesTest, ComputeAllMatchesCanonicalOrder)
+{
+    const auto all = computeAllFeatures(ramp);
+    for (size_t i = 0; i < featureKindCount; ++i)
+        EXPECT_DOUBLE_EQ(all[i], computeFeature(allFeatureKinds[i], ramp));
+}
+
+TEST(FeaturesTest, EmptySignalPanics)
+{
+    const std::vector<double> empty;
+    EXPECT_THROW(featureMax(empty), PanicError);
+    EXPECT_THROW(featureMean(empty), PanicError);
+    EXPECT_THROW(featureCzero(empty), PanicError);
+}
+
+TEST(FeaturesTest, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (FeatureKind kind : allFeatureKinds)
+        names.insert(featureName(kind));
+    EXPECT_EQ(names.size(), featureKindCount);
+}
+
+/** Invariance properties under shifting and scaling. */
+class FeatureInvarianceTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FeatureInvarianceTest, ShiftAndScaleBehaviour)
+{
+    Rng rng(GetParam());
+    std::vector<double> signal(128);
+    for (double &v : signal)
+        v = rng.gaussian(0.0, 2.0);
+
+    std::vector<double> shifted = signal;
+    for (double &v : shifted)
+        v += 5.0;
+    // Variance is shift-invariant; mean shifts by the offset.
+    EXPECT_NEAR(featureVar(shifted), featureVar(signal), 1e-9);
+    EXPECT_NEAR(featureMean(shifted), featureMean(signal) + 5.0, 1e-9);
+    // Skew and kurtosis are shift- and scale-invariant.
+    std::vector<double> scaled = signal;
+    for (double &v : scaled)
+        v *= 3.0;
+    EXPECT_NEAR(featureSkew(scaled), featureSkew(signal), 1e-9);
+    EXPECT_NEAR(featureKurt(scaled), featureKurt(signal), 1e-9);
+    // Std scales linearly.
+    EXPECT_NEAR(featureStd(scaled), 3.0 * featureStd(signal), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeatureInvarianceTest,
+                         ::testing::Values(5u, 6u, 7u, 8u));
+
+} // namespace

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for kernel functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "ml/kernel.hh"
+
+namespace
+{
+
+using namespace xpro;
+
+TEST(KernelTest, DotProduct)
+{
+    EXPECT_DOUBLE_EQ(dotProduct({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}),
+                     32.0);
+    EXPECT_DOUBLE_EQ(dotProduct({}, {}), 0.0);
+}
+
+TEST(KernelTest, SquaredDistance)
+{
+    EXPECT_DOUBLE_EQ(squaredDistance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+    EXPECT_DOUBLE_EQ(squaredDistance({1.0}, {1.0}), 0.0);
+}
+
+TEST(KernelTest, SizeMismatchPanics)
+{
+    EXPECT_THROW(dotProduct({1.0}, {1.0, 2.0}), PanicError);
+    EXPECT_THROW(squaredDistance({1.0}, {1.0, 2.0}), PanicError);
+}
+
+TEST(KernelTest, LinearKernelIsDotProduct)
+{
+    Kernel k{KernelKind::Linear, 0.0};
+    EXPECT_DOUBLE_EQ(k({1.0, 2.0}, {3.0, 4.0}), 11.0);
+}
+
+TEST(KernelTest, RbfAtZeroDistanceIsOne)
+{
+    Kernel k{KernelKind::Rbf, 0.7};
+    EXPECT_DOUBLE_EQ(k({1.0, -2.0}, {1.0, -2.0}), 1.0);
+}
+
+TEST(KernelTest, RbfDecaysWithDistance)
+{
+    Kernel k{KernelKind::Rbf, 0.5};
+    const double near = k({0.0}, {0.5});
+    const double far = k({0.0}, {2.0});
+    EXPECT_GT(near, far);
+    EXPECT_NEAR(near, std::exp(-0.5 * 0.25), 1e-12);
+    EXPECT_NEAR(far, std::exp(-0.5 * 4.0), 1e-12);
+}
+
+TEST(KernelTest, RbfGammaControlsWidth)
+{
+    Kernel narrow{KernelKind::Rbf, 5.0};
+    Kernel wide{KernelKind::Rbf, 0.1};
+    EXPECT_LT(narrow({0.0}, {1.0}), wide({0.0}, {1.0}));
+}
+
+TEST(KernelTest, RbfIsSymmetric)
+{
+    Kernel k{KernelKind::Rbf, 1.3};
+    const std::vector<double> x = {0.2, -0.7, 1.5};
+    const std::vector<double> z = {1.0, 0.0, -0.5};
+    EXPECT_DOUBLE_EQ(k(x, z), k(z, x));
+}
+
+TEST(KernelTest, Names)
+{
+    EXPECT_EQ(Kernel{KernelKind::Linear}.name(), "linear");
+    EXPECT_NE(Kernel({KernelKind::Rbf, 0.5}).name().find("rbf"),
+              std::string::npos);
+}
+
+} // namespace

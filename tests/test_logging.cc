@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the logging and error-reporting facilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace
+{
+
+std::vector<std::pair<xpro::LogLevel, std::string>> capturedMessages;
+
+void
+captureSink(xpro::LogLevel level, const std::string &message)
+{
+    capturedMessages.emplace_back(level, message);
+}
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        capturedMessages.clear();
+        _previous = xpro::setLogSink(captureSink);
+    }
+
+    void TearDown() override { xpro::setLogSink(_previous); }
+
+  private:
+    xpro::LogSink _previous = nullptr;
+};
+
+TEST_F(LoggingTest, FatalThrowsFatalError)
+{
+    EXPECT_THROW(xpro::fatal("bad config value %d", 42),
+                 xpro::FatalError);
+    ASSERT_EQ(capturedMessages.size(), 1u);
+    EXPECT_EQ(capturedMessages[0].first, xpro::LogLevel::Fatal);
+    EXPECT_EQ(capturedMessages[0].second, "bad config value 42");
+}
+
+TEST_F(LoggingTest, PanicThrowsPanicError)
+{
+    EXPECT_THROW(xpro::panic("impossible state %s", "reached"),
+                 xpro::PanicError);
+    ASSERT_EQ(capturedMessages.size(), 1u);
+    EXPECT_EQ(capturedMessages[0].first, xpro::LogLevel::Panic);
+}
+
+TEST_F(LoggingTest, FatalErrorIsNotPanicError)
+{
+    try {
+        xpro::fatal("user error");
+        FAIL() << "fatal() returned";
+    } catch (const xpro::PanicError &) {
+        FAIL() << "fatal() threw PanicError";
+    } catch (const xpro::FatalError &e) {
+        EXPECT_STREQ(e.what(), "user error");
+    }
+}
+
+TEST_F(LoggingTest, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(xpro::warn("watch out: %d", 1));
+    EXPECT_NO_THROW(xpro::inform("status %s", "ok"));
+    ASSERT_EQ(capturedMessages.size(), 2u);
+    EXPECT_EQ(capturedMessages[0].first, xpro::LogLevel::Warn);
+    EXPECT_EQ(capturedMessages[1].first, xpro::LogLevel::Inform);
+}
+
+TEST_F(LoggingTest, AssertPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(xproAssert(1 + 1 == 2, "math broke"));
+    EXPECT_TRUE(capturedMessages.empty());
+}
+
+TEST_F(LoggingTest, AssertThrowsWithConditionText)
+{
+    try {
+        xproAssert(2 > 3, "values %d and %d", 2, 3);
+        FAIL() << "assert did not throw";
+    } catch (const xpro::PanicError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("2 > 3"), std::string::npos);
+        EXPECT_NE(what.find("values 2 and 3"), std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, AssertToleratesPercentInCondition)
+{
+    // The condition text must not be interpreted as a format string.
+    const int n = 5;
+    try {
+        xproAssert(n % 2 == 0, "n was %d", n);
+        FAIL() << "assert did not throw";
+    } catch (const xpro::PanicError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("n % 2 == 0"), std::string::npos);
+        EXPECT_NE(what.find("n was 5"), std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, SinkRestoreReturnsPrevious)
+{
+    xpro::LogSink prev = xpro::setLogSink(nullptr); // default
+    EXPECT_EQ(prev, captureSink);
+    xpro::setLogSink(captureSink);
+}
+
+} // namespace

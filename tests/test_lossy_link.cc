@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the lossy-channel link model and its effect on the
+ * Automatic XPro Generator (Section 5.7 extension): expected-cost
+ * math, degeneration to the ideal channel, and the structural
+ * consequence that noisy channels push the cut toward compact
+ * payloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/partitioner.hh"
+#include "topology_fixtures.hh"
+
+namespace
+{
+
+using namespace xpro;
+using xpro::test::chainTopology;
+
+TEST(ChannelModelTest, IdealChannelIsOneTransmission)
+{
+    ChannelModel ideal;
+    EXPECT_DOUBLE_EQ(ideal.expectedTransmissions(10000), 1.0);
+}
+
+TEST(ChannelModelTest, ExpectedTransmissionsClosedForm)
+{
+    ChannelModel noisy;
+    noisy.bitErrorRate = 1e-3;
+    const size_t bits = 500;
+    EXPECT_NEAR(noisy.expectedTransmissions(bits),
+                1.0 / std::pow(1.0 - 1e-3, 500.0), 1e-9);
+    // Longer packets are penalized super-linearly.
+    EXPECT_GT(noisy.expectedTransmissions(2000) / 4.0,
+              noisy.expectedTransmissions(500));
+}
+
+TEST(ChannelModelTest, UndeliverablePacketPanics)
+{
+    ChannelModel terrible;
+    terrible.bitErrorRate = 0.5;
+    EXPECT_THROW(terrible.expectedTransmissions(100), PanicError);
+    ChannelModel invalid;
+    invalid.bitErrorRate = 1.0;
+    EXPECT_THROW(invalid.expectedTransmissions(1), PanicError);
+}
+
+TEST(LossyLinkTest, ZeroBerMatchesIdealLinkExactly)
+{
+    const Transceiver &radio = transceiver(WirelessModel::Model2);
+    const WirelessLink ideal(radio);
+    const WirelessLink zero_ber(radio, ChannelModel{});
+    for (size_t bits : {size_t{32}, size_t{1024}, size_t{4096}}) {
+        EXPECT_DOUBLE_EQ(zero_ber.transfer(bits).txEnergy.nj(),
+                         ideal.transfer(bits).txEnergy.nj());
+        EXPECT_DOUBLE_EQ(zero_ber.transfer(bits).airTime.us(),
+                         ideal.transfer(bits).airTime.us());
+        EXPECT_DOUBLE_EQ(zero_ber.transfer(bits).attempts, 1.0);
+    }
+}
+
+TEST(LossyLinkTest, LossRaisesAllCosts)
+{
+    const Transceiver &radio = transceiver(WirelessModel::Model2);
+    const WirelessLink ideal(radio);
+    ChannelModel channel;
+    channel.bitErrorRate = 5e-4;
+    const WirelessLink lossy(radio, channel);
+    const TransferCost a = ideal.transfer(1024);
+    const TransferCost b = lossy.transfer(1024);
+    EXPECT_GT(b.txEnergy, a.txEnergy);
+    EXPECT_GT(b.rxEnergy, a.rxEnergy);
+    EXPECT_GT(b.airTime, a.airTime);
+    EXPECT_GT(b.attempts, 1.0);
+}
+
+TEST(LossyLinkTest, BigPayloadsSufferMoreThanSmall)
+{
+    const Transceiver &radio = transceiver(WirelessModel::Model2);
+    ChannelModel channel;
+    channel.bitErrorRate = 1e-3;
+    const WirelessLink lossy(radio, channel);
+    const WirelessLink ideal(radio);
+    const double small_inflation =
+        lossy.transfer(40).txEnergy / ideal.transfer(40).txEnergy;
+    const double large_inflation =
+        lossy.transfer(4096).txEnergy /
+        ideal.transfer(4096).txEnergy;
+    EXPECT_GT(large_inflation, 2.0 * small_inflation);
+}
+
+TEST(LossyLinkTest, NoisyChannelShiftsCutTowardCompactPayloads)
+{
+    // Compute slightly above the ideal raw-shipping cost: the ideal
+    // channel ships raw data; a noisy channel makes the big packet
+    // prohibitively expensive, so the generator computes
+    // (compresses) in-sensor instead.
+    const EngineTopology topo =
+        chainTopology(4000, 4000, 4000, 8192);
+    const Transceiver &radio = transceiver(WirelessModel::Model3);
+
+    const WirelessLink ideal(radio);
+    ChannelModel channel;
+    channel.bitErrorRate = 1e-3;
+    const WirelessLink noisy(radio, channel);
+
+    const Placement ideal_cut =
+        XProGenerator(topo, ideal).minimumEnergyPlacement();
+    const Placement noisy_cut =
+        XProGenerator(topo, noisy).minimumEnergyPlacement();
+
+    // Ideal Model-3 channel: shipping 8192 raw bits costs ~3.5 uJ,
+    // below the 4 uJ front cell; raw goes out. At BER 1e-3 the raw
+    // packet needs ~3600 expected attempts; the front cell must
+    // stay local.
+    EXPECT_TRUE(ideal_cut.rawDataTransmitted(topo));
+    EXPECT_FALSE(noisy_cut.rawDataTransmitted(topo));
+    EXPECT_GT(noisy_cut.sensorCellCount(),
+              ideal_cut.sensorCellCount());
+}
+
+TEST(LossyLinkTest, GeneratorInvariantsHoldUnderLoss)
+{
+    const EngineTopology topo = chainTopology(100, 300, 50, 2048);
+    ChannelModel channel;
+    channel.bitErrorRate = 2e-4;
+    const WirelessLink lossy(
+        transceiver(WirelessModel::Model2), channel);
+    const PartitionResult result =
+        XProGenerator(topo, lossy).generate();
+    EXPECT_LE(result.delay.total().us(),
+              result.delayLimit.us() + 1e-6);
+    EXPECT_NEAR(result.energy.total().nj(),
+                sensorEventEnergy(topo, result.placement, lossy)
+                    .total()
+                    .nj(),
+                1e-6);
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for classification metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "ml/metrics.hh"
+
+namespace
+{
+
+using namespace xpro;
+
+TEST(MetricsTest, PerfectPrediction)
+{
+    const std::vector<int> labels = {1, -1, 1, -1};
+    const Confusion c = confusionMatrix(labels, labels);
+    EXPECT_EQ(c.truePositives, 2u);
+    EXPECT_EQ(c.trueNegatives, 2u);
+    EXPECT_EQ(c.falsePositives, 0u);
+    EXPECT_EQ(c.falseNegatives, 0u);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(c.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(c.recall(), 1.0);
+    EXPECT_DOUBLE_EQ(c.f1(), 1.0);
+}
+
+TEST(MetricsTest, AllWrong)
+{
+    const std::vector<int> actual = {1, -1};
+    const std::vector<int> predicted = {-1, 1};
+    const Confusion c = confusionMatrix(predicted, actual);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+    EXPECT_EQ(c.falsePositives, 1u);
+    EXPECT_EQ(c.falseNegatives, 1u);
+}
+
+TEST(MetricsTest, MixedCase)
+{
+    const std::vector<int> actual = {1, 1, 1, -1, -1, -1};
+    const std::vector<int> predicted = {1, 1, -1, -1, 1, -1};
+    const Confusion c = confusionMatrix(predicted, actual);
+    EXPECT_EQ(c.truePositives, 2u);
+    EXPECT_EQ(c.falseNegatives, 1u);
+    EXPECT_EQ(c.falsePositives, 1u);
+    EXPECT_EQ(c.trueNegatives, 2u);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 4.0 / 6.0);
+    EXPECT_DOUBLE_EQ(c.precision(), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(c.recall(), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(c.f1(), 2.0 / 3.0);
+}
+
+TEST(MetricsTest, DegenerateDenominators)
+{
+    // No positives predicted and none present.
+    const std::vector<int> actual = {-1, -1};
+    const std::vector<int> predicted = {-1, -1};
+    const Confusion c = confusionMatrix(predicted, actual);
+    EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+    EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+    EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 1.0);
+}
+
+TEST(MetricsTest, EmptyInput)
+{
+    const Confusion c = confusionMatrix({}, {});
+    EXPECT_EQ(c.total(), 0u);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+}
+
+TEST(MetricsTest, SizeMismatchPanics)
+{
+    EXPECT_THROW(confusionMatrix({1}, {1, -1}), PanicError);
+}
+
+TEST(MetricsTest, AccuracyScoreHelper)
+{
+    EXPECT_DOUBLE_EQ(accuracyScore({1, -1, 1}, {1, 1, 1}), 2.0 / 3.0);
+}
+
+} // namespace

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for Placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/placement.hh"
+#include "topology_fixtures.hh"
+
+namespace
+{
+
+using namespace xpro;
+using xpro::test::chainTopology;
+
+TEST(PlacementTest, AllInSensorHasEveryCell)
+{
+    const EngineTopology topo = chainTopology(100, 100, 100);
+    const Placement p = Placement::allInSensor(topo);
+    EXPECT_EQ(p.sensorCellCount(), topo.graph.cellCount());
+    EXPECT_FALSE(p.rawDataTransmitted(topo));
+}
+
+TEST(PlacementTest, AllInAggregatorKeepsSourceAtSensor)
+{
+    const EngineTopology topo = chainTopology(100, 100, 100);
+    const Placement p = Placement::allInAggregator(topo);
+    EXPECT_EQ(p.sensorCellCount(), 0u);
+    EXPECT_TRUE(p.inSensor(DataflowGraph::sourceId));
+    EXPECT_TRUE(p.rawDataTransmitted(topo));
+}
+
+TEST(PlacementTest, TrivialCutSplitsAtClassifier)
+{
+    const EngineTopology topo = chainTopology(100, 100, 100);
+    const Placement p = Placement::trivialCut(topo);
+    EXPECT_TRUE(p.inSensor(1));  // feature
+    EXPECT_FALSE(p.inSensor(2)); // svm
+    EXPECT_FALSE(p.inSensor(3)); // fusion
+    EXPECT_FALSE(p.rawDataTransmitted(topo));
+}
+
+TEST(PlacementTest, FromMaskValidatesShape)
+{
+    const EngineTopology topo = chainTopology(100, 100, 100);
+    EXPECT_THROW(
+        Placement::fromMask(topo, std::vector<bool>(2, true)),
+        PanicError);
+    // Source must stay in the sensor.
+    std::vector<bool> mask(topo.graph.nodeCount(), true);
+    mask[DataflowGraph::sourceId] = false;
+    EXPECT_THROW(Placement::fromMask(topo, mask), PanicError);
+}
+
+TEST(PlacementTest, SummaryReportsCounts)
+{
+    const EngineTopology topo = chainTopology(100, 100, 100);
+    const std::string s =
+        Placement::allInAggregator(topo).summary(topo);
+    EXPECT_NE(s.find("0/3"), std::string::npos);
+    EXPECT_NE(s.find("raw data transmitted"), std::string::npos);
+}
+
+TEST(PlacementTest, RawTransmittedOnlyWhenSourceConsumerOffloaded)
+{
+    const EngineTopology topo = chainTopology(100, 100, 100);
+    // Only the fusion cell offloaded: raw data stays local.
+    std::vector<bool> mask = {true, true, true, false};
+    const Placement p = Placement::fromMask(topo, mask);
+    EXPECT_FALSE(p.rawDataTransmitted(topo));
+    // Offloading the feature (the raw consumer) transmits raw data.
+    std::vector<bool> mask2 = {true, false, true, true};
+    const Placement p2 = Placement::fromMask(topo, mask2);
+    EXPECT_TRUE(p2.rawDataTransmitted(topo));
+}
+
+} // namespace

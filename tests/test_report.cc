@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the CSV reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/report.hh"
+
+namespace
+{
+
+using namespace xpro;
+
+TEST(CsvTableTest, HeaderAndRows)
+{
+    CsvTable table({"a", "b"});
+    table.beginRow().add(std::string("x")).add(1.5);
+    table.beginRow().add(std::string("y")).add(size_t{7});
+    std::ostringstream out;
+    table.write(out);
+    EXPECT_EQ(out.str(), "a,b\nx,1.5\ny,7\n");
+}
+
+TEST(CsvTableTest, IntegralDoublesPrintWithoutDecimals)
+{
+    CsvTable table({"v"});
+    table.beginRow().add(42.0);
+    std::ostringstream out;
+    table.write(out);
+    EXPECT_EQ(out.str(), "v\n42\n");
+}
+
+TEST(CsvTableTest, EscapesSpecialCharacters)
+{
+    CsvTable table({"name"});
+    table.beginRow().add(std::string("a,b"));
+    table.beginRow().add(std::string("say \"hi\""));
+    std::ostringstream out;
+    table.write(out);
+    EXPECT_EQ(out.str(), "name\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvTableTest, RaggedRowsPanic)
+{
+    CsvTable table({"a", "b"});
+    table.beginRow().add(1.0);
+    std::ostringstream out;
+    EXPECT_THROW(table.write(out), PanicError);
+    // Completing the row makes it valid again.
+    table.add(2.0);
+    EXPECT_NO_THROW(table.write(out));
+    // Starting a new row after an incomplete one also panics.
+    table.beginRow().add(1.0);
+    EXPECT_THROW(table.beginRow(), PanicError);
+}
+
+TEST(CsvTableTest, TooManyCellsPanics)
+{
+    CsvTable table({"only"});
+    table.beginRow().add(1.0);
+    EXPECT_THROW(table.add(2.0), PanicError);
+}
+
+TEST(CsvTableTest, AddBeforeBeginRowPanics)
+{
+    CsvTable table({"a"});
+    EXPECT_THROW(table.add(1.0), PanicError);
+}
+
+TEST(CsvTableTest, EmptyColumnsPanics)
+{
+    EXPECT_THROW(CsvTable({}), PanicError);
+}
+
+TEST(CsvTableTest, WriteFileRoundTrips)
+{
+    const std::string path = "/tmp/xpro_test_report.csv";
+    CsvTable table({"k", "v"});
+    table.beginRow().add(std::string("battery")).add(42.5);
+    table.writeFile(path);
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), "k,v\nbattery,42.5\n");
+    std::remove(path.c_str());
+}
+
+TEST(CsvTableTest, UnwritablePathIsFatal)
+{
+    CsvTable table({"a"});
+    table.beginRow().add(1.0);
+    EXPECT_THROW(table.writeFile("/nonexistent-dir/x.csv"),
+                 FatalError);
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the streaming Summary accumulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace
+{
+
+using xpro::Summary;
+
+TEST(StatsTest, EmptySummaryIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(StatsTest, SingleValue)
+{
+    Summary s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StatsTest, KnownSequence)
+{
+    Summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StatsTest, MergeMatchesSequential)
+{
+    xpro::Rng rng(55);
+    Summary whole;
+    Summary left;
+    Summary right;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.gaussian(10.0, 3.0);
+        whole.add(v);
+        (i % 2 ? left : right).add(v);
+    }
+    Summary merged = left;
+    merged.merge(right);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
+TEST(StatsTest, MergeWithEmpty)
+{
+    Summary a;
+    a.add(1.0);
+    a.add(2.0);
+    Summary empty;
+    Summary merged = a;
+    merged.merge(empty);
+    EXPECT_EQ(merged.count(), 2u);
+    EXPECT_DOUBLE_EQ(merged.mean(), 1.5);
+
+    Summary other;
+    other.merge(a);
+    EXPECT_EQ(other.count(), 2u);
+    EXPECT_DOUBLE_EQ(other.mean(), 1.5);
+}
+
+TEST(StatsTest, NumericallyStableAroundLargeOffset)
+{
+    Summary s;
+    const double offset = 1.0e9;
+    for (double v : {offset + 1.0, offset + 2.0, offset + 3.0})
+        s.add(v);
+    EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+    EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-6);
+}
+
+} // namespace

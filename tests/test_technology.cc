@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the reconstructed process-technology library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/technology.hh"
+
+namespace
+{
+
+using namespace xpro;
+
+TEST(TechnologyTest, NodeNames)
+{
+    EXPECT_EQ(processNodeName(ProcessNode::Tsmc130), "130nm");
+    EXPECT_EQ(processNodeName(ProcessNode::Tsmc90), "90nm");
+    EXPECT_EQ(processNodeName(ProcessNode::Tsmc45), "45nm");
+    EXPECT_EQ(Technology::get(ProcessNode::Tsmc90).name(), "90nm");
+}
+
+TEST(TechnologyTest, SingletonIdentity)
+{
+    const Technology &a = Technology::get(ProcessNode::Tsmc45);
+    const Technology &b = Technology::get(ProcessNode::Tsmc45);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(TechnologyTest, DynamicEnergyShrinksWithFeatureSize)
+{
+    for (AluOp op : allAluOps) {
+        const Energy e130 =
+            Technology::get(ProcessNode::Tsmc130).opEnergy(op);
+        const Energy e90 =
+            Technology::get(ProcessNode::Tsmc90).opEnergy(op);
+        const Energy e45 =
+            Technology::get(ProcessNode::Tsmc45).opEnergy(op);
+        EXPECT_GT(e130, e90) << aluOpName(op);
+        EXPECT_GT(e90, e45) << aluOpName(op);
+    }
+}
+
+TEST(TechnologyTest, RelativeOpCostsAreArchitectural)
+{
+    const Technology &tech = Technology::get(ProcessNode::Tsmc90);
+    // Multiply is many times an add; super computation is an order
+    // above multiply-class ops; buffer access is cheapest.
+    EXPECT_GT(tech.opEnergy(AluOp::Mul).pj(),
+              5.0 * tech.opEnergy(AluOp::Add).pj());
+    EXPECT_GT(tech.opEnergy(AluOp::Div), tech.opEnergy(AluOp::Mul));
+    EXPECT_GT(tech.opEnergy(AluOp::Exp), tech.opEnergy(AluOp::Div));
+    EXPECT_LT(tech.opEnergy(AluOp::Buf), tech.opEnergy(AluOp::Add));
+}
+
+TEST(TechnologyTest, CyclesAreProcessIndependent)
+{
+    // The cell clock is fixed at 16 MHz across nodes, so latencies
+    // in cycles do not scale with the process.
+    for (AluOp op : allAluOps) {
+        EXPECT_EQ(Technology::get(ProcessNode::Tsmc130).opCycles(op),
+                  Technology::get(ProcessNode::Tsmc45).opCycles(op))
+            << aluOpName(op);
+    }
+}
+
+TEST(TechnologyTest, SuperComputationIsMultiCycle)
+{
+    const Technology &tech = Technology::get(ProcessNode::Tsmc90);
+    EXPECT_EQ(tech.opCycles(AluOp::Add), 1u);
+    EXPECT_GT(tech.opCycles(AluOp::Div), 8u);
+    EXPECT_GT(tech.opCycles(AluOp::Sqrt), tech.opCycles(AluOp::Div));
+    EXPECT_GT(tech.opCycles(AluOp::Exp), 8u);
+}
+
+TEST(TechnologyTest, LeakageScalesSlowerThanDynamic)
+{
+    const Technology &t130 = Technology::get(ProcessNode::Tsmc130);
+    const Technology &t45 = Technology::get(ProcessNode::Tsmc45);
+    const double dynamic_ratio =
+        t130.opEnergy(AluOp::Add) / t45.opEnergy(AluOp::Add);
+    const double leakage_ratio =
+        t130.unitLeakage() / t45.unitLeakage();
+    EXPECT_GT(dynamic_ratio, leakage_ratio);
+}
+
+TEST(TechnologyTest, ClockFrequencyIsPaperValue)
+{
+    EXPECT_DOUBLE_EQ(Technology::cellClockHz, 16.0e6);
+}
+
+TEST(TechnologyTest, WakeEnergyIsSmall)
+{
+    // Power-gating overhead must be negligible next to a single
+    // multiply-heavy cell execution (paper Section 4.3).
+    const Technology &tech = Technology::get(ProcessNode::Tsmc90);
+    EXPECT_LT(tech.wakeEnergy().pj(),
+              tech.opEnergy(AluOp::Mul).pj());
+}
+
+TEST(TechnologyTest, OpNamesUnique)
+{
+    std::set<std::string> names;
+    for (AluOp op : allAluOps)
+        names.insert(aluOpName(op));
+    EXPECT_EQ(names.size(), aluOpCount);
+}
+
+} // namespace

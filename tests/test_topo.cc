@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for critical-path and reachability utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/dataflow_graph.hh"
+#include "graph/topo.hh"
+
+namespace
+{
+
+using xpro::DataflowGraph;
+using xpro::DataflowNode;
+using xpro::Time;
+
+DataflowNode
+makeCell(const std::string &name)
+{
+    DataflowNode node;
+    node.name = name;
+    node.outputBits = 32;
+    return node;
+}
+
+TEST(TopoTest, ChainSumsDelays)
+{
+    DataflowGraph g(64);
+    const size_t a = g.addCell(makeCell("a"));
+    const size_t b = g.addCell(makeCell("b"));
+    g.addEdge(DataflowGraph::sourceId, a);
+    g.addEdge(a, b);
+
+    const Time total = criticalPath(
+        g, [](size_t) { return Time::micros(10.0); },
+        [](size_t, size_t) { return Time::micros(1.0); });
+    // source(10) + edge(1) + a(10) + edge(1) + b(10)
+    EXPECT_DOUBLE_EQ(total.us(), 32.0);
+}
+
+TEST(TopoTest, ParallelBranchesTakeSlowest)
+{
+    DataflowGraph g(64);
+    const size_t fast = g.addCell(makeCell("fast"));
+    const size_t slow = g.addCell(makeCell("slow"));
+    const size_t join = g.addCell(makeCell("join"));
+    g.addEdge(DataflowGraph::sourceId, fast);
+    g.addEdge(DataflowGraph::sourceId, slow);
+    g.addEdge(fast, join);
+    g.addEdge(slow, join);
+
+    const Time total = criticalPath(
+        g,
+        [&](size_t id) {
+            if (id == slow)
+                return Time::micros(100.0);
+            if (id == fast)
+                return Time::micros(1.0);
+            if (id == join)
+                return Time::micros(5.0);
+            return Time(); // source
+        },
+        [](size_t, size_t) { return Time(); });
+    EXPECT_DOUBLE_EQ(total.us(), 105.0);
+}
+
+TEST(TopoTest, EdgeDelayDependsOnEndpoints)
+{
+    DataflowGraph g(64);
+    const size_t a = g.addCell(makeCell("a"));
+    const size_t b = g.addCell(makeCell("b"));
+    g.addEdge(DataflowGraph::sourceId, a);
+    g.addEdge(a, b);
+
+    // Only the a->b hop is a (slow) wireless hop.
+    const Time total = criticalPath(
+        g, [](size_t) { return Time(); },
+        [&](size_t u, size_t v) {
+            return (u == a && v == b) ? Time::millis(2.0) : Time();
+        });
+    EXPECT_DOUBLE_EQ(total.ms(), 2.0);
+}
+
+TEST(TopoTest, CompletionTimesMonotoneAlongEdges)
+{
+    DataflowGraph g(64);
+    const size_t a = g.addCell(makeCell("a"));
+    const size_t b = g.addCell(makeCell("b"));
+    const size_t c = g.addCell(makeCell("c"));
+    g.addEdge(DataflowGraph::sourceId, a);
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    g.addEdge(a, c);
+
+    const auto done = completionTimes(
+        g, [](size_t) { return Time::micros(3.0); },
+        [](size_t, size_t) { return Time::micros(1.0); });
+    EXPECT_LT(done[DataflowGraph::sourceId], done[a]);
+    EXPECT_LT(done[a], done[b]);
+    EXPECT_LT(done[b], done[c]);
+}
+
+TEST(TopoTest, EmptyGraphTakesSourceDelay)
+{
+    DataflowGraph g(64);
+    const Time total = criticalPath(
+        g, [](size_t) { return Time::millis(1.0); },
+        [](size_t, size_t) { return Time(); });
+    EXPECT_DOUBLE_EQ(total.ms(), 1.0);
+}
+
+TEST(TopoTest, ReachableFromSource)
+{
+    DataflowGraph g(64);
+    const size_t a = g.addCell(makeCell("a"));
+    const size_t b = g.addCell(makeCell("b"));
+    const size_t island = g.addCell(makeCell("island"));
+    g.addEdge(DataflowGraph::sourceId, a);
+    g.addEdge(a, b);
+    g.addEdge(island, b);
+
+    const std::vector<bool> reached =
+        reachableFrom(g, DataflowGraph::sourceId);
+    EXPECT_TRUE(reached[a]);
+    EXPECT_TRUE(reached[b]);
+    EXPECT_FALSE(reached[island]);
+}
+
+TEST(TopoTest, ReachableFromInteriorNode)
+{
+    DataflowGraph g(64);
+    const size_t a = g.addCell(makeCell("a"));
+    const size_t b = g.addCell(makeCell("b"));
+    g.addEdge(DataflowGraph::sourceId, a);
+    g.addEdge(a, b);
+    const std::vector<bool> reached = reachableFrom(g, a);
+    EXPECT_FALSE(reached[DataflowGraph::sourceId]);
+    EXPECT_TRUE(reached[a]);
+    EXPECT_TRUE(reached[b]);
+}
+
+} // namespace

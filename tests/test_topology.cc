@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the engine topology builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pipeline.hh"
+#include "core/topology.hh"
+#include "data/testcases.hh"
+
+namespace
+{
+
+using namespace xpro;
+
+/** Small, fast training configuration shared by core tests. */
+EngineConfig
+testConfig()
+{
+    EngineConfig config;
+    config.subspace.candidates = 12;
+    config.subspace.keepFraction = 0.25;
+    config.subspace.subspaceDimension = 8;
+    return config;
+}
+
+TrainingOptions
+testOptions()
+{
+    TrainingOptions options;
+    options.maxTrainingSegments = 80;
+    options.seed = 77;
+    return options;
+}
+
+class TopologyTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        dataset = new SignalDataset(makeTestCase(TestCase::E1, 42));
+        pipeline = new TrainedPipeline(
+            trainPipeline(*dataset, testConfig(), testOptions()));
+        topology = new EngineTopology(buildEngineTopology(
+            pipeline->ensemble, dataset->segmentLength, testConfig(),
+            dataset->eventsPerSecond()));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete topology;
+        delete pipeline;
+        delete dataset;
+        topology = nullptr;
+        pipeline = nullptr;
+        dataset = nullptr;
+    }
+
+    static SignalDataset *dataset;
+    static TrainedPipeline *pipeline;
+    static EngineTopology *topology;
+};
+
+SignalDataset *TopologyTest::dataset = nullptr;
+TrainedPipeline *TopologyTest::pipeline = nullptr;
+EngineTopology *TopologyTest::topology = nullptr;
+
+TEST_F(TopologyTest, GraphIsValid)
+{
+    EXPECT_EQ(topology->graph.validate(), "");
+}
+
+TEST_F(TopologyTest, SourceCarriesRawSegmentBits)
+{
+    EXPECT_EQ(topology->graph.node(DataflowGraph::sourceId).outputBits,
+              dataset->segmentLength * wordBits);
+}
+
+TEST_F(TopologyTest, FusionIsTheOnlyTerminal)
+{
+    const auto terminals = topology->graph.terminals();
+    ASSERT_EQ(terminals.size(), 1u);
+    EXPECT_EQ(terminals[0], topology->fusionNode);
+    EXPECT_EQ(topology->cells[topology->fusionNode].kind,
+              ComponentKind::Fusion);
+}
+
+TEST_F(TopologyTest, OneSvmCellPerBaseClassifier)
+{
+    EXPECT_EQ(topology->svmNodes.size(),
+              pipeline->ensemble.bases().size());
+    for (size_t b = 0; b < topology->svmNodes.size(); ++b) {
+        const CellInfo &info = topology->cells[topology->svmNodes[b]];
+        EXPECT_EQ(info.kind, ComponentKind::Svm);
+        EXPECT_EQ(info.svmIndex, b);
+        // Each SVM reads one feature cell per subspace dimension.
+        EXPECT_EQ(topology->graph
+                      .predecessors(topology->svmNodes[b])
+                      .size(),
+                  pipeline->ensemble.bases()[b].featureIndices.size());
+    }
+}
+
+TEST_F(TopologyTest, FeatureCellsMatchUsedFeatures)
+{
+    const std::vector<size_t> used =
+        pipeline->ensemble.usedFeatureIndices();
+    size_t feature_cells = 0;
+    for (size_t idx = 0; idx < featurePoolSize; ++idx) {
+        if (topology->featureNodes[idx] != 0)
+            ++feature_cells;
+    }
+    EXPECT_EQ(feature_cells, used.size());
+    for (size_t idx : used)
+        EXPECT_NE(topology->featureNodes[idx], 0u);
+}
+
+TEST_F(TopologyTest, DwtChainCoversDeepestUsedLevel)
+{
+    size_t deepest = 0;
+    for (size_t idx : pipeline->ensemble.usedFeatureIndices()) {
+        deepest =
+            std::max(deepest,
+                     domainLevel(featureFromIndex(idx).domain));
+    }
+    EXPECT_EQ(topology->dwtNodes.size(), deepest);
+    // The chain is connected source -> L1 -> L2 -> ...
+    for (size_t k = 0; k < topology->dwtNodes.size(); ++k) {
+        const size_t expected_pred =
+            k == 0 ? DataflowGraph::sourceId : topology->dwtNodes[k - 1];
+        const auto &preds =
+            topology->graph.predecessors(topology->dwtNodes[k]);
+        ASSERT_EQ(preds.size(), 1u);
+        EXPECT_EQ(preds[0], expected_pred);
+    }
+}
+
+TEST_F(TopologyTest, AllCellsHavePositiveCosts)
+{
+    for (size_t node = 1; node < topology->graph.nodeCount(); ++node) {
+        const CellCosts &costs = topology->graph.node(node).costs;
+        EXPECT_GT(costs.sensorEnergy.pj(), 0.0)
+            << describeCell(*topology, node);
+        EXPECT_GT(costs.sensorDelay.ns(), 0.0);
+        EXPECT_GT(costs.aggregatorEnergy.pj(), 0.0);
+        EXPECT_GT(costs.aggregatorDelay.ns(), 0.0);
+    }
+}
+
+TEST_F(TopologyTest, StandbyRaisesSensorCostAtLowerEventRates)
+{
+    const EngineTopology slow = buildEngineTopology(
+        pipeline->ensemble, dataset->segmentLength, testConfig(), 1.0);
+    const EngineTopology fast = buildEngineTopology(
+        pipeline->ensemble, dataset->segmentLength, testConfig(), 10.0);
+    // Same cell: lower event rate => longer idle listening per event.
+    EXPECT_GT(slow.graph.node(1).costs.sensorEnergy,
+              fast.graph.node(1).costs.sensorEnergy);
+    // Software costs are unaffected.
+    EXPECT_EQ(slow.graph.node(1).costs.aggregatorEnergy.pj(),
+              fast.graph.node(1).costs.aggregatorEnergy.pj());
+}
+
+TEST_F(TopologyTest, StdReusesVarWhenBothPresent)
+{
+    // Find a domain where both Var and Std cells exist.
+    for (size_t d = 0; d < featureDomainCount; ++d) {
+        const auto domain = static_cast<FeatureDomain>(d);
+        const size_t var_node = topology->featureNodes[featureIndex(
+            {domain, FeatureKind::Var})];
+        const size_t std_node = topology->featureNodes[featureIndex(
+            {domain, FeatureKind::Std})];
+        if (var_node == 0 || std_node == 0)
+            continue;
+        // Std must read from Var, not from the domain producer.
+        const auto &preds = topology->graph.predecessors(std_node);
+        ASSERT_EQ(preds.size(), 1u);
+        EXPECT_EQ(preds[0], var_node);
+        // And the reused Std cell is far cheaper than the Var cell.
+        EXPECT_LT(topology->graph.node(std_node).costs.sensorEnergy,
+                  topology->graph.node(var_node).costs.sensorEnergy);
+    }
+}
+
+TEST_F(TopologyTest, EdgeBitsShrinkAlongDwtChain)
+{
+    if (topology->dwtNodes.size() < 2)
+        GTEST_SKIP() << "needs at least two DWT levels";
+    const size_t l1 = topology->dwtNodes[0];
+    const size_t l2 = topology->dwtNodes[1];
+    EXPECT_LT(topology->graph.edgeBits(l1, l2),
+              topology->graph.edgeBits(DataflowGraph::sourceId, l1));
+}
+
+TEST_F(TopologyTest, FeatureOutputsAreSingleWords)
+{
+    for (size_t idx = 0; idx < featurePoolSize; ++idx) {
+        const size_t node = topology->featureNodes[idx];
+        if (node != 0) {
+            EXPECT_EQ(topology->graph.node(node).outputBits,
+                      featureValueBits);
+        }
+    }
+}
+
+TEST_F(TopologyTest, DescribeCellMentionsName)
+{
+    const std::string desc =
+        describeCell(*topology, topology->fusionNode);
+    EXPECT_NE(desc.find("Fusion"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the wireless transceiver models and link
+ * packetization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "wireless/link.hh"
+
+namespace
+{
+
+using namespace xpro;
+
+TEST(TransceiverTest, PaperEnergyValues)
+{
+    EXPECT_DOUBLE_EQ(transceiver(WirelessModel::Model1).txPerBit.nj(),
+                     2.9);
+    EXPECT_DOUBLE_EQ(transceiver(WirelessModel::Model1).rxPerBit.nj(),
+                     3.3);
+    EXPECT_DOUBLE_EQ(transceiver(WirelessModel::Model2).txPerBit.nj(),
+                     1.53);
+    EXPECT_DOUBLE_EQ(transceiver(WirelessModel::Model2).rxPerBit.nj(),
+                     1.71);
+    EXPECT_DOUBLE_EQ(transceiver(WirelessModel::Model3).txPerBit.nj(),
+                     0.42);
+    EXPECT_DOUBLE_EQ(transceiver(WirelessModel::Model3).rxPerBit.nj(),
+                     0.295);
+}
+
+TEST(TransceiverTest, EnergyOrderingHighMediumLow)
+{
+    const Energy m1 = transceiver(WirelessModel::Model1).txEnergy(1000);
+    const Energy m2 = transceiver(WirelessModel::Model2).txEnergy(1000);
+    const Energy m3 = transceiver(WirelessModel::Model3).txEnergy(1000);
+    EXPECT_GT(m1, m2);
+    EXPECT_GT(m2, m3);
+}
+
+TEST(TransceiverTest, AirTimeUsesDataRate)
+{
+    const Transceiver &radio = transceiver(WirelessModel::Model2);
+    EXPECT_DOUBLE_EQ(radio.dataRateBps, 2.0e6);
+    EXPECT_DOUBLE_EQ(radio.airTime(2000).ms(), 1.0);
+}
+
+TEST(TransceiverTest, NamesMentionEnergies)
+{
+    EXPECT_NE(wirelessModelName(WirelessModel::Model2).find("1.53"),
+              std::string::npos);
+    EXPECT_NE(wirelessModelName(WirelessModel::Model3).find("0.42"),
+              std::string::npos);
+}
+
+TEST(LinkTest, HeaderAddedOncePerPayload)
+{
+    const WirelessLink link(transceiver(WirelessModel::Model2));
+    const TransferCost cost = link.transfer(32);
+    EXPECT_EQ(cost.bits, 32u + packetHeaderBits);
+    EXPECT_DOUBLE_EQ(cost.txEnergy.nj(), 40 * 1.53);
+    EXPECT_DOUBLE_EQ(cost.rxEnergy.nj(), 40 * 1.71);
+}
+
+TEST(LinkTest, AirTimeMatchesBits)
+{
+    const WirelessLink link(transceiver(WirelessModel::Model2));
+    EXPECT_DOUBLE_EQ(link.transfer(3992).airTime.ms(), 2.0);
+}
+
+TEST(LinkTest, EmptyTransferPanics)
+{
+    const WirelessLink link(transceiver(WirelessModel::Model2));
+    EXPECT_THROW(link.transfer(0), PanicError);
+}
+
+} // namespace

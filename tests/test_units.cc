@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the strong unit types (Energy, Time, Power).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace
+{
+
+using xpro::Energy;
+using xpro::Power;
+using xpro::Time;
+
+TEST(UnitsTest, TimeFactoriesAgree)
+{
+    EXPECT_DOUBLE_EQ(Time::millis(1500.0).sec(), 1.5);
+    EXPECT_DOUBLE_EQ(Time::micros(2.0).ns(), 2000.0);
+    EXPECT_DOUBLE_EQ(Time::hours(2.0).sec(), 7200.0);
+    EXPECT_DOUBLE_EQ(Time::seconds(7200.0).hr(), 2.0);
+}
+
+TEST(UnitsTest, TimeFromClockCycles)
+{
+    // 16 MHz is the paper's functional-cell clock.
+    const Time t = Time::cycles(16.0e6, 16.0e6);
+    EXPECT_DOUBLE_EQ(t.sec(), 1.0);
+    EXPECT_DOUBLE_EQ(Time::cycles(8, 16.0e6).us(), 0.5);
+}
+
+TEST(UnitsTest, EnergyFactoriesAgree)
+{
+    EXPECT_DOUBLE_EQ(Energy::picos(1.0e6).uj(), 1.0);
+    EXPECT_DOUBLE_EQ(Energy::nanos(1.53).nj(), 1.53);
+    EXPECT_DOUBLE_EQ(Energy::micros(3.0).nj(), 3000.0);
+}
+
+TEST(UnitsTest, ArithmeticAndComparison)
+{
+    const Energy a = Energy::nanos(2.0);
+    const Energy b = Energy::nanos(3.0);
+    EXPECT_DOUBLE_EQ((a + b).nj(), 5.0);
+    EXPECT_DOUBLE_EQ((b - a).nj(), 1.0);
+    EXPECT_DOUBLE_EQ((a * 2.5).nj(), 5.0);
+    EXPECT_DOUBLE_EQ(b / a, 1.5);
+    EXPECT_LT(a, b);
+    EXPECT_EQ(a, Energy::picos(2000.0));
+}
+
+TEST(UnitsTest, PowerTimesTimeIsEnergy)
+{
+    const Power p = Power::micros(400.0); // 400 uW receiver
+    const Time t = Time::millis(2.0);
+    const Energy e = p * t;
+    EXPECT_DOUBLE_EQ(e.nj(), 800.0);
+    EXPECT_DOUBLE_EQ((t * p).nj(), 800.0);
+}
+
+TEST(UnitsTest, EnergyOverTimeIsPower)
+{
+    const Energy e = Energy::micros(1.0);
+    const Power p = e.over(Time::millis(1.0));
+    EXPECT_DOUBLE_EQ(p.mw(), 1.0);
+}
+
+TEST(UnitsTest, AccumulationOperators)
+{
+    Energy total;
+    total += Energy::nanos(1.0);
+    total += Energy::nanos(2.0);
+    EXPECT_DOUBLE_EQ(total.nj(), 3.0);
+
+    Time elapsed;
+    elapsed += Time::micros(10.0);
+    elapsed += Time::micros(5.0);
+    EXPECT_DOUBLE_EQ(elapsed.us(), 15.0);
+}
+
+TEST(UnitsTest, DefaultConstructedIsZero)
+{
+    EXPECT_DOUBLE_EQ(Energy().j(), 0.0);
+    EXPECT_DOUBLE_EQ(Time().sec(), 0.0);
+    EXPECT_DOUBLE_EQ(Power().w(), 0.0);
+}
+
+TEST(UnitsTest, ScalarOnLeft)
+{
+    EXPECT_DOUBLE_EQ((2.0 * Energy::nanos(3.0)).nj(), 6.0);
+    EXPECT_DOUBLE_EQ((2.0 * Time::millis(3.0)).ms(), 6.0);
+    EXPECT_DOUBLE_EQ((2.0 * Power::millis(3.0)).mw(), 6.0);
+}
+
+} // namespace

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Command-line front-end for the XPro design flow: pick a test case
+ * and a hardware configuration, get the trained engine, the
+ * generator's cut and the full evaluation — optionally exporting a
+ * Chrome trace of one simulated event.
+ *
+ *   xpro_cli --case C1 --process 90 --wireless 2 [--ber 1e-4]
+ *            [--engine C|A|S|trivial] [--trace event.json]
+ *            [--candidates N] [--max-train N]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/pipeline.hh"
+#include "data/testcases.hh"
+#include "sim/trace_export.hh"
+
+using namespace xpro;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --case C1|C2|E1|E2|M1|M2   test case (default C1)\n"
+        "  --process 130|90|45        process node (default 90)\n"
+        "  --wireless 1|2|3           transceiver model (default 2)\n"
+        "  --ber <p>                  channel bit error rate "
+        "(default 0)\n"
+        "  --engine A|S|trivial|C     engine to evaluate "
+        "(default C)\n"
+        "  --candidates <n>           subspace candidates "
+        "(default 100)\n"
+        "  --max-train <n>            training segment cap "
+        "(default 300)\n"
+        "  --trace <file>             write a Chrome trace of one "
+        "event\n",
+        argv0);
+    std::exit(2);
+}
+
+TestCase
+parseCase(const std::string &value)
+{
+    for (TestCase tc : allTestCases) {
+        if (value == testCaseInfo(tc).symbol)
+            return tc;
+    }
+    fatal("unknown test case '%s'", value.c_str());
+}
+
+ProcessNode
+parseProcess(const std::string &value)
+{
+    if (value == "130")
+        return ProcessNode::Tsmc130;
+    if (value == "90")
+        return ProcessNode::Tsmc90;
+    if (value == "45")
+        return ProcessNode::Tsmc45;
+    fatal("unknown process '%s' (expected 130, 90 or 45)",
+          value.c_str());
+}
+
+WirelessModel
+parseWireless(const std::string &value)
+{
+    if (value == "1")
+        return WirelessModel::Model1;
+    if (value == "2")
+        return WirelessModel::Model2;
+    if (value == "3")
+        return WirelessModel::Model3;
+    fatal("unknown wireless model '%s' (expected 1, 2 or 3)",
+          value.c_str());
+}
+
+EngineKind
+parseEngine(const std::string &value)
+{
+    if (value == "A")
+        return EngineKind::InAggregator;
+    if (value == "S")
+        return EngineKind::InSensor;
+    if (value == "trivial")
+        return EngineKind::TrivialCut;
+    if (value == "C")
+        return EngineKind::CrossEnd;
+    fatal("unknown engine '%s' (expected A, S, trivial or C)",
+          value.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    TestCase test_case = TestCase::C1;
+    ProcessNode process = ProcessNode::Tsmc90;
+    WirelessModel wireless = WirelessModel::Model2;
+    EngineKind engine = EngineKind::CrossEnd;
+    double ber = 0.0;
+    size_t candidates = 100;
+    size_t max_train = 300;
+    std::string trace_path;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            const auto value = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    fatal("missing value for %s", arg.c_str());
+                return argv[++i];
+            };
+            if (arg == "--case")
+                test_case = parseCase(value());
+            else if (arg == "--process")
+                process = parseProcess(value());
+            else if (arg == "--wireless")
+                wireless = parseWireless(value());
+            else if (arg == "--engine")
+                engine = parseEngine(value());
+            else if (arg == "--ber")
+                ber = std::atof(value().c_str());
+            else if (arg == "--candidates")
+                candidates = std::strtoul(value().c_str(), nullptr, 10);
+            else if (arg == "--max-train")
+                max_train = std::strtoul(value().c_str(), nullptr, 10);
+            else if (arg == "--trace")
+                trace_path = value();
+            else
+                usage(argv[0]);
+        }
+
+        const SignalDataset dataset = makeTestCase(test_case);
+        EngineConfig config;
+        config.process = process;
+        config.wireless = wireless;
+        config.subspace.candidates = candidates;
+        TrainingOptions options;
+        options.maxTrainingSegments = max_train;
+
+        std::printf("case %s (%s): %zu segments x %zu samples, "
+                    "%.2f events/s\n",
+                    dataset.symbol.c_str(), dataset.name.c_str(),
+                    dataset.size(), dataset.segmentLength,
+                    dataset.eventsPerSecond());
+
+        const TrainedPipeline pipeline =
+            trainPipeline(dataset, config, options);
+        std::printf("classifier: %.1f%% held-out accuracy, %zu base "
+                    "SVMs over %zu features\n",
+                    100.0 * pipeline.testAccuracy,
+                    pipeline.ensemble.bases().size(),
+                    pipeline.ensemble.usedFeatureIndices().size());
+
+        const EngineTopology topology = buildEngineTopology(
+            pipeline.ensemble, dataset.segmentLength, config,
+            dataset.eventsPerSecond());
+        ChannelModel channel;
+        channel.bitErrorRate = ber;
+        const WirelessLink link(transceiver(wireless), channel);
+        SensorNodeConfig sensor_config;
+        sensor_config.process = process;
+        const SensorNode sensor(sensor_config);
+        const Aggregator aggregator;
+        const WorkloadContext workload{dataset.eventsPerSecond()};
+
+        const EngineEvaluation eval = evaluateEngineKind(
+            engine, topology, link, sensor, aggregator, workload);
+
+        std::printf("\n%s @ %s, %s%s\n",
+                    engineKindName(engine).c_str(),
+                    processNodeName(process).c_str(),
+                    wirelessModelName(wireless).c_str(),
+                    ber > 0.0 ? " (lossy channel)" : "");
+        std::printf("  placement : %s\n",
+                    eval.placement.summary(topology).c_str());
+        std::printf("  energy    : %.2f uJ/event (compute %.2f, "
+                    "tx %.2f, rx %.2f)\n",
+                    eval.sensorEnergy.total().uj(),
+                    eval.sensorEnergy.compute.uj(),
+                    eval.sensorEnergy.tx.uj(),
+                    eval.sensorEnergy.rx.uj());
+        std::printf("  delay     : %.3f ms (front %.3f, wireless "
+                    "%.3f, back %.3f)\n",
+                    eval.delay.total().ms(),
+                    eval.delay.frontCompute.ms(),
+                    eval.delay.wireless.ms(),
+                    eval.delay.backCompute.ms());
+        std::printf("  battery   : %.0f h sensor, %.0f h aggregator "
+                    "overhead budget\n",
+                    eval.sensorLifetime.hr(),
+                    eval.aggregatorLifetime.hr());
+
+        if (!trace_path.empty()) {
+            const SimResult sim =
+                simulateEvent(topology, eval.placement, link);
+            writeChromeTraceFile(sim, topology, eval.placement,
+                                 trace_path);
+            std::printf("  trace     : %s (%zu transfers, "
+                        "completion %.3f ms)\n",
+                        trace_path.c_str(), sim.transfers,
+                        sim.completion.ms());
+        }
+        return 0;
+    } catch (const FatalError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}
