@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cuts.dir/bench_fig12_cuts.cpp.o"
+  "CMakeFiles/bench_fig12_cuts.dir/bench_fig12_cuts.cpp.o.d"
+  "bench_fig12_cuts"
+  "bench_fig12_cuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_aggregator_overhead.dir/bench_fig13_aggregator_overhead.cpp.o"
+  "CMakeFiles/bench_fig13_aggregator_overhead.dir/bench_fig13_aggregator_overhead.cpp.o.d"
+  "bench_fig13_aggregator_overhead"
+  "bench_fig13_aggregator_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_aggregator_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_process_tech.dir/bench_fig8_process_tech.cpp.o"
+  "CMakeFiles/bench_fig8_process_tech.dir/bench_fig8_process_tech.cpp.o.d"
+  "bench_fig8_process_tech"
+  "bench_fig8_process_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_process_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

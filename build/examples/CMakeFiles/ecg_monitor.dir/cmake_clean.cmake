@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_monitor.dir/ecg_monitor.cpp.o"
+  "CMakeFiles/ecg_monitor.dir/ecg_monitor.cpp.o.d"
+  "ecg_monitor"
+  "ecg_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

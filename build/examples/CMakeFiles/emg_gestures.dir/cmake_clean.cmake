@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emg_gestures.dir/emg_gestures.cpp.o"
+  "CMakeFiles/emg_gestures.dir/emg_gestures.cpp.o.d"
+  "emg_gestures"
+  "emg_gestures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emg_gestures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

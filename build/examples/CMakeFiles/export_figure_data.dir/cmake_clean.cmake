@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_figure_data.dir/export_figure_data.cpp.o"
+  "CMakeFiles/export_figure_data.dir/export_figure_data.cpp.o.d"
+  "export_figure_data"
+  "export_figure_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_figure_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

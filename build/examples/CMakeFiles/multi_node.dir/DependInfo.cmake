@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multi_node.cpp" "examples/CMakeFiles/multi_node.dir/multi_node.cpp.o" "gcc" "examples/CMakeFiles/multi_node.dir/multi_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xpro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xpro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/xpro_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/xpro_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/xpro_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/xpro_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xpro_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/xpro_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/xpro_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xpro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

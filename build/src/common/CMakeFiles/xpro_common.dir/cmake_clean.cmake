@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpro_common.dir/fixed_point.cc.o"
+  "CMakeFiles/xpro_common.dir/fixed_point.cc.o.d"
+  "CMakeFiles/xpro_common.dir/logging.cc.o"
+  "CMakeFiles/xpro_common.dir/logging.cc.o.d"
+  "CMakeFiles/xpro_common.dir/matrix.cc.o"
+  "CMakeFiles/xpro_common.dir/matrix.cc.o.d"
+  "CMakeFiles/xpro_common.dir/random.cc.o"
+  "CMakeFiles/xpro_common.dir/random.cc.o.d"
+  "CMakeFiles/xpro_common.dir/stats.cc.o"
+  "CMakeFiles/xpro_common.dir/stats.cc.o.d"
+  "libxpro_common.a"
+  "libxpro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

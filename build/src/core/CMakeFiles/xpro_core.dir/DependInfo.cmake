@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/delay_model.cc" "src/core/CMakeFiles/xpro_core.dir/delay_model.cc.o" "gcc" "src/core/CMakeFiles/xpro_core.dir/delay_model.cc.o.d"
+  "/root/repo/src/core/energy_model.cc" "src/core/CMakeFiles/xpro_core.dir/energy_model.cc.o" "gcc" "src/core/CMakeFiles/xpro_core.dir/energy_model.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/xpro_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/xpro_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/xpro_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/xpro_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/fixed_pipeline.cc" "src/core/CMakeFiles/xpro_core.dir/fixed_pipeline.cc.o" "gcc" "src/core/CMakeFiles/xpro_core.dir/fixed_pipeline.cc.o.d"
+  "/root/repo/src/core/multiclass_topology.cc" "src/core/CMakeFiles/xpro_core.dir/multiclass_topology.cc.o" "gcc" "src/core/CMakeFiles/xpro_core.dir/multiclass_topology.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/core/CMakeFiles/xpro_core.dir/partitioner.cc.o" "gcc" "src/core/CMakeFiles/xpro_core.dir/partitioner.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/xpro_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/xpro_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/xpro_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/xpro_core.dir/placement.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/xpro_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/xpro_core.dir/report.cc.o.d"
+  "/root/repo/src/core/topology.cc" "src/core/CMakeFiles/xpro_core.dir/topology.cc.o" "gcc" "src/core/CMakeFiles/xpro_core.dir/topology.cc.o.d"
+  "/root/repo/src/core/transfers.cc" "src/core/CMakeFiles/xpro_core.dir/transfers.cc.o" "gcc" "src/core/CMakeFiles/xpro_core.dir/transfers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xpro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/xpro_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/xpro_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/xpro_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xpro_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/xpro_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/xpro_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/xpro_wireless.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpro_core.dir/delay_model.cc.o"
+  "CMakeFiles/xpro_core.dir/delay_model.cc.o.d"
+  "CMakeFiles/xpro_core.dir/energy_model.cc.o"
+  "CMakeFiles/xpro_core.dir/energy_model.cc.o.d"
+  "CMakeFiles/xpro_core.dir/engine.cc.o"
+  "CMakeFiles/xpro_core.dir/engine.cc.o.d"
+  "CMakeFiles/xpro_core.dir/evaluator.cc.o"
+  "CMakeFiles/xpro_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/xpro_core.dir/fixed_pipeline.cc.o"
+  "CMakeFiles/xpro_core.dir/fixed_pipeline.cc.o.d"
+  "CMakeFiles/xpro_core.dir/multiclass_topology.cc.o"
+  "CMakeFiles/xpro_core.dir/multiclass_topology.cc.o.d"
+  "CMakeFiles/xpro_core.dir/partitioner.cc.o"
+  "CMakeFiles/xpro_core.dir/partitioner.cc.o.d"
+  "CMakeFiles/xpro_core.dir/pipeline.cc.o"
+  "CMakeFiles/xpro_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/xpro_core.dir/placement.cc.o"
+  "CMakeFiles/xpro_core.dir/placement.cc.o.d"
+  "CMakeFiles/xpro_core.dir/report.cc.o"
+  "CMakeFiles/xpro_core.dir/report.cc.o.d"
+  "CMakeFiles/xpro_core.dir/topology.cc.o"
+  "CMakeFiles/xpro_core.dir/topology.cc.o.d"
+  "CMakeFiles/xpro_core.dir/transfers.cc.o"
+  "CMakeFiles/xpro_core.dir/transfers.cc.o.d"
+  "libxpro_core.a"
+  "libxpro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/biosignal.cc" "src/data/CMakeFiles/xpro_data.dir/biosignal.cc.o" "gcc" "src/data/CMakeFiles/xpro_data.dir/biosignal.cc.o.d"
+  "/root/repo/src/data/ecg_synth.cc" "src/data/CMakeFiles/xpro_data.dir/ecg_synth.cc.o" "gcc" "src/data/CMakeFiles/xpro_data.dir/ecg_synth.cc.o.d"
+  "/root/repo/src/data/eeg_synth.cc" "src/data/CMakeFiles/xpro_data.dir/eeg_synth.cc.o" "gcc" "src/data/CMakeFiles/xpro_data.dir/eeg_synth.cc.o.d"
+  "/root/repo/src/data/emg_synth.cc" "src/data/CMakeFiles/xpro_data.dir/emg_synth.cc.o" "gcc" "src/data/CMakeFiles/xpro_data.dir/emg_synth.cc.o.d"
+  "/root/repo/src/data/gestures.cc" "src/data/CMakeFiles/xpro_data.dir/gestures.cc.o" "gcc" "src/data/CMakeFiles/xpro_data.dir/gestures.cc.o.d"
+  "/root/repo/src/data/testcases.cc" "src/data/CMakeFiles/xpro_data.dir/testcases.cc.o" "gcc" "src/data/CMakeFiles/xpro_data.dir/testcases.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xpro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

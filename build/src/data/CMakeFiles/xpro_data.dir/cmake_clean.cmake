@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpro_data.dir/biosignal.cc.o"
+  "CMakeFiles/xpro_data.dir/biosignal.cc.o.d"
+  "CMakeFiles/xpro_data.dir/ecg_synth.cc.o"
+  "CMakeFiles/xpro_data.dir/ecg_synth.cc.o.d"
+  "CMakeFiles/xpro_data.dir/eeg_synth.cc.o"
+  "CMakeFiles/xpro_data.dir/eeg_synth.cc.o.d"
+  "CMakeFiles/xpro_data.dir/emg_synth.cc.o"
+  "CMakeFiles/xpro_data.dir/emg_synth.cc.o.d"
+  "CMakeFiles/xpro_data.dir/gestures.cc.o"
+  "CMakeFiles/xpro_data.dir/gestures.cc.o.d"
+  "CMakeFiles/xpro_data.dir/testcases.cc.o"
+  "CMakeFiles/xpro_data.dir/testcases.cc.o.d"
+  "libxpro_data.a"
+  "libxpro_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpro_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

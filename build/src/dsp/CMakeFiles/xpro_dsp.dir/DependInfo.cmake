@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/dwt.cc" "src/dsp/CMakeFiles/xpro_dsp.dir/dwt.cc.o" "gcc" "src/dsp/CMakeFiles/xpro_dsp.dir/dwt.cc.o.d"
+  "/root/repo/src/dsp/dwt_fixed.cc" "src/dsp/CMakeFiles/xpro_dsp.dir/dwt_fixed.cc.o" "gcc" "src/dsp/CMakeFiles/xpro_dsp.dir/dwt_fixed.cc.o.d"
+  "/root/repo/src/dsp/feature_pool.cc" "src/dsp/CMakeFiles/xpro_dsp.dir/feature_pool.cc.o" "gcc" "src/dsp/CMakeFiles/xpro_dsp.dir/feature_pool.cc.o.d"
+  "/root/repo/src/dsp/features.cc" "src/dsp/CMakeFiles/xpro_dsp.dir/features.cc.o" "gcc" "src/dsp/CMakeFiles/xpro_dsp.dir/features.cc.o.d"
+  "/root/repo/src/dsp/features_fixed.cc" "src/dsp/CMakeFiles/xpro_dsp.dir/features_fixed.cc.o" "gcc" "src/dsp/CMakeFiles/xpro_dsp.dir/features_fixed.cc.o.d"
+  "/root/repo/src/dsp/segment.cc" "src/dsp/CMakeFiles/xpro_dsp.dir/segment.cc.o" "gcc" "src/dsp/CMakeFiles/xpro_dsp.dir/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xpro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

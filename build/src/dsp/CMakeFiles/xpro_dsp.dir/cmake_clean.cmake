@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpro_dsp.dir/dwt.cc.o"
+  "CMakeFiles/xpro_dsp.dir/dwt.cc.o.d"
+  "CMakeFiles/xpro_dsp.dir/dwt_fixed.cc.o"
+  "CMakeFiles/xpro_dsp.dir/dwt_fixed.cc.o.d"
+  "CMakeFiles/xpro_dsp.dir/feature_pool.cc.o"
+  "CMakeFiles/xpro_dsp.dir/feature_pool.cc.o.d"
+  "CMakeFiles/xpro_dsp.dir/features.cc.o"
+  "CMakeFiles/xpro_dsp.dir/features.cc.o.d"
+  "CMakeFiles/xpro_dsp.dir/features_fixed.cc.o"
+  "CMakeFiles/xpro_dsp.dir/features_fixed.cc.o.d"
+  "CMakeFiles/xpro_dsp.dir/segment.cc.o"
+  "CMakeFiles/xpro_dsp.dir/segment.cc.o.d"
+  "libxpro_dsp.a"
+  "libxpro_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpro_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxpro_dsp.a"
+)

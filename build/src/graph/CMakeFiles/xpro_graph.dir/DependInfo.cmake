@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dataflow_graph.cc" "src/graph/CMakeFiles/xpro_graph.dir/dataflow_graph.cc.o" "gcc" "src/graph/CMakeFiles/xpro_graph.dir/dataflow_graph.cc.o.d"
+  "/root/repo/src/graph/flow_network.cc" "src/graph/CMakeFiles/xpro_graph.dir/flow_network.cc.o" "gcc" "src/graph/CMakeFiles/xpro_graph.dir/flow_network.cc.o.d"
+  "/root/repo/src/graph/topo.cc" "src/graph/CMakeFiles/xpro_graph.dir/topo.cc.o" "gcc" "src/graph/CMakeFiles/xpro_graph.dir/topo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xpro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

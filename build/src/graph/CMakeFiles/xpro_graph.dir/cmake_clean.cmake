@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpro_graph.dir/dataflow_graph.cc.o"
+  "CMakeFiles/xpro_graph.dir/dataflow_graph.cc.o.d"
+  "CMakeFiles/xpro_graph.dir/flow_network.cc.o"
+  "CMakeFiles/xpro_graph.dir/flow_network.cc.o.d"
+  "CMakeFiles/xpro_graph.dir/topo.cc.o"
+  "CMakeFiles/xpro_graph.dir/topo.cc.o.d"
+  "libxpro_graph.a"
+  "libxpro_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpro_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

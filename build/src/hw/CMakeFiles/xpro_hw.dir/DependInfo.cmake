@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/alu_mode.cc" "src/hw/CMakeFiles/xpro_hw.dir/alu_mode.cc.o" "gcc" "src/hw/CMakeFiles/xpro_hw.dir/alu_mode.cc.o.d"
+  "/root/repo/src/hw/cell_library.cc" "src/hw/CMakeFiles/xpro_hw.dir/cell_library.cc.o" "gcc" "src/hw/CMakeFiles/xpro_hw.dir/cell_library.cc.o.d"
+  "/root/repo/src/hw/cell_model.cc" "src/hw/CMakeFiles/xpro_hw.dir/cell_model.cc.o" "gcc" "src/hw/CMakeFiles/xpro_hw.dir/cell_model.cc.o.d"
+  "/root/repo/src/hw/cell_sim.cc" "src/hw/CMakeFiles/xpro_hw.dir/cell_sim.cc.o" "gcc" "src/hw/CMakeFiles/xpro_hw.dir/cell_sim.cc.o.d"
+  "/root/repo/src/hw/characterize.cc" "src/hw/CMakeFiles/xpro_hw.dir/characterize.cc.o" "gcc" "src/hw/CMakeFiles/xpro_hw.dir/characterize.cc.o.d"
+  "/root/repo/src/hw/technology.cc" "src/hw/CMakeFiles/xpro_hw.dir/technology.cc.o" "gcc" "src/hw/CMakeFiles/xpro_hw.dir/technology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xpro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/xpro_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpro_hw.dir/alu_mode.cc.o"
+  "CMakeFiles/xpro_hw.dir/alu_mode.cc.o.d"
+  "CMakeFiles/xpro_hw.dir/cell_library.cc.o"
+  "CMakeFiles/xpro_hw.dir/cell_library.cc.o.d"
+  "CMakeFiles/xpro_hw.dir/cell_model.cc.o"
+  "CMakeFiles/xpro_hw.dir/cell_model.cc.o.d"
+  "CMakeFiles/xpro_hw.dir/cell_sim.cc.o"
+  "CMakeFiles/xpro_hw.dir/cell_sim.cc.o.d"
+  "CMakeFiles/xpro_hw.dir/characterize.cc.o"
+  "CMakeFiles/xpro_hw.dir/characterize.cc.o.d"
+  "CMakeFiles/xpro_hw.dir/technology.cc.o"
+  "CMakeFiles/xpro_hw.dir/technology.cc.o.d"
+  "libxpro_hw.a"
+  "libxpro_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpro_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

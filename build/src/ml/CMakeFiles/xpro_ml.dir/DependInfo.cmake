@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/crossval.cc" "src/ml/CMakeFiles/xpro_ml.dir/crossval.cc.o" "gcc" "src/ml/CMakeFiles/xpro_ml.dir/crossval.cc.o.d"
+  "/root/repo/src/ml/kernel.cc" "src/ml/CMakeFiles/xpro_ml.dir/kernel.cc.o" "gcc" "src/ml/CMakeFiles/xpro_ml.dir/kernel.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/xpro_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/xpro_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/multiclass.cc" "src/ml/CMakeFiles/xpro_ml.dir/multiclass.cc.o" "gcc" "src/ml/CMakeFiles/xpro_ml.dir/multiclass.cc.o.d"
+  "/root/repo/src/ml/random_subspace.cc" "src/ml/CMakeFiles/xpro_ml.dir/random_subspace.cc.o" "gcc" "src/ml/CMakeFiles/xpro_ml.dir/random_subspace.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/ml/CMakeFiles/xpro_ml.dir/svm.cc.o" "gcc" "src/ml/CMakeFiles/xpro_ml.dir/svm.cc.o.d"
+  "/root/repo/src/ml/svm_fixed.cc" "src/ml/CMakeFiles/xpro_ml.dir/svm_fixed.cc.o" "gcc" "src/ml/CMakeFiles/xpro_ml.dir/svm_fixed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xpro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpro_ml.dir/crossval.cc.o"
+  "CMakeFiles/xpro_ml.dir/crossval.cc.o.d"
+  "CMakeFiles/xpro_ml.dir/kernel.cc.o"
+  "CMakeFiles/xpro_ml.dir/kernel.cc.o.d"
+  "CMakeFiles/xpro_ml.dir/metrics.cc.o"
+  "CMakeFiles/xpro_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/xpro_ml.dir/multiclass.cc.o"
+  "CMakeFiles/xpro_ml.dir/multiclass.cc.o.d"
+  "CMakeFiles/xpro_ml.dir/random_subspace.cc.o"
+  "CMakeFiles/xpro_ml.dir/random_subspace.cc.o.d"
+  "CMakeFiles/xpro_ml.dir/svm.cc.o"
+  "CMakeFiles/xpro_ml.dir/svm.cc.o.d"
+  "CMakeFiles/xpro_ml.dir/svm_fixed.cc.o"
+  "CMakeFiles/xpro_ml.dir/svm_fixed.cc.o.d"
+  "libxpro_ml.a"
+  "libxpro_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpro_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpro_platform.dir/aggregator.cc.o"
+  "CMakeFiles/xpro_platform.dir/aggregator.cc.o.d"
+  "CMakeFiles/xpro_platform.dir/battery.cc.o"
+  "CMakeFiles/xpro_platform.dir/battery.cc.o.d"
+  "CMakeFiles/xpro_platform.dir/battery_sim.cc.o"
+  "CMakeFiles/xpro_platform.dir/battery_sim.cc.o.d"
+  "CMakeFiles/xpro_platform.dir/sensor_node.cc.o"
+  "CMakeFiles/xpro_platform.dir/sensor_node.cc.o.d"
+  "libxpro_platform.a"
+  "libxpro_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpro_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpro_sim.dir/event_queue.cc.o"
+  "CMakeFiles/xpro_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/xpro_sim.dir/system_sim.cc.o"
+  "CMakeFiles/xpro_sim.dir/system_sim.cc.o.d"
+  "CMakeFiles/xpro_sim.dir/trace_export.cc.o"
+  "CMakeFiles/xpro_sim.dir/trace_export.cc.o.d"
+  "libxpro_sim.a"
+  "libxpro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpro_wireless.dir/link.cc.o"
+  "CMakeFiles/xpro_wireless.dir/link.cc.o.d"
+  "CMakeFiles/xpro_wireless.dir/transceiver.cc.o"
+  "CMakeFiles/xpro_wireless.dir/transceiver.cc.o.d"
+  "libxpro_wireless.a"
+  "libxpro_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpro_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_battery_sim.dir/test_battery_sim.cc.o"
+  "CMakeFiles/test_battery_sim.dir/test_battery_sim.cc.o.d"
+  "test_battery_sim"
+  "test_battery_sim.pdb"
+  "test_battery_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_battery_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

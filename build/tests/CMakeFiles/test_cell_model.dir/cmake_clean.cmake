@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_model.dir/test_cell_model.cc.o"
+  "CMakeFiles/test_cell_model.dir/test_cell_model.cc.o.d"
+  "test_cell_model"
+  "test_cell_model.pdb"
+  "test_cell_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_sim.dir/test_cell_sim.cc.o"
+  "CMakeFiles/test_cell_sim.dir/test_cell_sim.cc.o.d"
+  "test_cell_sim"
+  "test_cell_sim.pdb"
+  "test_cell_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delay_model.dir/test_delay_model.cc.o"
+  "CMakeFiles/test_delay_model.dir/test_delay_model.cc.o.d"
+  "test_delay_model"
+  "test_delay_model.pdb"
+  "test_delay_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delay_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

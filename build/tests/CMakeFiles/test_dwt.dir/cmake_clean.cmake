@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dwt.dir/test_dwt.cc.o"
+  "CMakeFiles/test_dwt.dir/test_dwt.cc.o.d"
+  "test_dwt"
+  "test_dwt.pdb"
+  "test_dwt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dwt_fixed.dir/test_dwt_fixed.cc.o"
+  "CMakeFiles/test_dwt_fixed.dir/test_dwt_fixed.cc.o.d"
+  "test_dwt_fixed"
+  "test_dwt_fixed.pdb"
+  "test_dwt_fixed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dwt_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

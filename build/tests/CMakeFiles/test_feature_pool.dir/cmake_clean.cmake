@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feature_pool.dir/test_feature_pool.cc.o"
+  "CMakeFiles/test_feature_pool.dir/test_feature_pool.cc.o.d"
+  "test_feature_pool"
+  "test_feature_pool.pdb"
+  "test_feature_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feature_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

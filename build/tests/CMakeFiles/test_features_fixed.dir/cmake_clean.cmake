@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_features_fixed.dir/test_features_fixed.cc.o"
+  "CMakeFiles/test_features_fixed.dir/test_features_fixed.cc.o.d"
+  "test_features_fixed"
+  "test_features_fixed.pdb"
+  "test_features_fixed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_features_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_pipeline.dir/test_fixed_pipeline.cc.o"
+  "CMakeFiles/test_fixed_pipeline.dir/test_fixed_pipeline.cc.o.d"
+  "test_fixed_pipeline"
+  "test_fixed_pipeline.pdb"
+  "test_fixed_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lossy_link.dir/test_lossy_link.cc.o"
+  "CMakeFiles/test_lossy_link.dir/test_lossy_link.cc.o.d"
+  "test_lossy_link"
+  "test_lossy_link.pdb"
+  "test_lossy_link[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lossy_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_subspace.dir/test_random_subspace.cc.o"
+  "CMakeFiles/test_random_subspace.dir/test_random_subspace.cc.o.d"
+  "test_random_subspace"
+  "test_random_subspace.pdb"
+  "test_random_subspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_subspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

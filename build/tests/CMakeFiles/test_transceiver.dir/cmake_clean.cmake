@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transceiver.dir/test_transceiver.cc.o"
+  "CMakeFiles/test_transceiver.dir/test_transceiver.cc.o.d"
+  "test_transceiver"
+  "test_transceiver.pdb"
+  "test_transceiver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transceiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

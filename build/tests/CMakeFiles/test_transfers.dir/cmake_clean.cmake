@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transfers.dir/test_transfers.cc.o"
+  "CMakeFiles/test_transfers.dir/test_transfers.cc.o.d"
+  "test_transfers"
+  "test_transfers.pdb"
+  "test_transfers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpro_cli.dir/xpro_cli.cc.o"
+  "CMakeFiles/xpro_cli.dir/xpro_cli.cc.o.d"
+  "xpro_cli"
+  "xpro_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpro_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
