@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Fleet scaling bench, two questions the paper never had to ask:
+ *
+ *  A. Design throughput: how much faster does the per-node design
+ *     phase (training + generator) get when the fleet's worker pool
+ *     grows? Reported as wall-clock time AND as the pool's
+ *     load-balancing speedup (total task CPU / busiest worker's
+ *     CPU) — the latter is what wall clock converges to once the
+ *     host has enough free cores, and is the gated figure so the
+ *     bench is meaningful on throttled CI hosts with one or two
+ *     cores. The per-node cuts and the fleet report must be
+ *     identical at every worker count.
+ *
+ *  B. Shared-channel pressure: deadline-miss rate and radio
+ *     occupancy as the fleet grows on one aggregator. Event rates
+ *     are scaled up (eventRateScale) to stress the channel the way
+ *     higher-rate sensors would, under both arbitration policies.
+ */
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hh"
+#include "fleet/fleet.hh"
+
+using namespace xpro;
+using namespace xpro::bench;
+
+namespace
+{
+
+FleetConfig
+designFleetConfig(size_t workers)
+{
+    FleetConfig config;
+    config.nodes = heterogeneousFleet(6);
+    config.workers = workers;
+    config.eventsPerNode = 4;
+    return config;
+}
+
+/** Reduced training budget so the size sweep stays quick. */
+FleetConfig
+sweepFleetConfig(size_t nodes, RadioPolicy policy)
+{
+    FleetConfig config;
+    config.nodes = heterogeneousFleet(nodes);
+    for (FleetNodeSpec &node : config.nodes) {
+        node.subspaceCandidates = 8;
+        node.maxTrainingSegments = 80;
+    }
+    config.policy = policy;
+    config.workers = 2;
+    config.eventsPerNode = 6;
+    // Pretend every sensor streams 600x faster than its dataset:
+    // at paper rates the 2 Mbps channel is never the bottleneck
+    // (bench_fig10), so contention effects only become visible
+    // under pressure.
+    config.eventRateScale = 600.0;
+    return config;
+}
+
+double
+missRate(const FleetReport &report)
+{
+    return static_cast<double>(report.totalDeadlineMisses) /
+           static_cast<double>(report.totalEvents);
+}
+
+} // namespace
+
+int
+main()
+{
+    ShapeChecker checker;
+
+    std::printf("== A: design-phase scaling on the 6-case fleet "
+                "==\n\n");
+    std::printf("%8s %10s %12s %12s %10s\n", "workers", "wall (s)",
+                "cpu sum (s)", "busiest (s)", "sched x");
+
+    const size_t worker_counts[] = {1, 2, 4};
+    std::vector<FleetResult> runs;
+    for (size_t workers : worker_counts) {
+        runs.push_back(runFleet(designFleetConfig(workers)));
+        const FleetResult &run = runs.back();
+        std::printf("%8zu %10.2f %12.2f %12.2f %9.2fx\n", workers,
+                    run.designWall.sec(), run.designWork.sec(),
+                    run.designMakespan.sec(),
+                    run.designWork.sec() /
+                        run.designMakespan.sec());
+    }
+
+    const FleetResult &serial = runs.front();
+    const FleetResult &wide = runs.back();
+    // The gated speedup: one worker's total work against the
+    // 4-worker run's busiest worker. Pure load balancing, immune to
+    // how many physical cores this host happens to have.
+    const double sched_speedup =
+        serial.designWork.sec() / wide.designMakespan.sec();
+    const double wall_speedup =
+        serial.designWall.sec() / wide.designWall.sec();
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    std::printf("\n4-worker speedup: %.2fx scheduling, %.2fx "
+                "wall-clock (%u hardware threads)\n\n",
+                sched_speedup, wall_speedup, hw_threads);
+
+    checker.check(sched_speedup >= 2.0,
+                  "design phase scales >= 2x at 4 workers "
+                  "(load-balancing speedup)");
+    if (hw_threads >= 4) {
+        checker.check(wall_speedup >= 1.5,
+                      "wall-clock speedup materializes on >= 4 "
+                      "hardware threads");
+    } else {
+        std::printf("  [SKIP] wall-clock speedup check (%u "
+                    "hardware thread(s) < 4)\n",
+                    hw_threads);
+    }
+
+    bool cuts_identical = true;
+    for (const FleetResult &run : runs) {
+        for (size_t n = 0; n < run.nodes.size(); ++n) {
+            const Placement &a = serial.nodes[n].admission.placement;
+            const Placement &b = run.nodes[n].admission.placement;
+            for (size_t u = 0; u < a.size(); ++u)
+                cuts_identical &= a.inSensor(u) == b.inSensor(u);
+        }
+    }
+    checker.check(cuts_identical,
+                  "per-node cuts identical at every worker count");
+    checker.check(serial.report.serialize() ==
+                          runs[1].report.serialize() &&
+                      serial.report.serialize() ==
+                          wide.report.serialize(),
+                  "fleet report byte-identical at every worker "
+                  "count");
+
+    std::printf("\n== B: deadline misses vs fleet size (600x "
+                "event-rate stress) ==\n\n");
+    std::printf("%6s %8s %12s %12s %12s %12s\n", "nodes", "policy",
+                "miss rate", "radio occ", "agg util",
+                "worst lat ms");
+
+    const size_t sizes[] = {2, 4, 8};
+    std::vector<double> fcfs_miss, fcfs_occupancy;
+    double tdma_large_miss = 0.0;
+    for (size_t nodes : sizes) {
+        for (RadioPolicy policy :
+             {RadioPolicy::Fcfs, RadioPolicy::Tdma}) {
+            const FleetResult run =
+                runFleet(sweepFleetConfig(nodes, policy));
+            double worst = 0.0;
+            for (const FleetNodeReportRow &row : run.report.rows)
+                worst = std::max(worst, row.worstLatencyMs);
+            std::printf("%6zu %8s %11.1f%% %11.1f%% %11.1f%% "
+                        "%12.3f\n",
+                        nodes, run.report.policy.c_str(),
+                        100.0 * missRate(run.report),
+                        100.0 * run.report.radioOccupancy,
+                        100.0 * run.report.aggregatorUtilization,
+                        worst);
+            if (policy == RadioPolicy::Fcfs) {
+                fcfs_miss.push_back(missRate(run.report));
+                fcfs_occupancy.push_back(run.report.radioOccupancy);
+            } else if (nodes == sizes[2]) {
+                tdma_large_miss = missRate(run.report);
+            }
+        }
+    }
+
+    checker.check(fcfs_occupancy.back() > fcfs_occupancy.front(),
+                  "radio occupancy grows with fleet size");
+    checker.check(fcfs_miss.back() > fcfs_miss.front(),
+                  "deadline-miss rate grows with fleet size under "
+                  "stress");
+    checker.check(fcfs_miss.back() > 0.0 && tdma_large_miss > 0.0,
+                  "the 8-node stressed fleet misses deadlines "
+                  "under both policies");
+
+    std::printf("\n");
+    return checker.finish("bench_fleet_scaling");
+}

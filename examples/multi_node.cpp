@@ -2,72 +2,44 @@
  * @file
  * Multi-sensor body sensor network (paper Section 5.7, "extension
  * to multiple sensor nodes"): one aggregator serves an ECG
- * wristband, an EEG headband and an EMG armband. Each node gets its
- * own XPro partition; the aggregator's total software + radio load
- * is checked against its battery.
+ * wristband, an EEG headband and an EMG armband, through the fleet
+ * subsystem. Unlike the paper's separate-channel assumption, the
+ * nodes here share one half-duplex radio channel and the single
+ * aggregator CPU: the fleet run designs each node's cut (in
+ * parallel), admits it against the aggregator's budget and then
+ * replays all three event streams through one event-level
+ * simulation of the shared resources.
  */
 
 #include <cstdio>
+#include <iostream>
 
-#include "core/pipeline.hh"
-#include "data/testcases.hh"
+#include "fleet/fleet.hh"
 
 using namespace xpro;
 
 int
 main()
 {
-    const TestCase nodes[] = {TestCase::C1, TestCase::E1,
+    FleetConfig config;
+    const TestCase cases[] = {TestCase::C1, TestCase::E1,
                               TestCase::M1};
-
-    EngineConfig config;
-    config.subspace.candidates = 40;
-    TrainingOptions options;
-    options.maxTrainingSegments = 250;
-
-    const WirelessLink link(transceiver(config.wireless));
-    const SensorNode sensor;
-    const Aggregator aggregator;
-
-    Power aggregator_load;
-    std::printf("%-6s %-16s %10s %14s %14s %12s\n", "node",
-                "dataset", "accuracy", "cut", "sensor life",
-                "agg power");
-    for (TestCase tc : nodes) {
-        const SignalDataset dataset = makeTestCase(tc);
-        const XProDesign design =
-            designXPro(dataset, config, options);
-        const WorkloadContext workload{dataset.eventsPerSecond()};
-        const EngineEvaluation eval = evaluateEngine(
-            EngineKind::CrossEnd, design.topology,
-            design.partition.placement, link, sensor, aggregator,
-            workload);
-
-        const Power node_aggregator_power =
-            eval.aggregatorEnergy.total().over(
-                Time::seconds(1.0 / workload.eventsPerSecond));
-        aggregator_load += node_aggregator_power;
-
-        std::printf("%-6s %-16s %9.1f%% %8zu/%-5zu %11.0f h "
-                    "%9.1f uW\n",
-                    dataset.symbol.c_str(), dataset.name.c_str(),
-                    100.0 * design.pipeline.testAccuracy,
-                    design.partition.placement.sensorCellCount(),
-                    design.topology.graph.cellCount(),
-                    eval.sensorLifetime.hr(),
-                    node_aggregator_power.uw());
+    for (TestCase tc : cases) {
+        FleetNodeSpec spec;
+        spec.testCase = tc;
+        config.nodes.push_back(spec);
     }
+    config.workers = 2;
+    config.eventsPerNode = 4;
 
-    // The aggregator hears the three nodes on separate channels
-    // (MIMO or a specialized protocol, as the paper notes), so its
-    // load is the sum of the per-node overheads.
-    const Time aggregator_life =
-        Battery::aggregatorBattery().lifetime(aggregator_load);
-    std::printf("\naggregator total analytic load: %.1f uW -> "
-                "%.0f hours on a 2900 mAh phone battery\n",
-                aggregator_load.uw(), aggregator_life.hr());
-    std::printf("(the aggregator's own smartphone workload is not "
-                "modeled; this is the analytics overhead only,\n"
-                " the view of the paper's Fig. 13)\n");
+    std::printf("designing a %zu-node body sensor network...\n\n",
+                config.nodes.size());
+    const FleetResult result = runFleet(config);
+    result.report.writeText(std::cout);
+
+    std::printf("\n(the aggregator's own smartphone workload is not "
+                "modeled; its power and lifetime above are\n"
+                " the analytics overhead only, the view of the "
+                "paper's Fig. 13)\n");
     return 0;
 }

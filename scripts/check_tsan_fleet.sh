@@ -1,0 +1,17 @@
+#!/bin/sh
+# Build the tree under ThreadSanitizer and run the fleet test suite
+# (the only code spawning threads) under it. Usage:
+#
+#   scripts/check_tsan_fleet.sh [build-dir]
+#
+# The build directory defaults to build-tsan next to the regular
+# build so the two configurations never share object files.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build-tsan"}
+
+cmake -B "$build" -S "$repo" -DXPRO_SANITIZE=thread
+cmake --build "$build" --target test_fleet -j "$(nproc)"
+ctest --test-dir "$build" -L fleet --output-on-failure
+echo "TSan fleet pass: OK"

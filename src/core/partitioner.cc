@@ -45,13 +45,16 @@ XProGenerator::cutPlacement(double lambda) const
                     weight(node.costs.sensorEnergy,
                            node.costs.sensorDelay));
         // Placing the cell in the aggregator instead costs software
-        // time (no sensor energy). Charge it on the F -> cell side
-        // so the Lagrangian can trade both directions; with
-        // lambda == 0 this edge is zero and never cut.
-        if (lambda > 0.0) {
-            net.addEdge(nodeF, cellBase + u,
-                        weight(Energy(), node.costs.aggregatorDelay));
-        }
+        // time and, under an admission-control penalty, weighted
+        // software energy. Charge both on the F -> cell side so the
+        // Lagrangian can trade both directions; with lambda == 0 and
+        // no penalty this edge is zero and never cut.
+        const double penalty = weight(
+            node.costs.aggregatorEnergy *
+                _options.aggregatorEnergyWeight,
+            node.costs.aggregatorDelay);
+        if (penalty > 0.0)
+            net.addEdge(nodeF, cellBase + u, penalty);
     }
 
     // Broadcast groups: one dummy node pair per producer payload,
@@ -107,6 +110,23 @@ XProGenerator::minimumEnergyPlacement() const
     return cutPlacement(0.0);
 }
 
+Energy
+XProGenerator::objective(const Placement &placement) const
+{
+    Energy value =
+        sensorEventEnergy(_topology, placement, _link).total();
+    if (_options.aggregatorEnergyWeight > 0.0) {
+        Energy software;
+        for (size_t u = 1; u < _topology.graph.nodeCount(); ++u) {
+            if (!placement.inSensor(u))
+                software +=
+                    _topology.graph.node(u).costs.aggregatorEnergy;
+        }
+        value += software * _options.aggregatorEnergyWeight;
+    }
+    return value;
+}
+
 Time
 XProGenerator::delayLimit() const
 {
@@ -130,6 +150,7 @@ XProGenerator::generate() const
     Placement best = minimumEnergyPlacement();
     SensorEnergyBreakdown best_energy =
         sensorEventEnergy(_topology, best, _link);
+    Energy best_objective = objective(best);
     DelayBreakdown best_delay = eventDelay(_topology, best, _link);
 
     PartitionResult result;
@@ -144,11 +165,12 @@ XProGenerator::generate() const
                 eventDelay(_topology, candidate, _link);
             if (delay.total() > limit)
                 return;
-            const SensorEnergyBreakdown energy =
-                sensorEventEnergy(_topology, candidate, _link);
-            if (!found || energy.total() < best_energy.total()) {
+            const Energy value = objective(candidate);
+            if (!found || value < best_objective) {
                 best = candidate;
-                best_energy = energy;
+                best_energy =
+                    sensorEventEnergy(_topology, candidate, _link);
+                best_objective = value;
                 best_delay = delay;
                 found = true;
             }
@@ -201,8 +223,7 @@ XProGenerator::exhaustiveOptimum(Time delay_limit,
             delay_limit) {
             continue;
         }
-        const Energy energy =
-            sensorEventEnergy(_topology, candidate, _link).total();
+        const Energy energy = objective(candidate);
         if (!found || energy < best_energy) {
             best = candidate;
             best_energy = energy;

@@ -43,6 +43,22 @@
 namespace xpro
 {
 
+/** Optional adjustments to the generator's objective. */
+struct GeneratorOptions
+{
+    /**
+     * Weight on the aggregator-side software energy added to the
+     * min-cut objective: the generator then minimizes
+     * sensorEnergy + weight * (software energy of the
+     * aggregator-placed cells). Zero, the default, reproduces the
+     * paper's sensor-only objective. Fleet admission control raises
+     * the weight to squeeze a node's offloaded load back into the
+     * sensor when the shared aggregator is over budget; as the
+     * weight grows the cut converges to the all-in-sensor design.
+     */
+    double aggregatorEnergyWeight = 0.0;
+};
+
 /** Result of one generator run. */
 struct PartitionResult
 {
@@ -64,8 +80,9 @@ class XProGenerator
 {
   public:
     XProGenerator(const EngineTopology &topology,
-                  const WirelessLink &link)
-        : _topology(topology), _link(link)
+                  const WirelessLink &link,
+                  const GeneratorOptions &options = {})
+        : _topology(topology), _link(link), _options(options)
     {}
 
     /**
@@ -90,6 +107,13 @@ class XProGenerator
     /** The delay limit min(T_in-sensor, T_in-aggregator). */
     Time delayLimit() const;
 
+    /**
+     * The value the generator minimizes for @p placement: sensor
+     * energy plus the weighted aggregator software energy (equal to
+     * plain sensor energy at the default options).
+     */
+    Energy objective(const Placement &placement) const;
+
   private:
     /**
      * Build the s-t graph with capacities energy + lambda * delay
@@ -99,6 +123,7 @@ class XProGenerator
 
     const EngineTopology &_topology;
     const WirelessLink &_link;
+    GeneratorOptions _options;
 };
 
 } // namespace xpro

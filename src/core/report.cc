@@ -1,6 +1,7 @@
 #include "core/report.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -97,6 +98,128 @@ CsvTable::writeFile(const std::string &path) const
     write(out);
     if (!out)
         fatal("write to '%s' failed", path.c_str());
+}
+
+namespace
+{
+
+/** Fixed-format double for the canonical serialization. */
+std::string
+canonical(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.9e", value);
+    return buffer;
+}
+
+} // namespace
+
+std::string
+FleetReport::serialize() const
+{
+    std::ostringstream out;
+    out << "fleet-report v1\n"
+        << "policy " << policy << '\n'
+        << "nodes " << nodeCount << '\n'
+        << "events " << totalEvents << '\n'
+        << "misses " << totalDeadlineMisses << '\n'
+        << "span_ms " << canonical(spanMs) << '\n'
+        << "radio_busy_ms " << canonical(radioBusyMs) << '\n'
+        << "radio_occupancy " << canonical(radioOccupancy) << '\n'
+        << "transfers " << transfers << '\n'
+        << "agg_busy_ms " << canonical(aggregatorBusyMs) << '\n'
+        << "agg_utilization " << canonical(aggregatorUtilization)
+        << '\n'
+        << "agg_cpu_share " << canonical(aggregatorCpuShare) << '\n'
+        << "agg_power_uw " << canonical(aggregatorPowerUw) << '\n'
+        << "agg_lifetime_h " << canonical(aggregatorLifetimeHours)
+        << '\n';
+    for (const FleetNodeReportRow &row : rows) {
+        out << "node " << row.symbol << ' ' << row.process << ' '
+            << row.admission << ' ' << row.sensorCells << '/'
+            << row.totalCells << ' ' << canonical(row.accuracy)
+            << ' ' << canonical(row.eventsPerSecond) << ' '
+            << canonical(row.sensorLifetimeHours) << ' '
+            << row.events << ' ' << row.deadlineMisses << ' '
+            << canonical(row.meanLatencyMs) << ' '
+            << canonical(row.worstLatencyMs) << ' '
+            << canonical(row.aggregatorPowerUw) << '\n';
+    }
+    return out.str();
+}
+
+void
+FleetReport::writeText(std::ostream &out) const
+{
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "fleet: %zu nodes, %s radio, %zu events "
+                  "(%zu deadline misses)\n",
+                  nodeCount, policy.c_str(), totalEvents,
+                  totalDeadlineMisses);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "radio: %.3f ms busy / %.3f ms span "
+                  "(%.1f%% occupancy, %zu transfers)\n",
+                  radioBusyMs, spanMs, 100.0 * radioOccupancy,
+                  transfers);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "aggregator: %.1f%% CPU in-sim, %.1f%% admitted, "
+                  "%.1f uW analytics -> %.0f h battery\n",
+                  100.0 * aggregatorUtilization,
+                  100.0 * aggregatorCpuShare, aggregatorPowerUw,
+                  aggregatorLifetimeHours);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "%-5s %-7s %-11s %8s %9s %8s %11s %7s %10s %10s "
+                  "%9s\n",
+                  "node", "process", "admission", "cut", "accuracy",
+                  "events/s", "sensor life", "misses", "mean lat",
+                  "worst lat", "agg power");
+    out << line;
+    for (const FleetNodeReportRow &row : rows) {
+        char cut[32];
+        std::snprintf(cut, sizeof(cut), "%zu/%zu", row.sensorCells,
+                      row.totalCells);
+        std::snprintf(line, sizeof(line),
+                      "%-5s %-7s %-11s %8s %8.1f%% %8.2f %9.0f h "
+                      "%3zu/%-3zu %7.3f ms %7.3f ms %6.1f uW\n",
+                      row.symbol.c_str(), row.process.c_str(),
+                      row.admission.c_str(), cut,
+                      100.0 * row.accuracy, row.eventsPerSecond,
+                      row.sensorLifetimeHours, row.deadlineMisses,
+                      row.events, row.meanLatencyMs,
+                      row.worstLatencyMs, row.aggregatorPowerUw);
+        out << line;
+    }
+}
+
+CsvTable
+FleetReport::csv() const
+{
+    CsvTable table({"node", "process", "admission", "sensor_cells",
+                    "total_cells", "accuracy", "events_per_second",
+                    "sensor_lifetime_h", "events", "deadline_misses",
+                    "mean_latency_ms", "worst_latency_ms",
+                    "aggregator_power_uw"});
+    for (const FleetNodeReportRow &row : rows) {
+        table.beginRow()
+            .add(row.symbol)
+            .add(row.process)
+            .add(row.admission)
+            .add(row.sensorCells)
+            .add(row.totalCells)
+            .add(row.accuracy)
+            .add(row.eventsPerSecond)
+            .add(row.sensorLifetimeHours)
+            .add(row.events)
+            .add(row.deadlineMisses)
+            .add(row.meanLatencyMs)
+            .add(row.worstLatencyMs)
+            .add(row.aggregatorPowerUw);
+    }
+    return table;
 }
 
 } // namespace xpro

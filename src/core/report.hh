@@ -1,13 +1,16 @@
 /**
  * @file
  * Reporting helpers: CSV emission for the evaluation series so the
- * paper's figures can be re-plotted from machine-readable data, and
- * a small fixed-width table writer shared by tools.
+ * paper's figures can be re-plotted from machine-readable data, a
+ * small fixed-width table writer shared by tools, and the fleet
+ * report consumed by the fleet simulation surfaces (CLI, examples,
+ * benches, tests).
  */
 
 #ifndef XPRO_CORE_REPORT_HH
 #define XPRO_CORE_REPORT_HH
 
+#include <cstddef>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -45,6 +48,87 @@ class CsvTable
 
     std::vector<std::string> _columns;
     std::vector<std::vector<std::string>> _rows;
+};
+
+/**
+ * One node's line in a fleet report. Plain data (names and SI-scaled
+ * numbers) so the report stays independent of the fleet subsystem's
+ * types and serializes canonically.
+ */
+struct FleetNodeReportRow
+{
+    /** Test-case symbol, e.g. "C1". */
+    std::string symbol;
+    /** Process node of the in-sensor part, e.g. "90 nm". */
+    std::string process;
+    /** Admission outcome: "offload", "repartition" or "in-sensor". */
+    std::string admission;
+    /** Cells placed in the sensor / total cells. */
+    size_t sensorCells = 0;
+    size_t totalCells = 0;
+    /** Held-out classification accuracy. */
+    double accuracy = 0.0;
+    /** Event (segment) rate of the node. */
+    double eventsPerSecond = 0.0;
+    /** Sensor battery lifetime under the admitted placement. */
+    double sensorLifetimeHours = 0.0;
+    /** Simulated events and real-time deadline misses. */
+    size_t events = 0;
+    size_t deadlineMisses = 0;
+    /** Simulated completion latencies. */
+    double meanLatencyMs = 0.0;
+    double worstLatencyMs = 0.0;
+    /** Aggregator analytics power the node was admitted with. */
+    double aggregatorPowerUw = 0.0;
+};
+
+/**
+ * Fleet-level results of one many-node simulation: per-node rows
+ * plus shared-resource (radio, aggregator) figures.
+ *
+ * The report is a pure function of the fleet configuration: the
+ * design phase may run on any number of worker threads and
+ * serialize() must still produce byte-identical output (a tested
+ * invariant).
+ */
+struct FleetReport
+{
+    /** Radio arbitration policy tag ("fcfs" or "tdma"). */
+    std::string policy;
+    size_t nodeCount = 0;
+    size_t totalEvents = 0;
+    size_t totalDeadlineMisses = 0;
+    /** Simulated time span (last completion). */
+    double spanMs = 0.0;
+    /** Shared-channel occupancy. */
+    double radioBusyMs = 0.0;
+    /** radioBusy / span. */
+    double radioOccupancy = 0.0;
+    size_t transfers = 0;
+    /** Aggregator CPU busy time in the event simulation. */
+    double aggregatorBusyMs = 0.0;
+    /** aggregatorBusy / span. */
+    double aggregatorUtilization = 0.0;
+    /** Admitted aggregator CPU share (analytic, steady state). */
+    double aggregatorCpuShare = 0.0;
+    /** Admitted aggregator analytics power. */
+    double aggregatorPowerUw = 0.0;
+    /** Aggregator battery lifetime under the analytics load. */
+    double aggregatorLifetimeHours = 0.0;
+    std::vector<FleetNodeReportRow> rows;
+
+    /**
+     * Canonical, byte-exact serialization: fixed formats, no
+     * locale, no timestamps. Equal reports serialize equally; the
+     * determinism tests compare these bytes across worker counts.
+     */
+    std::string serialize() const;
+
+    /** Human-readable fixed-width summary plus per-node table. */
+    void writeText(std::ostream &out) const;
+
+    /** Per-node CSV (one row per fleet node). */
+    CsvTable csv() const;
 };
 
 } // namespace xpro

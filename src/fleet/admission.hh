@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Aggregator admission control for sensor-node fleets.
+ *
+ * A single aggregator (one A8-class core, one battery) backs every
+ * node of a body-sensor network, so the per-node XPro cuts cannot
+ * each assume a dedicated aggregator: their combined software load
+ * must fit a CPU-utilization cap and a power budget reserved for
+ * analytics. Nodes are admitted in fleet order. A node whose
+ * offloaded load does not fit is re-partitioned with a growing
+ * aggregator-energy penalty in the generator's objective
+ * (GeneratorOptions::aggregatorEnergyWeight), which pulls cells back
+ * into the sensor; if no penalized cut fits either, the node falls
+ * back to the all-in-sensor design, whose only aggregator cost is
+ * receiving the classification result.
+ */
+
+#ifndef XPRO_FLEET_ADMISSION_HH
+#define XPRO_FLEET_ADMISSION_HH
+
+#include <string>
+#include <vector>
+
+#include "core/partitioner.hh"
+#include "core/placement.hh"
+#include "core/topology.hh"
+#include "wireless/link.hh"
+
+namespace xpro
+{
+
+/** Aggregator capacity reserved for the fleet's analytics. */
+struct AdmissionConfig
+{
+    /**
+     * Fraction of the aggregator CPU the fleet may keep busy (the
+     * phone still runs its own workload; the paper's Fig. 13 view).
+     */
+    double maxCpuUtilization = 0.35;
+    /** Power budget for the fleet's aggregator-side analytics. */
+    Power powerBudget = Power::millis(2.0);
+    /** Penalty weight of the first re-partitioning round. */
+    double initialPenalty = 1.0;
+    /** Penalty growth factor between rounds. */
+    double penaltyGrowth = 4.0;
+    /** Re-partitioning rounds before forcing in-sensor. */
+    size_t maxRounds = 4;
+};
+
+/** How a node's design fared against the aggregator budget. */
+enum class AdmissionOutcome
+{
+    /** The node's original cut fit as-is. */
+    Offloaded,
+    /** Re-partitioned under an aggregator-energy penalty. */
+    Repartitioned,
+    /** Fell back to the all-in-sensor design. */
+    InSensor,
+};
+
+/** Short tag: "offload", "repartition" or "in-sensor". */
+const std::string &admissionOutcomeName(AdmissionOutcome outcome);
+
+/** One node's demand on the shared aggregator. */
+struct AdmissionCandidate
+{
+    const EngineTopology *topology = nullptr;
+    /** The node's standalone generator cut. */
+    const Placement *placement = nullptr;
+    /** The node's event (segment) rate. */
+    double eventsPerSecond = 4.0;
+};
+
+/** Admission decision for one node. */
+struct NodeAdmission
+{
+    AdmissionOutcome outcome = AdmissionOutcome::Offloaded;
+    /** The placement actually admitted. */
+    Placement placement;
+    /** Aggregator CPU fraction the node occupies. */
+    double cpuShare = 0.0;
+    /** Aggregator analytics power the node draws. */
+    Power power;
+    /** Final penalty weight (0 when the original cut fit). */
+    double penaltyWeight = 0.0;
+};
+
+/** Fleet-wide admission outcome. */
+struct AdmissionResult
+{
+    std::vector<NodeAdmission> nodes;
+    /** Total admitted aggregator CPU utilization. */
+    double cpuUtilization = 0.0;
+    /** Total admitted aggregator analytics power. */
+    Power power;
+};
+
+/**
+ * Fraction of the aggregator CPU a placement keeps busy: software
+ * execution time of the aggregator-placed cells per event times the
+ * event rate.
+ */
+double aggregatorCpuShare(const EngineTopology &topology,
+                          const Placement &placement,
+                          double events_per_second);
+
+/** Aggregator analytics power of a placement (compute + radio). */
+Power aggregatorAnalyticsPower(const EngineTopology &topology,
+                               const Placement &placement,
+                               const WirelessLink &link,
+                               double events_per_second);
+
+/**
+ * Admit @p candidates against the shared aggregator in order.
+ * Deterministic: depends only on the candidates, their order and the
+ * configuration.
+ */
+AdmissionResult admitFleet(
+    const std::vector<AdmissionCandidate> &candidates,
+    const WirelessLink &link, const AdmissionConfig &config = {});
+
+} // namespace xpro
+
+#endif // XPRO_FLEET_ADMISSION_HH

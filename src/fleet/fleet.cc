@@ -1,0 +1,571 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hh"
+#include "core/transfers.hh"
+#include "platform/battery.hh"
+#include "sim/event_queue.hh"
+
+namespace xpro
+{
+
+std::vector<FleetNodeSpec>
+heterogeneousFleet(size_t count, uint64_t seed)
+{
+    // Cycle the six paper test cases and the three process nodes at
+    // co-prime strides so neighbouring nodes differ in both; every
+    // node gets its own seed (its own synthetic body).
+    static constexpr std::array<ProcessNode, 3> processes = {
+        ProcessNode::Tsmc90,
+        ProcessNode::Tsmc45,
+        ProcessNode::Tsmc130,
+    };
+    std::vector<FleetNodeSpec> specs;
+    specs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        FleetNodeSpec spec;
+        spec.testCase = allTestCases[i % allTestCases.size()];
+        spec.process = processes[i % processes.size()];
+        spec.seed = seed + i;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+std::vector<XProDesign>
+designFleet(const std::vector<FleetNodeSpec> &specs,
+            WirelessModel wireless, double bit_error_rate,
+            WorkerPool &pool)
+{
+    ChannelModel channel;
+    channel.bitErrorRate = bit_error_rate;
+    return pool.map<XProDesign>(specs.size(), [&](size_t i) {
+        const FleetNodeSpec &spec = specs[i];
+        const SignalDataset dataset =
+            makeTestCase(spec.testCase, spec.seed);
+
+        EngineConfig config;
+        config.process = spec.process;
+        config.wireless = wireless;
+        config.subspace.candidates = spec.subspaceCandidates;
+
+        TrainingOptions options;
+        options.maxTrainingSegments = spec.maxTrainingSegments;
+        options.seed = spec.seed;
+
+        XProDesign design;
+        design.config = config;
+        design.pipeline = trainPipeline(dataset, config, options);
+        design.topology = buildEngineTopology(
+            design.pipeline.ensemble, dataset.segmentLength, config,
+            dataset.eventsPerSecond());
+        const WirelessLink link(transceiver(wireless), channel);
+        design.partition =
+            XProGenerator(design.topology, link).generate();
+        return design;
+    });
+}
+
+namespace
+{
+
+/**
+ * The shared half-duplex channel: queues transfer requests from all
+ * members and serves them one at a time under the arbiter's policy.
+ */
+class SharedRadio
+{
+  public:
+    SharedRadio(EventQueue &queue, const RadioArbiter &arbiter,
+                FleetSimResult &result)
+        : _queue(queue), _arbiter(arbiter), _result(result)
+    {}
+
+    /** Queue a transfer for @p node; @p on_delivered fires when the
+     *  payload lands on the other end. */
+    void
+    request(size_t node, const TransferCost &cost,
+            EventQueue::Handler on_delivered)
+    {
+        Pending pending;
+        pending.request = {node, _nextSequence++, _queue.now(),
+                           cost.airTime};
+        pending.onDelivered = std::move(on_delivered);
+        _pending.push_back(std::move(pending));
+        arbitrate();
+    }
+
+  private:
+    struct Pending
+    {
+        RadioRequest request;
+        EventQueue::Handler onDelivered;
+    };
+
+    void
+    arbitrate()
+    {
+        if (_busy || _pending.empty())
+            return;
+
+        std::vector<RadioRequest> requests;
+        requests.reserve(_pending.size());
+        for (const Pending &pending : _pending)
+            requests.push_back(pending.request);
+
+        Time start;
+        const size_t chosen =
+            _arbiter.grant(requests, _queue.now(), &start);
+        xproAssert(chosen < _pending.size(),
+                   "arbiter chose request %zu of %zu", chosen,
+                   _pending.size());
+        xproAssert(start >= _queue.now(),
+                   "arbiter granted a start in the past");
+
+        if (start > _queue.now()) {
+            // The winner may not start yet (e.g. its TDMA slot is
+            // ahead). Re-arbitrate at that time; a request arriving
+            // in between triggers its own arbitration, so an armed
+            // wakeup is only kept if it is still the earliest.
+            if (!_wakeupArmed || start < _wakeupAt) {
+                _wakeupArmed = true;
+                _wakeupAt = start;
+                _queue.schedule(start, [this, start]() {
+                    if (_wakeupArmed && _wakeupAt == start)
+                        _wakeupArmed = false;
+                    arbitrate();
+                });
+            }
+            return;
+        }
+
+        _busy = true;
+        Pending job = std::move(_pending[chosen]);
+        _pending.erase(_pending.begin() +
+                       static_cast<ptrdiff_t>(chosen));
+        _result.radioBusy += job.request.airTime;
+        ++_result.transfers;
+        _queue.scheduleAfter(
+            job.request.airTime,
+            [this, job = std::move(job)]() mutable {
+                job.onDelivered();
+                _busy = false;
+                arbitrate();
+            });
+    }
+
+    EventQueue &_queue;
+    const RadioArbiter &_arbiter;
+    FleetSimResult &_result;
+    bool _busy = false;
+    bool _wakeupArmed = false;
+    Time _wakeupAt;
+    std::vector<Pending> _pending;
+    uint64_t _nextSequence = 0;
+};
+
+/**
+ * The aggregator's single CPU: software cells of all members
+ * execute one at a time, first come first served.
+ */
+class CpuServer
+{
+  public:
+    CpuServer(EventQueue &queue, FleetSimResult &result)
+        : _queue(queue), _result(result)
+    {}
+
+    /** Run a software job of length @p exec; @p done fires at its
+     *  completion. */
+    void
+    submit(Time exec, EventQueue::Handler done)
+    {
+        _backlog.push_back({exec, std::move(done)});
+        if (!_busy)
+            startNext();
+    }
+
+  private:
+    struct Job
+    {
+        Time exec;
+        EventQueue::Handler done;
+    };
+
+    void
+    startNext()
+    {
+        if (_backlog.empty()) {
+            _busy = false;
+            return;
+        }
+        _busy = true;
+        Job job = std::move(_backlog.front());
+        _backlog.erase(_backlog.begin());
+        _result.aggregatorBusy += job.exec;
+        _queue.scheduleAfter(
+            job.exec, [this, job = std::move(job)]() mutable {
+                job.done();
+                startNext();
+            });
+    }
+
+    EventQueue &_queue;
+    FleetSimResult &_result;
+    bool _busy = false;
+    std::vector<Job> _backlog;
+};
+
+/**
+ * Event-level simulation of a whole fleet. Per-member dataflow
+ * state mirrors the single-node SystemSimulator; the difference is
+ * the shared radio (arbitrated, not FIFO-per-node) and the shared
+ * aggregator CPU (a single server for every member's software
+ * cells). Sensor-side cells of different members run concurrently:
+ * every node owns its silicon.
+ */
+class FleetSimulator
+{
+  public:
+    FleetSimulator(const std::vector<FleetMember> &members,
+                   const WirelessLink &link,
+                   const RadioArbiter &arbiter,
+                   size_t events_per_node)
+        : _link(link),
+          _eventsPerNode(events_per_node),
+          _radio(_queue, arbiter, _result),
+          _cpu(_queue, _result)
+    {
+        xproAssert(!members.empty(),
+                   "fleet simulation needs at least one member");
+        xproAssert(events_per_node > 0, "need at least one event");
+
+        _members.reserve(members.size());
+        for (const FleetMember &member : members) {
+            xproAssert(member.eventsPerSecond > 0.0,
+                       "event rate must be positive");
+            Member state;
+            state.spec = &member;
+            state.groups = broadcastGroups(member.topology);
+            state.instances.resize(events_per_node);
+            const DataflowGraph &graph = member.topology.graph;
+            for (Instance &instance : state.instances) {
+                instance.inputsPending.assign(graph.nodeCount(), 0);
+                for (size_t v = 1; v < graph.nodeCount(); ++v) {
+                    instance.inputsPending[v] =
+                        graph.predecessors(v).size();
+                }
+                instance.done.assign(graph.nodeCount(), false);
+            }
+            _members.push_back(std::move(state));
+        }
+    }
+
+    FleetSimResult
+    run()
+    {
+        for (size_t m = 0; m < _members.size(); ++m) {
+            const Time period = Time::seconds(
+                1.0 / _members[m].spec->eventsPerSecond);
+            for (size_t k = 0; k < _eventsPerNode; ++k) {
+                _queue.schedule(
+                    period * static_cast<double>(k),
+                    [this, m, k]() {
+                        completeNode(m, k, DataflowGraph::sourceId);
+                    });
+            }
+        }
+        _queue.runAll(4000000);
+
+        _result.members.resize(_members.size());
+        for (size_t m = 0; m < _members.size(); ++m) {
+            const Member &member = _members[m];
+            const Time period = Time::seconds(
+                1.0 / member.spec->eventsPerSecond);
+            MemberSimResult &out = _result.members[m];
+            out.events = _eventsPerNode;
+            Time latency_sum;
+            for (size_t k = 0; k < _eventsPerNode; ++k) {
+                const Instance &instance = member.instances[k];
+                xproAssert(instance.resultAt.has_value(),
+                           "member %zu event %zu never completed",
+                           m, k);
+                const Time completion = *instance.resultAt;
+                const Time latency =
+                    completion - period * static_cast<double>(k);
+                latency_sum += latency;
+                out.worstLatency =
+                    std::max(out.worstLatency, latency);
+                if (latency > period)
+                    ++out.deadlineMisses;
+                if (k == 0)
+                    out.firstCompletion = completion;
+                _result.span = std::max(_result.span, completion);
+            }
+            out.meanLatency = Time::seconds(
+                latency_sum.sec() /
+                static_cast<double>(_eventsPerNode));
+        }
+        return std::move(_result);
+    }
+
+  private:
+    struct Instance
+    {
+        std::vector<size_t> inputsPending;
+        std::vector<bool> done;
+        std::optional<Time> resultAt;
+    };
+
+    struct Member
+    {
+        const FleetMember *spec = nullptr;
+        std::vector<BroadcastGroup> groups;
+        std::vector<Instance> instances;
+    };
+
+    void
+    deliverTo(size_t m, size_t k, size_t v)
+    {
+        Instance &instance = _members[m].instances[k];
+        xproAssert(instance.inputsPending[v] > 0,
+                   "duplicate delivery to node %zu", v);
+        if (--instance.inputsPending[v] == 0)
+            completeNode(m, k, v);
+    }
+
+    void
+    completeNode(size_t m, size_t k, size_t u)
+    {
+        const Member &member = _members[m];
+        const auto finish = [this, m, k, u]() {
+            finishNode(m, k, u);
+        };
+        if (u == DataflowGraph::sourceId) {
+            _queue.scheduleAfter(Time(), finish);
+            return;
+        }
+        const CellCosts &costs =
+            member.spec->topology.graph.node(u).costs;
+        if (member.spec->placement.inSensor(u)) {
+            // The member's own hardware: runs concurrently with
+            // every other node's cells.
+            _queue.scheduleAfter(costs.sensorDelay, finish);
+        } else {
+            // Software on the one shared aggregator core.
+            _cpu.submit(costs.aggregatorDelay, finish);
+        }
+    }
+
+    void
+    finishNode(size_t m, size_t k, size_t u)
+    {
+        Member &member = _members[m];
+        const EngineTopology &topology = member.spec->topology;
+        const Placement &placement = member.spec->placement;
+        member.instances[k].done[u] = true;
+
+        if (u == topology.fusionNode) {
+            if (placement.inSensor(u)) {
+                const TransferCost cost =
+                    _link.transfer(EngineTopology::resultBits);
+                _radio.request(m, cost, [this, m, k]() {
+                    _members[m].instances[k].resultAt = _queue.now();
+                });
+            } else {
+                member.instances[k].resultAt = _queue.now();
+            }
+        }
+
+        for (const BroadcastGroup &group : member.groups) {
+            if (group.producer != u)
+                continue;
+            std::vector<size_t> other_end;
+            for (size_t v : group.consumers) {
+                if (placement.inSensor(v) == placement.inSensor(u))
+                    deliverTo(m, k, v);
+                else
+                    other_end.push_back(v);
+            }
+            if (!other_end.empty()) {
+                const TransferCost cost = _link.transfer(group.bits);
+                _radio.request(
+                    m, cost, [this, m, k, other_end]() {
+                        for (size_t v : other_end)
+                            deliverTo(m, k, v);
+                    });
+            }
+        }
+    }
+
+    const WirelessLink &_link;
+    size_t _eventsPerNode;
+    EventQueue _queue;
+    FleetSimResult _result;
+    SharedRadio _radio;
+    CpuServer _cpu;
+    std::vector<Member> _members;
+};
+
+/** Longest single payload any member can put on the air. */
+Time
+largestAirTime(const std::vector<FleetMember> &members,
+               const WirelessLink &link)
+{
+    Time largest = link.transfer(EngineTopology::resultBits).airTime;
+    for (const FleetMember &member : members) {
+        for (const BroadcastGroup &group :
+             broadcastGroups(member.topology)) {
+            largest = std::max(largest,
+                               link.transfer(group.bits).airTime);
+        }
+    }
+    return largest;
+}
+
+} // namespace
+
+FleetSimResult
+simulateFleet(const std::vector<FleetMember> &members,
+              const WirelessLink &link, const RadioArbiter &arbiter,
+              size_t events_per_node)
+{
+    FleetSimulator simulator(members, link, arbiter,
+                             events_per_node);
+    return simulator.run();
+}
+
+FleetResult
+runFleet(const FleetConfig &config)
+{
+    xproAssert(!config.nodes.empty(),
+               "fleet needs at least one node");
+    xproAssert(config.eventRateScale > 0.0,
+               "event rate scale must be positive");
+
+    ChannelModel channel;
+    channel.bitErrorRate = config.bitErrorRate;
+    const WirelessLink link(transceiver(config.wireless), channel);
+
+    FleetResult result;
+
+    // Phase 1: per-node design, concurrently.
+    WorkerPool pool(config.workers);
+    std::vector<XProDesign> designs = designFleet(
+        config.nodes, config.wireless, config.bitErrorRate, pool);
+    result.designWork = pool.lastWork();
+    result.designMakespan = pool.lastMakespan();
+    result.designWall = pool.lastWall();
+
+    const auto eventRate = [&](size_t i) {
+        const TestCaseInfo &info =
+            testCaseInfo(config.nodes[i].testCase);
+        return info.sampleRateHz /
+               static_cast<double>(info.segmentLength);
+    };
+
+    // Phase 2: admission against the shared aggregator.
+    std::vector<AdmissionCandidate> candidates;
+    candidates.reserve(designs.size());
+    for (size_t i = 0; i < designs.size(); ++i) {
+        candidates.push_back({&designs[i].topology,
+                              &designs[i].partition.placement,
+                              eventRate(i)});
+    }
+    result.admission =
+        admitFleet(candidates, link, config.admission);
+
+    // Phase 3: event-level simulation on the shared channel.
+    std::vector<FleetMember> members;
+    members.reserve(designs.size());
+    for (size_t i = 0; i < designs.size(); ++i) {
+        members.push_back({designs[i].topology,
+                           result.admission.nodes[i].placement,
+                           eventRate(i) * config.eventRateScale});
+    }
+
+    const FcfsArbiter fcfs;
+    std::unique_ptr<TdmaArbiter> tdma;
+    const RadioArbiter *arbiter = &fcfs;
+    if (config.policy == RadioPolicy::Tdma) {
+        const Time slot = config.tdmaSlot > Time()
+                              ? config.tdmaSlot
+                              : largestAirTime(members, link);
+        tdma = std::make_unique<TdmaArbiter>(members.size(), slot);
+        arbiter = tdma.get();
+    }
+    result.sim = simulateFleet(members, link, *arbiter,
+                               config.eventsPerNode);
+
+    // Per-node analytic evaluation of the admitted placements.
+    const Aggregator aggregator;
+    result.nodes.reserve(designs.size());
+    for (size_t i = 0; i < designs.size(); ++i) {
+        FleetNodeResult node;
+        node.spec = config.nodes[i];
+        node.design = std::move(designs[i]);
+        node.admission = result.admission.nodes[i];
+        SensorNodeConfig sensor_config;
+        sensor_config.process = node.spec.process;
+        node.evaluation = evaluateEngine(
+            EngineKind::CrossEnd, node.design.topology,
+            node.admission.placement, link,
+            SensorNode(sensor_config), aggregator,
+            WorkloadContext{eventRate(i)});
+        result.nodes.push_back(std::move(node));
+    }
+
+    // Fleet report.
+    FleetReport &report = result.report;
+    report.policy = arbiter->name();
+    report.nodeCount = result.nodes.size();
+    report.spanMs = result.sim.span.ms();
+    report.radioBusyMs = result.sim.radioBusy.ms();
+    report.radioOccupancy =
+        result.sim.span > Time()
+            ? result.sim.radioBusy / result.sim.span
+            : 0.0;
+    report.transfers = result.sim.transfers;
+    report.aggregatorBusyMs = result.sim.aggregatorBusy.ms();
+    report.aggregatorUtilization =
+        result.sim.span > Time()
+            ? result.sim.aggregatorBusy / result.sim.span
+            : 0.0;
+    report.aggregatorCpuShare = result.admission.cpuUtilization;
+    report.aggregatorPowerUw = result.admission.power.uw();
+    report.aggregatorLifetimeHours =
+        aggregator.battery()
+            .lifetime(result.admission.power +
+                      aggregator.idlePower())
+            .hr();
+
+    for (size_t i = 0; i < result.nodes.size(); ++i) {
+        const FleetNodeResult &node = result.nodes[i];
+        const MemberSimResult &sim = result.sim.members[i];
+        FleetNodeReportRow row;
+        row.symbol = testCaseInfo(node.spec.testCase).symbol;
+        row.process = processNodeName(node.spec.process);
+        row.admission =
+            admissionOutcomeName(node.admission.outcome);
+        row.sensorCells =
+            node.admission.placement.sensorCellCount();
+        row.totalCells = node.design.topology.graph.cellCount();
+        row.accuracy = node.design.pipeline.testAccuracy;
+        row.eventsPerSecond = eventRate(i);
+        row.sensorLifetimeHours =
+            node.evaluation.sensorLifetime.hr();
+        row.events = sim.events;
+        row.deadlineMisses = sim.deadlineMisses;
+        row.meanLatencyMs = sim.meanLatency.ms();
+        row.worstLatencyMs = sim.worstLatency.ms();
+        row.aggregatorPowerUw = node.admission.power.uw();
+        report.totalEvents += sim.events;
+        report.totalDeadlineMisses += sim.deadlineMisses;
+        report.rows.push_back(std::move(row));
+    }
+    return result;
+}
+
+} // namespace xpro

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Fleet simulation: many heterogeneous sensor nodes on one shared
+ * aggregator (paper Section 5.7, "extension to multiple sensor
+ * nodes", taken past the paper's separate-channel assumption).
+ *
+ * A fleet run has three phases:
+ *
+ *  1. Design. Every node gets its own XPro cut (dataset, training,
+ *     generator), computed concurrently on a WorkerPool — nodes are
+ *     independent until they share hardware. Deterministic per node,
+ *     so the fleet outcome is identical for any worker count.
+ *  2. Admission. The per-node cuts are admitted against the shared
+ *     aggregator's CPU and power budget (fleet/admission); nodes
+ *     that do not fit are re-partitioned toward the sensor.
+ *  3. Event simulation. All nodes stream segments through one
+ *     event queue: sensor-side cells run in parallel (every node
+ *     owns its silicon), but inter-end payloads serialize over one
+ *     half-duplex radio channel under a pluggable arbitration
+ *     policy (fleet/radio_sched), and aggregator-side cells
+ *     serialize on the single aggregator CPU. Per-node deadline
+ *     misses, radio occupancy and aggregator utilization fall out.
+ *
+ * Results surface as a FleetReport (core/report).
+ */
+
+#ifndef XPRO_FLEET_FLEET_HH
+#define XPRO_FLEET_FLEET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "core/pipeline.hh"
+#include "core/report.hh"
+#include "data/testcases.hh"
+#include "fleet/admission.hh"
+#include "fleet/radio_sched.hh"
+#include "fleet/worker_pool.hh"
+
+namespace xpro
+{
+
+/** One sensor node's static description in a fleet. */
+struct FleetNodeSpec
+{
+    TestCase testCase = TestCase::C1;
+    ProcessNode process = ProcessNode::Tsmc90;
+    /** Dataset + training seed (distinct seeds, distinct bodies). */
+    uint64_t seed = 2017;
+    /** Random-subspace candidates (scaled down for fleet runs). */
+    size_t subspaceCandidates = 40;
+    /** Training segment cap (0 = everything). */
+    size_t maxTrainingSegments = 250;
+};
+
+/** Shared-radio arbitration policy selector. */
+enum class RadioPolicy
+{
+    Fcfs,
+    Tdma,
+};
+
+/** Full configuration of one fleet run. */
+struct FleetConfig
+{
+    std::vector<FleetNodeSpec> nodes;
+    /** Transceiver model shared by all nodes (one channel). */
+    WirelessModel wireless = WirelessModel::Model2;
+    /** Channel bit error rate (0 = ideal). */
+    double bitErrorRate = 0.0;
+    RadioPolicy policy = RadioPolicy::Fcfs;
+    /**
+     * TDMA slot length; zero derives it from the largest payload
+     * any node can put on the air (every transfer fits one slot).
+     */
+    Time tdmaSlot;
+    /** Design-phase worker threads. */
+    size_t workers = 1;
+    /** Simulated events per node. */
+    size_t eventsPerNode = 6;
+    /**
+     * Multiplier on every node's event rate in the event
+     * simulation only (stress the shared channel and CPU without
+     * redesigning the cuts).
+     */
+    double eventRateScale = 1.0;
+    AdmissionConfig admission;
+};
+
+/**
+ * N heterogeneous node specs: test cases and process nodes cycle,
+ * seeds are distinct (distinct synthetic bodies).
+ */
+std::vector<FleetNodeSpec> heterogeneousFleet(size_t count,
+                                              uint64_t seed = 2017);
+
+/** One member of the event-level fleet simulation. */
+struct FleetMember
+{
+    EngineTopology topology;
+    Placement placement;
+    /** Event injection rate. */
+    double eventsPerSecond = 4.0;
+};
+
+/** Event-level outcome for one member. */
+struct MemberSimResult
+{
+    size_t events = 0;
+    /** Events finishing after the next segment was acquired. */
+    size_t deadlineMisses = 0;
+    Time meanLatency;
+    Time worstLatency;
+    /** Completion time of the member's first event. */
+    Time firstCompletion;
+};
+
+/** Event-level outcome of a fleet simulation. */
+struct FleetSimResult
+{
+    std::vector<MemberSimResult> members;
+    /** Simulated makespan (last completion). */
+    Time span;
+    /** Shared-channel busy time. */
+    Time radioBusy;
+    size_t transfers = 0;
+    /** Aggregator CPU busy time. */
+    Time aggregatorBusy;
+};
+
+/**
+ * Simulate @p events_per_node events of every member, all sharing
+ * one half-duplex radio (arbitrated by @p arbiter) and one
+ * aggregator CPU. Deterministic for a fixed member order.
+ */
+FleetSimResult simulateFleet(const std::vector<FleetMember> &members,
+                             const WirelessLink &link,
+                             const RadioArbiter &arbiter,
+                             size_t events_per_node);
+
+/** Everything known about one node after a fleet run. */
+struct FleetNodeResult
+{
+    FleetNodeSpec spec;
+    XProDesign design;
+    NodeAdmission admission;
+    /** Evaluation of the admitted placement. */
+    EngineEvaluation evaluation;
+};
+
+/** Outcome of a full fleet run. */
+struct FleetResult
+{
+    std::vector<FleetNodeResult> nodes;
+    AdmissionResult admission;
+    FleetSimResult sim;
+    FleetReport report;
+    /**
+     * Design-phase pool accounting (host timings; deliberately not
+     * part of the report): total task CPU time, the busiest
+     * worker's CPU time, and the wall-clock duration.
+     */
+    Time designWork;
+    Time designMakespan;
+    Time designWall;
+};
+
+/**
+ * Design every node of @p specs concurrently on @p pool. Result i
+ * belongs to spec i regardless of worker count.
+ */
+std::vector<XProDesign>
+designFleet(const std::vector<FleetNodeSpec> &specs,
+            WirelessModel wireless, double bit_error_rate,
+            WorkerPool &pool);
+
+/** Full fleet flow: parallel design, admission, event simulation. */
+FleetResult runFleet(const FleetConfig &config);
+
+} // namespace xpro
+
+#endif // XPRO_FLEET_FLEET_HH

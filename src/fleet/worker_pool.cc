@@ -1,0 +1,118 @@
+#include "fleet/worker_pool.hh"
+
+#include <ctime>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace xpro
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+Time
+elapsed(Clock::time_point from, Clock::time_point to)
+{
+    return Time::seconds(
+        std::chrono::duration<double>(to - from).count());
+}
+
+/** The calling thread's consumed CPU time. */
+Time
+threadCpuTime()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+        return Time::seconds(static_cast<double>(ts.tv_sec) +
+                             1e-9 *
+                                 static_cast<double>(ts.tv_nsec));
+    }
+#endif
+    // Fallback: wall clock (overstates busy time under
+    // timesharing, but keeps the accounting monotone).
+    return Time::seconds(std::chrono::duration<double>(
+                             Clock::now().time_since_epoch())
+                             .count());
+}
+
+} // namespace
+
+WorkerPool::WorkerPool(size_t workers)
+    : _workers(workers == 0 ? 1 : workers)
+{}
+
+void
+WorkerPool::run(size_t count, const Task &task)
+{
+    _busy.assign(_workers, Time());
+    _wall = Time();
+    if (count == 0)
+        return;
+
+    std::atomic<size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const auto worker = [&](size_t worker_index) {
+        const Time started = threadCpuTime();
+        for (;;) {
+            const size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                break;
+            try {
+                task(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                break;
+            }
+        }
+        _busy[worker_index] = threadCpuTime() - started;
+    };
+
+    const Clock::time_point started = Clock::now();
+    if (_workers == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(_workers);
+        for (size_t w = 0; w < _workers; ++w)
+            threads.emplace_back(worker, w);
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+    _wall = elapsed(started, Clock::now());
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+Time
+WorkerPool::lastWork() const
+{
+    Time total;
+    for (Time t : _busy)
+        total += t;
+    return total;
+}
+
+Time
+WorkerPool::lastMakespan() const
+{
+    Time longest;
+    for (Time t : _busy)
+        longest = std::max(longest, t);
+    return longest;
+}
+
+} // namespace xpro

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fixed-size std::thread worker pool for the fleet design phase.
+ *
+ * Per-node design (training + topology build + generator run) is
+ * independent between nodes, so the fleet designs nodes concurrently:
+ * run() executes an indexed task set, workers claiming indices from a
+ * shared atomic counter. Results are keyed by index, never by
+ * completion order, so the outcome is identical for any worker
+ * count — the determinism the fleet report tests rely on.
+ *
+ * The pool also records each worker's CPU time during the last run
+ * (thread CPU, not wall clock, so timesharing on few cores does not
+ * inflate it); the scaling bench derives the pool's load-balancing
+ * speedup (total work / busiest worker) from it, which is what
+ * wall-clock speedup converges to when enough hardware threads
+ * exist.
+ */
+
+#ifndef XPRO_FLEET_WORKER_POOL_HH
+#define XPRO_FLEET_WORKER_POOL_HH
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace xpro
+{
+
+/** A fixed-width pool executing indexed task sets. */
+class WorkerPool
+{
+  public:
+    using Task = std::function<void(size_t index)>;
+
+    /**
+     * @param workers Concurrent workers; 0 and 1 both execute
+     *        inline on the calling thread (no threads spawned).
+     */
+    explicit WorkerPool(size_t workers = 1);
+
+    size_t workerCount() const { return _workers; }
+
+    /**
+     * Execute @p task for every index in [0, count), blocking until
+     * all complete. Indices are claimed dynamically, so heterogeneous
+     * task durations balance across workers. The first exception
+     * thrown by any task is rethrown here after all workers join.
+     */
+    void run(size_t count, const Task &task);
+
+    /**
+     * Map an indexed task set to a result vector: result[i] is
+     * produced by fn(i). Deterministic for any worker count.
+     */
+    template <typename T, typename Fn>
+    std::vector<T>
+    map(size_t count, Fn fn)
+    {
+        std::vector<std::optional<T>> slots(count);
+        run(count, [&](size_t i) { slots[i].emplace(fn(i)); });
+        std::vector<T> results;
+        results.reserve(count);
+        for (std::optional<T> &slot : slots)
+            results.push_back(std::move(*slot));
+        return results;
+    }
+
+    /** CPU time per worker during the last run(). */
+    const std::vector<Time> &lastBusy() const { return _busy; }
+
+    /** Total task CPU time of the last run (sum over workers). */
+    Time lastWork() const;
+
+    /** Busiest worker's CPU time of the last run: the makespan the
+     *  run would have on enough free cores. */
+    Time lastMakespan() const;
+
+    /** Wall-clock duration of the last run(). */
+    Time lastWall() const { return _wall; }
+
+  private:
+    size_t _workers;
+    std::vector<Time> _busy;
+    Time _wall;
+};
+
+} // namespace xpro
+
+#endif // XPRO_FLEET_WORKER_POOL_HH

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Tests for the fleet subsystem: worker pool, radio arbitration,
+ * aggregator admission control and the many-node event simulation.
+ * The two headline invariants of ISSUE requirements live here: a
+ * two-node fleet sharing the radio completes strictly later than
+ * the single-node critical path, and a full fleet run produces a
+ * byte-identical report for any worker-pool size.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "fleet/fleet.hh"
+#include "sim/system_sim.hh"
+#include "topology_fixtures.hh"
+
+namespace
+{
+
+using namespace xpro;
+using xpro::test::CellSpec;
+using xpro::test::MiniTopology;
+using xpro::test::chainTopology;
+
+const WirelessLink link2(transceiver(WirelessModel::Model2));
+
+// --- WorkerPool ---------------------------------------------------
+
+TEST(WorkerPoolTest, MapKeepsResultsIndexed)
+{
+    for (size_t workers : {1u, 2u, 3u, 8u}) {
+        WorkerPool pool(workers);
+        const std::vector<size_t> out =
+            pool.map<size_t>(17, [](size_t i) { return i * i; });
+        ASSERT_EQ(out.size(), 17u);
+        for (size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], i * i) << "workers=" << workers;
+    }
+}
+
+TEST(WorkerPoolTest, RunsEveryTaskExactlyOnce)
+{
+    WorkerPool pool(4);
+    std::vector<std::atomic<int>> hits(100);
+    pool.run(hits.size(), [&](size_t i) { ++hits[i]; });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(WorkerPoolTest, PropagatesTheFirstException)
+{
+    WorkerPool pool(3);
+    EXPECT_THROW(pool.run(8,
+                          [](size_t i) {
+                              if (i == 5)
+                                  throw std::runtime_error("boom");
+                          }),
+                 std::runtime_error);
+}
+
+TEST(WorkerPoolTest, AccountsBusyTime)
+{
+    WorkerPool pool(2);
+    pool.run(4, [](size_t) {
+        volatile double sink = 0.0;
+        for (int i = 0; i < 10000; ++i)
+            sink = sink + static_cast<double>(i);
+    });
+    EXPECT_GE(pool.lastWork(), pool.lastMakespan());
+    EXPECT_GT(pool.lastMakespan(), Time());
+}
+
+TEST(WorkerPoolTest, ZeroWorkersClampToOne)
+{
+    WorkerPool pool(0);
+    const std::vector<int> out =
+        pool.map<int>(3, [](size_t i) { return int(i) + 1; });
+    EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+// --- Radio arbitration --------------------------------------------
+
+TEST(RadioSchedTest, FcfsGrantsLowestSequenceImmediately)
+{
+    const FcfsArbiter arbiter;
+    EXPECT_EQ(arbiter.name(), "fcfs");
+    std::vector<RadioRequest> pending;
+    pending.push_back({2, 7, Time::millis(1.0), Time::millis(2.0)});
+    pending.push_back({0, 3, Time::millis(1.5), Time::millis(2.0)});
+    Time start;
+    const size_t chosen =
+        arbiter.grant(pending, Time::millis(4.0), &start);
+    EXPECT_EQ(chosen, 1u);
+    EXPECT_DOUBLE_EQ(start.ms(), 4.0);
+}
+
+TEST(RadioSchedTest, FcfsNeverStartsBeforeReady)
+{
+    const FcfsArbiter arbiter;
+    std::vector<RadioRequest> pending;
+    pending.push_back({0, 0, Time::millis(9.0), Time::millis(1.0)});
+    Time start;
+    arbiter.grant(pending, Time::millis(2.0), &start);
+    EXPECT_DOUBLE_EQ(start.ms(), 9.0);
+}
+
+TEST(RadioSchedTest, TdmaSlotMath)
+{
+    const TdmaArbiter arbiter(3, Time::millis(2.0));
+    EXPECT_EQ(arbiter.name(), "tdma");
+    EXPECT_DOUBLE_EQ(arbiter.frame().ms(), 6.0);
+    // Node 0 owns [0, 2), node 1 [2, 4), node 2 [4, 6), repeating.
+    EXPECT_DOUBLE_EQ(arbiter.nextSlotStart(0, Time()).ms(), 0.0);
+    EXPECT_DOUBLE_EQ(arbiter.nextSlotStart(1, Time()).ms(), 2.0);
+    EXPECT_DOUBLE_EQ(arbiter.nextSlotStart(2, Time()).ms(), 4.0);
+    // Asking just past a slot start rolls to the next frame.
+    EXPECT_DOUBLE_EQ(
+        arbiter.nextSlotStart(1, Time::millis(2.5)).ms(), 8.0);
+    // Asking exactly at a slot start returns it.
+    EXPECT_DOUBLE_EQ(
+        arbiter.nextSlotStart(1, Time::millis(8.0)).ms(), 8.0);
+    // Mid-slot times count as the owner's air time.
+    EXPECT_TRUE(arbiter.inOwnSlot(1, Time::millis(2.5)));
+    EXPECT_FALSE(arbiter.inOwnSlot(0, Time::millis(2.5)));
+    EXPECT_TRUE(arbiter.inOwnSlot(0, Time::millis(6.5)));
+}
+
+TEST(RadioSchedTest, TdmaGrantsTheSlotOwnerFirst)
+{
+    const TdmaArbiter arbiter(2, Time::millis(2.0));
+    std::vector<RadioRequest> pending;
+    pending.push_back({0, 0, Time(), Time::millis(1.0)});
+    pending.push_back({1, 1, Time(), Time::millis(1.0)});
+    // Channel frees in node 1's slot: node 1 goes first even though
+    // node 0 asked earlier.
+    Time start;
+    const size_t chosen =
+        arbiter.grant(pending, Time::millis(2.5), &start);
+    EXPECT_EQ(chosen, 1u);
+    EXPECT_DOUBLE_EQ(start.ms(), 2.5);
+}
+
+// --- Admission ----------------------------------------------------
+
+/** Chain with heavy sensor costs so the free cut offloads. */
+EngineTopology
+offloadHappyTopology()
+{
+    return chainTopology(4000.0, 9000.0, 2500.0);
+}
+
+TEST(AdmissionTest, WithinBudgetKeepsTheFreeCut)
+{
+    const EngineTopology topology = offloadHappyTopology();
+    const Placement cut =
+        XProGenerator(topology, link2).generate().placement;
+    ASSERT_LT(cut.sensorCellCount(), topology.graph.cellCount());
+
+    std::vector<AdmissionCandidate> candidates;
+    candidates.push_back({&topology, &cut, 4.0});
+    const AdmissionResult result =
+        admitFleet(candidates, link2, AdmissionConfig{});
+    ASSERT_EQ(result.nodes.size(), 1u);
+    EXPECT_EQ(result.nodes[0].outcome, AdmissionOutcome::Offloaded);
+    EXPECT_EQ(result.nodes[0].placement.sensorCellCount(),
+              cut.sensorCellCount());
+    EXPECT_GT(result.cpuUtilization, 0.0);
+    EXPECT_GT(result.power, Power());
+}
+
+TEST(AdmissionTest, TightCpuBudgetRepartitionsTowardSensor)
+{
+    const EngineTopology topology = offloadHappyTopology();
+    const Placement cut =
+        XProGenerator(topology, link2).generate().placement;
+    const double free_share = aggregatorCpuShare(topology, cut, 4.0);
+    ASSERT_GT(free_share, 0.0);
+
+    AdmissionConfig config;
+    config.maxCpuUtilization = free_share / 2.0;
+    std::vector<AdmissionCandidate> candidates;
+    candidates.push_back({&topology, &cut, 4.0});
+    const AdmissionResult result =
+        admitFleet(candidates, link2, config);
+    ASSERT_EQ(result.nodes.size(), 1u);
+    EXPECT_NE(result.nodes[0].outcome, AdmissionOutcome::Offloaded);
+    // Whatever the outcome, the admitted demand respects the cap.
+    EXPECT_LE(result.cpuUtilization,
+              config.maxCpuUtilization + 1e-12);
+    EXPECT_GE(result.nodes[0].placement.sensorCellCount(),
+              cut.sensorCellCount());
+}
+
+TEST(AdmissionTest, SecondNodeSeesTheFirstOnesLoad)
+{
+    const EngineTopology topology = offloadHappyTopology();
+    const Placement cut =
+        XProGenerator(topology, link2).generate().placement;
+    const double free_share = aggregatorCpuShare(topology, cut, 4.0);
+
+    // Budget fits exactly one free cut: the second identical node
+    // must be pushed back toward its sensor.
+    AdmissionConfig config;
+    config.maxCpuUtilization = free_share * 1.5;
+    std::vector<AdmissionCandidate> candidates;
+    candidates.push_back({&topology, &cut, 4.0});
+    candidates.push_back({&topology, &cut, 4.0});
+    const AdmissionResult result =
+        admitFleet(candidates, link2, config);
+    ASSERT_EQ(result.nodes.size(), 2u);
+    EXPECT_EQ(result.nodes[0].outcome, AdmissionOutcome::Offloaded);
+    EXPECT_NE(result.nodes[1].outcome, AdmissionOutcome::Offloaded);
+    EXPECT_LE(result.cpuUtilization,
+              config.maxCpuUtilization + 1e-12);
+}
+
+TEST(AdmissionTest, CpuShareIsSoftwareDelayTimesRate)
+{
+    const EngineTopology topology = chainTopology(100.0, 100.0, 100.0);
+    const Placement all_agg = Placement::allInAggregator(topology);
+    // Three cells at 5 us each, 4 events/s.
+    EXPECT_NEAR(aggregatorCpuShare(topology, all_agg, 4.0),
+                3 * 5e-6 * 4.0, 1e-12);
+    const Placement all_sensor = Placement::allInSensor(topology);
+    EXPECT_DOUBLE_EQ(aggregatorCpuShare(topology, all_sensor, 4.0),
+                     0.0);
+}
+
+// --- Fleet event simulation ---------------------------------------
+
+/** A cut chain: feature in-sensor, classifier+fusion offloaded. */
+FleetMember
+cutChainMember(const EngineTopology &topology, double rate)
+{
+    FleetMember member;
+    member.topology = topology;
+    member.placement = Placement::trivialCut(topology);
+    member.eventsPerSecond = rate;
+    return member;
+}
+
+TEST(FleetSimTest, SingleMemberMatchesSingleNodeSimulator)
+{
+    const EngineTopology topology =
+        chainTopology(100.0, 200.0, 300.0);
+    std::vector<FleetMember> members;
+    members.push_back(cutChainMember(topology, 4.0));
+    const SimResult single =
+        simulateEvent(topology, members[0].placement, link2);
+
+    const FcfsArbiter fcfs;
+    const FleetSimResult fleet =
+        simulateFleet(members, link2, fcfs, 3);
+    ASSERT_EQ(fleet.members.size(), 1u);
+    EXPECT_EQ(fleet.members[0].events, 3u);
+    // Alone on the channel, every event sees the single-node
+    // latency; deadlines are easily met at 4 events/s.
+    EXPECT_DOUBLE_EQ(fleet.members[0].firstCompletion.ms(),
+                     single.completion.ms());
+    EXPECT_NEAR(fleet.members[0].worstLatency.ms(),
+                single.completion.ms(), 1e-9);
+    EXPECT_EQ(fleet.members[0].deadlineMisses, 0u);
+    EXPECT_EQ(fleet.transfers, 3 * single.transfers);
+}
+
+TEST(FleetSimTest, TwoNodesContendOnTheSharedRadio)
+{
+    const EngineTopology topology =
+        chainTopology(100.0, 200.0, 300.0);
+    const SimResult single = simulateEvent(
+        topology, Placement::trivialCut(topology), link2);
+    ASSERT_GT(single.transfers, 0u)
+        << "fixture must exercise the radio";
+
+    std::vector<FleetMember> members;
+    members.push_back(cutChainMember(topology, 4.0));
+    members.push_back(cutChainMember(topology, 4.0));
+    const FcfsArbiter fcfs;
+    const FleetSimResult fleet =
+        simulateFleet(members, link2, fcfs, 1);
+
+    // Both nodes inject at t=0 and want the channel at the same
+    // instant. One of them must wait: the fleet's completion is
+    // STRICTLY above the single-node critical path.
+    EXPECT_DOUBLE_EQ(fleet.members[0].firstCompletion.ms(),
+                     single.completion.ms());
+    EXPECT_GT(fleet.members[1].firstCompletion, single.completion);
+    EXPECT_GT(fleet.span, single.completion);
+    EXPECT_DOUBLE_EQ(fleet.radioBusy.ms(),
+                     2 * single.radioBusy.ms());
+}
+
+TEST(FleetSimTest, AggregatorCellsSerializeOnOneCpu)
+{
+    // All-in-aggregator members: every cell is software on the one
+    // shared CPU, so total busy time is exactly two events' worth.
+    const EngineTopology topology =
+        chainTopology(100.0, 200.0, 300.0);
+    std::vector<FleetMember> members;
+    for (int i = 0; i < 2; ++i) {
+        FleetMember member;
+        member.topology = topology;
+        member.placement = Placement::allInAggregator(topology);
+        member.eventsPerSecond = 4.0;
+        members.push_back(member);
+    }
+    const FcfsArbiter fcfs;
+    const FleetSimResult fleet =
+        simulateFleet(members, link2, fcfs, 1);
+    // 3 cells x 5 us per member per event.
+    EXPECT_NEAR(fleet.aggregatorBusy.ms(), 2 * 3 * 0.005, 1e-9);
+}
+
+TEST(FleetSimTest, TdmaDelaysTransfersToOwnedSlots)
+{
+    const EngineTopology topology =
+        chainTopology(100.0, 200.0, 300.0);
+    std::vector<FleetMember> members;
+    members.push_back(cutChainMember(topology, 4.0));
+    members.push_back(cutChainMember(topology, 4.0));
+
+    const FcfsArbiter fcfs;
+    const FleetSimResult free_for_all =
+        simulateFleet(members, link2, fcfs, 1);
+
+    // Slots far longer than any payload: node 1's transfer must
+    // wait for its own slot even though the channel is idle.
+    const Time slot = Time::millis(5.0);
+    const TdmaArbiter tdma(members.size(), slot);
+    const FleetSimResult slotted =
+        simulateFleet(members, link2, tdma, 1);
+    EXPECT_GE(slotted.members[1].firstCompletion,
+              free_for_all.members[1].firstCompletion);
+    EXPECT_GE(slotted.members[1].firstCompletion, slot);
+    // Same payloads move either way.
+    EXPECT_DOUBLE_EQ(slotted.radioBusy.ms(),
+                     free_for_all.radioBusy.ms());
+    EXPECT_EQ(slotted.transfers, free_for_all.transfers);
+}
+
+// --- Fleet runs ---------------------------------------------------
+
+TEST(FleetTest, HeterogeneousFleetCyclesCasesAndProcesses)
+{
+    const std::vector<FleetNodeSpec> specs = heterogeneousFleet(8);
+    ASSERT_EQ(specs.size(), 8u);
+    EXPECT_EQ(specs[0].testCase, TestCase::C1);
+    EXPECT_EQ(specs[6].testCase, TestCase::C1);
+    EXPECT_NE(specs[0].process, specs[1].process);
+    for (size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(specs[i].seed, 2017u + i);
+}
+
+/** Small-but-real fleet config that trains quickly. */
+FleetConfig
+tinyFleetConfig(size_t workers)
+{
+    FleetConfig config;
+    config.nodes = heterogeneousFleet(3);
+    for (FleetNodeSpec &node : config.nodes) {
+        node.subspaceCandidates = 6;
+        node.maxTrainingSegments = 60;
+    }
+    config.workers = workers;
+    config.eventsPerNode = 3;
+    return config;
+}
+
+TEST(FleetTest, ReportIsByteIdenticalForAnyWorkerCount)
+{
+    const FleetResult one = runFleet(tinyFleetConfig(1));
+    const FleetResult two = runFleet(tinyFleetConfig(2));
+    const FleetResult four = runFleet(tinyFleetConfig(4));
+
+    const std::string bytes = one.report.serialize();
+    EXPECT_EQ(bytes, two.report.serialize());
+    EXPECT_EQ(bytes, four.report.serialize());
+
+    // The admitted placements match cell by cell, not just in the
+    // serialized summary.
+    for (size_t n = 0; n < one.nodes.size(); ++n) {
+        const Placement &a = one.nodes[n].admission.placement;
+        const Placement &b = four.nodes[n].admission.placement;
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t u = 0; u < a.size(); ++u)
+            EXPECT_EQ(a.inSensor(u), b.inSensor(u));
+    }
+}
+
+TEST(FleetTest, RunFleetPopulatesTheReport)
+{
+    FleetConfig config = tinyFleetConfig(2);
+    config.policy = RadioPolicy::Tdma;
+    const FleetResult result = runFleet(config);
+
+    EXPECT_EQ(result.report.policy, "tdma");
+    EXPECT_EQ(result.report.nodeCount, 3u);
+    EXPECT_EQ(result.report.totalEvents, 9u);
+    ASSERT_EQ(result.report.rows.size(), 3u);
+    EXPECT_GT(result.report.spanMs, 0.0);
+    EXPECT_GT(result.report.radioOccupancy, 0.0);
+    EXPECT_GT(result.report.aggregatorLifetimeHours, 0.0);
+    for (const FleetNodeReportRow &row : result.report.rows) {
+        EXPECT_GT(row.accuracy, 0.5);
+        EXPECT_GT(row.sensorLifetimeHours, 0.0);
+        EXPECT_GT(row.totalCells, 0u);
+    }
+    EXPECT_EQ(result.report.csv().rowCount(), 3u);
+    EXPECT_GT(result.designWork, Time());
+    EXPECT_GE(result.designWork, result.designMakespan);
+}
+
+} // namespace

@@ -8,16 +8,24 @@
  *   xpro_cli --case C1 --process 90 --wireless 2 [--ber 1e-4]
  *            [--engine C|A|S|trivial] [--trace event.json]
  *            [--candidates N] [--max-train N]
+ *
+ * Fleet mode simulates N heterogeneous nodes on one shared
+ * aggregator instead of evaluating a single node:
+ *
+ *   xpro_cli --fleet 6 [--workers W] [--policy fcfs|tdma]
+ *            [--events N] [--wireless M] [--ber p]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include "common/logging.hh"
 #include "core/pipeline.hh"
 #include "data/testcases.hh"
+#include "fleet/fleet.hh"
 #include "sim/trace_export.hh"
 
 using namespace xpro;
@@ -43,7 +51,15 @@ usage(const char *argv0)
         "  --max-train <n>            training segment cap "
         "(default 300)\n"
         "  --trace <file>             write a Chrome trace of one "
-        "event\n",
+        "event\n"
+        "  --fleet <n>                simulate an n-node fleet on "
+        "one aggregator\n"
+        "  --workers <n>              fleet design worker threads "
+        "(default 1)\n"
+        "  --policy fcfs|tdma         fleet radio arbitration "
+        "(default fcfs)\n"
+        "  --events <n>               simulated events per fleet "
+        "node (default 6)\n",
         argv0);
     std::exit(2);
 }
@@ -99,6 +115,65 @@ parseEngine(const std::string &value)
           value.c_str());
 }
 
+RadioPolicy
+parsePolicy(const std::string &value)
+{
+    if (value == "fcfs")
+        return RadioPolicy::Fcfs;
+    if (value == "tdma")
+        return RadioPolicy::Tdma;
+    fatal("unknown radio policy '%s' (expected fcfs or tdma)",
+          value.c_str());
+}
+
+size_t
+parsePositive(const std::string &value, const char *what)
+{
+    char *end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (!end || *end != '\0' || end == value.c_str())
+        fatal("%s: '%s' is not a number", what, value.c_str());
+    if (parsed <= 0)
+        fatal("%s must be positive, got %lld", what, parsed);
+    return static_cast<size_t>(parsed);
+}
+
+double
+parseBer(const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (!end || *end != '\0' || end == value.c_str())
+        fatal("--ber: '%s' is not a number", value.c_str());
+    if (parsed < 0.0 || parsed >= 1.0)
+        fatal("--ber must be in [0, 1), got %g", parsed);
+    return parsed;
+}
+
+int
+runFleetMode(size_t fleet_size, size_t workers, RadioPolicy policy,
+             size_t events, WirelessModel wireless, double ber)
+{
+    FleetConfig config;
+    config.nodes = heterogeneousFleet(fleet_size);
+    config.wireless = wireless;
+    config.bitErrorRate = ber;
+    config.policy = policy;
+    config.workers = workers;
+    config.eventsPerNode = events;
+
+    std::printf("designing %zu-node fleet on %zu worker(s)...\n",
+                fleet_size, workers);
+    const FleetResult result = runFleet(config);
+    std::printf("design: %.2f s CPU over workers (busiest %.2f s), "
+                "%.2f s wall\n\n",
+                result.designWork.sec(),
+                result.designMakespan.sec(),
+                result.designWall.sec());
+    result.report.writeText(std::cout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -112,6 +187,10 @@ main(int argc, char **argv)
     size_t candidates = 100;
     size_t max_train = 300;
     std::string trace_path;
+    size_t fleet_size = 0;
+    size_t workers = 1;
+    RadioPolicy policy = RadioPolicy::Fcfs;
+    size_t events = 6;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -130,15 +209,28 @@ main(int argc, char **argv)
             else if (arg == "--engine")
                 engine = parseEngine(value());
             else if (arg == "--ber")
-                ber = std::atof(value().c_str());
+                ber = parseBer(value());
             else if (arg == "--candidates")
-                candidates = std::strtoul(value().c_str(), nullptr, 10);
+                candidates = parsePositive(value(), "--candidates");
             else if (arg == "--max-train")
-                max_train = std::strtoul(value().c_str(), nullptr, 10);
+                max_train = parsePositive(value(), "--max-train");
             else if (arg == "--trace")
                 trace_path = value();
+            else if (arg == "--fleet")
+                fleet_size = parsePositive(value(), "--fleet");
+            else if (arg == "--workers")
+                workers = parsePositive(value(), "--workers");
+            else if (arg == "--policy")
+                policy = parsePolicy(value());
+            else if (arg == "--events")
+                events = parsePositive(value(), "--events");
             else
                 usage(argv[0]);
+        }
+
+        if (fleet_size > 0) {
+            return runFleetMode(fleet_size, workers, policy, events,
+                                wireless, ber);
         }
 
         const SignalDataset dataset = makeTestCase(test_case);
