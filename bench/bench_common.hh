@@ -15,9 +15,12 @@
 #ifndef XPRO_BENCH_COMMON_HH
 #define XPRO_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/pipeline.hh"
 #include "data/testcases.hh"
@@ -25,6 +28,32 @@
 
 namespace xpro::bench
 {
+
+/**
+ * Wall-clock stopwatch on std::chrono::steady_clock — monotonic, so
+ * host clock adjustments (NTP steps, suspend) can never produce
+ * negative or wildly wrong bench timings.
+ */
+class SteadyTimer
+{
+  public:
+    SteadyTimer() : _start(std::chrono::steady_clock::now()) {}
+
+    void restart() { _start = std::chrono::steady_clock::now(); }
+
+    /** Seconds since construction or the last restart(). */
+    double
+    seconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - _start).count();
+    }
+
+    double ms() const { return seconds() * 1e3; }
+
+  private:
+    std::chrono::steady_clock::time_point _start;
+};
 
 /** The paper's classifier setup (Section 4.4), full candidate
  *  budget, with a training-set cap so every bench stays fast. */
@@ -86,7 +115,11 @@ class CaseLibrary
     std::map<TestCase, TrainedPipeline> _pipelines;
 };
 
-/** Collects PASS/FAIL shape checks and sets the exit code. */
+/**
+ * Collects PASS/FAIL shape checks plus named metrics and sets the
+ * exit code. finish() also emits a one-line JSON summary, so CI can
+ * scrape every bench with one grep.
+ */
 class ShapeChecker
 {
   public:
@@ -95,7 +128,15 @@ class ShapeChecker
     {
         std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL",
                     claim.c_str());
+        ++_checks;
         _failures += !ok;
+    }
+
+    /** Record a numeric result for the JSON summary line. */
+    void
+    metric(const std::string &name, double value)
+    {
+        _metrics.emplace_back(name, value);
     }
 
     /** Print a summary; returns the process exit code. */
@@ -105,15 +146,26 @@ class ShapeChecker
         if (_failures == 0) {
             std::printf("\n%s: all shape checks PASSED\n",
                         bench_name);
-            return 0;
+        } else {
+            std::printf("\n%s: %zu shape check(s) FAILED\n",
+                        bench_name, _failures);
         }
-        std::printf("\n%s: %zu shape check(s) FAILED\n", bench_name,
-                    _failures);
-        return 1;
+        std::printf("{\"bench\":\"%s\",\"checks\":%zu,"
+                    "\"failures\":%zu,\"metrics\":{",
+                    bench_name, _checks, _failures);
+        for (size_t i = 0; i < _metrics.size(); ++i) {
+            std::printf("%s\"%s\":%.9g", i ? "," : "",
+                        _metrics[i].first.c_str(),
+                        _metrics[i].second);
+        }
+        std::printf("}}\n");
+        return _failures == 0 ? 0 : 1;
     }
 
   private:
+    size_t _checks = 0;
     size_t _failures = 0;
+    std::vector<std::pair<std::string, double>> _metrics;
 };
 
 /** Evaluate one engine kind for a case under a configuration. */

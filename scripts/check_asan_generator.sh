@@ -1,0 +1,23 @@
+#!/bin/sh
+# Build the tree under AddressSanitizer + UndefinedBehaviorSanitizer
+# and run the generator-facing suites under it: the warm-started
+# flow network, the partitioner and the property-based generator
+# oracle tests. Usage:
+#
+#   scripts/check_asan_generator.sh [build-dir]
+#
+# The build directory defaults to build-asan next to the regular
+# build so the configurations never share object files.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build-asan"}
+
+cmake -B "$build" -S "$repo" -DXPRO_SANITIZE=address,undefined
+cmake --build "$build" \
+    --target test_flow_network test_partitioner \
+             test_partitioner_property \
+    -j "$(nproc)"
+ctest --test-dir "$build" -L 'generator|partitioner|flow' \
+    --output-on-failure
+echo "ASan/UBSan generator pass: OK"

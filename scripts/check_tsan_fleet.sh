@@ -1,6 +1,8 @@
 #!/bin/sh
-# Build the tree under ThreadSanitizer and run the fleet test suite
-# (the only code spawning threads) under it. Usage:
+# Build the tree under ThreadSanitizer and run the thread-spawning
+# suites under it: the fleet tests (worker pool, parallel design
+# phase) and the generator property tests (parallel lambda-candidate
+# evaluation, shared characterization cache). Usage:
 #
 #   scripts/check_tsan_fleet.sh [build-dir]
 #
@@ -12,6 +14,7 @@ repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build=${1:-"$repo/build-tsan"}
 
 cmake -B "$build" -S "$repo" -DXPRO_SANITIZE=thread
-cmake --build "$build" --target test_fleet -j "$(nproc)"
-ctest --test-dir "$build" -L fleet --output-on-failure
+cmake --build "$build" \
+    --target test_fleet test_partitioner_property -j "$(nproc)"
+ctest --test-dir "$build" -L 'fleet|generator' --output-on-failure
 echo "TSan fleet pass: OK"

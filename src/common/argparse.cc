@@ -1,0 +1,46 @@
+#include "common/argparse.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+size_t
+parsePositiveArg(const std::string &value, const char *what)
+{
+    char *end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (!end || *end != '\0' || end == value.c_str())
+        fatal("%s: '%s' is not a number", what, value.c_str());
+    if (parsed <= 0)
+        fatal("%s must be positive, got %lld", what, parsed);
+    return static_cast<size_t>(parsed);
+}
+
+double
+parseProbabilityArg(const std::string &value, const char *what)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (!end || *end != '\0' || end == value.c_str())
+        fatal("%s: '%s' is not a number", what, value.c_str());
+    if (parsed < 0.0 || parsed >= 1.0)
+        fatal("%s must be in [0, 1), got %g", what, parsed);
+    return parsed;
+}
+
+uint64_t
+parseSeedArg(const std::string &value, const char *what)
+{
+    char *end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (!end || *end != '\0' || end == value.c_str())
+        fatal("%s: '%s' is not a number", what, value.c_str());
+    if (parsed < 0)
+        fatal("%s must be non-negative, got %lld", what, parsed);
+    return static_cast<uint64_t>(parsed);
+}
+
+} // namespace xpro

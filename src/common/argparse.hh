@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Small command-line value parsers shared by the tools. Each parser
+ * validates the whole string and raises FatalError (via fatal())
+ * with the offending flag name on bad input, so front-ends get
+ * uniform "--flag: ... " diagnostics and tests can cover the
+ * validation without spawning a process.
+ */
+
+#ifndef XPRO_COMMON_ARGPARSE_HH
+#define XPRO_COMMON_ARGPARSE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace xpro
+{
+
+/** Strictly positive integer ("--fleet 0" and "-3" are fatal). */
+size_t parsePositiveArg(const std::string &value, const char *what);
+
+/** Probability in [0, 1) (bit error rates). */
+double parseProbabilityArg(const std::string &value,
+                           const char *what);
+
+/** Non-negative 64-bit RNG seed. */
+uint64_t parseSeedArg(const std::string &value, const char *what);
+
+} // namespace xpro
+
+#endif // XPRO_COMMON_ARGPARSE_HH

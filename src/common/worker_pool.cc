@@ -1,4 +1,4 @@
-#include "fleet/worker_pool.hh"
+#include "common/worker_pool.hh"
 
 #include <ctime>
 

@@ -1,6 +1,7 @@
 /**
  * @file
- * Fixed-size std::thread worker pool for the fleet design phase.
+ * Fixed-size std::thread worker pool shared by the fleet design
+ * phase and the generator's parallel lambda sweep.
  *
  * Per-node design (training + topology build + generator run) is
  * independent between nodes, so the fleet designs nodes concurrently:
@@ -17,8 +18,8 @@
  * exist.
  */
 
-#ifndef XPRO_FLEET_WORKER_POOL_HH
-#define XPRO_FLEET_WORKER_POOL_HH
+#ifndef XPRO_COMMON_WORKER_POOL_HH
+#define XPRO_COMMON_WORKER_POOL_HH
 
 #include <cstddef>
 #include <functional>
@@ -90,4 +91,4 @@ class WorkerPool
 
 } // namespace xpro
 
-#endif // XPRO_FLEET_WORKER_POOL_HH
+#endif // XPRO_COMMON_WORKER_POOL_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "hw/cost_cache.hh"
 #include "platform/aggregator.hh"
 
 namespace xpro
@@ -56,8 +57,8 @@ buildMultiClassTopology(const MultiClassSubspace &ensemble,
         DataflowNode node;
         node.name = name;
         node.outputBits = output_bits;
-        const AluMode mode = bestCellMode(workload, tech);
-        const ModeCosts hw = evaluateCellMode(workload, mode, tech);
+        const AluMode mode = cachedBestCellMode(workload, tech);
+        const ModeCosts hw = cachedCellMode(workload, mode, tech);
         const SoftwareCosts sw = cpu.run(workload);
         node.costs.sensorEnergy = hw.energy + standby_per_event;
         node.costs.sensorDelay = hw.delay;

@@ -1,8 +1,11 @@
 #include "core/partitioner.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
+#include "common/worker_pool.hh"
 #include "core/transfers.hh"
 
 namespace xpro
@@ -18,19 +21,70 @@ constexpr size_t cellBase = 2;
 
 } // namespace
 
-Placement
-XProGenerator::cutPlacement(double lambda) const
+/**
+ * The generator's persistent s-t graph. Capacities are affine in the
+ * sweep parameters — capacity = energy + lambda * delay, with the
+ * F -> cell penalty edges' energy term scaling with the
+ * aggregator-energy weight — so re-solving at another sweep point is
+ * a batch of updateCapacity() calls plus a warm resumeMinCut().
+ */
+struct XProGenerator::SweepNetwork
 {
-    const DataflowGraph &graph = _topology.graph;
-    const size_t cells = graph.nodeCount(); // includes source slot
-
-    // Weight of an s-t edge: energy plus lambda times the delay the
-    // corresponding decision adds (joules + lambda * seconds).
-    const auto weight = [lambda](Energy e, Time t) {
-        return e.j() + lambda * t.sec();
+    /** One finite edge and its cost attributes. */
+    struct SweepEdge
+    {
+        size_t id = 0;
+        /** Energy term in joules (penalty edges: weighted). */
+        double energyJ = 0.0;
+        /** Delay term in seconds, scaled by lambda. */
+        double delaySec = 0.0;
     };
 
-    FlowNetwork net(cellBase + cells);
+    /** F -> cell penalty edge: index into edges + raw energy. */
+    struct PenaltyEdge
+    {
+        size_t edgeIndex = 0;
+        /** Unweighted aggregator software energy in joules. */
+        double aggregatorEnergyJ = 0.0;
+    };
+
+    FlowNetwork net{0};
+    std::vector<SweepEdge> edges;
+    std::vector<PenaltyEdge> penaltyEdges;
+    size_t cells = 0;
+    double lambda = 0.0;
+};
+
+XProGenerator::XProGenerator(const EngineTopology &topology,
+                             const WirelessLink &link,
+                             const GeneratorOptions &options)
+    : _topology(topology), _link(link), _options(options)
+{}
+
+XProGenerator::~XProGenerator() = default;
+
+XProGenerator::SweepNetwork &
+XProGenerator::sweep() const
+{
+    if (_sweep)
+        return *_sweep;
+
+    auto sweep = std::make_unique<SweepNetwork>();
+    const DataflowGraph &graph = _topology.graph;
+    sweep->cells = graph.nodeCount(); // includes source slot
+    sweep->net = FlowNetwork(cellBase + sweep->cells);
+    FlowNetwork &net = sweep->net;
+
+    // Edges start at their lambda == 0 capacity; solves at other
+    // sweep points update them before solving.
+    const auto track = [&](size_t u, size_t v, Energy e, Time t) {
+        SweepNetwork::SweepEdge edge;
+        edge.id = net.addEdge(u, v, e.j());
+        edge.energyJ = e.j();
+        edge.delaySec = t.sec();
+        sweep->edges.push_back(edge);
+        return sweep->edges.size() - 1;
+    };
 
     // The raw-data source is pinned to the sensor: it is terminal F.
     const auto mapped = [](size_t node) {
@@ -38,23 +92,25 @@ XProGenerator::cutPlacement(double lambda) const
                                                : cellBase + node;
     };
 
-    for (size_t u = 1; u < cells; ++u) {
+    for (size_t u = 1; u < sweep->cells; ++u) {
         const DataflowNode &node = graph.node(u);
         // cell -> B: the cell's in-sensor execution cost.
-        net.addEdge(cellBase + u, nodeB,
-                    weight(node.costs.sensorEnergy,
-                           node.costs.sensorDelay));
+        track(cellBase + u, nodeB, node.costs.sensorEnergy,
+              node.costs.sensorDelay);
         // Placing the cell in the aggregator instead costs software
         // time and, under an admission-control penalty, weighted
         // software energy. Charge both on the F -> cell side so the
         // Lagrangian can trade both directions; with lambda == 0 and
         // no penalty this edge is zero and never cut.
-        const double penalty = weight(
+        SweepNetwork::PenaltyEdge penalty;
+        penalty.edgeIndex = track(
+            nodeF, cellBase + u,
             node.costs.aggregatorEnergy *
                 _options.aggregatorEnergyWeight,
             node.costs.aggregatorDelay);
-        if (penalty > 0.0)
-            net.addEdge(nodeF, cellBase + u, penalty);
+        penalty.aggregatorEnergyJ =
+            node.costs.aggregatorEnergy.j();
+        sweep->penaltyEdges.push_back(penalty);
     }
 
     // Broadcast groups: one dummy node pair per producer payload,
@@ -67,8 +123,8 @@ XProGenerator::cutPlacement(double lambda) const
         // Transmit dummy: if any consumer is in the aggregator while
         // the producer is in the sensor, the payload crosses once.
         const size_t tx_node = net.addNode();
-        net.addEdge(mapped(group.producer), tx_node,
-                    weight(transfer.txEnergy, transfer.airTime));
+        track(mapped(group.producer), tx_node, transfer.txEnergy,
+              transfer.airTime);
         for (size_t v : group.consumers) {
             net.addEdge(tx_node, mapped(v),
                         FlowNetwork::infiniteCapacity());
@@ -79,8 +135,8 @@ XProGenerator::cutPlacement(double lambda) const
         // The source is always in the sensor, so it needs none.
         if (group.producer != DataflowGraph::sourceId) {
             const size_t rx_node = net.addNode();
-            net.addEdge(rx_node, mapped(group.producer),
-                        weight(transfer.rxEnergy, transfer.airTime));
+            track(rx_node, mapped(group.producer),
+                  transfer.rxEnergy, transfer.airTime);
             for (size_t v : group.consumers) {
                 net.addEdge(mapped(v), rx_node,
                             FlowNetwork::infiniteCapacity());
@@ -92,22 +148,58 @@ XProGenerator::cutPlacement(double lambda) const
     // cell in the sensor costs one result transfer.
     const TransferCost result =
         _link.transfer(EngineTopology::resultBits);
-    net.addEdge(cellBase + _topology.fusionNode, nodeB,
-                weight(result.txEnergy, result.airTime));
+    track(cellBase + _topology.fusionNode, nodeB, result.txEnergy,
+          result.airTime);
 
-    const MinCutResult cut = net.minCut(nodeF, nodeB);
+    _sweep = std::move(sweep);
+    return *_sweep;
+}
 
-    std::vector<bool> in_sensor(cells, false);
+LambdaCut
+XProGenerator::cutAt(double lambda) const
+{
+    xproAssert(lambda >= 0.0, "negative lambda %f", lambda);
+    SweepNetwork &sweep = this->sweep();
+    for (const SweepNetwork::SweepEdge &edge : sweep.edges) {
+        sweep.net.updateCapacity(
+            edge.id, edge.energyJ + lambda * edge.delaySec);
+    }
+    sweep.lambda = lambda;
+
+    const MinCutResult cut =
+        sweep.net.resumeMinCut(nodeF, nodeB, false);
+
+    LambdaCut result;
+    result.cutValue = cut.value;
+    std::vector<bool> in_sensor(sweep.cells, false);
     in_sensor[DataflowGraph::sourceId] = true;
-    for (size_t u = 1; u < cells; ++u)
+    for (size_t u = 1; u < sweep.cells; ++u)
         in_sensor[u] = cut.sourceSide[cellBase + u];
-    return Placement::fromMask(_topology, std::move(in_sensor));
+    result.placement =
+        Placement::fromMask(_topology, std::move(in_sensor));
+    return result;
+}
+
+void
+XProGenerator::setAggregatorEnergyWeight(double weight)
+{
+    xproAssert(weight >= 0.0, "negative penalty weight %f", weight);
+    _options.aggregatorEnergyWeight = weight;
+    if (!_sweep)
+        return; // next solve builds with the new weight
+    for (const SweepNetwork::PenaltyEdge &penalty :
+         _sweep->penaltyEdges) {
+        SweepNetwork::SweepEdge &edge =
+            _sweep->edges[penalty.edgeIndex];
+        edge.energyJ = penalty.aggregatorEnergyJ * weight;
+        // The capacity itself is refreshed by the next cutAt().
+    }
 }
 
 Placement
 XProGenerator::minimumEnergyPlacement() const
 {
-    return cutPlacement(0.0);
+    return cutAt(0.0).placement;
 }
 
 Energy
@@ -159,37 +251,57 @@ XProGenerator::generate() const
     result.unconstrainedFeasible = best_delay.total() <= limit;
 
     if (!result.unconstrainedFeasible) {
-        bool found = false;
-        const auto consider = [&](const Placement &candidate) {
-            const DelayBreakdown delay =
-                eventDelay(_topology, candidate, _link);
-            if (delay.total() > limit)
-                return;
-            const Energy value = objective(candidate);
-            if (!found || value < best_objective) {
-                best = candidate;
-                best_energy =
-                    sensorEventEnergy(_topology, candidate, _link);
-                best_objective = value;
-                best_delay = delay;
-                found = true;
-            }
-        };
-
         // Lagrangian sweep: penalize delay with growing lambda
         // (joules per second) until feasible cuts appear; keep the
-        // cheapest feasible placement found.
+        // cheapest feasible placement found. The cut solves run
+        // sequentially — each warm-starts from the previous
+        // lambda's flow — and the per-candidate true-delay check
+        // and objective fan out over the sweep worker pool.
+        std::vector<Placement> candidates;
         for (double lambda = 1e-10; lambda <= 1e4; lambda *= 1.3)
-            consider(cutPlacement(lambda));
+            candidates.push_back(cutAt(lambda).placement);
 
         // The faster single end is always feasible by construction
         // (the limit is the minimum of the two); considering both
         // also guarantees the "not worse than either feasible
         // single-end design" property of Section 3.2.3.
-        consider(Placement::allInSensor(_topology));
-        consider(Placement::allInAggregator(_topology));
-        consider(Placement::trivialCut(_topology));
+        candidates.push_back(Placement::allInSensor(_topology));
+        candidates.push_back(Placement::allInAggregator(_topology));
+        candidates.push_back(Placement::trivialCut(_topology));
+
+        struct Scored
+        {
+            bool feasible = false;
+            Energy objective;
+            DelayBreakdown delay;
+        };
+        WorkerPool pool(_options.sweepWorkers);
+        const std::vector<Scored> scored = pool.map<Scored>(
+            candidates.size(), [&](size_t i) {
+                Scored entry;
+                entry.delay =
+                    eventDelay(_topology, candidates[i], _link);
+                entry.feasible = entry.delay.total() <= limit;
+                if (entry.feasible)
+                    entry.objective = objective(candidates[i]);
+                return entry;
+            });
+
+        // Deterministic reduction in candidate order: identical to
+        // the sequential sweep for any worker count.
+        bool found = false;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            if (!scored[i].feasible)
+                continue;
+            if (!found || scored[i].objective < best_objective) {
+                best = candidates[i];
+                best_objective = scored[i].objective;
+                best_delay = scored[i].delay;
+                found = true;
+            }
+        }
         xproAssert(found, "delay limit excludes every design");
+        best_energy = sensorEventEnergy(_topology, best, _link);
     }
 
     result.placement = best;

@@ -33,6 +33,7 @@
 #ifndef XPRO_CORE_PARTITIONER_HH
 #define XPRO_CORE_PARTITIONER_HH
 
+#include <memory>
 #include <vector>
 
 #include "core/energy_model.hh"
@@ -57,6 +58,25 @@ struct GeneratorOptions
      * weight grows the cut converges to the all-in-sensor design.
      */
     double aggregatorEnergyWeight = 0.0;
+
+    /**
+     * Worker threads evaluating the Lagrangian sweep's candidate
+     * placements (true-delay feasibility + objective). The cut
+     * solves themselves stay sequential — they warm-start each
+     * other — and the result is index-keyed, so the generated
+     * design is identical for any worker count. 0 and 1 both run
+     * inline on the calling thread.
+     */
+    size_t sweepWorkers = 1;
+};
+
+/** One lambda point of the generator's delay sweep. */
+struct LambdaCut
+{
+    /** Placement induced by the min cut at this lambda. */
+    Placement placement;
+    /** Raw cut capacity: joules + lambda * seconds. */
+    double cutValue = 0.0;
 };
 
 /** Result of one generator run. */
@@ -75,20 +95,46 @@ struct PartitionResult
     bool unconstrainedFeasible = false;
 };
 
-/** The Automatic XPro Generator. */
+/**
+ * The Automatic XPro Generator.
+ *
+ * A generator instance owns one warm-started s-t flow network: the
+ * first cut solve builds it, and every later solve (another lambda
+ * of the delay sweep, or a tightened admission penalty via
+ * setAggregatorEnergyWeight()) only updates edge capacities and
+ * resumes from the previous feasible flow. Solves on one instance
+ * are therefore stateful and NOT safe to run concurrently; use one
+ * generator per thread (as the fleet design phase does).
+ */
 class XProGenerator
 {
   public:
     XProGenerator(const EngineTopology &topology,
                   const WirelessLink &link,
-                  const GeneratorOptions &options = {})
-        : _topology(topology), _link(link), _options(options)
-    {}
+                  const GeneratorOptions &options = {});
+
+    ~XProGenerator();
 
     /**
      * Unconstrained minimum-energy placement via min s-t cut.
      */
     Placement minimumEnergyPlacement() const;
+
+    /**
+     * Min cut of the graph with capacities energy + lambda * delay.
+     * Warm-started: successive calls reuse the instance's flow
+     * network and prior flow, returning results identical to a
+     * cold solve at every lambda (property-tested).
+     */
+    LambdaCut cutAt(double lambda) const;
+
+    /**
+     * Tighten (or relax) the aggregator-energy penalty without
+     * discarding the warm flow network: only the penalty edges'
+     * capacities change, so the admission loop's re-cuts resume
+     * from the previous round's flow.
+     */
+    void setAggregatorEnergyWeight(double weight);
 
     /**
      * Full generation with the paper's delay constraint
@@ -115,15 +161,15 @@ class XProGenerator
     Energy objective(const Placement &placement) const;
 
   private:
-    /**
-     * Build the s-t graph with capacities energy + lambda * delay
-     * and return the induced placement of its min cut.
-     */
-    Placement cutPlacement(double lambda_seconds_weight) const;
+    /** The warm-started s-t graph (built on first use). */
+    struct SweepNetwork;
+
+    SweepNetwork &sweep() const;
 
     const EngineTopology &_topology;
     const WirelessLink &_link;
     GeneratorOptions _options;
+    mutable std::unique_ptr<SweepNetwork> _sweep;
 };
 
 } // namespace xpro

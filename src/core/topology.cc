@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "hw/cost_cache.hh"
 #include "platform/aggregator.hh"
 
 namespace xpro
@@ -54,7 +55,7 @@ buildEngineTopology(const RandomSubspace &ensemble,
     const auto chooseMode = [&](const CellWorkload &workload) {
         switch (config.modePolicy) {
           case ModePolicy::Optimal:
-            return bestCellMode(workload, tech);
+            return cachedBestCellMode(workload, tech);
           case ModePolicy::ForceSerial:
             return AluMode::Serial;
           case ModePolicy::ForceParallel:
@@ -73,7 +74,7 @@ buildEngineTopology(const RandomSubspace &ensemble,
         node.name = name;
         node.outputBits = output_bits;
         const AluMode mode = chooseMode(workload);
-        const ModeCosts hw = evaluateCellMode(workload, mode, tech);
+        const ModeCosts hw = cachedCellMode(workload, mode, tech);
         const SoftwareCosts sw = cpu.run(workload);
         node.costs.sensorEnergy = hw.energy + standby_per_event;
         node.costs.sensorDelay = hw.delay;

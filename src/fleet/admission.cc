@@ -110,15 +110,16 @@ admitFleet(const std::vector<AdmissionCandidate> &candidates,
                   config)) {
             // The standalone cut does not fit: re-partition with a
             // growing aggregator-energy penalty, pulling cells back
-            // into the sensor.
+            // into the sensor. One generator serves every round:
+            // only the penalty edges' capacities change between
+            // rounds, so each re-cut warm-starts from the previous
+            // round's flow.
             admission.outcome = AdmissionOutcome::InSensor;
+            XProGenerator generator(*candidate.topology, link);
             double weight = config.initialPenalty;
             for (size_t round = 0; round < config.maxRounds;
                  ++round, weight *= config.penaltyGrowth) {
-                GeneratorOptions options;
-                options.aggregatorEnergyWeight = weight;
-                const XProGenerator generator(*candidate.topology,
-                                              link, options);
+                generator.setAggregatorEnergyWeight(weight);
                 Placement penalized =
                     generator.generate().placement;
                 const Demand penalized_demand =

@@ -37,7 +37,7 @@ heterogeneousFleet(size_t count, uint64_t seed)
 std::vector<XProDesign>
 designFleet(const std::vector<FleetNodeSpec> &specs,
             WirelessModel wireless, double bit_error_rate,
-            WorkerPool &pool)
+            WorkerPool &pool, size_t sweep_workers)
 {
     ChannelModel channel;
     channel.bitErrorRate = bit_error_rate;
@@ -62,8 +62,11 @@ designFleet(const std::vector<FleetNodeSpec> &specs,
             design.pipeline.ensemble, dataset.segmentLength, config,
             dataset.eventsPerSecond());
         const WirelessLink link(transceiver(wireless), channel);
+        GeneratorOptions generator_options;
+        generator_options.sweepWorkers = sweep_workers;
         design.partition =
-            XProGenerator(design.topology, link).generate();
+            XProGenerator(design.topology, link, generator_options)
+                .generate();
         return design;
     });
 }
@@ -453,8 +456,9 @@ runFleet(const FleetConfig &config)
 
     // Phase 1: per-node design, concurrently.
     WorkerPool pool(config.workers);
-    std::vector<XProDesign> designs = designFleet(
-        config.nodes, config.wireless, config.bitErrorRate, pool);
+    std::vector<XProDesign> designs =
+        designFleet(config.nodes, config.wireless,
+                    config.bitErrorRate, pool, config.sweepWorkers);
     result.designWork = pool.lastWork();
     result.designMakespan = pool.lastMakespan();
     result.designWall = pool.lastWall();

@@ -36,7 +36,7 @@
 #include "data/testcases.hh"
 #include "fleet/admission.hh"
 #include "fleet/radio_sched.hh"
-#include "fleet/worker_pool.hh"
+#include "common/worker_pool.hh"
 
 namespace xpro
 {
@@ -77,6 +77,14 @@ struct FleetConfig
     Time tdmaSlot;
     /** Design-phase worker threads. */
     size_t workers = 1;
+    /**
+     * Worker threads inside each node's generator, evaluating the
+     * Lagrangian sweep's candidate placements (GeneratorOptions::
+     * sweepWorkers). Composes with @ref workers: the design phase
+     * can run up to workers * sweepWorkers threads. Any value
+     * produces a byte-identical FleetReport (tested).
+     */
+    size_t sweepWorkers = 1;
     /** Simulated events per node. */
     size_t eventsPerNode = 6;
     /**
@@ -167,13 +175,14 @@ struct FleetResult
 };
 
 /**
- * Design every node of @p specs concurrently on @p pool. Result i
- * belongs to spec i regardless of worker count.
+ * Design every node of @p specs concurrently on @p pool, with
+ * @p sweep_workers threads inside each node's generator sweep.
+ * Result i belongs to spec i regardless of either worker count.
  */
 std::vector<XProDesign>
 designFleet(const std::vector<FleetNodeSpec> &specs,
             WirelessModel wireless, double bit_error_rate,
-            WorkerPool &pool);
+            WorkerPool &pool, size_t sweep_workers = 1);
 
 /** Full fleet flow: parallel design, admission, event simulation. */
 FleetResult runFleet(const FleetConfig &config);

@@ -1,6 +1,7 @@
 #include "hw/characterize.hh"
 
 #include "common/logging.hh"
+#include "hw/cost_cache.hh"
 
 namespace xpro
 {
@@ -57,9 +58,9 @@ characterizeComponent(ComponentKind kind, const Technology &tech,
     result.kind = kind;
     for (AluMode mode : allAluModes) {
         result.costs[static_cast<size_t>(mode)] =
-            evaluateCellMode(workload, mode, tech);
+            cachedCellMode(workload, mode, tech);
     }
-    result.bestMode = bestCellMode(workload, tech);
+    result.bestMode = cachedBestCellMode(workload, tech);
     return result;
 }
 

@@ -1,0 +1,112 @@
+#include "hw/cost_cache.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace xpro
+{
+
+namespace
+{
+
+/** splitmix64: cheap, well-mixed combiner for the key fields. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+size_t
+CellCostCache::KeyHash::operator()(const Key &key) const
+{
+    uint64_t h = mix(static_cast<uint64_t>(key.node));
+    for (size_t count : key.ops)
+        h = mix(h ^ static_cast<uint64_t>(count));
+    h = mix(h ^ static_cast<uint64_t>(key.pipelineStream));
+    h = mix(h ^ std::bit_cast<uint64_t>(key.pipelineBufferScale));
+    return static_cast<size_t>(h);
+}
+
+CellCostCache &
+CellCostCache::instance()
+{
+    static CellCostCache cache;
+    return cache;
+}
+
+const CellCostCache::Entry &
+CellCostCache::lookup(const CellWorkload &workload,
+                      const Technology &tech)
+{
+    Key key;
+    key.node = tech.node();
+    key.ops = workload.ops;
+    key.pipelineStream = workload.pipelineStream;
+    key.pipelineBufferScale = workload.pipelineBufferScale;
+
+    std::lock_guard<std::mutex> guard(_mutex);
+    auto it = _entries.find(key);
+    if (it != _entries.end()) {
+        ++_stats.hits;
+        return it->second;
+    }
+    ++_stats.misses;
+
+    Entry entry;
+    for (AluMode mode : allAluModes) {
+        entry.costs[static_cast<size_t>(mode)] =
+            evaluateCellMode(workload, mode, tech);
+    }
+    entry.bestMode = bestCellMode(workload, tech);
+    return _entries.emplace(key, entry).first->second;
+}
+
+ModeCosts
+CellCostCache::costs(const CellWorkload &workload, AluMode mode,
+                     const Technology &tech)
+{
+    return lookup(workload, tech).costs[static_cast<size_t>(mode)];
+}
+
+AluMode
+CellCostCache::bestMode(const CellWorkload &workload,
+                        const Technology &tech)
+{
+    return lookup(workload, tech).bestMode;
+}
+
+CostCacheStats
+CellCostCache::stats() const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    return _stats;
+}
+
+void
+CellCostCache::clear()
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    _entries.clear();
+    _stats = CostCacheStats();
+}
+
+ModeCosts
+cachedCellMode(const CellWorkload &workload, AluMode mode,
+               const Technology &tech)
+{
+    return CellCostCache::instance().costs(workload, mode, tech);
+}
+
+AluMode
+cachedBestCellMode(const CellWorkload &workload,
+                   const Technology &tech)
+{
+    return CellCostCache::instance().bestMode(workload, tech);
+}
+
+} // namespace xpro

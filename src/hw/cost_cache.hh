@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Thread-safe memoization of functional-cell characterization.
+ *
+ * The circuit-level cell model is pure: the costs of a workload in
+ * an S-ALU mode depend only on (technology node, ALU mode, the
+ * workload itself) — and every characterization workload is a
+ * function of a CharacterizationSetup, so repeated `characterize`
+ * calls across generator candidates and fleet nodes keep asking for
+ * the same table rows. This cache memoizes them once per process.
+ *
+ * A cache entry covers all three ALU modes of one (node, workload)
+ * pair plus the derived energy-optimal mode, so a best-mode query
+ * and the subsequent cost query hit the same entry. Values are
+ * bit-identical to the uncached model (same arithmetic, executed
+ * once), which is what keeps cached fleet runs byte-identical to
+ * uncached ones — a property the fleet tests pin down.
+ *
+ * The singleton is shared by every thread of the fleet design pool;
+ * lookups take a mutex, which is invisible next to the SMO training
+ * runs surrounding them.
+ */
+
+#ifndef XPRO_HW_COST_CACHE_HH
+#define XPRO_HW_COST_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "hw/cell_model.hh"
+
+namespace xpro
+{
+
+/** Snapshot of cache effectiveness counters. */
+struct CostCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    uint64_t lookups() const { return hits + misses; }
+
+    double
+    hitRate() const
+    {
+        return lookups() > 0
+                   ? static_cast<double>(hits) /
+                         static_cast<double>(lookups())
+                   : 0.0;
+    }
+};
+
+/** Process-wide memo table for cell-mode characterization. */
+class CellCostCache
+{
+  public:
+    /** The process-wide instance. */
+    static CellCostCache &instance();
+
+    /** Memoized evaluateCellMode(). */
+    ModeCosts costs(const CellWorkload &workload, AluMode mode,
+                    const Technology &tech);
+
+    /** Memoized bestCellMode() (the Fig. 4 red star). */
+    AluMode bestMode(const CellWorkload &workload,
+                     const Technology &tech);
+
+    CostCacheStats stats() const;
+
+    /** Drop every entry and reset the counters (tests, benches). */
+    void clear();
+
+  private:
+    struct Key
+    {
+        ProcessNode node;
+        std::array<size_t, aluOpCount> ops;
+        size_t pipelineStream;
+        double pipelineBufferScale;
+
+        bool operator==(const Key &other) const = default;
+    };
+
+    struct KeyHash
+    {
+        size_t operator()(const Key &key) const;
+    };
+
+    /** All three modes plus the derived optimum. */
+    struct Entry
+    {
+        std::array<ModeCosts, 3> costs;
+        AluMode bestMode = AluMode::Serial;
+    };
+
+    const Entry &lookup(const CellWorkload &workload,
+                        const Technology &tech);
+
+    mutable std::mutex _mutex;
+    std::unordered_map<Key, Entry, KeyHash> _entries;
+    CostCacheStats _stats;
+};
+
+/** Cached drop-in for evaluateCellMode(). */
+ModeCosts cachedCellMode(const CellWorkload &workload, AluMode mode,
+                         const Technology &tech);
+
+/** Cached drop-in for bestCellMode(). */
+AluMode cachedBestCellMode(const CellWorkload &workload,
+                           const Technology &tech);
+
+} // namespace xpro
+
+#endif // XPRO_HW_COST_CACHE_HH

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "fleet/fleet.hh"
 #include "sim/system_sim.hh"
@@ -389,6 +390,86 @@ TEST(FleetTest, ReportIsByteIdenticalForAnyWorkerCount)
         for (size_t u = 0; u < a.size(); ++u)
             EXPECT_EQ(a.inSensor(u), b.inSensor(u));
     }
+}
+
+TEST(FleetTest, SixteenNodeParallelSweepReportIsByteIdentical)
+{
+    // A 16-node mixed-technology fleet (heterogeneousFleet cycles
+    // the process nodes) designed sequentially must serialize byte
+    // for byte like the fully parallel path: design workers fanned
+    // out over nodes AND sweep workers inside every generator, with
+    // the characterization cache shared across all of them.
+    FleetConfig sequential;
+    sequential.nodes = heterogeneousFleet(16);
+    for (FleetNodeSpec &node : sequential.nodes) {
+        node.subspaceCandidates = 4;
+        node.maxTrainingSegments = 40;
+    }
+    sequential.eventsPerNode = 2;
+    sequential.workers = 1;
+    sequential.sweepWorkers = 1;
+
+    FleetConfig parallel = sequential;
+    parallel.workers = 4;
+    parallel.sweepWorkers = 3;
+
+    const FleetResult a = runFleet(sequential);
+    const FleetResult b = runFleet(parallel);
+    ASSERT_EQ(a.nodes.size(), 16u);
+    EXPECT_EQ(a.report.serialize(), b.report.serialize());
+    for (size_t n = 0; n < a.nodes.size(); ++n) {
+        const Placement &pa = a.nodes[n].admission.placement;
+        const Placement &pb = b.nodes[n].admission.placement;
+        ASSERT_EQ(pa.size(), pb.size()) << "node " << n;
+        for (size_t u = 0; u < pa.size(); ++u)
+            EXPECT_EQ(pa.inSensor(u), pb.inSensor(u))
+                << "node " << n << " cell " << u;
+    }
+}
+
+TEST(FleetTest, FleetSeedThreadsIntoEveryNodeSpec)
+{
+    const std::vector<FleetNodeSpec> defaulted =
+        heterogeneousFleet(4);
+    const std::vector<FleetNodeSpec> seeded =
+        heterogeneousFleet(4, 31337);
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(defaulted[i].seed, 2017u + i);
+        EXPECT_EQ(seeded[i].seed, 31337u + i);
+        // Only the RNG seeds differ; the case/process cycling is
+        // part of the fleet's shape, not of the randomness.
+        EXPECT_EQ(defaulted[i].testCase, seeded[i].testCase);
+        EXPECT_EQ(defaulted[i].process, seeded[i].process);
+    }
+}
+
+// --- CLI argument validation --------------------------------------
+
+TEST(ArgparseTest, PositiveArgRejectsZeroNegativeAndGarbage)
+{
+    EXPECT_EQ(parsePositiveArg("6", "--fleet"), 6u);
+    EXPECT_THROW(parsePositiveArg("0", "--fleet"), FatalError);
+    EXPECT_THROW(parsePositiveArg("-3", "--workers"), FatalError);
+    EXPECT_THROW(parsePositiveArg("abc", "--fleet"), FatalError);
+    EXPECT_THROW(parsePositiveArg("4x", "--fleet"), FatalError);
+    EXPECT_THROW(parsePositiveArg("", "--fleet"), FatalError);
+}
+
+TEST(ArgparseTest, SeedArgAcceptsZeroButNotNegatives)
+{
+    EXPECT_EQ(parseSeedArg("0", "--seed"), 0u);
+    EXPECT_EQ(parseSeedArg("2017", "--seed"), 2017u);
+    EXPECT_THROW(parseSeedArg("-1", "--seed"), FatalError);
+    EXPECT_THROW(parseSeedArg("seed", "--seed"), FatalError);
+}
+
+TEST(ArgparseTest, ProbabilityArgBoundsTheRange)
+{
+    EXPECT_DOUBLE_EQ(parseProbabilityArg("0", "--ber"), 0.0);
+    EXPECT_DOUBLE_EQ(parseProbabilityArg("1e-4", "--ber"), 1e-4);
+    EXPECT_THROW(parseProbabilityArg("1", "--ber"), FatalError);
+    EXPECT_THROW(parseProbabilityArg("-0.1", "--ber"), FatalError);
+    EXPECT_THROW(parseProbabilityArg("nope", "--ber"), FatalError);
 }
 
 TEST(FleetTest, RunFleetPopulatesTheReport)

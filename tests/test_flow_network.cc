@@ -223,4 +223,111 @@ TEST_P(FlowNetworkPropertyTest, MatchesExhaustiveMinCut)
 INSTANTIATE_TEST_SUITE_P(Seeds, FlowNetworkPropertyTest,
                          ::testing::Range(uint64_t{100}, uint64_t{130}));
 
+/**
+ * Property: after arbitrary capacity perturbations — raises and
+ * drops, including drops below the carried flow — a warm
+ * resumeMinCut() matches a cold solve of the same capacities: same
+ * value, same (canonical) source side, same cut edges.
+ */
+TEST_P(FlowNetworkPropertyTest, WarmResolveMatchesColdAfterPerturbation)
+{
+    xpro::Rng rng(GetParam() + 5000);
+    const size_t n = 2 + rng.below(7);
+    struct EdgeSpec { size_t u, v; double cap; size_t id; };
+    std::vector<EdgeSpec> specs;
+    FlowNetwork net(n);
+    for (size_t u = 0; u < n; ++u) {
+        for (size_t v = 0; v < n; ++v) {
+            if (u == v || !rng.chance(0.45))
+                continue;
+            EdgeSpec spec{u, v, rng.uniform(0.1, 10.0), 0};
+            spec.id = net.addEdge(u, v, spec.cap);
+            specs.push_back(spec);
+        }
+    }
+    const size_t s = 0;
+    const size_t t = n - 1;
+    net.minCut(s, t);
+
+    for (int round = 0; round < 6; ++round) {
+        for (EdgeSpec &spec : specs) {
+            if (!rng.chance(0.5))
+                continue;
+            // Half the perturbations scale down hard, so drops
+            // below the current flow (excess cancellation) happen
+            // regularly.
+            spec.cap = rng.chance(0.5) ? spec.cap * rng.uniform(0.0, 0.6)
+                                       : rng.uniform(0.1, 10.0);
+            net.updateCapacity(spec.id, spec.cap);
+        }
+        const MinCutResult warm = net.resumeMinCut(s, t);
+
+        FlowNetwork cold_net(n);
+        for (const EdgeSpec &spec : specs)
+            cold_net.addEdge(spec.u, spec.v, spec.cap);
+        const MinCutResult cold = cold_net.minCut(s, t);
+
+        EXPECT_NEAR(warm.value, cold.value, 1e-9)
+            << "round " << round;
+        EXPECT_EQ(warm.sourceSide, cold.sourceSide)
+            << "round " << round;
+        EXPECT_EQ(warm.cutEdges, cold.cutEdges)
+            << "round " << round;
+    }
+}
+
+TEST(FlowNetworkTest, ResumeAfterCapacityRaiseGrowsFlow)
+{
+    FlowNetwork net(3);
+    const size_t a = net.addEdge(0, 1, 2.0);
+    net.addEdge(1, 2, 5.0);
+    EXPECT_DOUBLE_EQ(net.maxFlow(0, 2), 2.0);
+    net.updateCapacity(a, 4.0);
+    EXPECT_DOUBLE_EQ(net.resumeMaxFlow(0, 2), 4.0);
+}
+
+TEST(FlowNetworkTest, CapacityDropBelowFlowCancelsExcess)
+{
+    // Two disjoint paths carrying 3 + 3; dropping one mid-path edge
+    // to 1 must reroute and leave a feasible flow of value 4.
+    FlowNetwork net(4);
+    net.addEdge(0, 1, 3.0);
+    const size_t mid = net.addEdge(1, 3, 3.0);
+    net.addEdge(0, 2, 3.0);
+    net.addEdge(2, 3, 3.0);
+    EXPECT_DOUBLE_EQ(net.maxFlow(0, 3), 6.0);
+    net.updateCapacity(mid, 1.0);
+    EXPECT_NEAR(net.flowValue(0), 4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(net.resumeMaxFlow(0, 3), 4.0);
+    EXPECT_LE(net.edgeFlow(mid), 1.0 + 1e-9);
+}
+
+TEST(FlowNetworkTest, CapacityDropOnTerminalEdgeCancelsExcess)
+{
+    // The dropped edge touches the source, exercising the branch
+    // that skips rerouting on the terminal's own side.
+    FlowNetwork net(3);
+    const size_t head = net.addEdge(0, 1, 5.0);
+    net.addEdge(1, 2, 5.0);
+    EXPECT_DOUBLE_EQ(net.maxFlow(0, 2), 5.0);
+    net.updateCapacity(head, 2.0);
+    EXPECT_NEAR(net.flowValue(0), 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(net.resumeMaxFlow(0, 2), 2.0);
+}
+
+TEST(FlowNetworkTest, WarmCutSkippingEdgeEnumerationStillClassifies)
+{
+    FlowNetwork net(4);
+    net.addEdge(0, 1, 1.0);
+    net.addEdge(1, 2, 5.0);
+    net.addEdge(2, 3, 1.0);
+    net.maxFlow(0, 3);
+    const MinCutResult cut = net.resumeMinCut(0, 3, false);
+    EXPECT_DOUBLE_EQ(cut.value, 1.0);
+    EXPECT_TRUE(cut.cutEdges.empty());
+    EXPECT_TRUE(cut.sourceSide[0]);
+    EXPECT_FALSE(cut.sourceSide[1]);
+    EXPECT_FALSE(cut.sourceSide[3]);
+}
+
 } // namespace

@@ -12,8 +12,9 @@
  * Fleet mode simulates N heterogeneous nodes on one shared
  * aggregator instead of evaluating a single node:
  *
- *   xpro_cli --fleet 6 [--workers W] [--policy fcfs|tdma]
- *            [--events N] [--wireless M] [--ber p]
+ *   xpro_cli --fleet 6 [--workers W] [--sweep-workers W]
+ *            [--policy fcfs|tdma] [--events N] [--wireless M]
+ *            [--ber p] [--seed S]
  */
 
 #include <cstdio>
@@ -22,6 +23,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "core/pipeline.hh"
 #include "data/testcases.hh"
@@ -52,10 +54,14 @@ usage(const char *argv0)
         "(default 300)\n"
         "  --trace <file>             write a Chrome trace of one "
         "event\n"
+        "  --seed <s>                 dataset/training RNG seed "
+        "(default 2017)\n"
         "  --fleet <n>                simulate an n-node fleet on "
         "one aggregator\n"
         "  --workers <n>              fleet design worker threads "
         "(default 1)\n"
+        "  --sweep-workers <n>        generator sweep threads per "
+        "node (default 1)\n"
         "  --policy fcfs|tdma         fleet radio arbitration "
         "(default fcfs)\n"
         "  --events <n>               simulated events per fleet "
@@ -126,40 +132,18 @@ parsePolicy(const std::string &value)
           value.c_str());
 }
 
-size_t
-parsePositive(const std::string &value, const char *what)
-{
-    char *end = nullptr;
-    const long long parsed = std::strtoll(value.c_str(), &end, 10);
-    if (!end || *end != '\0' || end == value.c_str())
-        fatal("%s: '%s' is not a number", what, value.c_str());
-    if (parsed <= 0)
-        fatal("%s must be positive, got %lld", what, parsed);
-    return static_cast<size_t>(parsed);
-}
-
-double
-parseBer(const std::string &value)
-{
-    char *end = nullptr;
-    const double parsed = std::strtod(value.c_str(), &end);
-    if (!end || *end != '\0' || end == value.c_str())
-        fatal("--ber: '%s' is not a number", value.c_str());
-    if (parsed < 0.0 || parsed >= 1.0)
-        fatal("--ber must be in [0, 1), got %g", parsed);
-    return parsed;
-}
-
 int
-runFleetMode(size_t fleet_size, size_t workers, RadioPolicy policy,
-             size_t events, WirelessModel wireless, double ber)
+runFleetMode(size_t fleet_size, size_t workers,
+             size_t sweep_workers, RadioPolicy policy, size_t events,
+             WirelessModel wireless, double ber, uint64_t seed)
 {
     FleetConfig config;
-    config.nodes = heterogeneousFleet(fleet_size);
+    config.nodes = heterogeneousFleet(fleet_size, seed);
     config.wireless = wireless;
     config.bitErrorRate = ber;
     config.policy = policy;
     config.workers = workers;
+    config.sweepWorkers = sweep_workers;
     config.eventsPerNode = events;
 
     std::printf("designing %zu-node fleet on %zu worker(s)...\n",
@@ -187,8 +171,10 @@ main(int argc, char **argv)
     size_t candidates = 100;
     size_t max_train = 300;
     std::string trace_path;
+    uint64_t seed = 2017;
     size_t fleet_size = 0;
     size_t workers = 1;
+    size_t sweep_workers = 1;
     RadioPolicy policy = RadioPolicy::Fcfs;
     size_t events = 6;
 
@@ -209,37 +195,44 @@ main(int argc, char **argv)
             else if (arg == "--engine")
                 engine = parseEngine(value());
             else if (arg == "--ber")
-                ber = parseBer(value());
+                ber = parseProbabilityArg(value(), "--ber");
             else if (arg == "--candidates")
-                candidates = parsePositive(value(), "--candidates");
+                candidates =
+                    parsePositiveArg(value(), "--candidates");
             else if (arg == "--max-train")
-                max_train = parsePositive(value(), "--max-train");
+                max_train = parsePositiveArg(value(), "--max-train");
             else if (arg == "--trace")
                 trace_path = value();
+            else if (arg == "--seed")
+                seed = parseSeedArg(value(), "--seed");
             else if (arg == "--fleet")
-                fleet_size = parsePositive(value(), "--fleet");
+                fleet_size = parsePositiveArg(value(), "--fleet");
             else if (arg == "--workers")
-                workers = parsePositive(value(), "--workers");
+                workers = parsePositiveArg(value(), "--workers");
+            else if (arg == "--sweep-workers")
+                sweep_workers =
+                    parsePositiveArg(value(), "--sweep-workers");
             else if (arg == "--policy")
                 policy = parsePolicy(value());
             else if (arg == "--events")
-                events = parsePositive(value(), "--events");
+                events = parsePositiveArg(value(), "--events");
             else
                 usage(argv[0]);
         }
 
         if (fleet_size > 0) {
-            return runFleetMode(fleet_size, workers, policy, events,
-                                wireless, ber);
+            return runFleetMode(fleet_size, workers, sweep_workers,
+                                policy, events, wireless, ber, seed);
         }
 
-        const SignalDataset dataset = makeTestCase(test_case);
+        const SignalDataset dataset = makeTestCase(test_case, seed);
         EngineConfig config;
         config.process = process;
         config.wireless = wireless;
         config.subspace.candidates = candidates;
         TrainingOptions options;
         options.maxTrainingSegments = max_train;
+        options.seed = seed;
 
         std::printf("case %s (%s): %zu segments x %zu samples, "
                     "%.2f events/s\n",
