@@ -49,10 +49,8 @@ main()
 
     FeatureScaler scaler;
     scaler.fit(train.rows);
-    for (auto &row : train.rows)
-        row = scaler.transform(row);
-    for (auto &row : test.rows)
-        row = scaler.transform(row);
+    scaler.transformRowsInPlace(train.rows);
+    scaler.transformRowsInPlace(test.rows);
 
     // 2. Train the one-vs-rest ensemble.
     RandomSubspaceConfig subspace =

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Build the tree under AddressSanitizer + UndefinedBehaviorSanitizer
 # and run the generator-facing suites under it: the warm-started
-# flow network, the partitioner and the property-based generator
-# oracle tests. Usage:
+# flow network, the partitioner, the property-based generator oracle
+# tests, and the ML suites (flat-matrix row views, batched kernels,
+# parallel ensemble training). Usage:
 #
 #   scripts/check_asan_generator.sh [build-dir]
 #
@@ -16,8 +17,9 @@ build=${1:-"$repo/build-asan"}
 cmake -B "$build" -S "$repo" -DXPRO_SANITIZE=address,undefined
 cmake --build "$build" \
     --target test_flow_network test_partitioner \
-             test_partitioner_property \
+             test_partitioner_property test_ml_parallel \
+             test_random_subspace test_crossval \
     -j "$(nproc)"
-ctest --test-dir "$build" -L 'generator|partitioner|flow' \
+ctest --test-dir "$build" -L 'generator|partitioner|flow|ml' \
     --output-on-failure
 echo "ASan/UBSan generator pass: OK"

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Build the tree under ThreadSanitizer and run the thread-spawning
 # suites under it: the fleet tests (worker pool, parallel design
-# phase) and the generator property tests (parallel lambda-candidate
-# evaluation, shared characterization cache). Usage:
+# phase), the generator property tests (parallel lambda-candidate
+# evaluation, shared characterization cache), and the ML suites
+# (parallel ensemble training and cross-validation). Usage:
 #
 #   scripts/check_tsan_fleet.sh [build-dir]
 #
@@ -15,6 +16,8 @@ build=${1:-"$repo/build-tsan"}
 
 cmake -B "$build" -S "$repo" -DXPRO_SANITIZE=thread
 cmake --build "$build" \
-    --target test_fleet test_partitioner_property -j "$(nproc)"
-ctest --test-dir "$build" -L 'fleet|generator' --output-on-failure
+    --target test_fleet test_partitioner_property test_ml_parallel \
+             test_random_subspace test_crossval \
+    -j "$(nproc)"
+ctest --test-dir "$build" -L 'fleet|generator|ml' --output-on-failure
 echo "TSan fleet pass: OK"

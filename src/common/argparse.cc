@@ -19,6 +19,18 @@ parsePositiveArg(const std::string &value, const char *what)
     return static_cast<size_t>(parsed);
 }
 
+size_t
+parseCountArg(const std::string &value, const char *what)
+{
+    char *end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (!end || *end != '\0' || end == value.c_str())
+        fatal("%s: '%s' is not a number", what, value.c_str());
+    if (parsed < 0)
+        fatal("%s must be non-negative, got %lld", what, parsed);
+    return static_cast<size_t>(parsed);
+}
+
 double
 parseProbabilityArg(const std::string &value, const char *what)
 {

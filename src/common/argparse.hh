@@ -19,6 +19,9 @@ namespace xpro
 /** Strictly positive integer ("--fleet 0" and "-3" are fatal). */
 size_t parsePositiveArg(const std::string &value, const char *what);
 
+/** Non-negative integer ("--ml-workers 0" means auto-detect). */
+size_t parseCountArg(const std::string &value, const char *what);
+
 /** Probability in [0, 1) (bit error rates). */
 double parseProbabilityArg(const std::string &value,
                            const char *what);

@@ -1,5 +1,6 @@
 #include "common/matrix.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -7,6 +8,92 @@
 
 namespace xpro
 {
+
+FlatMatrix::FlatMatrix(size_t rows, size_t cols, double fill)
+    : _rows(rows), _cols(cols), _data(rows * cols, fill)
+{
+}
+
+FlatMatrix::FlatMatrix(
+    std::initializer_list<std::initializer_list<double>> rows)
+{
+    for (const auto &row : rows)
+        push_back(RowView(row.begin(), row.size()));
+}
+
+FlatMatrix
+FlatMatrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    FlatMatrix out;
+    if (!rows.empty()) {
+        out._cols = rows.front().size();
+        out._data.reserve(rows.size() * out._cols);
+    }
+    for (const auto &row : rows)
+        out.push_back(row);
+    return out;
+}
+
+void
+FlatMatrix::push_back(RowView row)
+{
+    if (_rows == 0 && _cols == 0) {
+        _cols = row.size();
+    } else {
+        xproAssert(row.size() == _cols,
+                   "row length %zu does not match matrix width %zu",
+                   row.size(), _cols);
+    }
+    _data.insert(_data.end(), row.begin(), row.end());
+    ++_rows;
+}
+
+FlatMatrix
+FlatMatrix::multiplyTransposed(const FlatMatrix &other) const
+{
+    if (_rows == 0 || other._rows == 0)
+        return FlatMatrix(_rows, other._rows, 0.0);
+    xproAssert(_cols == other._cols,
+               "shared dimension mismatch in multiplyTransposed: "
+               "%zu vs %zu",
+               _cols, other._cols);
+
+    FlatMatrix out(_rows, other._rows, 0.0);
+    const size_t dims = _cols;
+    // Tile over the rows of the right operand: a tile of
+    // right-hand rows stays cache-resident while every left row
+    // streams past it once.
+    constexpr size_t tile = 16;
+    for (size_t jb = 0; jb < other._rows; jb += tile) {
+        const size_t je = std::min(jb + tile, other._rows);
+        for (size_t i = 0; i < _rows; ++i) {
+            const double *a = rowData(i);
+            double *o = out.rowData(i);
+            for (size_t j = jb; j < je; ++j) {
+                const double *b = other.rowData(j);
+                double acc = 0.0;
+                for (size_t k = 0; k < dims; ++k)
+                    acc += a[k] * b[k];
+                o[j] = acc;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+FlatMatrix::rowSquaredNorms() const
+{
+    std::vector<double> norms(_rows);
+    for (size_t i = 0; i < _rows; ++i) {
+        const double *r = rowData(i);
+        double acc = 0.0;
+        for (size_t k = 0; k < _cols; ++k)
+            acc += r[k] * r[k];
+        norms[i] = acc;
+    }
+    return norms;
+}
 
 Matrix::Matrix(size_t rows, size_t cols, double fill)
     : _rows(rows), _cols(cols), _data(rows * cols, fill)

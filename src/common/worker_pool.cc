@@ -45,6 +45,15 @@ threadCpuTime()
 
 } // namespace
 
+size_t
+resolveWorkerCount(size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
 WorkerPool::WorkerPool(size_t workers)
     : _workers(workers == 0 ? 1 : workers)
 {}

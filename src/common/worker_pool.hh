@@ -31,6 +31,13 @@
 namespace xpro
 {
 
+/**
+ * Resolve a worker-count knob: 0 means "one worker per hardware
+ * thread", anything else passes through. The shared convention of
+ * every `--*-workers` flag.
+ */
+size_t resolveWorkerCount(size_t requested);
+
 /** A fixed-width pool executing indexed task sets. */
 class WorkerPool
 {

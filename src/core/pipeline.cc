@@ -24,8 +24,9 @@ trainPipeline(const SignalDataset &dataset, const EngineConfig &config,
     TrainedPipeline pipeline;
     pipeline.extractor = FeatureExtractor(config.wavelet);
 
-    // Extract the full 48-feature pool for every segment.
-    std::vector<std::vector<double>> raw_rows;
+    // Extract the full 48-feature pool for every segment into one
+    // flat row-major matrix.
+    FlatMatrix raw_rows;
     std::vector<int> labels;
     raw_rows.reserve(dataset.size());
     labels.reserve(dataset.size());
@@ -45,26 +46,29 @@ trainPipeline(const SignalDataset &dataset, const EngineConfig &config,
         train_idx.resize(options.maxTrainingSegments);
     }
 
-    // Min-max normalization fitted on the training rows only.
-    std::vector<std::vector<double>> train_raw;
-    train_raw.reserve(train_idx.size());
-    for (size_t idx : train_idx)
-        train_raw.push_back(raw_rows[idx]);
-    pipeline.scaler.fit(train_raw);
+    const auto gather = [&](const std::vector<size_t> &indices) {
+        LabeledData out;
+        out.rows = FlatMatrix(0, raw_rows.cols());
+        out.rows.reserve(indices.size());
+        out.labels.reserve(indices.size());
+        for (size_t idx : indices) {
+            out.rows.push_back(raw_rows.row(idx));
+            out.labels.push_back(labels[idx]);
+        }
+        return out;
+    };
+    LabeledData train = gather(train_idx);
+    LabeledData test = gather(split.testIndices);
 
-    LabeledData train;
-    for (size_t idx : train_idx) {
-        train.rows.push_back(pipeline.scaler.transform(raw_rows[idx]));
-        train.labels.push_back(labels[idx]);
-    }
-    LabeledData test;
-    for (size_t idx : split.testIndices) {
-        test.rows.push_back(pipeline.scaler.transform(raw_rows[idx]));
-        test.labels.push_back(labels[idx]);
-    }
+    // Min-max normalization fitted on the training rows only.
+    pipeline.scaler.fit(train.rows);
+    pipeline.scaler.transformRowsInPlace(train.rows);
+    if (test.size() > 0)
+        pipeline.scaler.transformRowsInPlace(test.rows);
 
     RandomSubspaceConfig subspace = config.subspace;
     subspace.seed = options.seed ^ 0xABCDEF;
+    subspace.workers = options.mlWorkers;
     pipeline.ensemble = RandomSubspace::train(train, subspace);
     pipeline.trainAccuracy = pipeline.ensemble.accuracy(train);
     pipeline.testAccuracy =

@@ -34,6 +34,12 @@ struct TrainingOptions
     size_t maxTrainingSegments = 0;
     /** Seed for splitting and subspace sampling. */
     uint64_t seed = 2017;
+    /**
+     * Worker threads for ensemble candidate training (0 = one per
+     * hardware thread, 1 = inline). Results are bit-for-bit
+     * identical at any setting.
+     */
+    size_t mlWorkers = 1;
 };
 
 /** A trained classification pipeline plus its quality numbers. */

@@ -128,6 +128,41 @@ FeatureScaler::fit(const std::vector<std::vector<double>> &rows)
     }
 }
 
+void
+FeatureScaler::fit(const FlatMatrix &rows)
+{
+    xproAssert(!rows.empty(), "cannot fit scaler on empty data");
+    const size_t cols = rows.cols();
+    _min.assign(cols, std::numeric_limits<double>::infinity());
+    _max.assign(cols, -std::numeric_limits<double>::infinity());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const double *row = rows.rowData(i);
+        for (size_t c = 0; c < cols; ++c) {
+            _min[c] = std::min(_min[c], row[c]);
+            _max[c] = std::max(_max[c], row[c]);
+        }
+    }
+}
+
+void
+FeatureScaler::transformRowsInPlace(FlatMatrix &rows) const
+{
+    xproAssert(fitted(), "scaler not fitted");
+    xproAssert(rows.cols() == _min.size(), "column count mismatch");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        double *row = rows.rowData(i);
+        for (size_t c = 0; c < rows.cols(); ++c) {
+            const double range = _max[c] - _min[c];
+            if (range < 1e-12) {
+                row[c] = 0.0;
+            } else {
+                row[c] = std::clamp((row[c] - _min[c]) / range,
+                                    0.0, 1.0);
+            }
+        }
+    }
+}
+
 std::vector<double>
 FeatureScaler::transform(const std::vector<double> &row) const
 {

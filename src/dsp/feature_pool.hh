@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/matrix.hh"
 #include "dsp/dwt.hh"
 #include "dsp/features.hh"
 
@@ -107,8 +108,14 @@ class FeatureScaler
     /** Learn per-column min/max from row-major feature vectors. */
     void fit(const std::vector<std::vector<double>> &rows);
 
-    /** Scale one vector in place; columns with zero range map to 0. */
+    /** Learn per-column min/max from a flat feature matrix. */
+    void fit(const FlatMatrix &rows);
+
+    /** Scale one vector; columns with zero range map to 0. */
     std::vector<double> transform(const std::vector<double> &row) const;
+
+    /** Scale every row of a flat feature matrix in place. */
+    void transformRowsInPlace(FlatMatrix &rows) const;
 
     bool fitted() const { return !_min.empty(); }
 

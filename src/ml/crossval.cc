@@ -1,8 +1,10 @@
 #include "ml/crossval.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
+#include "common/worker_pool.hh"
 
 namespace xpro
 {
@@ -70,6 +72,7 @@ LabeledData
 subset(const LabeledData &data, const std::vector<size_t> &indices)
 {
     LabeledData out;
+    out.rows = FlatMatrix(0, data.rows.cols());
     out.rows.reserve(indices.size());
     out.labels.reserve(indices.size());
     for (size_t idx : indices) {
@@ -83,35 +86,48 @@ subset(const LabeledData &data, const std::vector<size_t> &indices)
 
 double
 crossValidatedAccuracy(const LabeledData &data, const SvmConfig &config,
-                       size_t folds, Rng &rng)
+                       size_t folds, Rng &rng, size_t workers)
 {
+    // Fold composition is fixed here, before any training, so the
+    // parallel fan-out below cannot perturb it.
     const std::vector<std::vector<size_t>> parts =
         stratifiedFolds(data.labels, folds, rng);
 
+    // Each held-out fold trains independently; results are keyed by
+    // fold index (NaN marks a skipped fold), making the reduction
+    // identical for any worker count.
+    WorkerPool pool(resolveWorkerCount(workers));
+    const std::vector<double> fold_accuracy = pool.map<double>(
+        folds, [&](size_t held_out) -> double {
+            std::vector<size_t> train_idx;
+            for (size_t f = 0; f < folds; ++f) {
+                if (f == held_out)
+                    continue;
+                train_idx.insert(train_idx.end(), parts[f].begin(),
+                                 parts[f].end());
+            }
+            const LabeledData train = subset(data, train_idx);
+            const LabeledData test = subset(data, parts[held_out]);
+            if (test.size() == 0)
+                return std::nan("");
+            // Skip degenerate folds missing a class.
+            const bool trainable =
+                std::count(train.labels.begin(), train.labels.end(),
+                           1) > 0 &&
+                std::count(train.labels.begin(), train.labels.end(),
+                           -1) > 0;
+            if (!trainable)
+                return std::nan("");
+            const Svm model = Svm::train(train, config);
+            return model.accuracy(test);
+        });
+
     double accuracy_sum = 0.0;
     size_t evaluated = 0;
-    for (size_t held_out = 0; held_out < folds; ++held_out) {
-        std::vector<size_t> train_idx;
-        for (size_t f = 0; f < folds; ++f) {
-            if (f == held_out)
-                continue;
-            train_idx.insert(train_idx.end(), parts[f].begin(),
-                             parts[f].end());
-        }
-        const LabeledData train = subset(data, train_idx);
-        const LabeledData test = subset(data, parts[held_out]);
-        if (test.size() == 0)
+    for (double acc : fold_accuracy) {
+        if (std::isnan(acc))
             continue;
-        // Skip degenerate folds missing a class.
-        const bool trainable =
-            std::count(train.labels.begin(), train.labels.end(), 1) >
-                0 &&
-            std::count(train.labels.begin(), train.labels.end(), -1) >
-                0;
-        if (!trainable)
-            continue;
-        const Svm model = Svm::train(train, config);
-        accuracy_sum += model.accuracy(test);
+        accuracy_sum += acc;
         ++evaluated;
     }
     if (evaluated == 0)

@@ -3,6 +3,11 @@
  * Train/test splitting and k-fold cross-validation utilities
  * (paper Section 4.4: 75/25 random split, 10-fold cross-validation
  * on the training set).
+ *
+ * Fold composition is always drawn from the caller's Rng before any
+ * training happens, and per-fold results are collected by fold
+ * index, so crossValidatedAccuracy() returns bit-identical numbers
+ * for any worker count.
  */
 
 #ifndef XPRO_ML_CROSSVAL_HH
@@ -44,11 +49,13 @@ LabeledData subset(const LabeledData &data,
 
 /**
  * Mean k-fold cross-validated accuracy of an SVM configuration on a
- * dataset.
+ * dataset. The k held-out folds train independently, fanned out over
+ * @p workers threads (0 = hardware concurrency, 1 = inline); the
+ * result is identical for any worker count.
  */
 double crossValidatedAccuracy(const LabeledData &data,
                               const SvmConfig &config, size_t folds,
-                              Rng &rng);
+                              Rng &rng, size_t workers = 1);
 
 } // namespace xpro
 

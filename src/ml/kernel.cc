@@ -8,7 +8,7 @@ namespace xpro
 {
 
 double
-dotProduct(const std::vector<double> &x, const std::vector<double> &z)
+dotProduct(RowView x, RowView z)
 {
     xproAssert(x.size() == z.size(), "vector size mismatch %zu vs %zu",
                x.size(), z.size());
@@ -19,8 +19,7 @@ dotProduct(const std::vector<double> &x, const std::vector<double> &z)
 }
 
 double
-squaredDistance(const std::vector<double> &x,
-                const std::vector<double> &z)
+squaredDistance(RowView x, RowView z)
 {
     xproAssert(x.size() == z.size(), "vector size mismatch %zu vs %zu",
                x.size(), z.size());
@@ -33,8 +32,7 @@ squaredDistance(const std::vector<double> &x,
 }
 
 double
-Kernel::operator()(const std::vector<double> &x,
-                   const std::vector<double> &z) const
+Kernel::operator()(RowView x, RowView z) const
 {
     switch (kind) {
       case KernelKind::Linear:
@@ -43,6 +41,57 @@ Kernel::operator()(const std::vector<double> &x,
         return std::exp(-gamma * squaredDistance(x, z));
     }
     panic("unknown kernel kind %d", static_cast<int>(kind));
+}
+
+FlatMatrix
+Kernel::gram(const FlatMatrix &a, const FlatMatrix &b) const
+{
+    // One blocked cross-product pass gives every dot product; the
+    // RBF then needs only the per-row squared norms on top.
+    FlatMatrix out = a.multiplyTransposed(b);
+    if (kind == KernelKind::Linear)
+        return out;
+
+    const std::vector<double> a_norms = a.rowSquaredNorms();
+    const std::vector<double> b_norms = b.rowSquaredNorms();
+    for (size_t i = 0; i < a.size(); ++i) {
+        double *row = out.rowData(i);
+        for (size_t j = 0; j < b.size(); ++j)
+            row[j] = rbfFromParts(gamma, a_norms[i], b_norms[j],
+                                  row[j]);
+    }
+    return out;
+}
+
+FlatMatrix
+Kernel::gramSymmetric(const FlatMatrix &a) const
+{
+    const size_t n = a.size();
+    const size_t dims = a.cols();
+    FlatMatrix out(n, n, 0.0);
+    const std::vector<double> norms =
+        kind == KernelKind::Rbf ? a.rowSquaredNorms()
+                                : std::vector<double>();
+
+    // Fill the upper triangle, mirror the lower: half the kernel
+    // evaluations of the dense rectangular path.
+    for (size_t i = 0; i < n; ++i) {
+        const double *ri = a.rowData(i);
+        double *oi = out.rowData(i);
+        for (size_t j = i; j < n; ++j) {
+            const double *rj = a.rowData(j);
+            double dot = 0.0;
+            for (size_t k = 0; k < dims; ++k)
+                dot += ri[k] * rj[k];
+            const double value =
+                kind == KernelKind::Rbf
+                    ? rbfFromParts(gamma, norms[i], norms[j], dot)
+                    : dot;
+            oi[j] = value;
+            out.rowData(j)[i] = value;
+        }
+    }
+    return out;
 }
 
 std::string

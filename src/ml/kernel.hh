@@ -4,14 +4,22 @@
  * evaluation uses a binary SVM with a radial basis function kernel
  * (Section 4.4); the linear kernel is kept both for tests and because
  * prior in-sensor designs are linear-SVM-only (Section 1).
+ *
+ * Besides the pairwise form, kernels evaluate in batch over flat
+ * row-major matrices: the RBF Gram matrix is assembled from per-row
+ * squared norms and one blocked cross-product pass,
+ * K(i,j) = exp(-gamma * (|xi|^2 + |xj|^2 - 2 xi.xj)), which is what
+ * both SMO training and whole-test-set inference consume.
  */
 
 #ifndef XPRO_ML_KERNEL_HH
 #define XPRO_ML_KERNEL_HH
 
+#include <cmath>
 #include <cstddef>
 #include <string>
-#include <vector>
+
+#include "common/matrix.hh"
 
 namespace xpro
 {
@@ -23,6 +31,19 @@ enum class KernelKind
     Rbf,
 };
 
+/**
+ * RBF value from precomputed parts: squared norms of both operands
+ * plus their dot product. The batched Gram builders and the
+ * per-sample decision path share this helper (with identically
+ * ordered dot products), so batch and per-sample results are
+ * bit-identical.
+ */
+inline double
+rbfFromParts(double gamma, double x_norm, double z_norm, double dot)
+{
+    return std::exp(-gamma * (x_norm + z_norm - 2.0 * dot));
+}
+
 /** Kernel configuration: family plus RBF width. */
 struct Kernel
 {
@@ -30,21 +51,30 @@ struct Kernel
     /** RBF gamma in K(x,z) = exp(-gamma * |x - z|^2). */
     double gamma = 1.0;
 
-    /** Evaluate the kernel on two equally sized vectors. */
-    double operator()(const std::vector<double> &x,
-                      const std::vector<double> &z) const;
+    /** Evaluate the kernel on two equally sized rows. */
+    double operator()(RowView x, RowView z) const;
+
+    /**
+     * Batched Gram matrix K(i,j) = kernel(a[i], b[j]) over two flat
+     * row matrices with matching widths.
+     */
+    FlatMatrix gram(const FlatMatrix &a, const FlatMatrix &b) const;
+
+    /**
+     * Self-Gram K(i,j) = kernel(a[i], a[j]). Exploits symmetry:
+     * only the upper triangle is evaluated, the lower is mirrored.
+     */
+    FlatMatrix gramSymmetric(const FlatMatrix &a) const;
 
     /** Display name, e.g. "rbf(gamma=0.5)". */
     std::string name() const;
 };
 
-/** Squared Euclidean distance between two equally sized vectors. */
-double squaredDistance(const std::vector<double> &x,
-                       const std::vector<double> &z);
+/** Squared Euclidean distance between two equally sized rows. */
+double squaredDistance(RowView x, RowView z);
 
-/** Dot product of two equally sized vectors. */
-double dotProduct(const std::vector<double> &x,
-                  const std::vector<double> &z);
+/** Dot product of two equally sized rows. */
+double dotProduct(RowView x, RowView z);
 
 } // namespace xpro
 

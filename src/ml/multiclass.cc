@@ -37,7 +37,7 @@ MultiClassSubspace::train(const MultiClassData &data,
 }
 
 std::vector<double>
-MultiClassSubspace::scores(const std::vector<double> &full_row) const
+MultiClassSubspace::scores(RowView full_row) const
 {
     xproAssert(!_perClass.empty(), "model not trained");
     std::vector<double> out;
@@ -48,20 +48,44 @@ MultiClassSubspace::scores(const std::vector<double> &full_row) const
 }
 
 size_t
-MultiClassSubspace::predict(const std::vector<double> &full_row) const
+MultiClassSubspace::predict(RowView full_row) const
 {
     const std::vector<double> s = scores(full_row);
     return static_cast<size_t>(
         std::max_element(s.begin(), s.end()) - s.begin());
 }
 
+std::vector<size_t>
+MultiClassSubspace::predictBatch(const FlatMatrix &full_rows) const
+{
+    xproAssert(!_perClass.empty(), "model not trained");
+    // One batched score sweep per class ensemble, then argmax across
+    // the per-class score columns.
+    std::vector<std::vector<double>> per_class;
+    per_class.reserve(_perClass.size());
+    for (const RandomSubspace &ensemble : _perClass)
+        per_class.push_back(ensemble.scoreBatch(full_rows));
+
+    std::vector<size_t> out(full_rows.size(), 0);
+    for (size_t i = 0; i < full_rows.size(); ++i) {
+        size_t best = 0;
+        for (size_t cls = 1; cls < per_class.size(); ++cls) {
+            if (per_class[cls][i] > per_class[best][i])
+                best = cls;
+        }
+        out[i] = best;
+    }
+    return out;
+}
+
 double
 MultiClassSubspace::accuracy(const MultiClassData &data) const
 {
     xproAssert(data.size() > 0, "accuracy on empty dataset");
+    const std::vector<size_t> predicted = predictBatch(data.rows);
     size_t correct = 0;
     for (size_t i = 0; i < data.size(); ++i)
-        correct += predict(data.rows[i]) == data.labels[i];
+        correct += predicted[i] == data.labels[i];
     return static_cast<double>(correct) /
            static_cast<double>(data.size());
 }

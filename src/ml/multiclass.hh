@@ -24,15 +24,15 @@
 namespace xpro
 {
 
-/** Multi-class dataset: row-major features plus labels in [0, K). */
+/** Multi-class dataset: flat row-major features plus labels in [0, K). */
 struct MultiClassData
 {
-    std::vector<std::vector<double>> rows;
+    FlatMatrix rows;
     std::vector<size_t> labels;
     size_t classCount = 0;
 
     size_t size() const { return rows.size(); }
-    size_t dimension() const { return rows.empty() ? 0 : rows[0].size(); }
+    size_t dimension() const { return rows.cols(); }
 };
 
 /** One-vs-rest ensemble of random-subspace classifiers. */
@@ -48,10 +48,13 @@ class MultiClassSubspace
                                     const RandomSubspaceConfig &config);
 
     /** Predicted class in [0, classCount). */
-    size_t predict(const std::vector<double> &full_row) const;
+    size_t predict(RowView full_row) const;
 
     /** Per-class fused scores (argmax = prediction). */
-    std::vector<double> scores(const std::vector<double> &full_row) const;
+    std::vector<double> scores(RowView full_row) const;
+
+    /** Predicted classes for every row, batch-evaluated. */
+    std::vector<size_t> predictBatch(const FlatMatrix &full_rows) const;
 
     /** Fraction of correct predictions. */
     double accuracy(const MultiClassData &data) const;

@@ -6,13 +6,14 @@
 
 #include "common/logging.hh"
 #include "common/matrix.hh"
+#include "common/worker_pool.hh"
 #include "ml/crossval.hh"
 
 namespace xpro
 {
 
 std::vector<double>
-RandomSubspace::project(const std::vector<double> &full_row,
+RandomSubspace::project(RowView full_row,
                         const std::vector<size_t> &indices)
 {
     std::vector<double> out;
@@ -21,6 +22,24 @@ RandomSubspace::project(const std::vector<double> &full_row,
         xproAssert(idx < full_row.size(),
                    "feature index %zu out of range", idx);
         out.push_back(full_row[idx]);
+    }
+    return out;
+}
+
+FlatMatrix
+RandomSubspace::projectRows(const FlatMatrix &full_rows,
+                            const std::vector<size_t> &indices)
+{
+    for (size_t idx : indices) {
+        xproAssert(idx < full_rows.cols(),
+                   "feature index %zu out of range", idx);
+    }
+    FlatMatrix out(full_rows.size(), indices.size());
+    for (size_t i = 0; i < full_rows.size(); ++i) {
+        const double *src = full_rows.rowData(i);
+        double *dst = out.rowData(i);
+        for (size_t c = 0; c < indices.size(); ++c)
+            dst[c] = src[indices[c]];
     }
     return out;
 }
@@ -45,34 +64,44 @@ RandomSubspace::train(const LabeledData &data,
     const LabeledData fit_set = subset(data, split.trainIndices);
     const LabeledData val_set = subset(data, split.testIndices);
 
-    std::vector<BaseClassifier> candidates;
-    candidates.reserve(config.candidates);
+    // Draw every candidate subspace up front from the single RNG
+    // stream; the parallel section below consumes no randomness, so
+    // worker scheduling cannot perturb the draws.
+    std::vector<std::vector<size_t>> subspaces(config.candidates);
     for (size_t c = 0; c < config.candidates; ++c) {
-        BaseClassifier base;
-        base.featureIndices =
+        subspaces[c] =
             rng.sampleWithoutReplacement(pool, config.subspaceDimension);
-        std::sort(base.featureIndices.begin(),
-                  base.featureIndices.end());
-
-        LabeledData projected;
-        projected.labels = fit_set.labels;
-        projected.rows.reserve(fit_set.size());
-        for (const auto &row : fit_set.rows)
-            projected.rows.push_back(project(row, base.featureIndices));
-
-        base.model = Svm::train(projected, config.svm);
-
-        LabeledData val_projected;
-        val_projected.labels = val_set.labels;
-        for (const auto &row : val_set.rows)
-            val_projected.rows.push_back(
-                project(row, base.featureIndices));
-        base.validationAccuracy =
-            val_projected.size() > 0
-                ? base.model.accuracy(val_projected)
-                : 0.5;
-        candidates.push_back(std::move(base));
+        std::sort(subspaces[c].begin(), subspaces[c].end());
     }
+
+    // Fan the candidate trainings out over the pool; slot c of the
+    // result is always candidate c, so the outcome is identical for
+    // any worker count.
+    WorkerPool workers(resolveWorkerCount(config.workers));
+    std::vector<BaseClassifier> candidates =
+        workers.map<BaseClassifier>(
+            config.candidates, [&](size_t c) {
+                BaseClassifier base;
+                base.featureIndices = subspaces[c];
+
+                LabeledData projected;
+                projected.labels = fit_set.labels;
+                projected.rows =
+                    projectRows(fit_set.rows, base.featureIndices);
+                base.model = Svm::train(projected, config.svm);
+
+                if (val_set.size() > 0) {
+                    LabeledData val_projected;
+                    val_projected.labels = val_set.labels;
+                    val_projected.rows = projectRows(
+                        val_set.rows, base.featureIndices);
+                    base.validationAccuracy =
+                        base.model.accuracy(val_projected);
+                } else {
+                    base.validationAccuracy = 0.5;
+                }
+                return base;
+            });
 
     // Keep the top fraction by validation accuracy.
     const size_t keep = std::max<size_t>(
@@ -91,17 +120,19 @@ RandomSubspace::train(const LabeledData &data,
 
     // Least-squares voting weights: regress the +-1 label on the
     // base decision signs over the whole training set (weighted
-    // voting trained by least squares, paper Section 4.4).
+    // voting trained by least squares, paper Section 4.4). Votes
+    // come from the batched inference path, one column per base.
     const size_t members = ensemble._bases.size();
     Matrix design(data.size(), members + 1);
     Matrix target(data.size(), 1);
+    for (size_t m = 0; m < members; ++m) {
+        const BaseClassifier &base = ensemble._bases[m];
+        const std::vector<int> votes = base.model.predictBatch(
+            projectRows(data.rows, base.featureIndices));
+        for (size_t i = 0; i < data.size(); ++i)
+            design(i, m) = static_cast<double>(votes[i]);
+    }
     for (size_t i = 0; i < data.size(); ++i) {
-        for (size_t m = 0; m < members; ++m) {
-            const BaseClassifier &base = ensemble._bases[m];
-            const int vote = base.model.predict(
-                project(data.rows[i], base.featureIndices));
-            design(i, m) = static_cast<double>(vote);
-        }
         design(i, members) = 1.0; // bias column
         target(i, 0) = static_cast<double>(data.labels[i]);
     }
@@ -115,7 +146,7 @@ RandomSubspace::train(const LabeledData &data,
 }
 
 double
-RandomSubspace::score(const std::vector<double> &full_row) const
+RandomSubspace::score(RowView full_row) const
 {
     xproAssert(!_bases.empty(), "ensemble not trained");
     double acc = _weightBias;
@@ -128,18 +159,48 @@ RandomSubspace::score(const std::vector<double> &full_row) const
 }
 
 int
-RandomSubspace::predict(const std::vector<double> &full_row) const
+RandomSubspace::predict(RowView full_row) const
 {
     return score(full_row) >= 0.0 ? 1 : -1;
+}
+
+std::vector<double>
+RandomSubspace::scoreBatch(const FlatMatrix &full_rows) const
+{
+    xproAssert(!_bases.empty(), "ensemble not trained");
+    std::vector<double> scores(full_rows.size(), 0.0);
+    for (size_t i = 0; i < scores.size(); ++i)
+        scores[i] = _weightBias;
+    // One batched projection + kernel block per base instead of one
+    // heap-allocated projection per (sample, base) pair.
+    for (size_t m = 0; m < _bases.size(); ++m) {
+        const std::vector<int> votes = _bases[m].model.predictBatch(
+            projectRows(full_rows, _bases[m].featureIndices));
+        for (size_t i = 0; i < scores.size(); ++i)
+            scores[i] +=
+                _weights[m] * static_cast<double>(votes[i]);
+    }
+    return scores;
+}
+
+std::vector<int>
+RandomSubspace::predictBatch(const FlatMatrix &full_rows) const
+{
+    const std::vector<double> scores = scoreBatch(full_rows);
+    std::vector<int> out(scores.size());
+    for (size_t i = 0; i < scores.size(); ++i)
+        out[i] = scores[i] >= 0.0 ? 1 : -1;
+    return out;
 }
 
 double
 RandomSubspace::accuracy(const LabeledData &data) const
 {
     xproAssert(data.size() > 0, "accuracy on empty dataset");
+    const std::vector<int> predicted = predictBatch(data.rows);
     size_t correct = 0;
     for (size_t i = 0; i < data.size(); ++i)
-        correct += predict(data.rows[i]) == data.labels[i];
+        correct += predicted[i] == data.labels[i];
     return static_cast<double>(correct) /
            static_cast<double>(data.size());
 }

@@ -9,6 +9,14 @@
  * squares. The set of features the surviving base classifiers
  * actually consume determines which functional cells exist in the
  * XPro topology.
+ *
+ * Candidate training is embarrassingly parallel and fans out over a
+ * WorkerPool. Every random draw (the train/validation split and all
+ * candidate subspaces) happens serially before the fan-out, each
+ * candidate trains from its own pre-drawn subspace with no shared
+ * mutable state, and results are collected by candidate index — so
+ * the trained ensemble, vote weights and accuracies are bit-for-bit
+ * identical at any worker count.
  */
 
 #ifndef XPRO_ML_RANDOM_SUBSPACE_HH
@@ -38,6 +46,11 @@ struct RandomSubspaceConfig
     double fusionRidge = 1e-6;
     /** RNG seed for subspace sampling. */
     uint64_t seed = 1;
+    /**
+     * Worker threads for candidate training (0 = one per hardware
+     * thread, 1 = inline). The result is identical at any setting.
+     */
+    size_t workers = 1;
 };
 
 /** One trained member of the ensemble. */
@@ -63,10 +76,16 @@ class RandomSubspace
                                 const RandomSubspaceConfig &config);
 
     /** Fused score; positive means class +1. */
-    double score(const std::vector<double> &full_row) const;
+    double score(RowView full_row) const;
 
     /** Predicted label in {-1, +1}. */
-    int predict(const std::vector<double> &full_row) const;
+    int predict(RowView full_row) const;
+
+    /** Fused scores for every full-pool row, batch-evaluated. */
+    std::vector<double> scoreBatch(const FlatMatrix &full_rows) const;
+
+    /** Predicted labels for every full-pool row. */
+    std::vector<int> predictBatch(const FlatMatrix &full_rows) const;
 
     /** Accuracy over a full-pool dataset. */
     double accuracy(const LabeledData &data) const;
@@ -79,12 +98,16 @@ class RandomSubspace
     /** Union of feature-pool indices used by surviving bases. */
     std::vector<size_t> usedFeatureIndices() const;
 
-  private:
     /** Project a full-pool row onto a base's subspace. */
     static std::vector<double>
-    project(const std::vector<double> &full_row,
-            const std::vector<size_t> &indices);
+    project(RowView full_row, const std::vector<size_t> &indices);
 
+    /** Column-gather a whole dataset onto a subspace. */
+    static FlatMatrix
+    projectRows(const FlatMatrix &full_rows,
+                const std::vector<size_t> &indices);
+
+  private:
     std::vector<BaseClassifier> _bases;
     std::vector<double> _weights;
     double _weightBias = 0.0;

@@ -9,34 +9,6 @@
 namespace xpro
 {
 
-namespace
-{
-
-/** Dense kernel matrix for small training sets. */
-class KernelMatrix
-{
-  public:
-    KernelMatrix(const LabeledData &data, const Kernel &kernel)
-        : _n(data.size()), _values(_n * _n)
-    {
-        for (size_t i = 0; i < _n; ++i) {
-            for (size_t j = i; j < _n; ++j) {
-                const double k = kernel(data.rows[i], data.rows[j]);
-                _values[i * _n + j] = k;
-                _values[j * _n + i] = k;
-            }
-        }
-    }
-
-    double at(size_t i, size_t j) const { return _values[i * _n + j]; }
-
-  private:
-    size_t _n;
-    std::vector<double> _values;
-};
-
-} // namespace
-
 Svm
 Svm::train(const LabeledData &data, const SvmConfig &config)
 {
@@ -54,23 +26,23 @@ Svm::train(const LabeledData &data, const SvmConfig &config)
     if (!has_pos || !has_neg)
         fatal("SVM training data must contain both classes");
 
-    const KernelMatrix gram(data, config.kernel);
+    // One batched pass builds the full training Gram (upper triangle
+    // evaluated, lower mirrored); the SMO loop below never calls the
+    // kernel again.
+    const FlatMatrix gram = config.kernel.gramSymmetric(data.rows);
 
     // Simplified SMO (Platt 1998 as in the CS229 formulation):
     // repeatedly pick KKT-violating multipliers and optimize pairs
-    // analytically.
+    // analytically. error[k] caches f(x_k) - y_k and is updated
+    // incrementally after every successful pair step, so candidate
+    // screening is O(1) per sample instead of a fresh O(n) decision
+    // sum.
     std::vector<double> alpha(n, 0.0);
+    std::vector<double> error(n);
+    for (size_t k = 0; k < n; ++k)
+        error[k] = -static_cast<double>(data.labels[k]);
     double bias = 0.0;
     Rng rng(0xC0FFEE);
-
-    auto decision_on_train = [&](size_t i) {
-        double acc = bias;
-        for (size_t k = 0; k < n; ++k) {
-            if (alpha[k] > 0.0)
-                acc += alpha[k] * data.labels[k] * gram.at(k, i);
-        }
-        return acc;
-    };
 
     size_t quiet_passes = 0;
     size_t iterations = 0;
@@ -79,8 +51,7 @@ Svm::train(const LabeledData &data, const SvmConfig &config)
         ++iterations;
         size_t changed = 0;
         for (size_t i = 0; i < n; ++i) {
-            const double error_i =
-                decision_on_train(i) - data.labels[i];
+            const double error_i = error[i];
             const bool violates =
                 (data.labels[i] * error_i < -config.tolerance &&
                  alpha[i] < config.c) ||
@@ -93,8 +64,7 @@ Svm::train(const LabeledData &data, const SvmConfig &config)
             size_t j = static_cast<size_t>(rng.below(n - 1));
             if (j >= i)
                 ++j;
-            const double error_j =
-                decision_on_train(j) - data.labels[j];
+            const double error_j = error[j];
 
             const double alpha_i_old = alpha[i];
             const double alpha_j_old = alpha[j];
@@ -112,8 +82,10 @@ Svm::train(const LabeledData &data, const SvmConfig &config)
             if (high - low < 1e-12)
                 continue;
 
-            const double eta = 2.0 * gram.at(i, j) - gram.at(i, i) -
-                               gram.at(j, j);
+            const double k_ii = gram.row(i)[i];
+            const double k_jj = gram.row(j)[j];
+            const double k_ij = gram.row(i)[j];
+            const double eta = 2.0 * k_ij - k_ii - k_jj;
             if (eta >= -1e-12)
                 continue;
 
@@ -132,23 +104,36 @@ Svm::train(const LabeledData &data, const SvmConfig &config)
 
             const double b1 =
                 bias - error_i -
-                data.labels[i] * (alpha_i_new - alpha_i_old) *
-                    gram.at(i, i) -
-                data.labels[j] * (alpha_j_new - alpha_j_old) *
-                    gram.at(i, j);
+                data.labels[i] * (alpha_i_new - alpha_i_old) * k_ii -
+                data.labels[j] * (alpha_j_new - alpha_j_old) * k_ij;
             const double b2 =
                 bias - error_j -
-                data.labels[i] * (alpha_i_new - alpha_i_old) *
-                    gram.at(i, j) -
-                data.labels[j] * (alpha_j_new - alpha_j_old) *
-                    gram.at(j, j);
+                data.labels[i] * (alpha_i_new - alpha_i_old) * k_ij -
+                data.labels[j] * (alpha_j_new - alpha_j_old) * k_jj;
+            double bias_new;
             if (alpha_i_new > 0.0 && alpha_i_new < config.c) {
-                bias = b1;
+                bias_new = b1;
             } else if (alpha_j_new > 0.0 && alpha_j_new < config.c) {
-                bias = b2;
+                bias_new = b2;
             } else {
-                bias = 0.5 * (b1 + b2);
+                bias_new = 0.5 * (b1 + b2);
             }
+
+            // Propagate the pair step into the cached errors: the
+            // decision function moved by the two weighted kernel
+            // rows plus the bias shift.
+            const double delta_i =
+                (alpha_i_new - alpha_i_old) * data.labels[i];
+            const double delta_j =
+                (alpha_j_new - alpha_j_old) * data.labels[j];
+            const double delta_b = bias_new - bias;
+            const double *row_i = gram.rowData(i);
+            const double *row_j = gram.rowData(j);
+            for (size_t k = 0; k < n; ++k) {
+                error[k] += delta_i * row_i[k] + delta_j * row_j[k] +
+                            delta_b;
+            }
+            bias = bias_new;
             ++changed;
         }
         quiet_passes = changed == 0 ? quiet_passes + 1 : 0;
@@ -164,6 +149,7 @@ Svm::train(const LabeledData &data, const SvmConfig &config)
             model._weights.push_back(alpha[i] * data.labels[i]);
         }
     }
+    model._svNorms = model._supportVectors.rowSquaredNorms();
     // Degenerate but possible on separable data with loose
     // tolerances: keep the model usable as a constant classifier.
     if (model._supportVectors.empty())
@@ -172,30 +158,81 @@ Svm::train(const LabeledData &data, const SvmConfig &config)
 }
 
 double
-Svm::decision(const std::vector<double> &x) const
+Svm::decision(RowView x) const
 {
     xproAssert(x.size() == _dimension,
                "input dimension %zu, model expects %zu", x.size(),
                _dimension);
     double acc = _bias;
-    for (size_t k = 0; k < _supportVectors.size(); ++k)
-        acc += _weights[k] * _kernel(_supportVectors[k], x);
+    if (_kernel.kind == KernelKind::Rbf) {
+        // Same norm-expansion schedule as the batched Gram path:
+        // |x|^2 once, then one dot product per support vector.
+        double x_norm = 0.0;
+        for (size_t d = 0; d < _dimension; ++d)
+            x_norm += x[d] * x[d];
+        for (size_t k = 0; k < _supportVectors.size(); ++k) {
+            const double *sv = _supportVectors.rowData(k);
+            double dot = 0.0;
+            for (size_t d = 0; d < _dimension; ++d)
+                dot += x[d] * sv[d];
+            acc += _weights[k] *
+                   rbfFromParts(_kernel.gamma, x_norm, _svNorms[k],
+                                dot);
+        }
+    } else {
+        for (size_t k = 0; k < _supportVectors.size(); ++k)
+            acc += _weights[k] * dotProduct(x, _supportVectors[k]);
+    }
     return acc;
 }
 
 int
-Svm::predict(const std::vector<double> &x) const
+Svm::predict(RowView x) const
 {
     return decision(x) >= 0.0 ? 1 : -1;
+}
+
+std::vector<double>
+Svm::decisionBatch(const FlatMatrix &rows) const
+{
+    xproAssert(rows.empty() || rows.cols() == _dimension,
+               "input dimension %zu, model expects %zu", rows.cols(),
+               _dimension);
+    std::vector<double> out(rows.size(), _bias);
+    if (_supportVectors.empty())
+        return out;
+
+    // K(test, SV) in one batched pass, then a weighted row sum.
+    const FlatMatrix k = _kernel.gram(rows, _supportVectors);
+    const size_t m = _supportVectors.size();
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const double *row = k.rowData(i);
+        double acc = _bias;
+        for (size_t j = 0; j < m; ++j)
+            acc += _weights[j] * row[j];
+        out[i] = acc;
+    }
+    return out;
+}
+
+std::vector<int>
+Svm::predictBatch(const FlatMatrix &rows) const
+{
+    const std::vector<double> decisions = decisionBatch(rows);
+    std::vector<int> out(decisions.size());
+    for (size_t i = 0; i < decisions.size(); ++i)
+        out[i] = decisions[i] >= 0.0 ? 1 : -1;
+    return out;
 }
 
 double
 Svm::accuracy(const LabeledData &data) const
 {
     xproAssert(data.size() > 0, "accuracy on empty dataset");
+    const std::vector<int> predicted = predictBatch(data.rows);
     size_t correct = 0;
     for (size_t i = 0; i < data.size(); ++i)
-        correct += predict(data.rows[i]) == data.labels[i];
+        correct += predicted[i] == data.labels[i];
     return static_cast<double>(correct) /
            static_cast<double>(data.size());
 }

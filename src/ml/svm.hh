@@ -5,6 +5,15 @@
  * subspace ensemble (paper Section 2.1), and the number of support
  * vectors of a trained model drives the hardware cost of its SVM
  * functional cell.
+ *
+ * The hot path is batch-first: training consumes one symmetric Gram
+ * matrix built in a single blocked pass, the SMO loop runs on a
+ * cached error vector (no kernel evaluations inside the loop), and
+ * inference over a whole dataset goes through decisionBatch(), which
+ * evaluates the test-by-support-vector kernel block with the same
+ * batched Gram builder. Per-sample decision() shares the exact
+ * floating-point schedule, so batch and per-sample results are
+ * bit-identical.
  */
 
 #ifndef XPRO_ML_SVM_HH
@@ -13,19 +22,20 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/matrix.hh"
 #include "ml/kernel.hh"
 
 namespace xpro
 {
 
-/** Labeled dataset: row-major features plus +-1 labels. */
+/** Labeled dataset: flat row-major features plus +-1 labels. */
 struct LabeledData
 {
-    std::vector<std::vector<double>> rows;
+    FlatMatrix rows;
     std::vector<int> labels;
 
     size_t size() const { return rows.size(); }
-    size_t dimension() const { return rows.empty() ? 0 : rows[0].size(); }
+    size_t dimension() const { return rows.cols(); }
 };
 
 /** SVM training hyper-parameters. */
@@ -53,10 +63,16 @@ class Svm
     static Svm train(const LabeledData &data, const SvmConfig &config);
 
     /** Signed decision value; positive means class +1. */
-    double decision(const std::vector<double> &x) const;
+    double decision(RowView x) const;
 
     /** Predicted label in {-1, +1}. */
-    int predict(const std::vector<double> &x) const;
+    int predict(RowView x) const;
+
+    /** Decision values for every row of @p rows, batch-evaluated. */
+    std::vector<double> decisionBatch(const FlatMatrix &rows) const;
+
+    /** Predicted labels for every row of @p rows. */
+    std::vector<int> predictBatch(const FlatMatrix &rows) const;
 
     /** Fraction of correct predictions on @p data. */
     double accuracy(const LabeledData &data) const;
@@ -71,7 +87,7 @@ class Svm
     double bias() const { return _bias; }
 
     /** Stored support vectors (for quantized inference). */
-    const std::vector<std::vector<double>> &
+    const FlatMatrix &
     supportVectors() const
     {
         return _supportVectors;
@@ -84,7 +100,9 @@ class Svm
     Kernel _kernel;
     double _bias = 0.0;
     size_t _dimension = 0;
-    std::vector<std::vector<double>> _supportVectors;
+    FlatMatrix _supportVectors;
+    /** Squared norm per support vector (batch RBF evaluation). */
+    std::vector<double> _svNorms;
     /** alpha_i * y_i for each support vector. */
     std::vector<double> _weights;
 };

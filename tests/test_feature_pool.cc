@@ -131,7 +131,7 @@ TEST(FeatureScalerTest, MapsToUnitInterval)
 TEST(FeatureScalerTest, ClampsOutOfRangeTestValues)
 {
     FeatureScaler scaler;
-    scaler.fit({{0.0}, {1.0}});
+    scaler.fit(FlatMatrix{{0.0}, {1.0}});
     EXPECT_DOUBLE_EQ(scaler.transform({-5.0})[0], 0.0);
     EXPECT_DOUBLE_EQ(scaler.transform({5.0})[0], 1.0);
 }
@@ -139,7 +139,7 @@ TEST(FeatureScalerTest, ClampsOutOfRangeTestValues)
 TEST(FeatureScalerTest, ConstantColumnMapsToZero)
 {
     FeatureScaler scaler;
-    scaler.fit({{3.0, 1.0}, {3.0, 2.0}});
+    scaler.fit(FlatMatrix{{3.0, 1.0}, {3.0, 2.0}});
     EXPECT_DOUBLE_EQ(scaler.transform({3.0, 1.5})[0], 0.0);
 }
 
@@ -153,7 +153,7 @@ TEST(FeatureScalerTest, UnfittedTransformPanics)
 TEST(FeatureScalerTest, ColumnMismatchPanics)
 {
     FeatureScaler scaler;
-    scaler.fit({{1.0, 2.0}});
+    scaler.fit(FlatMatrix{{1.0, 2.0}});
     EXPECT_THROW(scaler.transform({1.0}), PanicError);
 }
 

@@ -158,8 +158,7 @@ class MultiClassTopologyTest : public ::testing::Test
         }
         FeatureScaler scaler;
         scaler.fit(data.rows);
-        for (auto &row : data.rows)
-            row = scaler.transform(row);
+        scaler.transformRowsInPlace(data.rows);
 
         RandomSubspaceConfig config = smallConfig();
         config.subspaceDimension = 8;

@@ -7,7 +7,7 @@
  *
  *   xpro_cli --case C1 --process 90 --wireless 2 [--ber 1e-4]
  *            [--engine C|A|S|trivial] [--trace event.json]
- *            [--candidates N] [--max-train N]
+ *            [--candidates N] [--max-train N] [--ml-workers W]
  *
  * Fleet mode simulates N heterogeneous nodes on one shared
  * aggregator instead of evaluating a single node:
@@ -52,6 +52,8 @@ usage(const char *argv0)
         "(default 100)\n"
         "  --max-train <n>            training segment cap "
         "(default 300)\n"
+        "  --ml-workers <n>           ensemble training threads, "
+        "0 = all cores (default 1)\n"
         "  --trace <file>             write a Chrome trace of one "
         "event\n"
         "  --seed <s>                 dataset/training RNG seed "
@@ -170,6 +172,7 @@ main(int argc, char **argv)
     double ber = 0.0;
     size_t candidates = 100;
     size_t max_train = 300;
+    size_t ml_workers = 1;
     std::string trace_path;
     uint64_t seed = 2017;
     size_t fleet_size = 0;
@@ -201,6 +204,8 @@ main(int argc, char **argv)
                     parsePositiveArg(value(), "--candidates");
             else if (arg == "--max-train")
                 max_train = parsePositiveArg(value(), "--max-train");
+            else if (arg == "--ml-workers")
+                ml_workers = parseCountArg(value(), "--ml-workers");
             else if (arg == "--trace")
                 trace_path = value();
             else if (arg == "--seed")
@@ -233,6 +238,7 @@ main(int argc, char **argv)
         TrainingOptions options;
         options.maxTrainingSegments = max_train;
         options.seed = seed;
+        options.mlWorkers = ml_workers;
 
         std::printf("case %s (%s): %zu segments x %zu samples, "
                     "%.2f events/s\n",
