@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fault-resilience harness: case C1's cross-end engine streamed over
+ * progressively worse channels (the named fault presets), then
+ * through a total blackout and a mid-stream outage with recovery.
+ * Shape checks: every event is classified under every profile (the
+ * sensor-local fallback never loses a classification); under a total
+ * blackout the degraded compute energy is exactly the all-in-sensor
+ * analytic figure (each cell charged at most once) and the total
+ * sensor energy stays within the in-sensor envelope plus the bounded
+ * ARQ's per-attempt airtime; after a transient outage every buffered
+ * result is replayed.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace xpro;
+using namespace xpro::bench;
+
+int
+main()
+{
+    CaseLibrary library;
+    ShapeChecker checker;
+    const EngineConfig config = paperConfig();
+    const TestCase tc = TestCase::C1;
+    const EngineTopology topo = library.topology(tc, config);
+    const WirelessLink link(transceiver(config.wireless));
+    const Placement cut = Placement::trivialCut(topo);
+    const double rate = library.dataset(tc).eventsPerSecond();
+    const size_t events = 40;
+
+    const SensorEnergyBreakdown in_sensor = sensorEventEnergy(
+        topo, Placement::allInSensor(topo), link);
+    const SensorEnergyBreakdown cross_end =
+        sensorEventEnergy(topo, cut, link);
+
+    std::printf("fault resilience, case %s: %zu events at %.1f /s "
+                "on the trivial cut\n\n",
+                library.dataset(tc).symbol.c_str(), events, rate);
+    std::printf("%-9s %7s %9s %11s %9s %8s %12s\n", "profile",
+                "events", "degraded", "delivered", "attempts",
+                "outages", "sensor uJ");
+
+    bool all_classified = true;
+    double bursty_delivered_ratio = 1.0;
+    for (const std::string &name : FaultProfile::presetNames()) {
+        const FaultProfile profile = FaultProfile::preset(name);
+        const StreamResult stream =
+            simulateStream(topo, cut, link, rate, events, profile);
+        const RobustnessReport &r = stream.robustness;
+        std::printf("%-9s %7zu %9zu %8zu/%-2zu %9zu %8zu %12.3f\n",
+                    name.c_str(), stream.events,
+                    stream.degradedEvents, r.packetsDelivered,
+                    r.packetsOffered, r.attempts, r.outages,
+                    stream.sensorEnergy.total().nj() * 1e-3);
+        all_classified &= stream.events == events;
+        if (name == "bursty" && r.packetsOffered > 0) {
+            bursty_delivered_ratio =
+                double(r.packetsDelivered) / double(r.packetsOffered);
+        }
+    }
+
+    // Total blackout: the link is down for the whole run.
+    FaultProfile blackout = FaultProfile::preset("harsh");
+    blackout.outages.push_back({Time(), Time::millis(1e9)});
+    const StreamResult dark =
+        simulateStream(topo, cut, link, rate, events, blackout);
+    std::printf("%-9s %7zu %9zu %8zu/%-2zu %9zu %8zu %12.3f\n",
+                "blackout", dark.events, dark.degradedEvents,
+                dark.robustness.packetsDelivered,
+                dark.robustness.packetsOffered,
+                dark.robustness.attempts, dark.robustness.outages,
+                dark.sensorEnergy.total().nj() * 1e-3);
+
+    // Transient outage with recovery: loss-free channel, one hole.
+    FaultProfile transient;
+    transient.enabled = true;
+    const Time period = Time::micros(1e6 / rate);
+    transient.outages.push_back({period * 1.5, period * 4.5});
+    const StreamResult healed =
+        simulateStream(topo, cut, link, rate, events, transient);
+
+    std::printf("\nper-event energy: cross-end %.3f uJ, "
+                "all-in-sensor %.3f uJ; blackout per event %.3f uJ\n",
+                cross_end.total().nj() * 1e-3,
+                in_sensor.total().nj() * 1e-3,
+                dark.sensorEnergy.total().nj() * 1e-3 /
+                    double(events));
+    std::printf("transient outage: %zu degraded, %zu replayed, "
+                "mean recovery %.3f ms\n",
+                healed.degradedEvents,
+                healed.robustness.replayedResults,
+                healed.robustness.meanRecoveryMs);
+
+    // The worst single ARQ attempt the run can charge: the largest
+    // frame either end can put on the air, all four energy terms.
+    size_t max_bits = EngineTopology::resultBits;
+    for (size_t v = 0; v < topo.graph.nodeCount(); ++v)
+        max_bits = std::max(max_bits, topo.graph.node(v).outputBits);
+    const AttemptCost worst = link.attempt(max_bits);
+    const Energy per_attempt =
+        worst.dataTx + worst.dataRx + worst.ackTx + worst.ackRx;
+    const double envelope_nj =
+        double(events) * in_sensor.total().nj() +
+        double(dark.robustness.attempts) * per_attempt.nj();
+
+    std::printf("\nShape checks:\n");
+    checker.check(all_classified && dark.events == events &&
+                      healed.events == events,
+                  "every event is classified under every profile");
+    checker.check(dark.degradedEvents == events &&
+                      dark.robustness.packetsDelivered == 0,
+                  "total blackout degrades every event to the local "
+                  "fallback");
+    checker.check(dark.sensorEnergy.compute.nj() <=
+                      double(events) * in_sensor.compute.nj() + 1e-6,
+                  "degraded compute never exceeds the all-in-sensor "
+                  "figure (each cell charged at most once)");
+    checker.check(dark.sensorEnergy.total().nj() <= envelope_nj,
+                  "blackout energy stays within the in-sensor "
+                  "envelope plus bounded ARQ attempts");
+    checker.check(healed.robustness.replayedResults >= 1 &&
+                      healed.robustness.bufferedResults == 0,
+                  "after a transient outage every buffered result is "
+                  "replayed");
+
+    checker.metric("blackout_compute_ratio",
+                   dark.sensorEnergy.compute.nj() /
+                       (double(events) * in_sensor.compute.nj()));
+    checker.metric("blackout_uj_per_event",
+                   dark.sensorEnergy.total().nj() * 1e-3 /
+                       double(events));
+    checker.metric("bursty_delivered_ratio", bursty_delivered_ratio);
+    checker.metric("recovery_mean_ms",
+                   healed.robustness.meanRecoveryMs);
+    return checker.finish("bench_fault_resilience");
+}

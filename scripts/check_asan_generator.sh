@@ -2,8 +2,9 @@
 # Build the tree under AddressSanitizer + UndefinedBehaviorSanitizer
 # and run the generator-facing suites under it: the warm-started
 # flow network, the partitioner, the property-based generator oracle
-# tests, and the ML suites (flat-matrix row views, batched kernels,
-# parallel ensemble training). Usage:
+# tests, the ML suites (flat-matrix row views, batched kernels,
+# parallel ensemble training), and the fault-injection suites (ARQ
+# callback-chain lifetimes). Usage:
 #
 #   scripts/check_asan_generator.sh [build-dir]
 #
@@ -19,7 +20,8 @@ cmake --build "$build" \
     --target test_flow_network test_partitioner \
              test_partitioner_property test_ml_parallel \
              test_random_subspace test_crossval \
+             test_fault_injection test_trace_export \
     -j "$(nproc)"
-ctest --test-dir "$build" -L 'generator|partitioner|flow|ml' \
+ctest --test-dir "$build" -L 'generator|partitioner|flow|ml|robust' \
     --output-on-failure
 echo "ASan/UBSan generator pass: OK"

@@ -2,8 +2,9 @@
 # Build the tree under ThreadSanitizer and run the thread-spawning
 # suites under it: the fleet tests (worker pool, parallel design
 # phase), the generator property tests (parallel lambda-candidate
-# evaluation, shared characterization cache), and the ML suites
-# (parallel ensemble training and cross-validation). Usage:
+# evaluation, shared characterization cache), the ML suites
+# (parallel ensemble training and cross-validation), and the
+# fault-injection suites (shared-channel fleet ARQ). Usage:
 #
 #   scripts/check_tsan_fleet.sh [build-dir]
 #
@@ -18,6 +19,8 @@ cmake -B "$build" -S "$repo" -DXPRO_SANITIZE=thread
 cmake --build "$build" \
     --target test_fleet test_partitioner_property test_ml_parallel \
              test_random_subspace test_crossval \
+             test_fault_injection test_trace_export \
     -j "$(nproc)"
-ctest --test-dir "$build" -L 'fleet|generator|ml' --output-on-failure
+ctest --test-dir "$build" -L 'fleet|generator|ml|robust' \
+    --output-on-failure
 echo "TSan fleet pass: OK"

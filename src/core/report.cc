@@ -115,6 +115,66 @@ canonical(double value)
 } // namespace
 
 std::string
+RobustnessReport::serialize() const
+{
+    std::ostringstream out;
+    out << "robustness v1\n"
+        << "packets " << packetsOffered << ' ' << packetsDelivered
+        << ' ' << packetsAbandoned << '\n'
+        << "attempts " << attempts << '\n'
+        << "retries";
+    if (retryHistogram.empty()) {
+        out << " -";
+    } else {
+        for (size_t count : retryHistogram)
+            out << ' ' << count;
+    }
+    out << '\n'
+        << "probes " << probes << '\n'
+        << "degraded_events " << degradedEvents << '\n'
+        << "buffered " << bufferedResults << '\n'
+        << "replayed " << replayedResults << '\n'
+        << "outages " << outages << '\n'
+        << "outage_ms " << canonical(outageTimeMs) << '\n'
+        << "recovery_ms " << canonical(meanRecoveryMs) << '\n';
+    return out.str();
+}
+
+void
+RobustnessReport::writeText(std::ostream &out) const
+{
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "faults: %zu/%zu packets delivered (%zu abandoned), "
+                  "%zu attempts, %zu probes\n",
+                  packetsDelivered, packetsOffered, packetsAbandoned,
+                  attempts, probes);
+    out << line;
+    out << "retry histogram:";
+    if (retryHistogram.empty()) {
+        out << " (no deliveries)";
+    } else {
+        for (size_t r = 0; r < retryHistogram.size(); ++r) {
+            std::snprintf(line, sizeof(line), " %zux%zu",
+                          retryHistogram[r], r);
+            out << line;
+        }
+        out << " (packets x retries)";
+    }
+    out << '\n';
+    std::snprintf(line, sizeof(line),
+                  "degraded: %zu events local-fallback, %zu results "
+                  "replayed, %zu still buffered\n",
+                  degradedEvents, replayedResults, bufferedResults);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "outages: %zu declared, %.3f ms down, mean "
+                  "recovery %.3f ms\n",
+                  outages, outageTimeMs, meanRecoveryMs);
+    out << line;
+}
+
+std::string
 FleetReport::serialize() const
 {
     std::ostringstream out;
@@ -144,6 +204,15 @@ FleetReport::serialize() const
             << canonical(row.meanLatencyMs) << ' '
             << canonical(row.worstLatencyMs) << ' '
             << canonical(row.aggregatorPowerUw) << '\n';
+    }
+    // Fault-injection section only when the run injected faults, so
+    // fault-free reports stay byte-identical to earlier versions.
+    if (robustness.enabled) {
+        out << robustness.serialize();
+        out << "degraded";
+        for (const FleetNodeReportRow &row : rows)
+            out << ' ' << row.degradedEvents;
+        out << '\n';
     }
     return out.str();
 }
@@ -193,6 +262,8 @@ FleetReport::writeText(std::ostream &out) const
                       row.worstLatencyMs, row.aggregatorPowerUw);
         out << line;
     }
+    if (robustness.enabled)
+        robustness.writeText(out);
 }
 
 CsvTable

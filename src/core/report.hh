@@ -51,6 +51,58 @@ class CsvTable
 };
 
 /**
+ * Outcome of one fault-injected run: what the bursty-loss channel,
+ * the bounded ARQ and the outage detector did. Plain data filled by
+ * the event simulators (sim/, fleet/); disabled (all zeros) when
+ * fault injection is off, in which case serializers emit nothing so
+ * legacy outputs stay byte-identical.
+ *
+ * Deterministic: for a fixed fault seed and configuration the
+ * report is a pure function of the run, regardless of host worker
+ * counts (a tested invariant).
+ */
+struct RobustnessReport
+{
+    /** True when a fault profile was active for the run. */
+    bool enabled = false;
+    /** Payload packets submitted to the ARQ machine (excluding
+     *  recovery probes). */
+    size_t packetsOffered = 0;
+    /** Packets eventually acknowledged. */
+    size_t packetsDelivered = 0;
+    /** Packets abandoned after exhausting max retries. */
+    size_t packetsAbandoned = 0;
+    /** Transmission attempts across all packets and probes. */
+    size_t attempts = 0;
+    /** retryHistogram[r] = packets delivered after r retries. */
+    std::vector<size_t> retryHistogram;
+    /** Recovery probes sent while the link was declared down. */
+    size_t probes = 0;
+    /** Events classified via the sensor-local fallback placement. */
+    size_t degradedEvents = 0;
+    /** Locally classified results still awaiting replay at the end
+     *  of the run (link never recovered in time). */
+    size_t bufferedResults = 0;
+    /** Locally classified results delivered after link recovery. */
+    size_t replayedResults = 0;
+    /** Outage episodes declared by the K-consecutive-abandon
+     *  detector. */
+    size_t outages = 0;
+    /** Total declared-outage time. */
+    double outageTimeMs = 0.0;
+    /** Mean local-classification-to-replay-delivery latency over
+     *  replayed results. */
+    double meanRecoveryMs = 0.0;
+
+    /** Canonical, byte-exact serialization (same rules as
+     *  FleetReport::serialize). */
+    std::string serialize() const;
+
+    /** Human-readable summary. */
+    void writeText(std::ostream &out) const;
+};
+
+/**
  * One node's line in a fleet report. Plain data (names and SI-scaled
  * numbers) so the report stays independent of the fleet subsystem's
  * types and serializes canonically.
@@ -80,6 +132,9 @@ struct FleetNodeReportRow
     double worstLatencyMs = 0.0;
     /** Aggregator analytics power the node was admitted with. */
     double aggregatorPowerUw = 0.0;
+    /** Events this node classified via its local fallback (only
+     *  nonzero in fault-injected runs). */
+    size_t degradedEvents = 0;
 };
 
 /**
@@ -116,6 +171,9 @@ struct FleetReport
     /** Aggregator battery lifetime under the analytics load. */
     double aggregatorLifetimeHours = 0.0;
     std::vector<FleetNodeReportRow> rows;
+    /** Fault-injection outcome; disabled (and absent from both
+     *  serializations) when the run had no fault profile. */
+    RobustnessReport robustness;
 
     /**
      * Canonical, byte-exact serialization: fixed formats, no

@@ -7,6 +7,7 @@
 #include "core/transfers.hh"
 #include "platform/battery.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault_sim.hh"
 
 namespace xpro
 {
@@ -92,10 +93,17 @@ class SharedRadio
     request(size_t node, const TransferCost &cost,
             EventQueue::Handler on_delivered)
     {
+        occupy(node, cost.airTime, std::move(on_delivered));
+    }
+
+    /** Queue one channel occupation (a single ARQ attempt, or one
+     *  expectation-folded transfer) of length @p air for @p node. */
+    void
+    occupy(size_t node, Time air, EventQueue::Handler on_done)
+    {
         Pending pending;
-        pending.request = {node, _nextSequence++, _queue.now(),
-                           cost.airTime};
-        pending.onDelivered = std::move(on_delivered);
+        pending.request = {node, _nextSequence++, _queue.now(), air};
+        pending.onDelivered = std::move(on_done);
         _pending.push_back(std::move(pending));
         arbitrate();
     }
@@ -228,6 +236,11 @@ class CpuServer
  * aggregator CPU (a single server for every member's software
  * cells). Sensor-side cells of different members run concurrently:
  * every node owns its silicon.
+ *
+ * With a fault profile, all members share one Gilbert-Elliott loss
+ * chain (it is one physical channel) but each runs its own outage
+ * detector, local fallback and recovery probes: one body walking
+ * out of range degrades only its own node.
  */
 class FleetSimulator
 {
@@ -235,7 +248,10 @@ class FleetSimulator
     FleetSimulator(const std::vector<FleetMember> &members,
                    const WirelessLink &link,
                    const RadioArbiter &arbiter,
-                   size_t events_per_node)
+                   size_t events_per_node,
+                   const FaultProfile *faults = nullptr,
+                   const std::vector<NodeOutage> *node_outages =
+                       nullptr)
         : _link(link),
           _eventsPerNode(events_per_node),
           _radio(_queue, arbiter, _result),
@@ -244,6 +260,18 @@ class FleetSimulator
         xproAssert(!members.empty(),
                    "fleet simulation needs at least one member");
         xproAssert(events_per_node > 0, "need at least one event");
+
+        if (faults && faults->enabled)
+            _faults.emplace(*faults);
+        if (node_outages)
+            _nodeOutages = *node_outages;
+        xproAssert(_nodeOutages.empty() || _faults.has_value(),
+                   "node outages need the fault machinery enabled");
+        for (const NodeOutage &outage : _nodeOutages) {
+            xproAssert(outage.node < members.size(),
+                       "outage for node %zu of a %zu-node fleet",
+                       outage.node, members.size());
+        }
 
         _members.reserve(members.size());
         for (const FleetMember &member : members) {
@@ -261,6 +289,10 @@ class FleetSimulator
                         graph.predecessors(v).size();
                 }
                 instance.done.assign(graph.nodeCount(), false);
+                if (_faults) {
+                    instance.sensorFinishAt.assign(graph.nodeCount(),
+                                                   std::nullopt);
+                }
             }
             _members.push_back(std::move(state));
         }
@@ -282,6 +314,23 @@ class FleetSimulator
         }
         _queue.runAll(4000000);
 
+        if (_faults) {
+            RobustnessReport &stats = _faults->stats();
+            for (const Member &member : _members) {
+                stats.bufferedResults += member.buffered.size();
+                if (member.degradedMode) {
+                    stats.outageTimeMs +=
+                        (_queue.now() - member.outageStart).ms();
+                }
+            }
+            if (stats.replayedResults > 0) {
+                stats.meanRecoveryMs =
+                    _recoverySum.ms() /
+                    static_cast<double>(stats.replayedResults);
+            }
+            _result.robustness = stats;
+        }
+
         _result.members.resize(_members.size());
         for (size_t m = 0; m < _members.size(); ++m) {
             const Member &member = _members[m];
@@ -289,6 +338,7 @@ class FleetSimulator
                 1.0 / member.spec->eventsPerSecond);
             MemberSimResult &out = _result.members[m];
             out.events = _eventsPerNode;
+            out.degradedEvents = member.degradedEvents;
             Time latency_sum;
             for (size_t k = 0; k < _eventsPerNode; ++k) {
                 const Instance &instance = member.instances[k];
@@ -320,6 +370,13 @@ class FleetSimulator
         std::vector<size_t> inputsPending;
         std::vector<bool> done;
         std::optional<Time> resultAt;
+        /** Fault path: completion time of every node that started on
+         *  the sensor end (source included), for the fallback DP. */
+        std::vector<std::optional<Time>> sensorFinishAt;
+        /** Fault path: classified via the local fallback. */
+        bool degraded = false;
+        /** Fault path: when the local classification was produced. */
+        std::optional<Time> localResultAt;
     };
 
     struct Member
@@ -327,6 +384,13 @@ class FleetSimulator
         const FleetMember *spec = nullptr;
         std::vector<BroadcastGroup> groups;
         std::vector<Instance> instances;
+        // Per-node outage detector state (fault path only).
+        size_t abandonStreak = 0;
+        bool degradedMode = false;
+        Time outageStart;
+        std::vector<size_t> buffered;
+        size_t degradedEvents = 0;
+        size_t probeCount = 0;
     };
 
     void
@@ -342,11 +406,18 @@ class FleetSimulator
     void
     completeNode(size_t m, size_t k, size_t u)
     {
-        const Member &member = _members[m];
+        Member &member = _members[m];
         const auto finish = [this, m, k, u]() {
             finishNode(m, k, u);
         };
         if (u == DataflowGraph::sourceId) {
+            if (_faults) {
+                Instance &instance = member.instances[k];
+                instance.sensorFinishAt[u] = _queue.now();
+                // Injected mid-outage: straight to local fallback.
+                if (member.degradedMode)
+                    degradeEvent(m, k);
+            }
             _queue.scheduleAfter(Time(), finish);
             return;
         }
@@ -355,6 +426,10 @@ class FleetSimulator
         if (member.spec->placement.inSensor(u)) {
             // The member's own hardware: runs concurrently with
             // every other node's cells.
+            if (_faults) {
+                member.instances[k].sensorFinishAt[u] =
+                    _queue.now() + costs.sensorDelay;
+            }
             _queue.scheduleAfter(costs.sensorDelay, finish);
         } else {
             // Software on the one shared aggregator core.
@@ -370,13 +445,23 @@ class FleetSimulator
         const Placement &placement = member.spec->placement;
         member.instances[k].done[u] = true;
 
+        // Degraded instances stop propagating: everything not yet
+        // started is being recomputed by the local fallback.
+        if (member.instances[k].degraded)
+            return;
+
         if (u == topology.fusionNode) {
             if (placement.inSensor(u)) {
-                const TransferCost cost =
-                    _link.transfer(EngineTopology::resultBits);
-                _radio.request(m, cost, [this, m, k]() {
-                    _members[m].instances[k].resultAt = _queue.now();
-                });
+                if (_faults) {
+                    sendResult(m, k);
+                } else {
+                    const TransferCost cost =
+                        _link.transfer(EngineTopology::resultBits);
+                    _radio.request(m, cost, [this, m, k]() {
+                        _members[m].instances[k].resultAt =
+                            _queue.now();
+                    });
+                }
             } else {
                 member.instances[k].resultAt = _queue.now();
             }
@@ -393,14 +478,219 @@ class FleetSimulator
                     other_end.push_back(v);
             }
             if (!other_end.empty()) {
-                const TransferCost cost = _link.transfer(group.bits);
-                _radio.request(
-                    m, cost, [this, m, k, other_end]() {
-                        for (size_t v : other_end)
-                            deliverTo(m, k, v);
-                    });
+                if (_faults) {
+                    sendPayload(m, k, u, group.bits,
+                                std::move(other_end));
+                } else {
+                    const TransferCost cost =
+                        _link.transfer(group.bits);
+                    _radio.request(
+                        m, cost, [this, m, k, other_end]() {
+                            for (size_t v : other_end)
+                                deliverTo(m, k, v);
+                        });
+                }
             }
         }
+    }
+
+    // ---- Fault-injected path -------------------------------------
+
+    /** True while member @p m is inside a scripted dropout. */
+    bool
+    nodeInOutage(size_t m, Time at) const
+    {
+        for (const NodeOutage &outage : _nodeOutages) {
+            if (outage.node == m && at >= outage.start &&
+                at < outage.end)
+                return true;
+        }
+        return false;
+    }
+
+    ArqPacket
+    makePacket(size_t m, size_t payload_bits, bool sender_in_sensor,
+               std::string what, bool is_probe = false)
+    {
+        ArqPacket packet;
+        packet.payloadBits = payload_bits;
+        packet.senderInSensor = sender_in_sensor;
+        packet.what = std::move(what);
+        packet.isProbe = is_probe;
+        packet.forceLost = [this, m](Time at) {
+            return nodeInOutage(m, at);
+        };
+        return packet;
+    }
+
+    ChannelGrant
+    grantFn(size_t m)
+    {
+        return [this, m](Time air, const std::string &,
+                         EventQueue::Handler on_done) {
+            _radio.occupy(m, air, std::move(on_done));
+        };
+    }
+
+    void
+    sendPayload(size_t m, size_t k, size_t u, size_t bits,
+                std::vector<size_t> other_end)
+    {
+        const Member &member = _members[m];
+        ArqPacket packet = makePacket(
+            m, bits, member.spec->placement.inSensor(u),
+            member.spec->topology.graph.node(u).name + " payload #" +
+                std::to_string(k));
+        runArq(_queue, *_faults, _link, std::move(packet), nullptr,
+               grantFn(m), nullptr,
+               [this, m, k, other_end = std::move(other_end)](
+                   bool delivered, size_t) {
+                   onPacketOutcome(m, delivered);
+                   Instance &instance = _members[m].instances[k];
+                   if (delivered) {
+                       if (!instance.degraded) {
+                           for (size_t v : other_end)
+                               deliverTo(m, k, v);
+                       }
+                   } else {
+                       degradeEvent(m, k);
+                   }
+               });
+    }
+
+    void
+    sendResult(size_t m, size_t k)
+    {
+        ArqPacket packet =
+            makePacket(m, EngineTopology::resultBits, true,
+                       "result #" + std::to_string(k));
+        runArq(_queue, *_faults, _link, std::move(packet), nullptr,
+               grantFn(m), nullptr,
+               [this, m, k](bool delivered, size_t) {
+                   onPacketOutcome(m, delivered);
+                   Instance &instance = _members[m].instances[k];
+                   if (instance.degraded)
+                       return;
+                   if (delivered)
+                       instance.resultAt = _queue.now();
+                   else
+                       degradeEvent(m, k);
+               });
+    }
+
+    void
+    replayResult(size_t m, size_t k)
+    {
+        ArqPacket packet =
+            makePacket(m, EngineTopology::resultBits, true,
+                       "replay result #" + std::to_string(k));
+        runArq(_queue, *_faults, _link, std::move(packet), nullptr,
+               grantFn(m), nullptr,
+               [this, m, k](bool delivered, size_t) {
+                   onPacketOutcome(m, delivered);
+                   if (delivered) {
+                       ++_faults->stats().replayedResults;
+                       _recoverySum +=
+                           _queue.now() -
+                           *_members[m].instances[k].localResultAt;
+                   } else {
+                       _members[m].buffered.push_back(k);
+                   }
+               });
+    }
+
+    void
+    onPacketOutcome(size_t m, bool delivered)
+    {
+        Member &member = _members[m];
+        RobustnessReport &stats = _faults->stats();
+        if (delivered) {
+            member.abandonStreak = 0;
+            if (member.degradedMode) {
+                member.degradedMode = false;
+                stats.outageTimeMs +=
+                    (_queue.now() - member.outageStart).ms();
+                std::vector<size_t> pending;
+                pending.swap(member.buffered);
+                for (size_t k : pending)
+                    replayResult(m, k);
+            }
+            return;
+        }
+        ++member.abandonStreak;
+        if (!member.degradedMode &&
+            member.abandonStreak >=
+                _faults->profile().outageThreshold) {
+            member.degradedMode = true;
+            member.outageStart = _queue.now();
+            ++stats.outages;
+            scheduleProbe(m);
+        }
+    }
+
+    void
+    scheduleProbe(size_t m)
+    {
+        const Member &member = _members[m];
+        // Probing stops one period past the member's last injection
+        // so the queue always drains under a permanent outage.
+        const Time horizon =
+            Time::seconds(1.0 / member.spec->eventsPerSecond) *
+            static_cast<double>(_eventsPerNode);
+        const Time next =
+            _queue.now() + _faults->profile().probeInterval;
+        if (next > horizon)
+            return;
+        _queue.schedule(next, [this, m]() {
+            if (!_members[m].degradedMode)
+                return;
+            sendProbe(m);
+        });
+    }
+
+    void
+    sendProbe(size_t m)
+    {
+        Member &member = _members[m];
+        ArqPacket packet = makePacket(
+            m, EngineTopology::resultBits, true,
+            "probe #" + std::to_string(member.probeCount++), true);
+        runArq(_queue, *_faults, _link, std::move(packet), nullptr,
+               grantFn(m), nullptr,
+               [this, m](bool delivered, size_t) {
+                   if (!_members[m].degradedMode)
+                       return;
+                   if (delivered)
+                       onPacketOutcome(m, true);
+                   else
+                       scheduleProbe(m);
+               });
+    }
+
+    /** Finish member @p m's event @p k locally from now on. */
+    void
+    degradeEvent(size_t m, size_t k)
+    {
+        Member &member = _members[m];
+        Instance &instance = member.instances[k];
+        if (instance.degraded)
+            return;
+        instance.degraded = true;
+        ++member.degradedEvents;
+        ++_faults->stats().degradedEvents;
+        const LocalFallback plan = computeLocalFallback(
+            member.spec->topology, member.spec->placement,
+            instance.sensorFinishAt, _queue.now());
+        _queue.schedule(plan.completion, [this, m, k]() {
+            Member &member = _members[m];
+            Instance &instance = member.instances[k];
+            instance.resultAt = _queue.now();
+            instance.localResultAt = _queue.now();
+            if (member.degradedMode)
+                member.buffered.push_back(k);
+            else
+                replayResult(m, k);
+        });
     }
 
     const WirelessLink &_link;
@@ -410,6 +700,11 @@ class FleetSimulator
     SharedRadio _radio;
     CpuServer _cpu;
     std::vector<Member> _members;
+
+    // Fault-injection state (unused on the legacy path).
+    std::optional<FaultState> _faults;
+    std::vector<NodeOutage> _nodeOutages;
+    Time _recoverySum;
 };
 
 /** Longest single payload any member can put on the air. */
@@ -437,6 +732,25 @@ simulateFleet(const std::vector<FleetMember> &members,
 {
     FleetSimulator simulator(members, link, arbiter,
                              events_per_node);
+    return simulator.run();
+}
+
+FleetSimResult
+simulateFleet(const std::vector<FleetMember> &members,
+              const WirelessLink &link, const RadioArbiter &arbiter,
+              size_t events_per_node, const FaultProfile &faults,
+              const std::vector<NodeOutage> &node_outages)
+{
+    if (!faults.enabled && node_outages.empty())
+        return simulateFleet(members, link, arbiter,
+                             events_per_node);
+    // Scripted dropouts alone ride on the ARQ/fallback machinery
+    // with an otherwise loss-free channel.
+    FaultProfile profile = faults;
+    profile.enabled = true;
+    profile.validate();
+    FleetSimulator simulator(members, link, arbiter, events_per_node,
+                             &profile, &node_outages);
     return simulator.run();
 }
 
@@ -500,8 +814,15 @@ runFleet(const FleetConfig &config)
         tdma = std::make_unique<TdmaArbiter>(members.size(), slot);
         arbiter = tdma.get();
     }
-    result.sim = simulateFleet(members, link, *arbiter,
-                               config.eventsPerNode);
+    if (config.faults.enabled || !config.nodeOutages.empty()) {
+        result.sim =
+            simulateFleet(members, link, *arbiter,
+                          config.eventsPerNode, config.faults,
+                          config.nodeOutages);
+    } else {
+        result.sim = simulateFleet(members, link, *arbiter,
+                                   config.eventsPerNode);
+    }
 
     // Per-node analytic evaluation of the admitted placements.
     const Aggregator aggregator;
@@ -523,6 +844,7 @@ runFleet(const FleetConfig &config)
 
     // Fleet report.
     FleetReport &report = result.report;
+    report.robustness = result.sim.robustness;
     report.policy = arbiter->name();
     report.nodeCount = result.nodes.size();
     report.spanMs = result.sim.span.ms();
@@ -565,6 +887,7 @@ runFleet(const FleetConfig &config)
         row.meanLatencyMs = sim.meanLatency.ms();
         row.worstLatencyMs = sim.worstLatency.ms();
         row.aggregatorPowerUw = node.admission.power.uw();
+        row.degradedEvents = sim.degradedEvents;
         report.totalEvents += sim.events;
         report.totalDeadlineMisses += sim.deadlineMisses;
         report.rows.push_back(std::move(row));

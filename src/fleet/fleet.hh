@@ -37,6 +37,7 @@
 #include "fleet/admission.hh"
 #include "fleet/radio_sched.hh"
 #include "common/worker_pool.hh"
+#include "wireless/fault.hh"
 
 namespace xpro
 {
@@ -59,6 +60,22 @@ enum class RadioPolicy
 {
     Fcfs,
     Tdma,
+};
+
+/**
+ * Scripted dropout of one fleet node: every packet the node offers
+ * (or is offered) during [start, end) is lost, deterministic and
+ * independent of the stochastic channel. Models one body walking
+ * out of range while the rest of the fleet keeps operating; the
+ * bounded ARQ keeps each of the dead node's packets on the channel
+ * for a bounded time, so FCFS/TDMA arbitration never stalls on it.
+ */
+struct NodeOutage
+{
+    /** Index into FleetConfig::nodes. */
+    size_t node = 0;
+    Time start;
+    Time end;
 };
 
 /** Full configuration of one fleet run. */
@@ -94,6 +111,19 @@ struct FleetConfig
      */
     double eventRateScale = 1.0;
     AdmissionConfig admission;
+    /**
+     * Fault injection on the shared channel (event simulation
+     * only; the design phase keeps the expectation-level channel).
+     * Disabled by default: the report is then byte-identical to a
+     * fault-free build.
+     */
+    FaultProfile faults;
+    /**
+     * Scripted per-node dropouts. Honored even when @ref faults is
+     * disabled (the ARQ/fallback machinery is enabled with an
+     * otherwise loss-free channel).
+     */
+    std::vector<NodeOutage> nodeOutages;
 };
 
 /**
@@ -122,6 +152,9 @@ struct MemberSimResult
     Time worstLatency;
     /** Completion time of the member's first event. */
     Time firstCompletion;
+    /** Events classified via the node's local fallback (only
+     *  nonzero in fault-injected runs). */
+    size_t degradedEvents = 0;
 };
 
 /** Event-level outcome of a fleet simulation. */
@@ -135,6 +168,9 @@ struct FleetSimResult
     size_t transfers = 0;
     /** Aggregator CPU busy time. */
     Time aggregatorBusy;
+    /** Fleet-wide fault-injection outcome; disabled for fault-free
+     *  runs. */
+    RobustnessReport robustness;
 };
 
 /**
@@ -146,6 +182,21 @@ FleetSimResult simulateFleet(const std::vector<FleetMember> &members,
                              const WirelessLink &link,
                              const RadioArbiter &arbiter,
                              size_t events_per_node);
+
+/**
+ * Fault-injected fleet simulation: one Gilbert-Elliott loss chain
+ * on the shared channel (draws consumed in deterministic event
+ * order), bounded ARQ per transfer, a per-node outage detector with
+ * local fallback, plus scripted per-node dropouts. A disabled
+ * profile with no outages is exactly the overload above.
+ */
+FleetSimResult simulateFleet(const std::vector<FleetMember> &members,
+                             const WirelessLink &link,
+                             const RadioArbiter &arbiter,
+                             size_t events_per_node,
+                             const FaultProfile &faults,
+                             const std::vector<NodeOutage>
+                                 &node_outages = {});
 
 /** Everything known about one node after a fleet run. */
 struct FleetNodeResult

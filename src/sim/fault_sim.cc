@@ -1,0 +1,160 @@
+#include "sim/fault_sim.hh"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/logging.hh"
+#include "graph/dataflow_graph.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/** Mutable per-packet ARQ progress shared across attempt callbacks. */
+struct ArqJob
+{
+    ArqPacket packet;
+    AttemptCost cost;
+    /** 0-based index of the ongoing attempt. */
+    size_t attempt = 0;
+};
+
+} // namespace
+
+void
+runArq(EventQueue &queue, FaultState &faults, const WirelessLink &link,
+       ArqPacket packet, SensorEnergyBreakdown *sensor,
+       ChannelGrant grant, std::function<void(const std::string &)> note,
+       ArqDone done)
+{
+    xproAssert(faults.profile().enabled,
+               "runArq on a disabled fault profile");
+    if (packet.isProbe)
+        ++faults.stats().probes;
+    else
+        ++faults.stats().packetsOffered;
+
+    auto job = std::make_shared<ArqJob>();
+    job->packet = std::move(packet);
+    job->cost = link.attempt(job->packet.payloadBits);
+
+    // Self-continuing attempt loop. Each attempt is its own channel
+    // grant, so the channel serves other traffic during ACK timeouts
+    // and backoff; the self-reference is cleared on the terminal
+    // paths to break the ownership cycle.
+    auto attemptOnce = std::make_shared<std::function<void()>>();
+    *attemptOnce = [&queue, &faults, job, sensor,
+                    grant = std::move(grant), note = std::move(note),
+                    done = std::move(done), attemptOnce]() {
+        ++faults.stats().attempts;
+        const Time now = queue.now();
+        // The packet's fate is drawn when the attempt is initiated
+        // (a deterministic single-threaded order), not when the
+        // possibly-backlogged channel actually serializes it — a
+        // documented simplification. Scripted losses (outage
+        // windows, dead fleet nodes) consume no stochastic draw.
+        const bool forced =
+            job->packet.forceLost && job->packet.forceLost(now);
+        const bool lost = forced || faults.loss().dropPacket(now);
+
+        // The receiver listens for the data frame on every attempt;
+        // the ACK exchange happens only when the frame got through.
+        if (sensor) {
+            if (job->packet.senderInSensor) {
+                sensor->tx += job->cost.dataTx;
+                if (!lost)
+                    sensor->rx += job->cost.ackRx;
+            } else {
+                sensor->rx += job->cost.dataRx;
+                if (!lost)
+                    sensor->tx += job->cost.ackTx;
+            }
+        }
+
+        const Time air =
+            lost ? job->cost.dataAirTime
+                 : job->cost.dataAirTime + job->cost.ackAirTime;
+        std::string what = job->packet.what;
+        if (job->attempt > 0)
+            what += " try " + std::to_string(job->attempt);
+        grant(air, what, [&queue, &faults, job, lost, note, done,
+                          attemptOnce]() {
+            RobustnessReport &stats = faults.stats();
+            if (!lost) {
+                const size_t retries = job->attempt;
+                if (!job->packet.isProbe) {
+                    ++stats.packetsDelivered;
+                    if (stats.retryHistogram.size() <= retries)
+                        stats.retryHistogram.resize(retries + 1, 0);
+                    ++stats.retryHistogram[retries];
+                }
+                *attemptOnce = nullptr;
+                done(true, retries + 1);
+                return;
+            }
+            const ArqConfig &arq = faults.profile().arq;
+            if (job->attempt >= arq.maxRetries) {
+                if (note)
+                    note("drop " + job->packet.what);
+                if (!job->packet.isProbe)
+                    ++stats.packetsAbandoned;
+                const size_t attempts = job->attempt + 1;
+                *attemptOnce = nullptr;
+                done(false, attempts);
+                return;
+            }
+            if (note)
+                note("retry " + job->packet.what);
+            const Time wait = arq.backoff(job->attempt);
+            ++job->attempt;
+            queue.scheduleAfter(wait,
+                               [attemptOnce]() { (*attemptOnce)(); });
+        });
+    };
+    (*attemptOnce)();
+}
+
+LocalFallback
+computeLocalFallback(const EngineTopology &topology,
+                     const Placement &placement,
+                     const std::vector<std::optional<Time>>
+                         &sensor_finish_at,
+                     Time at)
+{
+    const DataflowGraph &graph = topology.graph;
+    xproAssert(sensor_finish_at.size() == graph.nodeCount(),
+               "finish-time vector has %zu entries for %zu nodes",
+               sensor_finish_at.size(), graph.nodeCount());
+    xproAssert(sensor_finish_at[DataflowGraph::sourceId].has_value(),
+               "raw segment not yet acquired at fallback time");
+
+    LocalFallback plan;
+    std::vector<Time> avail(graph.nodeCount());
+    for (size_t v : graph.topologicalOrder()) {
+        if (sensor_finish_at[v].has_value()) {
+            // Output already produced (or in flight) in-sensor:
+            // reuse it, charging nothing.
+            xproAssert(v == DataflowGraph::sourceId ||
+                           placement.inSensor(v),
+                       "cell '%s' finished in-sensor but is placed "
+                       "in the aggregator",
+                       graph.node(v).name.c_str());
+            avail[v] = std::max(*sensor_finish_at[v], at);
+            continue;
+        }
+        Time ready = at;
+        for (size_t u : graph.predecessors(v))
+            ready = std::max(ready, avail[u]);
+        const CellCosts &costs = graph.node(v).costs;
+        avail[v] = ready + costs.sensorDelay;
+        plan.compute += costs.sensorEnergy;
+        ++plan.recomputedCells;
+    }
+    plan.completion = avail[topology.fusionNode];
+    return plan;
+}
+
+} // namespace xpro

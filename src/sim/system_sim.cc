@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "core/transfers.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault_sim.hh"
 
 namespace xpro
 {
@@ -30,7 +31,19 @@ class Radio
     request(const TransferCost &cost, EventQueue::Handler on_delivered,
             const std::string &what)
     {
-        _backlog.push_back({cost, std::move(on_delivered), what});
+        occupy(cost.airTime, what, std::move(on_delivered));
+    }
+
+    /**
+     * Occupy the channel for @p air (one ARQ attempt, or one
+     * expectation-folded transfer); @p on_done fires when the
+     * occupation ends.
+     */
+    void
+    occupy(Time air, const std::string &what,
+           EventQueue::Handler on_done)
+    {
+        _backlog.push_back({air, std::move(on_done), what});
         if (!_busy)
             startNext();
     }
@@ -38,8 +51,8 @@ class Radio
   private:
     struct Pending
     {
-        TransferCost cost;
-        EventQueue::Handler onDelivered;
+        Time air;
+        EventQueue::Handler onDone;
         std::string what;
     };
 
@@ -55,14 +68,13 @@ class Radio
         _backlog.erase(_backlog.begin());
         _result.trace.push_back(
             {_queue.now(), "radio start: " + job.what});
-        _result.radioBusy += job.cost.airTime;
+        _result.radioBusy += job.air;
         ++_result.transfers;
         _queue.scheduleAfter(
-            job.cost.airTime,
-            [this, job = std::move(job)]() mutable {
+            job.air, [this, job = std::move(job)]() mutable {
                 _result.trace.push_back(
                     {_queue.now(), "radio done: " + job.what});
-                job.onDelivered();
+                job.onDone();
                 startNext();
             });
     }
@@ -77,21 +89,31 @@ class Radio
  * Simulates a sequence of independent events through one placed
  * engine sharing a single radio. Per-event dataflow state is kept
  * per instance so consecutive segments may overlap in time.
+ *
+ * With a fault profile, inter-end payloads go through bounded ARQ
+ * (sim/fault_sim) instead of the expectation-folded transfer costs,
+ * and abandoned packets drive the outage detector / local-fallback
+ * machinery. Without one, the legacy path is taken verbatim.
  */
 class SystemSimulator
 {
   public:
     SystemSimulator(const EngineTopology &topology,
                     const Placement &placement,
-                    const WirelessLink &link, size_t events)
+                    const WirelessLink &link, size_t events,
+                    const FaultProfile *faults = nullptr,
+                    Time probe_horizon = Time())
         : _topology(topology),
           _placement(placement),
           _link(link),
           _groups(broadcastGroups(topology)),
           _radio(_queue, _result),
-          _instances(events)
+          _instances(events),
+          _probeHorizon(probe_horizon)
     {
         const DataflowGraph &graph = topology.graph;
+        if (faults && faults->enabled)
+            _faults.emplace(*faults);
         for (Instance &instance : _instances) {
             instance.inputsPending.assign(graph.nodeCount(), 0);
             for (size_t v = 1; v < graph.nodeCount(); ++v) {
@@ -99,6 +121,10 @@ class SystemSimulator
                     graph.predecessors(v).size();
             }
             instance.done.assign(graph.nodeCount(), false);
+            if (_faults) {
+                instance.sensorFinishAt.assign(graph.nodeCount(),
+                                               std::nullopt);
+            }
         }
     }
 
@@ -120,11 +146,28 @@ class SystemSimulator
             const Instance &instance = _instances[k];
             xproAssert(instance.resultAt.has_value(),
                        "event %zu never completed", k);
+            // A degraded event legitimately skips cells: the local
+            // fallback recomputes them outside the dataflow walk.
+            if (instance.degraded)
+                continue;
             for (size_t v = 1; v < _topology.graph.nodeCount(); ++v) {
                 xproAssert(instance.done[v],
                            "cell '%s' never executed for event %zu",
                            _topology.graph.node(v).name.c_str(), k);
             }
+        }
+        if (_faults) {
+            RobustnessReport &stats = _faults->stats();
+            stats.bufferedResults = _buffered.size();
+            if (_degradedMode)
+                stats.outageTimeMs +=
+                    (_queue.now() - _outageStart).ms();
+            if (stats.replayedResults > 0) {
+                stats.meanRecoveryMs =
+                    _recoverySum.ms() /
+                    static_cast<double>(stats.replayedResults);
+            }
+            _result.robustness = stats;
         }
         _result.completion = *_instances.back().resultAt;
         return _result;
@@ -144,6 +187,13 @@ class SystemSimulator
         std::vector<bool> done;
         std::optional<Time> resultAt;
         Time injectedAt;
+        /** Fault path: completion time of every node that started on
+         *  the sensor end (source included), for the fallback DP. */
+        std::vector<std::optional<Time>> sensorFinishAt;
+        /** Fault path: classified via the local fallback. */
+        bool degraded = false;
+        /** Fault path: when the local classification was produced. */
+        std::optional<Time> localResultAt;
     };
 
     void
@@ -161,17 +211,27 @@ class SystemSimulator
     completeNode(size_t k, size_t u)
     {
         const DataflowGraph &graph = _topology.graph;
+        Instance &instance = _instances[k];
         Time exec;
         if (u != DataflowGraph::sourceId) {
             const CellCosts &costs = graph.node(u).costs;
             if (_placement.inSensor(u)) {
                 exec = costs.sensorDelay;
                 _result.sensorEnergy.compute += costs.sensorEnergy;
+                if (_faults)
+                    instance.sensorFinishAt[u] = _queue.now() + exec;
             } else {
                 exec = costs.aggregatorDelay;
             }
         } else {
-            _instances[k].injectedAt = _queue.now();
+            instance.injectedAt = _queue.now();
+            if (_faults) {
+                instance.sensorFinishAt[u] = _queue.now();
+                // Injected mid-outage: don't even try the link, go
+                // straight to the local fallback.
+                if (_degradedMode)
+                    degradeEvent(k);
+            }
         }
         _queue.scheduleAfter(exec, [this, k, u]() {
             finishNode(k, u);
@@ -188,17 +248,18 @@ class SystemSimulator
             {_queue.now(), "done " + graph.node(u).name + " #" +
                                std::to_string(k)});
 
+        // Degraded instances stop propagating: everything not yet
+        // started is being recomputed by the local fallback, and the
+        // link is considered down for this event.
+        if (instance.degraded)
+            return;
+
         if (u == _topology.fusionNode) {
             if (_placement.inSensor(u)) {
-                const TransferCost cost =
-                    _link.transfer(EngineTopology::resultBits);
-                _result.sensorEnergy.tx += cost.txEnergy;
-                _radio.request(
-                    cost,
-                    [this, k]() {
-                        _instances[k].resultAt = _queue.now();
-                    },
-                    "result #" + std::to_string(k));
+                if (_faults)
+                    sendResult(k);
+                else
+                    sendResultLegacy(k);
             } else {
                 instance.resultAt = _queue.now();
             }
@@ -215,21 +276,233 @@ class SystemSimulator
                     other_end.push_back(v);
             }
             if (!other_end.empty()) {
-                const TransferCost cost = _link.transfer(group.bits);
-                if (_placement.inSensor(u))
-                    _result.sensorEnergy.tx += cost.txEnergy;
-                else
-                    _result.sensorEnergy.rx += cost.rxEnergy;
-                _radio.request(
-                    cost,
-                    [this, k, other_end]() {
-                        for (size_t v : other_end)
-                            deliverTo(k, v);
-                    },
-                    graph.node(u).name + " payload #" +
-                        std::to_string(k));
+                const std::string what = graph.node(u).name +
+                                         " payload #" +
+                                         std::to_string(k);
+                if (_faults) {
+                    sendPayload(k, u, group.bits,
+                                std::move(other_end), what);
+                } else {
+                    const TransferCost cost =
+                        _link.transfer(group.bits);
+                    if (_placement.inSensor(u))
+                        _result.sensorEnergy.tx += cost.txEnergy;
+                    else
+                        _result.sensorEnergy.rx += cost.rxEnergy;
+                    _radio.request(
+                        cost,
+                        [this, k, other_end]() {
+                            for (size_t v : other_end)
+                                deliverTo(k, v);
+                        },
+                        what);
+                }
             }
         }
+    }
+
+    /** Legacy (expectation-folded) result transfer. */
+    void
+    sendResultLegacy(size_t k)
+    {
+        const TransferCost cost =
+            _link.transfer(EngineTopology::resultBits);
+        _result.sensorEnergy.tx += cost.txEnergy;
+        _radio.request(
+            cost,
+            [this, k]() { _instances[k].resultAt = _queue.now(); },
+            "result #" + std::to_string(k));
+    }
+
+    // ---- Fault-injected path -------------------------------------
+
+    ChannelGrant
+    grantFn()
+    {
+        return [this](Time air, const std::string &what,
+                      EventQueue::Handler on_done) {
+            _radio.occupy(air, what, std::move(on_done));
+        };
+    }
+
+    std::function<void(const std::string &)>
+    noteFn()
+    {
+        return [this](const std::string &what) {
+            _result.trace.push_back({_queue.now(), what});
+        };
+    }
+
+    /** Cross-end payload under ARQ. */
+    void
+    sendPayload(size_t k, size_t u, size_t bits,
+                std::vector<size_t> other_end, const std::string &what)
+    {
+        ArqPacket packet;
+        packet.payloadBits = bits;
+        packet.senderInSensor = _placement.inSensor(u);
+        packet.what = what;
+        runArq(_queue, *_faults, _link, std::move(packet),
+               &_result.sensorEnergy, grantFn(), noteFn(),
+               [this, k, other_end = std::move(other_end)](
+                   bool delivered, size_t) {
+                   onPacketOutcome(delivered);
+                   Instance &instance = _instances[k];
+                   if (delivered) {
+                       if (!instance.degraded) {
+                           for (size_t v : other_end)
+                               deliverTo(k, v);
+                       }
+                   } else {
+                       degradeEvent(k);
+                   }
+               });
+    }
+
+    /** In-sensor fusion result under ARQ. */
+    void
+    sendResult(size_t k)
+    {
+        ArqPacket packet;
+        packet.payloadBits = EngineTopology::resultBits;
+        packet.senderInSensor = true;
+        packet.what = "result #" + std::to_string(k);
+        runArq(_queue, *_faults, _link, std::move(packet),
+               &_result.sensorEnergy, grantFn(), noteFn(),
+               [this, k](bool delivered, size_t) {
+                   onPacketOutcome(delivered);
+                   Instance &instance = _instances[k];
+                   if (instance.degraded)
+                       return;
+                   if (delivered)
+                       instance.resultAt = _queue.now();
+                   else
+                       degradeEvent(k);
+               });
+    }
+
+    /** Replay a buffered local classification after recovery. */
+    void
+    replayResult(size_t k)
+    {
+        ArqPacket packet;
+        packet.payloadBits = EngineTopology::resultBits;
+        packet.senderInSensor = true;
+        packet.what = "replay result #" + std::to_string(k);
+        runArq(_queue, *_faults, _link, std::move(packet),
+               &_result.sensorEnergy, grantFn(), noteFn(),
+               [this, k](bool delivered, size_t) {
+                   onPacketOutcome(delivered);
+                   if (delivered) {
+                       ++_faults->stats().replayedResults;
+                       _recoverySum += _queue.now() -
+                                       *_instances[k].localResultAt;
+                   } else {
+                       // Back to the shelf until the next recovery.
+                       _buffered.push_back(k);
+                   }
+               });
+    }
+
+    /** Outage detector: every final packet outcome lands here. */
+    void
+    onPacketOutcome(bool delivered)
+    {
+        RobustnessReport &stats = _faults->stats();
+        if (delivered) {
+            _abandonStreak = 0;
+            if (_degradedMode) {
+                _degradedMode = false;
+                stats.outageTimeMs +=
+                    (_queue.now() - _outageStart).ms();
+                _result.trace.push_back({_queue.now(), "outage end"});
+                flushBuffered();
+            }
+            return;
+        }
+        ++_abandonStreak;
+        if (!_degradedMode &&
+            _abandonStreak >= _faults->profile().outageThreshold) {
+            _degradedMode = true;
+            _outageStart = _queue.now();
+            ++stats.outages;
+            _result.trace.push_back({_queue.now(), "outage start"});
+            scheduleProbe();
+        }
+    }
+
+    void
+    flushBuffered()
+    {
+        std::vector<size_t> pending;
+        pending.swap(_buffered);
+        for (size_t k : pending)
+            replayResult(k);
+    }
+
+    void
+    scheduleProbe()
+    {
+        const Time next = _queue.now() +
+                          _faults->profile().probeInterval;
+        // Probing stops past the horizon so the queue always drains
+        // under a permanent outage.
+        if (next > _probeHorizon)
+            return;
+        _queue.schedule(next, [this]() {
+            if (!_degradedMode)
+                return;
+            sendProbe();
+        });
+    }
+
+    void
+    sendProbe()
+    {
+        ArqPacket packet;
+        packet.payloadBits = EngineTopology::resultBits;
+        packet.senderInSensor = true;
+        packet.what = "probe #" + std::to_string(_probeCount++);
+        packet.isProbe = true;
+        runArq(_queue, *_faults, _link, std::move(packet),
+               &_result.sensorEnergy, grantFn(), noteFn(),
+               [this](bool delivered, size_t) {
+                   if (!_degradedMode)
+                       return;
+                   if (delivered)
+                       onPacketOutcome(true);
+                   else
+                       scheduleProbe();
+               });
+    }
+
+    /** Finish event @p k locally from the current time. */
+    void
+    degradeEvent(size_t k)
+    {
+        Instance &instance = _instances[k];
+        if (instance.degraded)
+            return;
+        instance.degraded = true;
+        ++_faults->stats().degradedEvents;
+        const Time at = _queue.now();
+        _result.trace.push_back(
+            {at, "fallback #" + std::to_string(k)});
+        const LocalFallback plan = computeLocalFallback(
+            _topology, _placement, instance.sensorFinishAt, at);
+        _result.sensorEnergy.compute += plan.compute;
+        _queue.schedule(plan.completion, [this, k]() {
+            Instance &instance = _instances[k];
+            instance.resultAt = _queue.now();
+            instance.localResultAt = _queue.now();
+            _result.trace.push_back(
+                {_queue.now(),
+                 "local result #" + std::to_string(k)});
+            if (_degradedMode)
+                _buffered.push_back(k);
+            else
+                replayResult(k);
+        });
     }
 
     const EngineTopology &_topology;
@@ -240,35 +513,41 @@ class SystemSimulator
     SimResult _result;
     Radio _radio;
     std::vector<Instance> _instances;
+
+    // Fault-injection state (unused on the legacy path).
+    std::optional<FaultState> _faults;
+    Time _probeHorizon;
+    size_t _abandonStreak = 0;
+    bool _degradedMode = false;
+    Time _outageStart;
+    std::vector<size_t> _buffered;
+    Time _recoverySum;
+    size_t _probeCount = 0;
 };
 
-} // namespace
-
-SimResult
-simulateEvent(const EngineTopology &topology,
-              const Placement &placement, const WirelessLink &link)
-{
-    SystemSimulator simulator(topology, placement, link, 1);
-    simulator.inject(0, Time());
-    return simulator.run();
-}
-
 StreamResult
-simulateStream(const EngineTopology &topology,
-               const Placement &placement, const WirelessLink &link,
-               double events_per_second, size_t events)
+runStream(const EngineTopology &topology, const Placement &placement,
+          const WirelessLink &link, double events_per_second,
+          size_t events, const FaultProfile *faults)
 {
     xproAssert(events_per_second > 0.0, "event rate must be positive");
     xproAssert(events > 0, "need at least one event");
 
-    SystemSimulator simulator(topology, placement, link, events);
     const Time period = Time::seconds(1.0 / events_per_second);
+    // Recovery probes run at most one period past the last
+    // injection; afterwards a still-down link stays down.
+    const Time horizon = period * static_cast<double>(events);
+    SystemSimulator simulator(topology, placement, link, events,
+                              faults, horizon);
     for (size_t k = 0; k < events; ++k)
         simulator.inject(k, period * static_cast<double>(k));
-    simulator.run();
+    const SimResult sim = simulator.run();
 
     StreamResult result;
     result.events = events;
+    result.sensorEnergy = sim.sensorEnergy;
+    result.robustness = sim.robustness;
+    result.degradedEvents = sim.robustness.degradedEvents;
     Time latency_sum;
     for (size_t k = 0; k < events; ++k) {
         const Time latency = simulator.completionOf(k) -
@@ -283,6 +562,55 @@ simulateStream(const EngineTopology &topology,
     result.meanLatency =
         Time::seconds(latency_sum.sec() / static_cast<double>(events));
     return result;
+}
+
+} // namespace
+
+SimResult
+simulateEvent(const EngineTopology &topology,
+              const Placement &placement, const WirelessLink &link)
+{
+    SystemSimulator simulator(topology, placement, link, 1);
+    simulator.inject(0, Time());
+    return simulator.run();
+}
+
+SimResult
+simulateEvent(const EngineTopology &topology,
+              const Placement &placement, const WirelessLink &link,
+              const FaultProfile &faults)
+{
+    if (!faults.enabled)
+        return simulateEvent(topology, placement, link);
+    faults.validate();
+    SystemSimulator simulator(topology, placement, link, 1, &faults,
+                              Time());
+    simulator.inject(0, Time());
+    return simulator.run();
+}
+
+StreamResult
+simulateStream(const EngineTopology &topology,
+               const Placement &placement, const WirelessLink &link,
+               double events_per_second, size_t events)
+{
+    return runStream(topology, placement, link, events_per_second,
+                     events, nullptr);
+}
+
+StreamResult
+simulateStream(const EngineTopology &topology,
+               const Placement &placement, const WirelessLink &link,
+               double events_per_second, size_t events,
+               const FaultProfile &faults)
+{
+    if (!faults.enabled) {
+        return runStream(topology, placement, link, events_per_second,
+                         events, nullptr);
+    }
+    faults.validate();
+    return runStream(topology, placement, link, events_per_second,
+                     events, &faults);
 }
 
 } // namespace xpro

@@ -13,6 +13,15 @@
  * contend for the radio -- both are tested invariants, and the gap
  * is reported so the bench for Fig. 10 can show radio contention is
  * negligible for these workloads.
+ *
+ * The fault-injected overloads run the same dataflow over a bursty
+ * Gilbert-Elliott channel (wireless/fault): every inter-end payload
+ * goes through bounded stop-and-wait ARQ, abandoned packets feed a
+ * K-consecutive-failure outage detector, and detected outages
+ * degrade the node to sensor-local classification with results
+ * buffered for replay on recovery. A disabled profile routes to the
+ * legacy path and reproduces its results bit for bit (a tested
+ * invariant).
  */
 
 #ifndef XPRO_SIM_SYSTEM_SIM_HH
@@ -23,7 +32,9 @@
 
 #include "core/energy_model.hh"
 #include "core/placement.hh"
+#include "core/report.hh"
 #include "core/topology.hh"
+#include "wireless/fault.hh"
 #include "wireless/link.hh"
 
 namespace xpro
@@ -49,12 +60,25 @@ struct SimResult
     Time radioBusy;
     /** Chronological activity trace. */
     std::vector<TraceEntry> trace;
+    /** Fault-injection outcome; disabled for fault-free runs. */
+    RobustnessReport robustness;
 };
 
 /** Simulate one event end to end. */
 SimResult simulateEvent(const EngineTopology &topology,
                         const Placement &placement,
                         const WirelessLink &link);
+
+/**
+ * Simulate one event over a fault-injected channel. A disabled
+ * profile is exactly the overload above; single-event runs send no
+ * recovery probes (there is no later traffic to recover for), so the
+ * event completes via local fallback under a permanent outage.
+ */
+SimResult simulateEvent(const EngineTopology &topology,
+                        const Placement &placement,
+                        const WirelessLink &link,
+                        const FaultProfile &faults);
 
 /** Outcome of simulating a periodic stream of events. */
 struct StreamResult
@@ -66,6 +90,12 @@ struct StreamResult
     Time worstLatency;
     /** Mean completion latency. */
     Time meanLatency;
+    /** Sensor energy accumulated over the whole stream. */
+    SensorEnergyBreakdown sensorEnergy;
+    /** Events classified via the sensor-local fallback. */
+    size_t degradedEvents = 0;
+    /** Fault-injection outcome; disabled for fault-free runs. */
+    RobustnessReport robustness;
 };
 
 /**
@@ -77,6 +107,19 @@ StreamResult simulateStream(const EngineTopology &topology,
                             const Placement &placement,
                             const WirelessLink &link,
                             double events_per_second, size_t events);
+
+/**
+ * Simulate the stream over a fault-injected channel. Recovery
+ * probes are sent every FaultProfile::probeInterval while the link
+ * is declared down, up to one period past the last injection (so
+ * the run always terminates); an event's completion under outage is
+ * its sensor-local classification time.
+ */
+StreamResult simulateStream(const EngineTopology &topology,
+                            const Placement &placement,
+                            const WirelessLink &link,
+                            double events_per_second, size_t events,
+                            const FaultProfile &faults);
 
 } // namespace xpro
 

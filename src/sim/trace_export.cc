@@ -30,13 +30,15 @@ jsonEscape(const std::string &value)
     return out;
 }
 
-/** One complete ("X") trace event. */
+/** One complete ("X") or instant ("i") trace event. */
 struct TraceEvent
 {
     std::string name;
     double startUs;
     double durationUs;
     int tid;
+    /** Zero-duration marker (retry/drop/outage/fallback). */
+    bool instant = false;
 };
 
 /** Find the topology node whose name matches @p name. */
@@ -80,6 +82,20 @@ writeChromeTrace(const SimResult &result,
             radio_starts.erase(radio_starts.begin());
             continue;
         }
+        // Fault-injection markers become instant events: ARQ
+        // retries and drops on the radio track, outage / fallback /
+        // local-classification milestones on the sensor track.
+        const auto marker = [&](const char *prefix, int tid) {
+            if (entry.what.rfind(prefix, 0) != 0)
+                return false;
+            events.push_back({entry.what, at_us, 0.0, tid, true});
+            return true;
+        };
+        if (marker("retry ", tidRadio) || marker("drop ", tidRadio) ||
+            marker("outage ", tidSensor) ||
+            marker("fallback #", tidSensor) ||
+            marker("local result #", tidSensor))
+            continue;
         if (entry.what.rfind("done ", 0) == 0) {
             // "done <name> #<k>" or "done <name>".
             std::string name = entry.what.substr(5);
@@ -115,10 +131,15 @@ writeChromeTrace(const SimResult &result,
     }
     for (size_t i = 0; i < events.size(); ++i) {
         const TraceEvent &e = events[i];
-        out << "  {\"name\":\"" << jsonEscape(e.name)
-            << "\",\"ph\":\"X\",\"ts\":" << e.startUs
-            << ",\"dur\":" << e.durationUs
-            << ",\"pid\":0,\"tid\":" << e.tid << "}"
+        out << "  {\"name\":\"" << jsonEscape(e.name) << "\",";
+        if (e.instant) {
+            out << "\"ph\":\"i\",\"ts\":" << e.startUs
+                << ",\"s\":\"t\"";
+        } else {
+            out << "\"ph\":\"X\",\"ts\":" << e.startUs
+                << ",\"dur\":" << e.durationUs;
+        }
+        out << ",\"pid\":0,\"tid\":" << e.tid << "}"
             << (i + 1 < events.size() ? "," : "") << "\n";
     }
     out << "]\n";

@@ -22,7 +22,9 @@ namespace xpro
  *
  * "start X"/"done X" pairs become duration events on the sensor or
  * aggregator track; "radio start"/"radio done" pairs land on the
- * radio track. Unpaired entries become instant events.
+ * radio track. Fault-injection markers ("retry"/"drop" on the radio
+ * track, "outage"/"fallback"/"local result" on the sensor track)
+ * become instant events.
  *
  * @param result Simulation result with a populated trace.
  * @param topology Topology the simulation ran on (for placement).

@@ -1,0 +1,118 @@
+#include "wireless/fault.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+Time
+ArqConfig::backoff(size_t retry) const
+{
+    return ackTimeout *
+           std::pow(backoffFactor, static_cast<double>(retry));
+}
+
+bool
+FaultProfile::inOutage(Time at) const
+{
+    for (const OutageWindow &window : outages) {
+        if (at >= window.start && at < window.end)
+            return true;
+    }
+    return false;
+}
+
+namespace
+{
+
+void
+checkProbability(double p, const char *what)
+{
+    xproAssert(p >= 0.0 && p <= 1.0, "%s %f out of [0, 1]", what, p);
+}
+
+} // namespace
+
+void
+FaultProfile::validate() const
+{
+    checkProbability(burst.lossGood, "good-state loss");
+    checkProbability(burst.lossBad, "bad-state loss");
+    checkProbability(burst.pGoodToBad, "good-to-bad transition");
+    checkProbability(burst.pBadToGood, "bad-to-good transition");
+    xproAssert(arq.ackTimeout > Time(), "ACK timeout must be positive");
+    xproAssert(arq.backoffFactor >= 1.0,
+               "backoff factor %f below 1", arq.backoffFactor);
+    xproAssert(outageThreshold > 0, "outage threshold must be > 0");
+    xproAssert(probeInterval > Time(),
+               "probe interval must be positive");
+    for (const OutageWindow &window : outages) {
+        xproAssert(window.end > window.start,
+                   "empty outage window at %f s", window.start.sec());
+    }
+}
+
+FaultProfile
+FaultProfile::preset(const std::string &name)
+{
+    FaultProfile profile;
+    if (name == "none")
+        return profile;
+    profile.enabled = true;
+    if (name == "mild") {
+        // Rare, short fades: the ARQ almost always recovers on the
+        // first retry.
+        profile.burst = {1e-3, 0.2, 0.005, 0.5};
+    } else if (name == "bursty") {
+        // Frequent ~10-packet bursts losing most packets: retries
+        // and occasional abandonments.
+        profile.burst = {1e-3, 0.8, 0.02, 0.1};
+    } else if (name == "harsh") {
+        // Long deep fades: abandonments are common enough to trip
+        // the outage detector.
+        profile.burst = {0.05, 0.95, 0.05, 0.05};
+    } else {
+        fatal("unknown fault profile '%s' (expected none, mild, "
+              "bursty or harsh)",
+              name.c_str());
+    }
+    return profile;
+}
+
+const std::vector<std::string> &
+FaultProfile::presetNames()
+{
+    static const std::vector<std::string> names = {
+        "none",
+        "mild",
+        "bursty",
+        "harsh",
+    };
+    return names;
+}
+
+LossProcess::LossProcess(const FaultProfile &profile)
+    : _profile(profile), _rng(profile.seed)
+{
+    if (_profile.enabled)
+        _profile.validate();
+}
+
+bool
+LossProcess::dropPacket(Time at)
+{
+    if (!_profile.enabled)
+        return false;
+    if (_profile.inOutage(at))
+        return true;
+    ++_draws;
+    const GilbertElliottParams &ge = _profile.burst;
+    const bool lost = _rng.chance(_bad ? ge.lossBad : ge.lossGood);
+    if (_rng.chance(_bad ? ge.pBadToGood : ge.pGoodToBad))
+        _bad = !_bad;
+    return lost;
+}
+
+} // namespace xpro

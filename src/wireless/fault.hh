@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Stochastic wireless fault injection (paper Section 5.7, taken past
+ * the expectation-only lossy channel of wireless/link).
+ *
+ * The ChannelModel folds an i.i.d. bit error rate into *expected*
+ * transfer costs, which keeps the Automatic XPro Generator's min-cut
+ * exact in expectation but never actually drops a packet: no retry,
+ * timeout or outage path is ever exercised. Real BSN links lose
+ * packets in bursts (body shadowing, interference) and disconnect
+ * outright. This header provides the event-level counterpart:
+ *
+ *  - GilbertElliottParams: the classic two-state (Good/Bad) Markov
+ *    burst-loss model; per-packet loss and state-flip draws come
+ *    from a seeded Rng, so a fixed seed reproduces the exact fault
+ *    sequence run-to-run.
+ *  - ArqConfig: bounded stop-and-wait ARQ (max retries, ACK timeout,
+ *    exponential backoff) driven by the simulators in sim/ and
+ *    fleet/.
+ *  - OutageWindow: scripted intervals during which every packet is
+ *    lost, for deterministic disconnection experiments.
+ *  - FaultProfile: the bundle of all of the above plus the outage
+ *    detector's threshold and recovery-probe cadence, with named
+ *    presets for the CLI.
+ *  - LossProcess: the seeded per-packet draw engine.
+ *
+ * A disabled profile injects nothing: the simulators bypass this
+ * machinery entirely and reproduce the ideal/expectation behaviour
+ * bit for bit (a tested invariant).
+ */
+
+#ifndef XPRO_WIRELESS_FAULT_HH
+#define XPRO_WIRELESS_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/units.hh"
+
+namespace xpro
+{
+
+/**
+ * Two-state Gilbert-Elliott burst-loss parameters. The chain
+ * advances once per offered packet: a loss draw in the current
+ * state, then a state-flip draw. Mean burst length in packets is
+ * 1 / pBadToGood.
+ */
+struct GilbertElliottParams
+{
+    /** Per-packet loss probability in the Good state. */
+    double lossGood = 0.0;
+    /** Per-packet loss probability in the Bad state. */
+    double lossBad = 1.0;
+    /** Per-packet probability of entering the Bad state. */
+    double pGoodToBad = 0.0;
+    /** Per-packet probability of leaving the Bad state. */
+    double pBadToGood = 1.0;
+};
+
+/** Bounded stop-and-wait ARQ parameters. */
+struct ArqConfig
+{
+    /** Retries after the first attempt; the packet is abandoned
+     *  once 1 + maxRetries attempts have all failed. */
+    size_t maxRetries = 5;
+    /** Wait for the missing ACK after a failed attempt. */
+    Time ackTimeout = Time::micros(50.0);
+    /** Timeout multiplier per successive retry (>= 1). */
+    double backoffFactor = 2.0;
+
+    /** Backoff after the attempt with 0-based index @p retry. */
+    Time backoff(size_t retry) const;
+};
+
+/** Scripted interval [start, end) during which every packet is
+ *  lost, regardless of the stochastic channel state. */
+struct OutageWindow
+{
+    Time start;
+    Time end;
+};
+
+/** Complete fault-injection configuration of one link. */
+struct FaultProfile
+{
+    /** Master switch; false = the simulators take the exact legacy
+     *  path (no draws, no retries, byte-identical results). */
+    bool enabled = false;
+    /** Seed of the per-packet draw stream. */
+    uint64_t seed = 2017;
+    GilbertElliottParams burst;
+    ArqConfig arq;
+    std::vector<OutageWindow> outages;
+    /** Consecutive abandoned packets before the outage detector
+     *  declares the link down and degrades to local processing. */
+    size_t outageThreshold = 3;
+    /** Recovery-probe cadence while the link is declared down. */
+    Time probeInterval = Time::millis(50.0);
+
+    /** True if @p at falls inside a scripted outage window. */
+    bool inOutage(Time at) const;
+
+    /** Panics on nonsense parameters (probabilities outside [0,1],
+     *  non-positive timeout, backoff < 1, zero threshold). */
+    void validate() const;
+
+    /**
+     * Named preset: "none" (disabled), "mild" (rare short fades),
+     * "bursty" (frequent multi-packet bursts) or "harsh" (long deep
+     * fades). Fatal on unknown names.
+     */
+    static FaultProfile preset(const std::string &name);
+
+    /** All preset names, for usage strings. */
+    static const std::vector<std::string> &presetNames();
+};
+
+/**
+ * The seeded per-packet draw engine: one Gilbert-Elliott chain per
+ * simulated channel. Draws are consumed in simulation-event order,
+ * which is deterministic for a fixed configuration regardless of
+ * host thread counts, so fault-injected runs reproduce exactly.
+ */
+class LossProcess
+{
+  public:
+    explicit LossProcess(const FaultProfile &profile);
+
+    /**
+     * Draw the fate of one packet offered at simulated time @p at.
+     * Scripted outage windows force a loss without consuming a
+     * draw; otherwise the chain consumes one loss draw and one
+     * state-flip draw.
+     * @return True if the packet (or its ACK) is lost.
+     */
+    bool dropPacket(Time at);
+
+    /** Currently in the Bad (bursty-loss) state? */
+    bool inBadState() const { return _bad; }
+
+    /** Packets drawn through the stochastic chain so far. */
+    size_t draws() const { return _draws; }
+
+  private:
+    FaultProfile _profile;
+    Rng _rng;
+    bool _bad = false;
+    size_t _draws = 0;
+};
+
+} // namespace xpro
+
+#endif // XPRO_WIRELESS_FAULT_HH

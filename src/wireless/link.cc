@@ -23,6 +23,17 @@ ChannelModel::expectedTransmissions(size_t bits) const
     return 1.0 / success;
 }
 
+bool
+ChannelModel::deliverable(size_t bits) const
+{
+    xproAssert(bitErrorRate >= 0.0 && bitErrorRate < 1.0,
+               "bit error rate %f out of [0,1)", bitErrorRate);
+    if (bitErrorRate == 0.0)
+        return true;
+    return std::pow(1.0 - bitErrorRate,
+                    static_cast<double>(bits)) > 1e-12;
+}
+
 TransferCost
 WirelessLink::transfer(size_t payload_bits) const
 {
@@ -51,6 +62,22 @@ WirelessLink::transfer(size_t payload_bits) const
                     cost.attempts;
     cost.airTime = Time::seconds((data + ack) / _radio.dataRateBps *
                                  cost.attempts);
+    return cost;
+}
+
+AttemptCost
+WirelessLink::attempt(size_t payload_bits) const
+{
+    xproAssert(payload_bits > 0, "empty transfer");
+    AttemptCost cost;
+    cost.dataBits = payload_bits + packetHeaderBits;
+    cost.ackBits = _channel.ackBits + packetHeaderBits;
+    cost.dataTx = _radio.txEnergy(cost.dataBits);
+    cost.dataRx = _radio.rxEnergy(cost.dataBits);
+    cost.ackTx = _radio.txEnergy(cost.ackBits);
+    cost.ackRx = _radio.rxEnergy(cost.ackBits);
+    cost.dataAirTime = _radio.airTime(cost.dataBits);
+    cost.ackAirTime = _radio.airTime(cost.ackBits);
     return cost;
 }
 

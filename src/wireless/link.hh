@@ -35,8 +35,42 @@ struct ChannelModel
     /** Acknowledgement packet length in bits. */
     size_t ackBits = 8;
 
-    /** Expected transmissions for an n-bit packet under ARQ. */
+    /** Expected transmissions for an n-bit packet under ARQ.
+     *  Panics when the packet is practically undeliverable; check
+     *  deliverable() first for user-supplied rates. */
     double expectedTransmissions(size_t bits) const;
+
+    /**
+     * True if an n-bit packet has a realistic chance of delivery at
+     * this error rate (the same 1e-12 success floor below which
+     * expectedTransmissions() panics). Front-ends use this to
+     * reject infeasible --ber values at argument-parse time instead
+     * of panicking mid-run.
+     */
+    bool deliverable(size_t bits) const;
+};
+
+/**
+ * Costs of a single ARQ attempt: one data frame out, one ACK frame
+ * back. The event-level fault-injected simulators charge these per
+ * attempt (sim/fault_sim) instead of the expectation-folded
+ * TransferCost; a lost attempt pays the data frame but no ACK.
+ */
+struct AttemptCost
+{
+    /** Data frame length including the protocol header. */
+    size_t dataBits = 0;
+    /** ACK frame length including the protocol header. */
+    size_t ackBits = 0;
+    /** Data frame energy: sender transmits, receiver listens. */
+    Energy dataTx;
+    Energy dataRx;
+    /** ACK frame energy: receiver transmits, sender listens. */
+    Energy ackTx;
+    Energy ackRx;
+    /** Serialization times at the link rate. */
+    Time dataAirTime;
+    Time ackAirTime;
 };
 
 /** Energy/latency cost of one payload transfer over the link. */
@@ -54,7 +88,17 @@ struct TransferCost
     double attempts = 1.0;
 };
 
-/** A point-to-point link bound to one transceiver model. */
+/**
+ * A point-to-point link bound to one transceiver model.
+ *
+ * Ownership: the link *copies* the transceiver and channel models at
+ * construction, so passing a temporary or a shorter-lived object is
+ * safe — radio() and channel() return references into the link
+ * itself, never into the constructor arguments. Construction sites
+ * (fleet/, sim/, benches) may therefore hand the link around by
+ * const reference without tracking the original Transceiver's
+ * lifetime; only the link object itself must outlive its users.
+ */
 class WirelessLink
 {
   public:
@@ -66,7 +110,13 @@ class WirelessLink
     /** Expected cost of delivering @p payload_bits once. */
     TransferCost transfer(size_t payload_bits) const;
 
+    /** Per-attempt cost of one data+ACK exchange for
+     *  @p payload_bits, for the fault-injected ARQ simulators. */
+    AttemptCost attempt(size_t payload_bits) const;
+
+    /** The link's own copy of the transceiver model. */
     const Transceiver &radio() const { return _radio; }
+    /** The link's own copy of the channel model. */
     const ChannelModel &channel() const { return _channel; }
 
   private:

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Tests for the event-level fault-injection stack: the seeded
+ * Gilbert-Elliott loss process, bounded ARQ accounting, the outage
+ * detector with sensor-local fallback and replay, and the fleet-wide
+ * dead-node tolerance. The two headline invariants: a disabled
+ * profile reproduces the legacy simulators byte for byte, and a
+ * permanent outage still classifies every event (locally), with the
+ * degraded compute energy exactly the all-in-sensor figure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/logging.hh"
+#include "core/energy_model.hh"
+#include "fleet/fleet.hh"
+#include "sim/system_sim.hh"
+#include "topology_fixtures.hh"
+
+namespace
+{
+
+using namespace xpro;
+using xpro::test::chainTopology;
+
+const WirelessLink link2(transceiver(WirelessModel::Model2));
+
+/** A lossy-but-recoverable chain for the stream tests. */
+FaultProfile
+burstyProfile()
+{
+    return FaultProfile::preset("bursty");
+}
+
+/** Enabled profile whose channel never loses a packet. */
+FaultProfile
+lossFreeProfile()
+{
+    FaultProfile profile;
+    profile.enabled = true;
+    // Defaults: lossGood = 0 and pGoodToBad = 0, so the chain never
+    // leaves the Good state and never drops.
+    return profile;
+}
+
+/** Enabled profile that loses every packet forever. */
+FaultProfile
+permanentOutageProfile()
+{
+    FaultProfile profile;
+    profile.enabled = true;
+    profile.outages.push_back({Time(), Time::millis(1e9)});
+    return profile;
+}
+
+// --- LossProcess ---------------------------------------------------
+
+TEST(LossProcessTest, SameSeedReproducesTheExactSequence)
+{
+    FaultProfile profile;
+    profile.enabled = true;
+    profile.seed = 42;
+    profile.burst = {0.4, 0.9, 0.1, 0.2};
+    LossProcess a(profile);
+    LossProcess b(profile);
+    for (int i = 0; i < 2048; ++i) {
+        const Time at = Time::micros(double(i));
+        ASSERT_EQ(a.dropPacket(at), b.dropPacket(at)) << "draw " << i;
+        ASSERT_EQ(a.inBadState(), b.inBadState()) << "draw " << i;
+    }
+    EXPECT_EQ(a.draws(), 2048u);
+}
+
+TEST(LossProcessTest, DifferentSeedsDiverge)
+{
+    FaultProfile profile;
+    profile.enabled = true;
+    profile.burst = {0.5, 0.9, 0.1, 0.2};
+    profile.seed = 42;
+    LossProcess a(profile);
+    profile.seed = 43;
+    LossProcess b(profile);
+    bool diverged = false;
+    for (int i = 0; i < 2048 && !diverged; ++i) {
+        const Time at = Time::micros(double(i));
+        diverged = a.dropPacket(at) != b.dropPacket(at);
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(LossProcessTest, DisabledProfileNeverDropsOrDraws)
+{
+    LossProcess loss((FaultProfile()));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_FALSE(loss.dropPacket(Time::millis(double(i))));
+    EXPECT_EQ(loss.draws(), 0u);
+}
+
+TEST(LossProcessTest, OutageWindowForcesLossWithoutConsumingDraws)
+{
+    FaultProfile profile;
+    profile.enabled = true;
+    profile.burst.lossGood = 0.0;
+    profile.burst.pGoodToBad = 0.0;
+    profile.outages.push_back({Time::millis(1.0), Time::millis(2.0)});
+    LossProcess loss(profile);
+    EXPECT_FALSE(loss.dropPacket(Time::millis(0.5)));
+    EXPECT_EQ(loss.draws(), 1u);
+    // Inside the window every packet dies, draw-free: the stochastic
+    // chain stays in sync with an outage-free run.
+    EXPECT_TRUE(loss.dropPacket(Time::millis(1.0)));
+    EXPECT_TRUE(loss.dropPacket(Time::millis(1.999)));
+    EXPECT_EQ(loss.draws(), 1u);
+    // The window is half-open: at its end the channel is back.
+    EXPECT_FALSE(loss.dropPacket(Time::millis(2.0)));
+    EXPECT_EQ(loss.draws(), 2u);
+}
+
+TEST(ArqConfigTest, BackoffGrowsGeometrically)
+{
+    ArqConfig arq;
+    arq.ackTimeout = Time::micros(50.0);
+    arq.backoffFactor = 2.0;
+    EXPECT_DOUBLE_EQ(arq.backoff(0).us(), 50.0);
+    EXPECT_DOUBLE_EQ(arq.backoff(1).us(), 100.0);
+    EXPECT_DOUBLE_EQ(arq.backoff(3).us(), 400.0);
+}
+
+TEST(FaultProfileTest, ValidateRejectsNonsense)
+{
+    {
+        FaultProfile p;
+        p.burst.lossBad = 1.5;
+        EXPECT_THROW(p.validate(), PanicError);
+    }
+    {
+        FaultProfile p;
+        p.arq.backoffFactor = 0.5;
+        EXPECT_THROW(p.validate(), PanicError);
+    }
+    {
+        FaultProfile p;
+        p.outageThreshold = 0;
+        EXPECT_THROW(p.validate(), PanicError);
+    }
+    {
+        FaultProfile p;
+        p.outages.push_back({Time::millis(5.0), Time::millis(5.0)});
+        EXPECT_THROW(p.validate(), PanicError);
+    }
+}
+
+TEST(FaultProfileTest, PresetsValidateAndUnknownNamesAreFatal)
+{
+    for (const std::string &name : FaultProfile::presetNames()) {
+        const FaultProfile profile = FaultProfile::preset(name);
+        profile.validate();
+        EXPECT_EQ(profile.enabled, name != "none") << name;
+    }
+    EXPECT_THROW(FaultProfile::preset("nope"), FatalError);
+}
+
+TEST(ChannelModelTest, DeliverableMatchesTheExpectationFloor)
+{
+    ChannelModel ideal;
+    EXPECT_TRUE(ideal.deliverable(1u << 20));
+
+    ChannelModel terrible;
+    terrible.bitErrorRate = 0.5;
+    EXPECT_FALSE(terrible.deliverable(100));
+    EXPECT_THROW(terrible.expectedTransmissions(100), PanicError);
+
+    // A deliverable packet never panics.
+    ChannelModel noisy;
+    noisy.bitErrorRate = 1e-3;
+    ASSERT_TRUE(noisy.deliverable(500));
+    EXPECT_GT(noisy.expectedTransmissions(500), 1.0);
+}
+
+// --- Disabled profile = legacy, byte for byte ----------------------
+
+TEST(FaultSimTest, DisabledProfileMatchesLegacyEventExactly)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const Placement cut = Placement::trivialCut(topo);
+    const SimResult legacy = simulateEvent(topo, cut, link2);
+    const SimResult gated =
+        simulateEvent(topo, cut, link2, FaultProfile());
+
+    EXPECT_FALSE(gated.robustness.enabled);
+    EXPECT_DOUBLE_EQ(gated.completion.us(), legacy.completion.us());
+    EXPECT_DOUBLE_EQ(gated.sensorEnergy.compute.nj(),
+                     legacy.sensorEnergy.compute.nj());
+    EXPECT_DOUBLE_EQ(gated.sensorEnergy.tx.nj(),
+                     legacy.sensorEnergy.tx.nj());
+    EXPECT_DOUBLE_EQ(gated.sensorEnergy.rx.nj(),
+                     legacy.sensorEnergy.rx.nj());
+    EXPECT_EQ(gated.transfers, legacy.transfers);
+    EXPECT_DOUBLE_EQ(gated.radioBusy.us(), legacy.radioBusy.us());
+    ASSERT_EQ(gated.trace.size(), legacy.trace.size());
+    for (size_t i = 0; i < gated.trace.size(); ++i) {
+        EXPECT_DOUBLE_EQ(gated.trace[i].at.us(),
+                         legacy.trace[i].at.us());
+        EXPECT_EQ(gated.trace[i].what, legacy.trace[i].what);
+    }
+}
+
+TEST(FaultSimTest, DisabledProfileMatchesLegacyStreamExactly)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 4096);
+    const Placement cut = Placement::trivialCut(topo);
+    const StreamResult legacy =
+        simulateStream(topo, cut, link2, 4.0, 10);
+    const StreamResult gated =
+        simulateStream(topo, cut, link2, 4.0, 10, FaultProfile());
+
+    EXPECT_FALSE(gated.robustness.enabled);
+    EXPECT_EQ(gated.events, legacy.events);
+    EXPECT_EQ(gated.deadlineMisses, legacy.deadlineMisses);
+    EXPECT_EQ(gated.degradedEvents, 0u);
+    EXPECT_DOUBLE_EQ(gated.worstLatency.us(),
+                     legacy.worstLatency.us());
+    EXPECT_DOUBLE_EQ(gated.meanLatency.us(), legacy.meanLatency.us());
+    EXPECT_EQ(gated.robustness.serialize(),
+              legacy.robustness.serialize());
+}
+
+// --- ARQ accounting ------------------------------------------------
+
+TEST(FaultSimTest, BurstyStreamAccountingIsConsistent)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 4096);
+    const Placement cut = Placement::trivialCut(topo);
+    const StreamResult stream =
+        simulateStream(topo, cut, link2, 4.0, 40, burstyProfile());
+    const RobustnessReport &r = stream.robustness;
+
+    EXPECT_TRUE(r.enabled);
+    EXPECT_EQ(stream.events, 40u);
+    EXPECT_EQ(r.packetsOffered,
+              r.packetsDelivered + r.packetsAbandoned);
+    EXPECT_GE(r.attempts, r.packetsOffered);
+    EXPECT_GT(r.packetsDelivered, 0u);
+    const size_t histogram_total =
+        std::accumulate(r.retryHistogram.begin(),
+                        r.retryHistogram.end(), size_t{0});
+    EXPECT_EQ(histogram_total, r.packetsDelivered);
+    EXPECT_EQ(stream.degradedEvents, r.degradedEvents);
+}
+
+TEST(FaultSimTest, FixedSeedReproducesTheStreamExactly)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 4096);
+    const Placement cut = Placement::trivialCut(topo);
+    const StreamResult a =
+        simulateStream(topo, cut, link2, 4.0, 30, burstyProfile());
+    const StreamResult b =
+        simulateStream(topo, cut, link2, 4.0, 30, burstyProfile());
+
+    EXPECT_EQ(a.robustness.serialize(), b.robustness.serialize());
+    EXPECT_DOUBLE_EQ(a.worstLatency.us(), b.worstLatency.us());
+    EXPECT_DOUBLE_EQ(a.meanLatency.us(), b.meanLatency.us());
+    EXPECT_DOUBLE_EQ(a.sensorEnergy.total().nj(),
+                     b.sensorEnergy.total().nj());
+    EXPECT_EQ(a.deadlineMisses, b.deadlineMisses);
+}
+
+// --- Outage fallback -----------------------------------------------
+
+TEST(FaultSimTest, PermanentOutageStillClassifiesEveryEvent)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const Placement cut = Placement::trivialCut(topo);
+    const StreamResult stream = simulateStream(
+        topo, cut, link2, 4.0, 6, permanentOutageProfile());
+    const RobustnessReport &r = stream.robustness;
+
+    // No packet ever gets through, yet every event completes via the
+    // sensor-local fallback and waits on the replay shelf.
+    EXPECT_EQ(stream.events, 6u);
+    EXPECT_EQ(stream.degradedEvents, 6u);
+    EXPECT_EQ(r.packetsDelivered, 0u);
+    EXPECT_EQ(r.packetsAbandoned, r.packetsOffered);
+    EXPECT_EQ(r.bufferedResults, 6u);
+    EXPECT_EQ(r.replayedResults, 0u);
+    EXPECT_GE(r.outages, 1u);
+
+    // Each event computes every cell in-sensor exactly once (the cut
+    // cells normally, the rest via the fallback), so the degraded
+    // compute energy is exactly the all-in-sensor figure.
+    const SensorEnergyBreakdown all_in_sensor = sensorEventEnergy(
+        topo, Placement::allInSensor(topo), link2);
+    EXPECT_NEAR(stream.sensorEnergy.compute.nj(),
+                6.0 * all_in_sensor.compute.nj(), 1e-6);
+}
+
+TEST(FaultSimTest, SingleEventOutageFallsBackWithoutProbes)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const Placement cut = Placement::trivialCut(topo);
+    const SimResult sim = simulateEvent(topo, cut, link2,
+                                        permanentOutageProfile());
+
+    EXPECT_EQ(sim.robustness.degradedEvents, 1u);
+    EXPECT_EQ(sim.robustness.packetsDelivered, 0u);
+    // A single-event run has no later traffic to recover for.
+    EXPECT_EQ(sim.robustness.probes, 0u);
+    EXPECT_GT(sim.completion, Time());
+    const SensorEnergyBreakdown all_in_sensor = sensorEventEnergy(
+        topo, Placement::allInSensor(topo), link2);
+    EXPECT_NEAR(sim.sensorEnergy.compute.nj(),
+                all_in_sensor.compute.nj(), 1e-9);
+}
+
+TEST(FaultSimTest, MidStreamOutageRecoversAndReplays)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const Placement cut = Placement::trivialCut(topo);
+    // Loss-free channel with one scripted 800 ms hole: the detector
+    // must declare an outage, probe through it, recover and replay
+    // the locally classified results.
+    FaultProfile profile = lossFreeProfile();
+    profile.outages.push_back(
+        {Time::millis(100.0), Time::millis(900.0)});
+    const StreamResult stream =
+        simulateStream(topo, cut, link2, 4.0, 8, profile);
+    const RobustnessReport &r = stream.robustness;
+
+    EXPECT_EQ(stream.events, 8u);
+    EXPECT_EQ(r.outages, 1u);
+    EXPECT_GE(r.probes, 1u);
+    EXPECT_GE(r.degradedEvents, 2u);
+    EXPECT_GE(r.replayedResults, 1u);
+    EXPECT_EQ(r.bufferedResults, 0u);
+    EXPECT_GT(r.outageTimeMs, 0.0);
+    EXPECT_GT(r.meanRecoveryMs, 0.0);
+    EXPECT_GT(r.packetsDelivered, 0u);
+}
+
+// --- Fleet ---------------------------------------------------------
+
+FleetMember
+cutChainMember(const EngineTopology &topology)
+{
+    FleetMember member;
+    member.topology = topology;
+    member.placement = Placement::trivialCut(topology);
+    member.eventsPerSecond = 4.0;
+    return member;
+}
+
+TEST(FleetFaultTest, LossFreeChannelDeliversEverythingFirstTry)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    std::vector<FleetMember> members(3, cutChainMember(topo));
+    const FcfsArbiter fcfs;
+    const FleetSimResult fleet = simulateFleet(
+        members, link2, fcfs, 4, lossFreeProfile());
+    const RobustnessReport &r = fleet.robustness;
+
+    EXPECT_TRUE(r.enabled);
+    EXPECT_EQ(r.packetsDelivered, r.packetsOffered);
+    EXPECT_EQ(r.packetsAbandoned, 0u);
+    EXPECT_EQ(r.attempts, r.packetsOffered);
+    EXPECT_EQ(r.degradedEvents, 0u);
+    for (const MemberSimResult &member : fleet.members) {
+        EXPECT_EQ(member.events, 4u);
+        EXPECT_EQ(member.degradedEvents, 0u);
+    }
+}
+
+TEST(FleetFaultTest, DeadNodeDegradesAloneWithoutStallingTheFleet)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    std::vector<FleetMember> members(3, cutChainMember(topo));
+    const std::vector<NodeOutage> dead = {
+        {1, Time(), Time::millis(1e9)}};
+    const size_t events = 3;
+
+    // The dropout machinery must ride on a loss-free channel when no
+    // stochastic profile is configured.
+    for (const RadioPolicy policy :
+         {RadioPolicy::Fcfs, RadioPolicy::Tdma}) {
+        const FcfsArbiter fcfs;
+        const TdmaArbiter tdma(members.size(), Time::millis(5.0));
+        const RadioArbiter &arbiter =
+            policy == RadioPolicy::Fcfs
+                ? static_cast<const RadioArbiter &>(fcfs)
+                : static_cast<const RadioArbiter &>(tdma);
+        const FleetSimResult fleet = simulateFleet(
+            members, link2, arbiter, events, FaultProfile(), dead);
+
+        ASSERT_EQ(fleet.members.size(), 3u);
+        // The dead node classifies every event locally; its bounded
+        // ARQ keeps the shared channel live for the healthy nodes.
+        EXPECT_EQ(fleet.members[1].degradedEvents, events);
+        EXPECT_EQ(fleet.members[0].degradedEvents, 0u);
+        EXPECT_EQ(fleet.members[2].degradedEvents, 0u);
+        for (const MemberSimResult &member : fleet.members)
+            EXPECT_EQ(member.events, events);
+        EXPECT_GE(fleet.robustness.packetsAbandoned, events);
+        EXPECT_GT(fleet.robustness.packetsDelivered, 0u);
+    }
+}
+
+TEST(FleetFaultTest, FaultInjectedReportIsWorkerCountInvariant)
+{
+    FleetConfig config;
+    config.nodes = heterogeneousFleet(2);
+    for (FleetNodeSpec &node : config.nodes) {
+        node.subspaceCandidates = 6;
+        node.maxTrainingSegments = 60;
+    }
+    config.eventsPerNode = 3;
+    config.faults = burstyProfile();
+    config.workers = 1;
+    const FleetResult one = runFleet(config);
+    config.workers = 4;
+    config.sweepWorkers = 2;
+    const FleetResult four = runFleet(config);
+
+    EXPECT_TRUE(one.report.robustness.enabled);
+    EXPECT_EQ(one.report.serialize(), four.report.serialize());
+}
+
+} // namespace

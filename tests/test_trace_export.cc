@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the Chrome trace-event JSON exporter: structural JSON
+ * sanity, track assignment of the fault-injection instant markers,
+ * round-trip agreement with the simulator's raw trace, byte
+ * determinism under a fixed fault seed, and byte identity between
+ * the legacy and disabled-fault simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/trace_export.hh"
+#include "topology_fixtures.hh"
+
+namespace
+{
+
+using namespace xpro;
+using xpro::test::chainTopology;
+
+const WirelessLink link2(transceiver(WirelessModel::Model2));
+
+std::string
+exportToString(const SimResult &sim, const EngineTopology &topo,
+               const Placement &placement)
+{
+    std::ostringstream out;
+    writeChromeTrace(sim, topo, placement, out);
+    return out.str();
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+    return lines;
+}
+
+size_t
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    size_t count = 0;
+    for (size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + needle.size()))
+        ++count;
+    return count;
+}
+
+/** Fault profile that abandons every packet quickly. */
+FaultProfile
+deadLinkProfile()
+{
+    FaultProfile profile;
+    profile.enabled = true;
+    profile.arq.maxRetries = 2;
+    profile.outages.push_back({Time(), Time::millis(1e9)});
+    return profile;
+}
+
+TEST(TraceExportTest, EmitsStructurallySoundJson)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const Placement cut = Placement::trivialCut(topo);
+    const SimResult sim = simulateEvent(topo, cut, link2);
+    const std::string json = exportToString(sim, topo, cut);
+
+    const std::vector<std::string> lines = splitLines(json);
+    ASSERT_GE(lines.size(), 3u);
+    EXPECT_EQ(lines.front(), "[");
+    EXPECT_EQ(lines.back(), "]");
+    EXPECT_EQ(countOccurrences(json, "{"),
+              countOccurrences(json, "}"));
+    // Every record line but the last is comma-terminated.
+    for (size_t i = 1; i + 2 < lines.size(); ++i)
+        EXPECT_EQ(lines[i].back(), ',') << "line " << i;
+    EXPECT_EQ(lines[lines.size() - 2].back(), '}');
+    // The three track-name metadata records lead.
+    EXPECT_EQ(countOccurrences(json, "\"thread_name\""), 3u);
+    // A cut chain puts activity on all three tracks.
+    EXPECT_GT(countOccurrences(json, "\"ph\":\"X\""), 0u);
+}
+
+TEST(TraceExportTest, FaultMarkersBecomeInstantEventsOnTheirTracks)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const Placement cut = Placement::trivialCut(topo);
+    const SimResult sim =
+        simulateEvent(topo, cut, link2, deadLinkProfile());
+
+    // The raw trace must hold the full fault story for one
+    // abandoned packet: 2 retries, a drop, the fallback and the
+    // local classification.
+    size_t raw_markers = 0;
+    for (const TraceEntry &entry : sim.trace) {
+        raw_markers +=
+            entry.what.rfind("retry ", 0) == 0 ||
+            entry.what.rfind("drop ", 0) == 0 ||
+            entry.what.rfind("outage ", 0) == 0 ||
+            entry.what.rfind("fallback #", 0) == 0 ||
+            entry.what.rfind("local result #", 0) == 0;
+    }
+    ASSERT_GE(raw_markers, 4u);
+
+    const std::string json = exportToString(sim, topo, cut);
+    // Round trip: every raw marker is exported, as an instant event.
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"i\""), raw_markers);
+    EXPECT_EQ(countOccurrences(json, "\"s\":\"t\""), raw_markers);
+
+    // Retries/drops annotate the radio track, fallback milestones
+    // the sensor track.
+    for (const std::string &line : splitLines(json)) {
+        if (line.find("\"name\":\"retry ") != std::string::npos ||
+            line.find("\"name\":\"drop ") != std::string::npos) {
+            EXPECT_NE(line.find("\"tid\":1"), std::string::npos)
+                << line;
+            EXPECT_NE(line.find("\"ph\":\"i\""), std::string::npos)
+                << line;
+        }
+        if (line.find("\"name\":\"fallback #") !=
+                std::string::npos ||
+            line.find("\"name\":\"local result #") !=
+                std::string::npos) {
+            EXPECT_NE(line.find("\"tid\":0"), std::string::npos)
+                << line;
+        }
+    }
+    // ARQ attempts still pair into radio duration events ("try N"
+    // suffixes keep the FIFO pairing valid).
+    EXPECT_GT(countOccurrences(json, " try 1\",\"ph\":\"X\""), 0u);
+}
+
+TEST(TraceExportTest, FixedSeedExportsByteIdentically)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const Placement cut = Placement::trivialCut(topo);
+    const FaultProfile bursty = FaultProfile::preset("bursty");
+    const SimResult a = simulateEvent(topo, cut, link2, bursty);
+    const SimResult b = simulateEvent(topo, cut, link2, bursty);
+    EXPECT_EQ(exportToString(a, topo, cut),
+              exportToString(b, topo, cut));
+}
+
+TEST(TraceExportTest, DisabledFaultExportMatchesLegacyByteForByte)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const Placement cut = Placement::trivialCut(topo);
+    const SimResult legacy = simulateEvent(topo, cut, link2);
+    const SimResult gated =
+        simulateEvent(topo, cut, link2, FaultProfile());
+    const std::string legacy_json = exportToString(legacy, topo, cut);
+    EXPECT_EQ(legacy_json, exportToString(gated, topo, cut));
+    // No instant events in a fault-free trace.
+    EXPECT_EQ(countOccurrences(legacy_json, "\"ph\":\"i\""), 0u);
+}
+
+} // namespace

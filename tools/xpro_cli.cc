@@ -15,8 +15,17 @@
  *   xpro_cli --fleet 6 [--workers W] [--sweep-workers W]
  *            [--policy fcfs|tdma] [--events N] [--wireless M]
  *            [--ber p] [--seed S]
+ *
+ * Fault injection (single-node stream and fleet alike): a named
+ * profile or explicit Gilbert-Elliott/outage parameters switch the
+ * event simulators to the bursty channel with bounded ARQ and the
+ * outage-fallback protocol:
+ *
+ *   xpro_cli --case C1 --fault-profile bursty [--max-retries N]
+ *            [--loss-burst pGB:pBG] [--outage start:end]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +38,7 @@
 #include "data/testcases.hh"
 #include "fleet/fleet.hh"
 #include "sim/trace_export.hh"
+#include "wireless/fault.hh"
 
 using namespace xpro;
 
@@ -67,7 +77,15 @@ usage(const char *argv0)
         "  --policy fcfs|tdma         fleet radio arbitration "
         "(default fcfs)\n"
         "  --events <n>               simulated events per fleet "
-        "node (default 6)\n",
+        "node or fault-injected stream (default 6)\n"
+        "  --fault-profile <name>     fault injection preset: none, "
+        "mild, bursty or harsh (default none)\n"
+        "  --loss-burst <pGB>:<pBG>   Gilbert-Elliott good-to-bad / "
+        "bad-to-good probabilities (enables fault injection)\n"
+        "  --max-retries <n>          ARQ retries before a packet "
+        "is abandoned (default 5)\n"
+        "  --outage <a>:<b>           scripted outage window in ms, "
+        "repeatable (enables fault injection)\n",
         argv0);
     std::exit(2);
 }
@@ -134,10 +152,60 @@ parsePolicy(const std::string &value)
           value.c_str());
 }
 
+/** Split "<a>:<b>" into its two halves. */
+std::pair<std::string, std::string>
+splitPair(const std::string &value, const char *what)
+{
+    const size_t colon = value.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= value.size()) {
+        fatal("%s: expected '<a>:<b>', got '%s'", what,
+              value.c_str());
+    }
+    return {value.substr(0, colon), value.substr(colon + 1)};
+}
+
+/** Non-negative duration in milliseconds. */
+double
+parseMillisArg(const std::string &value, const char *what)
+{
+    char *end = nullptr;
+    const double ms = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || !(ms >= 0.0)) {
+        fatal("%s: expected a duration in ms, got '%s'", what,
+              value.c_str());
+    }
+    return ms;
+}
+
+/**
+ * Reject a --ber that makes the topology's largest payload (the
+ * raw segment) practically undeliverable here, at argument-parse
+ * time, instead of panicking deep inside expectedTransmissions()
+ * mid-run.
+ */
+void
+checkBerFeasible(double ber, size_t segment_length)
+{
+    if (ber == 0.0)
+        return;
+    ChannelModel channel;
+    channel.bitErrorRate = ber;
+    const size_t payload =
+        segment_length * wordBits + packetHeaderBits;
+    if (!channel.deliverable(payload)) {
+        fatal("--ber %g: the %zu-bit raw-segment payload is "
+              "practically undeliverable at this error rate "
+              "(per-packet success below 1e-12); lower --ber",
+              ber, payload);
+    }
+}
+
 int
 runFleetMode(size_t fleet_size, size_t workers,
              size_t sweep_workers, RadioPolicy policy, size_t events,
-             WirelessModel wireless, double ber, uint64_t seed)
+             WirelessModel wireless, double ber, uint64_t seed,
+             const FaultProfile &faults)
 {
     FleetConfig config;
     config.nodes = heterogeneousFleet(fleet_size, seed);
@@ -147,6 +215,7 @@ runFleetMode(size_t fleet_size, size_t workers,
     config.workers = workers;
     config.sweepWorkers = sweep_workers;
     config.eventsPerNode = events;
+    config.faults = faults;
 
     std::printf("designing %zu-node fleet on %zu worker(s)...\n",
                 fleet_size, workers);
@@ -180,6 +249,9 @@ main(int argc, char **argv)
     size_t sweep_workers = 1;
     RadioPolicy policy = RadioPolicy::Fcfs;
     size_t events = 6;
+    FaultProfile faults;
+    bool max_retries_set = false;
+    size_t max_retries = 0;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -221,14 +293,56 @@ main(int argc, char **argv)
                 policy = parsePolicy(value());
             else if (arg == "--events")
                 events = parsePositiveArg(value(), "--events");
-            else
+            else if (arg == "--fault-profile")
+                faults = FaultProfile::preset(value());
+            else if (arg == "--loss-burst") {
+                const auto [good_to_bad, bad_to_good] =
+                    splitPair(value(), "--loss-burst");
+                faults.burst.pGoodToBad = parseProbabilityArg(
+                    good_to_bad, "--loss-burst");
+                faults.burst.pBadToGood = parseProbabilityArg(
+                    bad_to_good, "--loss-burst");
+                faults.enabled = true;
+            } else if (arg == "--max-retries") {
+                max_retries =
+                    parseCountArg(value(), "--max-retries");
+                max_retries_set = true;
+            } else if (arg == "--outage") {
+                const auto [start, end] =
+                    splitPair(value(), "--outage");
+                OutageWindow window;
+                window.start = Time::millis(
+                    parseMillisArg(start, "--outage"));
+                window.end = Time::millis(
+                    parseMillisArg(end, "--outage"));
+                if (window.end <= window.start)
+                    fatal("--outage: empty window '%s:%s'",
+                          start.c_str(), end.c_str());
+                faults.outages.push_back(window);
+                faults.enabled = true;
+            } else
                 usage(argv[0]);
         }
+        if (max_retries_set)
+            faults.arq.maxRetries = max_retries;
+        if (faults.enabled)
+            faults.validate();
 
         if (fleet_size > 0) {
+            size_t largest_segment = 0;
+            for (const FleetNodeSpec &spec :
+                 heterogeneousFleet(fleet_size, seed)) {
+                largest_segment = std::max(
+                    largest_segment,
+                    testCaseInfo(spec.testCase).segmentLength);
+            }
+            checkBerFeasible(ber, largest_segment);
             return runFleetMode(fleet_size, workers, sweep_workers,
-                                policy, events, wireless, ber, seed);
+                                policy, events, wireless, ber, seed,
+                                faults);
         }
+        checkBerFeasible(ber,
+                         testCaseInfo(test_case).segmentLength);
 
         const SignalDataset dataset = makeTestCase(test_case, seed);
         EngineConfig config;
@@ -293,9 +407,23 @@ main(int argc, char **argv)
                     eval.sensorLifetime.hr(),
                     eval.aggregatorLifetime.hr());
 
+        if (faults.enabled) {
+            const StreamResult stream = simulateStream(
+                topology, eval.placement, link,
+                dataset.eventsPerSecond(), events, faults);
+            std::printf("\nfault-injected stream (%zu events): "
+                        "%zu deadline miss(es), mean %.3f ms, "
+                        "worst %.3f ms, %zu degraded\n",
+                        stream.events, stream.deadlineMisses,
+                        stream.meanLatency.ms(),
+                        stream.worstLatency.ms(),
+                        stream.degradedEvents);
+            stream.robustness.writeText(std::cout);
+        }
+
         if (!trace_path.empty()) {
-            const SimResult sim =
-                simulateEvent(topology, eval.placement, link);
+            const SimResult sim = simulateEvent(
+                topology, eval.placement, link, faults);
             writeChromeTraceFile(sim, topology, eval.placement,
                                  trace_path);
             std::printf("  trace     : %s (%zu transfers, "
