@@ -3,8 +3,10 @@
 # and run the generator-facing suites under it: the warm-started
 # flow network, the partitioner, the property-based generator oracle
 # tests, the ML suites (flat-matrix row views, batched kernels,
-# parallel ensemble training), and the fault-injection suites (ARQ
-# callback-chain lifetimes). Usage:
+# parallel ensemble training), the fault-injection suites (ARQ
+# callback-chain lifetimes), and the adaptive-controller suites
+# (long-lived warm flow network under repeated capacity updates).
+# Usage:
 #
 #   scripts/check_asan_generator.sh [build-dir]
 #
@@ -21,7 +23,9 @@ cmake --build "$build" \
              test_partitioner_property test_ml_parallel \
              test_random_subspace test_crossval \
              test_fault_injection test_trace_export \
+             test_controller \
     -j "$(nproc)"
-ctest --test-dir "$build" -L 'generator|partitioner|flow|ml|robust' \
+ctest --test-dir "$build" \
+    -L 'generator|partitioner|flow|ml|robust|control' \
     --output-on-failure
 echo "ASan/UBSan generator pass: OK"

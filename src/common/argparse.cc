@@ -43,6 +43,30 @@ parseProbabilityArg(const std::string &value, const char *what)
     return parsed;
 }
 
+double
+parsePositiveRealArg(const std::string &value, const char *what)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (!end || *end != '\0' || end == value.c_str())
+        fatal("%s: '%s' is not a number", what, value.c_str());
+    if (!(parsed > 0.0))
+        fatal("%s must be positive, got %g", what, parsed);
+    return parsed;
+}
+
+double
+parseNonNegativeRealArg(const std::string &value, const char *what)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (!end || *end != '\0' || end == value.c_str())
+        fatal("%s: '%s' is not a number", what, value.c_str());
+    if (!(parsed >= 0.0))
+        fatal("%s must be non-negative, got %g", what, parsed);
+    return parsed;
+}
+
 uint64_t
 parseSeedArg(const std::string &value, const char *what)
 {

@@ -29,6 +29,14 @@ double parseProbabilityArg(const std::string &value,
 /** Non-negative 64-bit RNG seed. */
 uint64_t parseSeedArg(const std::string &value, const char *what);
 
+/** Strictly positive real ("--repartition-period 0" is fatal). */
+double parsePositiveRealArg(const std::string &value,
+                            const char *what);
+
+/** Non-negative real ("--hysteresis -0.1" is fatal). */
+double parseNonNegativeRealArg(const std::string &value,
+                               const char *what);
+
 } // namespace xpro
 
 #endif // XPRO_COMMON_ARGPARSE_HH

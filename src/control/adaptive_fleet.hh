@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Runtime-adaptive pass over a fleet: after the standard three fleet
+ * phases (parallel design, admission, shared-channel event
+ * simulation), every node gets its own CrossEndController and plays
+ * the nonstationary trace, re-partitioning independently as its
+ * conditions drift. The pass runs sequentially in node order — the
+ * design phase already exploits the worker pool, and a sequential
+ * pass keeps the merged decision trace byte-identical for any worker
+ * count (a tested invariant). The merged ControlReport lands in
+ * FleetReport::control.
+ */
+
+#ifndef XPRO_CONTROL_ADAPTIVE_FLEET_HH
+#define XPRO_CONTROL_ADAPTIVE_FLEET_HH
+
+#include "control/adaptive_sim.hh"
+#include "fleet/fleet.hh"
+
+namespace xpro
+{
+
+/**
+ * Full adaptive fleet flow: runFleet(), then the per-node adaptive
+ * trace pass. Each node's controller starts from its own nominal
+ * design and observes its private telemetry; the shared trace
+ * supplies every node's channel and rate drift. The returned
+ * result is runFleet()'s, with report.control merged over nodes
+ * (decisions concatenated in node order).
+ */
+FleetResult runAdaptiveFleet(const FleetConfig &config,
+                             const NonstationaryTrace &trace,
+                             const AdaptiveRunConfig &run);
+
+/** Merge @p node into @p fleet: counters add up, decision traces
+ *  concatenate in call order. */
+void mergeControlReports(ControlReport &fleet,
+                         const ControlReport &node);
+
+} // namespace xpro
+
+#endif // XPRO_CONTROL_ADAPTIVE_FLEET_HH

@@ -1,0 +1,118 @@
+#include "control/trace.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace xpro
+{
+
+bool
+ControlWindow::idealChannel() const
+{
+    return channel.lossGood == 0.0 && channel.pGoodToBad == 0.0;
+}
+
+Time
+NonstationaryTrace::total() const
+{
+    Time sum;
+    for (const ControlWindow &window : windows)
+        sum += window.duration;
+    return sum;
+}
+
+std::vector<ControlWindow>
+NonstationaryTrace::discretize(Time period) const
+{
+    xproAssert(period.sec() > 0.0, "non-positive control period");
+    std::vector<ControlWindow> chopped;
+    for (const ControlWindow &window : windows) {
+        Time left = window.duration;
+        while (left.sec() > 0.0) {
+            ControlWindow piece = window;
+            piece.duration = std::min(left, period);
+            chopped.push_back(piece);
+            left = left - piece.duration;
+        }
+    }
+    return chopped;
+}
+
+NonstationaryTrace
+NonstationaryTrace::steady(size_t windows, Time window,
+                           double events_per_second)
+{
+    xproAssert(windows > 0, "empty trace");
+    NonstationaryTrace trace;
+    ControlWindow span;
+    span.duration = window;
+    span.eventsPerSecond = events_per_second;
+    trace.windows.assign(windows, span);
+    return trace;
+}
+
+NonstationaryTrace
+NonstationaryTrace::squareWave(size_t windows, Time window,
+                               double events_per_second,
+                               size_t half_period,
+                               const GilbertElliottParams &bad)
+{
+    xproAssert(windows > 0, "empty trace");
+    xproAssert(half_period > 0, "zero half period");
+    NonstationaryTrace trace;
+    for (size_t w = 0; w < windows; ++w) {
+        ControlWindow span;
+        span.duration = window;
+        span.eventsPerSecond = events_per_second;
+        if ((w / half_period) % 2 == 1)
+            span.channel = bad;
+        trace.windows.push_back(span);
+    }
+    return trace;
+}
+
+NonstationaryTrace
+NonstationaryTrace::day(uint64_t seed)
+{
+    Rng rng(seed);
+    NonstationaryTrace trace;
+    trace.windows.reserve(24);
+    for (size_t hour = 0; hour < 24; ++hour) {
+        ControlWindow span;
+        span.duration = Time::hours(1.0);
+        // Overnight lull, then the daytime activity step the static
+        // design point never sees.
+        if (hour < 7)
+            span.eventsPerSecond = 1.0;
+        else if (hour < 20)
+            span.eventsPerSecond = 4.0;
+        else
+            span.eventsPerSecond = 2.0;
+        trace.windows.push_back(span);
+    }
+    // A few multi-hour bursty-channel episodes (commute, gym, a
+    // crowded evening): deep fades that multiply the cost of every
+    // wireless crossing via ARQ retries. The episodes are deep
+    // enough (~80% of the time in the Bad state) that a design
+    // holding its nominal cut pays several transmissions per
+    // packet, which is what makes mid-stream re-partitioning pay.
+    GilbertElliottParams bad;
+    bad.lossGood = 0.1;
+    bad.lossBad = 0.95;
+    bad.pGoodToBad = 0.4;
+    bad.pBadToGood = 0.1;
+    const size_t episodes = 2 + static_cast<size_t>(rng.below(2));
+    for (size_t e = 0; e < episodes; ++e) {
+        const size_t start = 7 + static_cast<size_t>(rng.below(14));
+        const size_t hours = 1 + static_cast<size_t>(rng.below(3));
+        for (size_t h = start; h < std::min<size_t>(start + hours, 24);
+             ++h) {
+            trace.windows[h].channel = bad;
+        }
+    }
+    return trace;
+}
+
+} // namespace xpro

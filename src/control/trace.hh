@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Nonstationary environment traces for the runtime-adaptive
+ * controller: piecewise-constant schedules of offered event rate and
+ * Gilbert-Elliott channel behaviour. A static XPro cut is designed
+ * for one operating point; these traces describe how the operating
+ * point drifts (channel fades, activity steps, overnight lulls) so
+ * the controller has something to adapt to. Battery drift needs no
+ * schedule — it falls out of the discharge itself (ChargeTracker).
+ */
+
+#ifndef XPRO_CONTROL_TRACE_HH
+#define XPRO_CONTROL_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "wireless/fault.hh"
+
+namespace xpro
+{
+
+/** One piecewise-constant span of the environment. */
+struct ControlWindow
+{
+    Time duration = Time::seconds(60.0);
+    /** Offered event (segment) rate during the span. */
+    double eventsPerSecond = 4.0;
+    /** Burst-loss behaviour of the channel during the span. The
+     *  default parameters never enter the Bad state and never lose
+     *  a packet, i.e. an ideal channel. */
+    GilbertElliottParams channel;
+
+    /** True when the span's channel injects no losses, so the
+     *  simulators can take the exact legacy (fault-free) path. */
+    bool idealChannel() const;
+};
+
+/** A piecewise-constant environment schedule. */
+struct NonstationaryTrace
+{
+    std::vector<ControlWindow> windows;
+
+    /** Total scheduled duration. */
+    Time total() const;
+
+    /**
+     * Re-chop the schedule into control windows of length
+     * @p period: each output window inherits the rate and channel
+     * of the input window containing it, and input boundaries
+     * always start a new output window (no window straddles an
+     * environment change). The trailing chunk of an input window
+     * may be shorter than @p period.
+     */
+    std::vector<ControlWindow> discretize(Time period) const;
+
+    /** A constant environment (control experiments). */
+    static NonstationaryTrace steady(size_t windows, Time window,
+                                     double events_per_second);
+
+    /**
+     * Channel square wave: spans alternate between the ideal
+     * channel and @p bad every @p half_period windows, at a
+     * constant event rate. The canonical oscillation bait for
+     * hysteresis tests.
+     */
+    static NonstationaryTrace
+    squareWave(size_t windows, Time window, double events_per_second,
+               size_t half_period, const GilbertElliottParams &bad);
+
+    /**
+     * A seeded day: 24 one-hour spans with an overnight event-rate
+     * lull, a daytime activity step, and a few multi-hour bursty
+     * channel episodes drawn from @p seed. The bench's headline
+     * nonstationary scenario (battery decay + channel episodes +
+     * rate step).
+     */
+    static NonstationaryTrace day(uint64_t seed);
+};
+
+} // namespace xpro
+
+#endif // XPRO_CONTROL_TRACE_HH

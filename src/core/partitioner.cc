@@ -48,9 +48,25 @@ struct XProGenerator::SweepNetwork
         double aggregatorEnergyJ = 0.0;
     };
 
+    /** cell -> B edge: execution energy + standby share by rate. */
+    struct CellEdge
+    {
+        size_t edgeIndex = 0;
+        /** Execution-only energy in joules (standby stripped). */
+        double executionJ = 0.0;
+        /** Input-channel standby draw in watts. */
+        double standbyW = 0.0;
+    };
+
     FlowNetwork net{0};
     std::vector<SweepEdge> edges;
     std::vector<PenaltyEdge> penaltyEdges;
+    /** Indices (into edges) of tx/rx/result transfer edges, whose
+     *  energy terms scale with the observed channel cost. */
+    std::vector<size_t> transferEdges;
+    /** Nominal energy of each transfer edge (scale == 1). */
+    std::vector<double> transferBaseJ;
+    std::vector<CellEdge> cellEdges;
     size_t cells = 0;
     double lambda = 0.0;
 };
@@ -85,6 +101,14 @@ XProGenerator::sweep() const
         sweep->edges.push_back(edge);
         return sweep->edges.size() - 1;
     };
+    /** track() + register as a channel-scaled transfer edge. */
+    const auto trackTransfer = [&](size_t u, size_t v, Energy e,
+                                   Time t) {
+        const size_t index = track(u, v, e, t);
+        sweep->transferEdges.push_back(index);
+        sweep->transferBaseJ.push_back(e.j());
+        return index;
+    };
 
     // The raw-data source is pinned to the sensor: it is terminal F.
     const auto mapped = [](size_t node) {
@@ -92,11 +116,21 @@ XProGenerator::sweep() const
                                                : cellBase + node;
     };
 
+    const double design_rate = _topology.designEventsPerSecond;
     for (size_t u = 1; u < sweep->cells; ++u) {
         const DataflowNode &node = graph.node(u);
-        // cell -> B: the cell's in-sensor execution cost.
-        track(cellBase + u, nodeB, node.costs.sensorEnergy,
-              node.costs.sensorDelay);
+        // cell -> B: the cell's in-sensor execution cost. The
+        // standby share baked into sensorEnergy is amortized at the
+        // topology's design rate; recording it separately lets
+        // setEventRate() re-amortize without a rebuild.
+        SweepNetwork::CellEdge cell;
+        cell.edgeIndex = track(cellBase + u, nodeB,
+                               node.costs.sensorEnergy,
+                               node.costs.sensorDelay);
+        cell.standbyW = node.costs.sensorStandby.w();
+        cell.executionJ = node.costs.sensorEnergy.j() -
+                          cell.standbyW / design_rate;
+        sweep->cellEdges.push_back(cell);
         // Placing the cell in the aggregator instead costs software
         // time and, under an admission-control penalty, weighted
         // software energy. Charge both on the F -> cell side so the
@@ -123,8 +157,8 @@ XProGenerator::sweep() const
         // Transmit dummy: if any consumer is in the aggregator while
         // the producer is in the sensor, the payload crosses once.
         const size_t tx_node = net.addNode();
-        track(mapped(group.producer), tx_node, transfer.txEnergy,
-              transfer.airTime);
+        trackTransfer(mapped(group.producer), tx_node,
+                      transfer.txEnergy, transfer.airTime);
         for (size_t v : group.consumers) {
             net.addEdge(tx_node, mapped(v),
                         FlowNetwork::infiniteCapacity());
@@ -135,8 +169,8 @@ XProGenerator::sweep() const
         // The source is always in the sensor, so it needs none.
         if (group.producer != DataflowGraph::sourceId) {
             const size_t rx_node = net.addNode();
-            track(rx_node, mapped(group.producer),
-                  transfer.rxEnergy, transfer.airTime);
+            trackTransfer(rx_node, mapped(group.producer),
+                          transfer.rxEnergy, transfer.airTime);
             for (size_t v : group.consumers) {
                 net.addEdge(mapped(v), rx_node,
                             FlowNetwork::infiniteCapacity());
@@ -148,11 +182,61 @@ XProGenerator::sweep() const
     // cell in the sensor costs one result transfer.
     const TransferCost result =
         _link.transfer(EngineTopology::resultBits);
-    track(cellBase + _topology.fusionNode, nodeB, result.txEnergy,
-          result.airTime);
+    trackTransfer(cellBase + _topology.fusionNode, nodeB,
+                  result.txEnergy, result.airTime);
 
     _sweep = std::move(sweep);
+    ++_coldSolves;
+    // Apply any runtime-adaptation state set before the first solve.
+    if (_transferScale != 1.0)
+        applyTransferScale();
+    if (_eventsPerSecond > 0.0)
+        applyEventRate();
     return *_sweep;
+}
+
+void
+XProGenerator::applyTransferScale() const
+{
+    SweepNetwork &sweep = *_sweep;
+    for (size_t i = 0; i < sweep.transferEdges.size(); ++i) {
+        sweep.edges[sweep.transferEdges[i]].energyJ =
+            sweep.transferBaseJ[i] * _transferScale;
+        // The capacity itself is refreshed by the next cutAt().
+    }
+}
+
+void
+XProGenerator::applyEventRate() const
+{
+    SweepNetwork &sweep = *_sweep;
+    const double rate = _eventsPerSecond > 0.0
+                            ? _eventsPerSecond
+                            : _topology.designEventsPerSecond;
+    for (const SweepNetwork::CellEdge &cell : sweep.cellEdges) {
+        sweep.edges[cell.edgeIndex].energyJ =
+            cell.executionJ + cell.standbyW / rate;
+    }
+}
+
+void
+XProGenerator::setTransferEnergyScale(double scale)
+{
+    xproAssert(scale > 0.0, "non-positive transfer scale %f", scale);
+    _transferScale = scale;
+    if (_sweep)
+        applyTransferScale();
+}
+
+void
+XProGenerator::setEventRate(double events_per_second)
+{
+    xproAssert(events_per_second > 0.0,
+               "event rate must be positive, got %f",
+               events_per_second);
+    _eventsPerSecond = events_per_second;
+    if (_sweep)
+        applyEventRate();
 }
 
 LambdaCut
@@ -165,6 +249,7 @@ XProGenerator::cutAt(double lambda) const
             edge.id, edge.energyJ + lambda * edge.delaySec);
     }
     sweep.lambda = lambda;
+    ++_warmSolves;
 
     const MinCutResult cut =
         sweep.net.resumeMinCut(nodeF, nodeB, false);
@@ -205,8 +290,30 @@ XProGenerator::minimumEnergyPlacement() const
 Energy
 XProGenerator::objective(const Placement &placement) const
 {
+    // Price the candidate exactly as the adapted cut does, so the
+    // sweep's candidate ranking agrees with the min-cut solves:
+    // wireless crossings at the observed channel scale, in-sensor
+    // standby re-amortized at the observed event rate.
+    const SensorEnergyBreakdown breakdown =
+        sensorEventEnergy(_topology, placement, _link);
+    // At the nominal scale keep total()'s summation order so the
+    // static path stays bit-identical to the pre-adaptive objective.
     Energy value =
-        sensorEventEnergy(_topology, placement, _link).total();
+        _transferScale == 1.0
+            ? breakdown.total()
+            : breakdown.compute +
+                  breakdown.wireless() * _transferScale;
+    if (_eventsPerSecond > 0.0) {
+        const double design_rate = _topology.designEventsPerSecond;
+        Power standby;
+        for (size_t u = 1; u < _topology.graph.nodeCount(); ++u) {
+            if (placement.inSensor(u))
+                standby +=
+                    _topology.graph.node(u).costs.sensorStandby;
+        }
+        value += standby * Time::seconds(1.0 / _eventsPerSecond -
+                                         1.0 / design_rate);
+    }
     if (_options.aggregatorEnergyWeight > 0.0) {
         Energy software;
         for (size_t u = 1; u < _topology.graph.nodeCount(); ++u) {

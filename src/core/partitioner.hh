@@ -137,6 +137,37 @@ class XProGenerator
     void setAggregatorEnergyWeight(double weight);
 
     /**
+     * Scale every transfer edge's energy term (tx, rx and the
+     * result transfer) by @p scale without discarding the warm flow
+     * network. The online controller sets the scale to the observed
+     * mean ARQ attempts per packet, so a degrading Gilbert-Elliott
+     * channel prices wireless crossings at their effective (retried)
+     * cost and the warm re-cut migrates cells back into the sensor.
+     * 1.0 restores the nominal expectation-level link.
+     */
+    void setTransferEnergyScale(double scale);
+
+    /**
+     * Re-amortize every cell's standby share at a new observed
+     * event rate (cell edges: execution energy + standby / rate)
+     * without discarding the warm flow network. Rate drift changes
+     * the execution-vs-standby balance the cut trades off; the next
+     * cutAt()/generate() resumes from the previous flow. Cells whose
+     * CellCosts carry no separate standby power (hand-built
+     * fixtures) keep their built-in sensorEnergy.
+     */
+    void setEventRate(double events_per_second);
+
+    /**
+     * Solve accounting for the runtime-adaptive controller's
+     * steady-state gate: networks built from scratch vs. cuts
+     * resumed on the persistent network. A controller that keeps
+     * one generator alive sees coldSolves() == 1 forever.
+     */
+    size_t coldSolves() const { return _coldSolves; }
+    size_t warmSolves() const { return _warmSolves; }
+
+    /**
      * Full generation with the paper's delay constraint
      * T <= min(T_F, T_B).
      */
@@ -165,11 +196,20 @@ class XProGenerator
     struct SweepNetwork;
 
     SweepNetwork &sweep() const;
+    /** Re-price the sweep's transfer edges at _transferScale. */
+    void applyTransferScale() const;
+    /** Re-amortize the sweep's cell standby at _eventsPerSecond. */
+    void applyEventRate() const;
 
     const EngineTopology &_topology;
     const WirelessLink &_link;
     GeneratorOptions _options;
+    /** Runtime-adaptation state (applied to the sweep's edges). */
+    double _transferScale = 1.0;
+    double _eventsPerSecond = 0.0; ///< 0 = topology's design rate
     mutable std::unique_ptr<SweepNetwork> _sweep;
+    mutable size_t _coldSolves = 0;
+    mutable size_t _warmSolves = 0;
 };
 
 } // namespace xpro

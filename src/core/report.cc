@@ -175,6 +175,97 @@ RobustnessReport::writeText(std::ostream &out) const
 }
 
 std::string
+ControlReport::serialize() const
+{
+    std::ostringstream out;
+    out << "control v1\n"
+        << "windows " << windows << '\n'
+        << "repartitions " << repartitions << '\n'
+        << "holds " << hysteresisHolds << ' ' << dwellHolds << '\n'
+        << "solves " << coldSolves << ' ' << warmSolves << '\n'
+        << "handover_uj " << canonical(handoverTotalUj) << '\n'
+        << "handover_ms " << canonical(handoverTotalMs) << '\n';
+    if (droppedDecisions > 0)
+        out << "dropped " << droppedDecisions << '\n';
+    for (const ControlDecision &d : decisions) {
+        out << "decision " << d.window << ' ' << canonical(d.atMs)
+            << ' ' << d.action << ' ' << canonical(d.observedScale)
+            << ' ' << canonical(d.observedRate) << ' '
+            << canonical(d.stateOfCharge) << ' ' << d.dutyLevel
+            << ' ' << d.sensorCells << ' ' << d.movedCells << ' '
+            << canonical(d.handoverUj) << ' '
+            << canonical(d.handoverMs) << ' '
+            << canonical(d.improvement) << '\n';
+    }
+    return out.str();
+}
+
+void
+ControlReport::writeText(std::ostream &out) const
+{
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "control: %zu windows, %zu repartitions "
+                  "(%zu hysteresis holds, %zu dwell holds)\n",
+                  windows, repartitions, hysteresisHolds,
+                  dwellHolds);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "solves: %zu cold, %zu warm; handover %.3f uJ / "
+                  "%.3f ms\n",
+                  coldSolves, warmSolves, handoverTotalUj,
+                  handoverTotalMs);
+    out << line;
+    // Long traces are elided for readability: adopted re-partitions
+    // and level changes always print, runs of steady/hold windows
+    // collapse into one summary line.
+    size_t elided = 0;
+    const auto flushElided = [&]() {
+        if (elided == 0)
+            return;
+        std::snprintf(line, sizeof(line),
+                      "  ... %zu steady/hold window(s) ...\n",
+                      elided);
+        out << line;
+        elided = 0;
+    };
+    for (size_t i = 0; i < decisions.size(); ++i) {
+        const ControlDecision &d = decisions[i];
+        const bool landmark = d.action == "repartition" ||
+                              d.action == "retune" || i == 0 ||
+                              i + 1 == decisions.size();
+        if (!landmark && decisions.size() > 48) {
+            ++elided;
+            continue;
+        }
+        flushElided();
+        std::snprintf(line, sizeof(line),
+                      "  w%-3zu %10.1f ms %-11s scale %5.2f rate "
+                      "%5.2f/s soc %5.1f%% duty L%zu cut %zu",
+                      d.window, d.atMs, d.action.c_str(),
+                      d.observedScale, d.observedRate,
+                      100.0 * d.stateOfCharge, d.dutyLevel,
+                      d.sensorCells);
+        out << line;
+        if (d.movedCells > 0) {
+            std::snprintf(line, sizeof(line),
+                          " (moved %zu, %.3f uJ, %.3f ms)",
+                          d.movedCells, d.handoverUj, d.handoverMs);
+            out << line;
+        }
+        out << '\n';
+    }
+    flushElided();
+    if (droppedDecisions > 0) {
+        std::snprintf(line, sizeof(line),
+                      "  (%zu later decisions counted but not "
+                      "retained)\n",
+                      droppedDecisions);
+        out << line;
+    }
+}
+
+std::string
 FleetReport::serialize() const
 {
     std::ostringstream out;
@@ -214,6 +305,9 @@ FleetReport::serialize() const
             out << ' ' << row.degradedEvents;
         out << '\n';
     }
+    // Controller section only for adaptive runs, same reasoning.
+    if (control.enabled)
+        out << control.serialize();
     return out.str();
 }
 
@@ -264,6 +358,8 @@ FleetReport::writeText(std::ostream &out) const
     }
     if (robustness.enabled)
         robustness.writeText(out);
+    if (control.enabled)
+        control.writeText(out);
 }
 
 CsvTable

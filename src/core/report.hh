@@ -103,6 +103,90 @@ struct RobustnessReport
 };
 
 /**
+ * One decision of the runtime-adaptive cross-end controller
+ * (control/): what it observed at a control-window boundary and what
+ * it did about it.
+ */
+struct ControlDecision
+{
+    /** Control-window index the decision closed (0-based). */
+    size_t window = 0;
+    /** Simulated time of the window boundary. */
+    double atMs = 0.0;
+    /**
+     * What happened: "repartition" (new cut adopted and cells
+     * migrated), "retune" (knobs changed but the cut held),
+     * "hold" (proposal within the hysteresis band),
+     * "dwell" (proposal suppressed by the minimum dwell time) or
+     * "steady" (telemetry matched the active operating point).
+     */
+    std::string action;
+    /** Mean ARQ attempts per delivered packet fed to the generator
+     *  (1 = nominal channel). */
+    double observedScale = 1.0;
+    /** Observed event rate fed to the generator (events/s). */
+    double observedRate = 0.0;
+    /** Battery state of charge at the boundary, 0..1. */
+    double stateOfCharge = 0.0;
+    /** Duty-cycle level index chosen for the next window. */
+    size_t dutyLevel = 0;
+    /** In-sensor cells after the decision. */
+    size_t sensorCells = 0;
+    /** Cells migrated across ends by the handover. */
+    size_t movedCells = 0;
+    /** Snapshot + drain + cutover energy charged to the sensor. */
+    double handoverUj = 0.0;
+    /** Airtime the handover occupied on the shared channel. */
+    double handoverMs = 0.0;
+    /** Relative objective improvement of the adopted (or rejected)
+     *  proposal over the active placement, e.g. 0.12 = 12%. */
+    double improvement = 0.0;
+};
+
+/**
+ * Decision trace of one adaptive run. Disabled (empty) when the
+ * controller is off, in which case serializers emit nothing so
+ * static-path outputs stay byte-identical. Deterministic: for a
+ * fixed seed and configuration the trace is a pure function of the
+ * run, regardless of host worker counts (a tested invariant).
+ */
+struct ControlReport
+{
+    /** True when the adaptive controller drove the run. */
+    bool enabled = false;
+    /** Control windows evaluated. */
+    size_t windows = 0;
+    /** Adopted re-partitions (cells actually migrated). */
+    size_t repartitions = 0;
+    /** Proposals rejected by the hysteresis band. */
+    size_t hysteresisHolds = 0;
+    /** Proposals suppressed by the minimum dwell time. */
+    size_t dwellHolds = 0;
+    /** Flow networks built from scratch by the generator. */
+    size_t coldSolves = 0;
+    /** Warm cut re-solves on the persistent network. */
+    size_t warmSolves = 0;
+    /** Total handover energy charged to the sensor battery. */
+    double handoverTotalUj = 0.0;
+    /** Total handover airtime. */
+    double handoverTotalMs = 0.0;
+    /** Chronological decision trace (one entry per window, up to
+     *  the controller's retention cap). */
+    std::vector<ControlDecision> decisions;
+    /** Decisions beyond the retention cap: counted above but not
+     *  retained in @ref decisions (multi-week lifetime runs would
+     *  otherwise grow the trace without bound). */
+    size_t droppedDecisions = 0;
+
+    /** Canonical, byte-exact serialization (same rules as
+     *  FleetReport::serialize). */
+    std::string serialize() const;
+
+    /** Human-readable decision trace plus totals. */
+    void writeText(std::ostream &out) const;
+};
+
+/**
  * One node's line in a fleet report. Plain data (names and SI-scaled
  * numbers) so the report stays independent of the fleet subsystem's
  * types and serializes canonically.
@@ -174,6 +258,9 @@ struct FleetReport
     /** Fault-injection outcome; disabled (and absent from both
      *  serializations) when the run had no fault profile. */
     RobustnessReport robustness;
+    /** Adaptive-controller outcome, merged over the fleet's nodes;
+     *  disabled (and absent) when the controller was off. */
+    ControlReport control;
 
     /**
      * Canonical, byte-exact serialization: fixed formats, no

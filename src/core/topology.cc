@@ -49,6 +49,7 @@ buildEngineTopology(const RandomSubspace &ensemble,
 
     EngineTopology topo;
     topo.segmentLength = segment_length;
+    topo.designEventsPerSecond = events_per_second;
     topo.graph = DataflowGraph(segment_length * wordBits);
     topo.cells.resize(1); // placeholder for the source node
 
@@ -77,6 +78,7 @@ buildEngineTopology(const RandomSubspace &ensemble,
         const ModeCosts hw = cachedCellMode(workload, mode, tech);
         const SoftwareCosts sw = cpu.run(workload);
         node.costs.sensorEnergy = hw.energy + standby_per_event;
+        node.costs.sensorStandby = tech.cellStandbyPower();
         node.costs.sensorDelay = hw.delay;
         node.costs.aggregatorEnergy = sw.energy;
         node.costs.aggregatorDelay = sw.delay;

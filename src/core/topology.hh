@@ -66,6 +66,13 @@ struct EngineTopology
     std::vector<size_t> dwtNodes;
     /** Samples in the raw segment. */
     size_t segmentLength = 0;
+    /**
+     * Event rate the per-cell standby shares were amortized at when
+     * the topology was built. Runtime adaptation (control/) uses it
+     * to re-amortize CellCosts::sensorStandby at an observed rate
+     * without rebuilding the topology.
+     */
+    double designEventsPerSecond = 4.0;
 
     /** Bits of the final classification result. */
     static constexpr size_t resultBits = featureValueBits;

@@ -26,7 +26,10 @@ namespace xpro
 /** Per-end execution costs of one functional cell for one event. */
 struct CellCosts
 {
-    /** Energy drawn from the sensor battery if placed in-sensor. */
+    /** Energy drawn from the sensor battery if placed in-sensor.
+     *  Includes the cell's standby share amortized at the event rate
+     *  the topology was built for (EngineTopology::
+     *  designEventsPerSecond). */
     Energy sensorEnergy;
     /** Processing latency of the in-sensor hardware implementation. */
     Time sensorDelay;
@@ -34,6 +37,15 @@ struct CellCosts
     Energy aggregatorEnergy;
     /** Processing latency of the software implementation. */
     Time aggregatorDelay;
+    /**
+     * Continuous input-channel standby draw of the in-sensor
+     * implementation (zero for hand-built fixtures that fold standby
+     * into sensorEnergy). Kept separately so runtime adaptation —
+     * the online controller re-cutting at an observed event rate —
+     * can re-amortize standby per event without rebuilding the
+     * topology: per-event standby at rate r is sensorStandby / r.
+     */
+    Power sensorStandby;
 };
 
 /** One node of the functional-cell topology graph. */

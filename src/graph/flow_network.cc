@@ -254,11 +254,16 @@ FlowNetwork::updateCapacity(size_t edge_id, double new_capacity)
 
     // The edge now carries more flow than it may: lower its flow by
     // the excess and repair conservation. Removing `excess` from
-    // u -> v leaves u with surplus inflow and v short of inflow;
-    // rerouting the surplus from u back to the source and pulling
-    // the sink's intake back to v (both along residual paths, which
-    // exist by flow decomposition of the old flow through the edge)
-    // yields a feasible flow whose value dropped by the excess.
+    // u -> v leaves u with surplus inflow and v short of inflow. By
+    // flow decomposition the excess sits on source -> sink paths
+    // through u -> v and on flow cycles through u -> v (cycles
+    // arise once earlier repairs have pulled flow backwards), so
+    // the repair has two parts: reroute as much as possible from u
+    // straight back to v through the residual graph (cancels the
+    // cyclic share at unchanged flow value), then drain the path
+    // share from u to the source and pull the sink's intake back to
+    // v (drops the value by that share). Either way the result is a
+    // feasible flow for resumeMinCut() to grow again.
     xproAssert(_solved,
                "capacity decrease below flow requires a prior solve");
     const size_t u = _edges[2 * edge_id + 1].to;
@@ -266,16 +271,28 @@ FlowNetwork::updateCapacity(size_t edge_id, double new_capacity)
     forward.flow -= excess;
     _edges[2 * edge_id + 1].flow += excess;
 
-    if (u != _lastSource && u != _lastSink) {
-        const double drained =
-            pushResidual(u, _lastSource, excess);
-        xproAssert(drained >= excess - 1e-9 * (1.0 + excess),
-                   "failed to drain %f of surplus flow", excess);
+    double surplus = excess; // unmatched inflow at u
+    double deficit = excess; // missing inflow at v
+    const bool u_free = u == _lastSource || u == _lastSink;
+    const bool v_free = v == _lastSource || v == _lastSink;
+    if (!u_free && !v_free && surplus > residualEpsilon) {
+        const double rerouted = pushResidual(u, v, surplus);
+        surplus -= rerouted;
+        deficit -= rerouted;
     }
-    if (v != _lastSink && v != _lastSource) {
-        const double pulled = pushResidual(_lastSink, v, excess);
-        xproAssert(pulled >= excess - 1e-9 * (1.0 + excess),
-                   "failed to pull back %f of sink flow", excess);
+    if (!u_free && surplus > residualEpsilon) {
+        surplus -= pushResidual(u, _lastSource, surplus);
+        if (surplus > residualEpsilon)
+            surplus -= pushResidual(u, _lastSink, surplus);
+        xproAssert(surplus <= 1e-9 * (1.0 + excess),
+                   "failed to drain %f of surplus flow", surplus);
+    }
+    if (!v_free && deficit > residualEpsilon) {
+        deficit -= pushResidual(_lastSink, v, deficit);
+        if (deficit > residualEpsilon)
+            deficit -= pushResidual(_lastSource, v, deficit);
+        xproAssert(deficit <= 1e-9 * (1.0 + excess),
+                   "failed to pull back %f of sink flow", deficit);
     }
 }
 

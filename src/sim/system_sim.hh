@@ -62,6 +62,9 @@ struct SimResult
     std::vector<TraceEntry> trace;
     /** Fault-injection outcome; disabled for fault-free runs. */
     RobustnessReport robustness;
+    /** Adaptive-controller outcome; disabled for static runs
+     *  (filled by control/adaptive_sim, never by simulateEvent). */
+    ControlReport control;
 };
 
 /** Simulate one event end to end. */
@@ -96,6 +99,9 @@ struct StreamResult
     size_t degradedEvents = 0;
     /** Fault-injection outcome; disabled for fault-free runs. */
     RobustnessReport robustness;
+    /** Adaptive-controller outcome; disabled for static runs
+     *  (filled by control/adaptive_sim, never by simulateStream). */
+    ControlReport control;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "sim/trace_export.hh"
 
+#include <cstdio>
 #include <fstream>
 #include <optional>
 #include <vector>
@@ -94,7 +95,9 @@ writeChromeTrace(const SimResult &result,
         if (marker("retry ", tidRadio) || marker("drop ", tidRadio) ||
             marker("outage ", tidSensor) ||
             marker("fallback #", tidSensor) ||
-            marker("local result #", tidSensor))
+            marker("local result #", tidSensor) ||
+            marker("repartition", tidSensor) ||
+            marker("handover", tidRadio))
             continue;
         if (entry.what.rfind("done ", 0) == 0) {
             // "done <name> #<k>" or "done <name>".
@@ -143,6 +146,66 @@ writeChromeTrace(const SimResult &result,
             << (i + 1 < events.size() ? "," : "") << "\n";
     }
     out << "]\n";
+}
+
+void
+writeControlTrace(const ControlReport &report, std::ostream &out)
+{
+    constexpr int tid_controller = 3;
+    std::vector<TraceEvent> events;
+    for (const ControlDecision &d : report.decisions) {
+        const double at_us = d.atMs * 1e3;
+        char name[128];
+        std::snprintf(name, sizeof(name),
+                      "%s w%zu (duty L%zu, cut %zu)",
+                      d.action.c_str(), d.window, d.dutyLevel,
+                      d.sensorCells);
+        events.push_back({name, at_us, 0.0, tid_controller, true});
+        if (d.movedCells > 0) {
+            std::snprintf(name, sizeof(name),
+                          "handover (%zu cells, %.3f uJ)",
+                          d.movedCells, d.handoverUj);
+            events.push_back(
+                {name, at_us, d.handoverMs * 1e3, tidRadio});
+        }
+    }
+
+    out << "[\n";
+    const std::pair<int, const char *> tracks[] = {
+        {tidRadio, "wireless channel"},
+        {tid_controller, "controller"},
+    };
+    for (const auto &[tid, name] : tracks) {
+        out << "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+            << "\"tid\":" << tid << ",\"args\":{\"name\":\"" << name
+            << "\"}},\n";
+    }
+    for (size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &e = events[i];
+        out << "  {\"name\":\"" << jsonEscape(e.name) << "\",";
+        if (e.instant) {
+            out << "\"ph\":\"i\",\"ts\":" << e.startUs
+                << ",\"s\":\"t\"";
+        } else {
+            out << "\"ph\":\"X\",\"ts\":" << e.startUs
+                << ",\"dur\":" << e.durationUs;
+        }
+        out << ",\"pid\":0,\"tid\":" << e.tid << "}"
+            << (i + 1 < events.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+}
+
+void
+writeControlTraceFile(const ControlReport &report,
+                      const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeControlTrace(report, out);
+    if (!out)
+        fatal("write to '%s' failed", path.c_str());
 }
 
 void

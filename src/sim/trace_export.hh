@@ -41,6 +41,20 @@ void writeChromeTraceFile(const SimResult &result,
                           const Placement &placement,
                           const std::string &path);
 
+/**
+ * Write a controller decision trace (control/) as Chrome
+ * trace-event JSON: every decision becomes an instant event on the
+ * controller track ("repartition w3", "hold w4", ...), and adopted
+ * re-partitions additionally put their handover airtime on the
+ * wireless-channel track as a duration event.
+ */
+void writeControlTrace(const ControlReport &report,
+                       std::ostream &out);
+
+/** Convenience: write to a file path; fatal on I/O failure. */
+void writeControlTraceFile(const ControlReport &report,
+                           const std::string &path);
+
 } // namespace xpro
 
 #endif // XPRO_SIM_TRACE_EXPORT_HH

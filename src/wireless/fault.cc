@@ -93,6 +93,24 @@ FaultProfile::presetNames()
     return names;
 }
 
+FaultProfile
+windowFaultProfile(const FaultProfile &base,
+                   const GilbertElliottParams &burst,
+                   uint64_t window_index)
+{
+    FaultProfile profile = base;
+    profile.burst = burst;
+    profile.outages.clear(); // scripted outages are trace-global
+    // SplitMix64-style decorrelation of the per-window seed.
+    uint64_t z = base.seed + 0x9E3779B97F4A7C15ull * (window_index + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    profile.seed = z ^ (z >> 31);
+    profile.enabled =
+        burst.lossGood > 0.0 || burst.pGoodToBad > 0.0;
+    return profile;
+}
+
 LossProcess::LossProcess(const FaultProfile &profile)
     : _profile(profile), _rng(profile.seed)
 {

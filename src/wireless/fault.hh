@@ -119,6 +119,19 @@ struct FaultProfile
 };
 
 /**
+ * Derive the fault profile of one control window from a base
+ * profile: same ARQ, outage-detector and probe settings, the
+ * window's burst parameters, and a seed decorrelated per window so
+ * successive windows draw independent loss sequences while staying
+ * reproducible. An ideal window (lossGood == 0 and pGoodToBad == 0)
+ * yields a disabled profile, routing the simulators to the exact
+ * legacy path. Used by the runtime-adaptive controller (control/).
+ */
+FaultProfile windowFaultProfile(const FaultProfile &base,
+                                const GilbertElliottParams &burst,
+                                uint64_t window_index);
+
+/**
  * The seeded per-packet draw engine: one Gilbert-Elliott chain per
  * simulated channel. Draws are consumed in simulation-event order,
  * which is deterministic for a fixed configuration regardless of

@@ -91,6 +91,98 @@ TEST(BatterySimTest, InvalidInputsPanic)
                  PanicError);
 }
 
+// --- ChargeTracker (online controller's battery telemetry) -------
+
+TEST(ChargeTrackerTest, MonotoneQueriesExtrapolateLastSpan)
+{
+    const Battery battery = Battery::sensorNodeBattery();
+    ChargeTracker tracker(battery);
+    EXPECT_DOUBLE_EQ(tracker.stateOfCharge(), 1.0);
+    EXPECT_FALSE(tracker.depleted());
+
+    tracker.drainTo(Time::hours(1.0), Energy::millis(10.0));
+    const double after_first = tracker.stateOfCharge();
+    EXPECT_LT(after_first, 1.0);
+    EXPECT_GT(after_first, 0.0);
+
+    // Queries between drains extrapolate the last span's mean power
+    // and must never increase with time.
+    double previous = after_first;
+    for (double h = 1.0; h <= 3.0; h += 0.25) {
+        const double soc = tracker.stateOfCharge(Time::hours(h));
+        EXPECT_LE(soc, previous);
+        previous = soc;
+    }
+    // now() stays at the last drain; extrapolation is side-effect
+    // free.
+    EXPECT_DOUBLE_EQ(tracker.now().hr(), 1.0);
+    EXPECT_DOUBLE_EQ(tracker.stateOfCharge(), after_first);
+}
+
+TEST(ChargeTrackerTest, DepletesToExactlyZeroAndStaysThere)
+{
+    const Battery battery(1.0, 3.7); // tiny 1 mAh cell
+    ChargeTracker tracker(battery);
+    const Energy usable = battery.usableEnergy(Power());
+
+    // Drain ~60% of the usable capacity, then overshoot it. Gentle
+    // hour-long spans keep the rate derating negligible.
+    tracker.drainTo(Time::hours(1.0), usable * 0.6);
+    EXPECT_FALSE(tracker.depleted());
+    EXPECT_GT(tracker.stateOfCharge(), 0.0);
+
+    tracker.drainTo(Time::hours(2.0), usable * 0.8);
+    EXPECT_TRUE(tracker.depleted());
+    EXPECT_DOUBLE_EQ(tracker.stateOfCharge(), 0.0);
+    EXPECT_DOUBLE_EQ(tracker.stateOfCharge(Time::hours(5.0)), 0.0);
+
+    // Death is interpolated inside the last span, not snapped to
+    // its boundary.
+    const Time died = tracker.depletionTime();
+    EXPECT_GT(died.hr(), 1.0);
+    EXPECT_LT(died.hr(), 2.0);
+
+    // Consumption is capped at the usable limit (rate-derated, so
+    // at or below the nominal usable energy).
+    EXPECT_LE(tracker.consumed().j(), usable.j());
+
+    // Further drains on a dead battery are harmless no-ops.
+    tracker.drainTo(Time::hours(3.0), Energy::millis(1.0));
+    EXPECT_DOUBLE_EQ(tracker.stateOfCharge(), 0.0);
+    EXPECT_DOUBLE_EQ(tracker.depletionTime().sec(), died.sec());
+}
+
+TEST(ChargeTrackerTest, ZeroEnergySpansAdvanceTimeOnly)
+{
+    ChargeTracker tracker(Battery::sensorNodeBattery());
+    tracker.drainTo(Time::seconds(10.0), Energy::millis(1.0));
+    const double soc = tracker.stateOfCharge();
+    tracker.drainTo(Time::seconds(20.0), Energy());
+    EXPECT_DOUBLE_EQ(tracker.stateOfCharge(), soc);
+    // An idle span resets the extrapolation basis: future queries
+    // no longer project the earlier load.
+    EXPECT_DOUBLE_EQ(tracker.stateOfCharge(Time::seconds(100.0)),
+                     soc);
+}
+
+TEST(ChargeTrackerTest, InvalidUsePanics)
+{
+    ChargeTracker tracker(Battery::sensorNodeBattery());
+    tracker.drainTo(Time::seconds(10.0), Energy::millis(1.0));
+    // Time must advance monotonically.
+    EXPECT_THROW(tracker.drainTo(Time::seconds(5.0), Energy()),
+                 PanicError);
+    // A nonzero drain needs a nonzero span.
+    EXPECT_THROW(tracker.drainTo(Time::seconds(10.0),
+                                 Energy::millis(1.0)),
+                 PanicError);
+    // Queries cannot look into the past.
+    EXPECT_THROW(tracker.stateOfCharge(Time::seconds(1.0)),
+                 PanicError);
+    // Depletion time is undefined while the battery lives.
+    EXPECT_THROW(tracker.depletionTime(), FatalError);
+}
+
 TEST(TraceExportTest, ProducesValidLookingJson)
 {
     const EngineTopology topo = chainTopology(100, 200, 50, 2048);

@@ -23,6 +23,14 @@
  *
  *   xpro_cli --case C1 --fault-profile bursty [--max-retries N]
  *            [--loss-burst pGB:pBG] [--outage start:end]
+ *
+ * Adaptive mode runs the online cross-end controller over a seeded
+ * nonstationary day trace (battery decay, channel episodes, rate
+ * steps) and compares its lifetime against both static extremes:
+ *
+ *   xpro_cli --case C1 --adaptive [--repartition-period s]
+ *            [--hysteresis frac] [--min-dwell s]
+ *            [--control-trace decisions.json]
  */
 
 #include <algorithm>
@@ -34,6 +42,7 @@
 
 #include "common/argparse.hh"
 #include "common/logging.hh"
+#include "control/adaptive_fleet.hh"
 #include "core/pipeline.hh"
 #include "data/testcases.hh"
 #include "fleet/fleet.hh"
@@ -85,7 +94,17 @@ usage(const char *argv0)
         "  --max-retries <n>          ARQ retries before a packet "
         "is abandoned (default 5)\n"
         "  --outage <a>:<b>           scripted outage window in ms, "
-        "repeatable (enables fault injection)\n",
+        "repeatable (enables fault injection)\n"
+        "  --adaptive                 run the online cross-end "
+        "controller over a seeded nonstationary day trace\n"
+        "  --repartition-period <s>   control-window length in "
+        "seconds (default 60)\n"
+        "  --hysteresis <frac>        relative objective improvement "
+        "a re-partition must beat (default 0.05)\n"
+        "  --min-dwell <s>            minimum seconds between "
+        "re-partitions (default 120)\n"
+        "  --control-trace <file>     write a Chrome trace of the "
+        "controller's decisions\n",
         argv0);
     std::exit(2);
 }
@@ -205,7 +224,9 @@ int
 runFleetMode(size_t fleet_size, size_t workers,
              size_t sweep_workers, RadioPolicy policy, size_t events,
              WirelessModel wireless, double ber, uint64_t seed,
-             const FaultProfile &faults)
+             const FaultProfile &faults, const ControlConfig &control,
+             ProcessNode process,
+             const std::string &control_trace_path)
 {
     FleetConfig config;
     config.nodes = heterogeneousFleet(fleet_size, seed);
@@ -219,13 +240,30 @@ runFleetMode(size_t fleet_size, size_t workers,
 
     std::printf("designing %zu-node fleet on %zu worker(s)...\n",
                 fleet_size, workers);
-    const FleetResult result = runFleet(config);
+    FleetResult result;
+    if (control.enabled) {
+        AdaptiveRunConfig run;
+        run.control = control;
+        run.faults = faults;
+        run.sensor.process = process;
+        const NonstationaryTrace trace = NonstationaryTrace::day(seed);
+        result = runAdaptiveFleet(config, trace, run);
+    } else {
+        result = runFleet(config);
+    }
     std::printf("design: %.2f s CPU over workers (busiest %.2f s), "
                 "%.2f s wall\n\n",
                 result.designWork.sec(),
                 result.designMakespan.sec(),
                 result.designWall.sec());
     result.report.writeText(std::cout);
+    if (!control_trace_path.empty()) {
+        writeControlTraceFile(result.report.control,
+                              control_trace_path);
+        std::printf("control trace: %s (%zu decisions)\n",
+                    control_trace_path.c_str(),
+                    result.report.control.decisions.size());
+    }
     return 0;
 }
 
@@ -252,6 +290,10 @@ main(int argc, char **argv)
     FaultProfile faults;
     bool max_retries_set = false;
     size_t max_retries = 0;
+    bool adaptive = false;
+    bool engine_set = false;
+    ControlConfig control;
+    std::string control_trace_path;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -267,8 +309,10 @@ main(int argc, char **argv)
                 process = parseProcess(value());
             else if (arg == "--wireless")
                 wireless = parseWireless(value());
-            else if (arg == "--engine")
+            else if (arg == "--engine") {
                 engine = parseEngine(value());
+                engine_set = true;
+            }
             else if (arg == "--ber")
                 ber = parseProbabilityArg(value(), "--ber");
             else if (arg == "--candidates")
@@ -320,13 +364,38 @@ main(int argc, char **argv)
                           start.c_str(), end.c_str());
                 faults.outages.push_back(window);
                 faults.enabled = true;
-            } else
+            } else if (arg == "--adaptive")
+                adaptive = true;
+            else if (arg == "--repartition-period")
+                control.repartitionPeriod =
+                    Time::seconds(parsePositiveRealArg(
+                        value(), "--repartition-period"));
+            else if (arg == "--hysteresis")
+                control.hysteresis = parseNonNegativeRealArg(
+                    value(), "--hysteresis");
+            else if (arg == "--min-dwell")
+                control.minDwell = Time::seconds(
+                    parseNonNegativeRealArg(value(), "--min-dwell"));
+            else if (arg == "--control-trace")
+                control_trace_path = value();
+            else
                 usage(argv[0]);
         }
         if (max_retries_set)
             faults.arq.maxRetries = max_retries;
         if (faults.enabled)
             faults.validate();
+        if (adaptive && engine_set &&
+            engine != EngineKind::CrossEnd) {
+            fatal("--adaptive re-partitions at run time and cannot "
+                  "honor a fixed placement; drop --engine %s",
+                  engineKindName(engine).c_str());
+        }
+        if (!adaptive && !control_trace_path.empty())
+            fatal("--control-trace requires --adaptive");
+        control.enabled = adaptive;
+        if (adaptive)
+            control.validate();
 
         if (fleet_size > 0) {
             size_t largest_segment = 0;
@@ -339,7 +408,8 @@ main(int argc, char **argv)
             checkBerFeasible(ber, largest_segment);
             return runFleetMode(fleet_size, workers, sweep_workers,
                                 policy, events, wireless, ber, seed,
-                                faults);
+                                faults, control, process,
+                                control_trace_path);
         }
         checkBerFeasible(ber,
                          testCaseInfo(test_case).segmentLength);
@@ -419,6 +489,46 @@ main(int argc, char **argv)
                         stream.worstLatency.ms(),
                         stream.degradedEvents);
             stream.robustness.writeText(std::cout);
+        }
+
+        if (adaptive) {
+            AdaptiveRunConfig run;
+            run.control = control;
+            run.faults = faults;
+            run.sensor.process = process;
+            const NonstationaryTrace day =
+                NonstationaryTrace::day(seed);
+
+            std::printf("\nadaptive controller over a seeded "
+                        "nonstationary day (%zu spans, %.0f h)\n",
+                        day.windows.size(), day.total().hr());
+            const LifetimeResult adaptive_life =
+                adaptiveLifetime(topology, link, day, run);
+            const LifetimeResult sensor_life = staticLifetime(
+                topology, Placement::allInSensor(topology), link,
+                day, run);
+            const LifetimeResult aggregator_life = staticLifetime(
+                topology, Placement::allInAggregator(topology), link,
+                day, run);
+            std::printf("  adaptive  : %.1f h lifetime "
+                        "(%zu passes, %zu events)\n",
+                        adaptive_life.lifetime.hr(),
+                        adaptive_life.tracePasses,
+                        adaptive_life.events);
+            std::printf("  static S  : %.1f h lifetime "
+                        "(all-in-sensor)\n",
+                        sensor_life.lifetime.hr());
+            std::printf("  static A  : %.1f h lifetime "
+                        "(all-in-aggregator)\n",
+                        aggregator_life.lifetime.hr());
+            adaptive_life.control.writeText(std::cout);
+            if (!control_trace_path.empty()) {
+                writeControlTraceFile(adaptive_life.control,
+                                      control_trace_path);
+                std::printf("  control trace: %s (%zu decisions)\n",
+                            control_trace_path.c_str(),
+                            adaptive_life.control.decisions.size());
+            }
         }
 
         if (!trace_path.empty()) {
