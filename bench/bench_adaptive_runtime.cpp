@@ -128,6 +128,7 @@ main()
     checker.metric("handover_total_uj", control.handoverTotalUj);
     checker.metric("design_s", design_s);
     checker.metric("adaptive_s", adaptive_s);
+    checker.throughput(adaptive.events, adaptive_s);
 
     return checker.finish("bench_adaptive_runtime");
 }

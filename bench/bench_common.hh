@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "core/pipeline.hh"
 #include "data/testcases.hh"
 #include "sim/system_sim.hh"
@@ -54,6 +56,16 @@ class SteadyTimer
   private:
     std::chrono::steady_clock::time_point _start;
 };
+
+/** Peak resident set size in MiB (getrusage; ru_maxrss is KiB on
+ *  Linux). */
+inline double
+peakRssMb()
+{
+    struct rusage usage = {};
+    getrusage(RUSAGE_SELF, &usage);
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
 
 /** The paper's classifier setup (Section 4.4), full candidate
  *  budget, with a training-set cap so every bench stays fast. */
@@ -139,6 +151,22 @@ class ShapeChecker
         _metrics.emplace_back(name, value);
     }
 
+    /**
+     * Event throughput under the SAME JSON key — "events_per_sec" —
+     * in every event-driven bench, so CI can compare them with one
+     * grep. @p events is whatever unit of work the bench pushed
+     * through (stream events, training segments, sweep points);
+     * each bench documents its unit at the call site.
+     */
+    void
+    throughput(size_t events, double seconds)
+    {
+        metric("events_per_sec",
+               seconds > 0.0
+                   ? static_cast<double>(events) / seconds
+                   : 0.0);
+    }
+
     /** Print a summary; returns the process exit code. */
     int
     finish(const char *bench_name) const
@@ -154,11 +182,14 @@ class ShapeChecker
                     "\"failures\":%zu,\"metrics\":{",
                     bench_name, _checks, _failures);
         for (size_t i = 0; i < _metrics.size(); ++i) {
-            std::printf("%s\"%s\":%.9g", i ? "," : "",
+            std::printf("\"%s\":%.9g,",
                         _metrics[i].first.c_str(),
                         _metrics[i].second);
         }
-        std::printf("}}\n");
+        // Every bench closes with the shared "peak_rss_mb" key, so
+        // memory is comparable across all harnesses without each
+        // one remembering to report it.
+        std::printf("\"peak_rss_mb\":%.9g}}\n", peakRssMb());
         return _failures == 0 ? 0 : 1;
     }
 

@@ -47,6 +47,8 @@ main()
 
     bool all_classified = true;
     double bursty_delivered_ratio = 1.0;
+    size_t simulated_events = 0;
+    SteadyTimer stream_timer;
     for (const std::string &name : FaultProfile::presetNames()) {
         const FaultProfile profile = FaultProfile::preset(name);
         const StreamResult stream =
@@ -58,11 +60,14 @@ main()
                     r.packetsOffered, r.attempts, r.outages,
                     stream.sensorEnergy.total().nj() * 1e-3);
         all_classified &= stream.events == events;
+        simulated_events += stream.events;
         if (name == "bursty" && r.packetsOffered > 0) {
             bursty_delivered_ratio =
                 double(r.packetsDelivered) / double(r.packetsOffered);
         }
     }
+
+    const double preset_stream_s = stream_timer.seconds();
 
     // Total blackout: the link is down for the whole run.
     FaultProfile blackout = FaultProfile::preset("harsh");
@@ -137,5 +142,6 @@ main()
     checker.metric("bursty_delivered_ratio", bursty_delivered_ratio);
     checker.metric("recovery_mean_ms",
                    healed.robustness.meanRecoveryMs);
+    checker.throughput(simulated_events, preset_stream_s);
     return checker.finish("bench_fault_resilience");
 }

@@ -146,11 +146,14 @@ main()
     const size_t sizes[] = {2, 4, 8};
     std::vector<double> fcfs_miss, fcfs_occupancy;
     double tdma_large_miss = 0.0;
+    size_t stress_events = 0;
+    SteadyTimer stress_timer;
     for (size_t nodes : sizes) {
         for (RadioPolicy policy :
              {RadioPolicy::Fcfs, RadioPolicy::Tdma}) {
             const FleetResult run =
                 runFleet(sweepFleetConfig(nodes, policy));
+            stress_events += nodes * 6; // eventsPerNode above
             double worst = 0.0;
             for (const FleetNodeReportRow &row : run.report.rows)
                 worst = std::max(worst, row.worstLatencyMs);
@@ -169,6 +172,7 @@ main()
             }
         }
     }
+    const double stress_s = stress_timer.seconds();
 
     checker.check(fcfs_occupancy.back() > fcfs_occupancy.front(),
                   "radio occupancy grows with fleet size");
@@ -178,6 +182,8 @@ main()
     checker.check(fcfs_miss.back() > 0.0 && tdma_large_miss > 0.0,
                   "the 8-node stressed fleet misses deadlines "
                   "under both policies");
+
+    checker.throughput(stress_events, stress_s);
 
     std::printf("\n");
     return checker.finish("bench_fleet_scaling");

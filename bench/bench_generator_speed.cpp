@@ -253,6 +253,8 @@ main()
     checker.metric("warm_speedup", timing.speedup());
     checker.metric("synthetic_warm_speedup", big_timing.speedup());
     checker.metric("cache_hit_rate", cache.hitRate());
+    // Work unit: one warm lambda-sweep point (30 sweeps timed).
+    checker.throughput(30 * lambdas.size(), timing.warmSec);
 
     std::printf("\n");
     return checker.finish("bench_generator_speed");

@@ -448,6 +448,8 @@ main()
     checker.metric("speedup", speedup);
     checker.metric("serial_accuracy", naive_accuracy);
     checker.metric("fast_accuracy", fast_accuracy);
+    // Work unit: one training segment through the fast path.
+    checker.throughput(train.size(), fast_ms / 1e3);
     checker.check(speedup >= 3.0,
                   "fast path is at least 3x faster end to end");
     checker.check(fast_accuracy >= 0.7,

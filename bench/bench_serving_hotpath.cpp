@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Serving hot-path harness: the pre-PR per-event path (one
+ * TrainedPipeline::classify() call per event, heap-allocating
+ * feature vectors and scalar kernels) against the allocation-free
+ * SIMD hot path with cross-user batching (HotPathPipeline behind
+ * BatchServer). Shape checks: the batched predictions are
+ * bit-identical to the per-event oracle at every batch size and
+ * worker count tried, and the end-to-end event rate improves by at
+ * least 3x. The JSON summary reports the shared "events_per_sec" /
+ * "peak_rss_mb" keys for the batched path.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "dsp/dwt.hh"
+#include "dsp/feature_pool.hh"
+#include "serve/batch_server.hh"
+#include "serve/hot_path.hh"
+
+using namespace xpro;
+using namespace xpro::bench;
+
+namespace
+{
+
+/** A serving population: one trained model per user plus a shared
+ *  event stream hitting all of them round-robin. */
+struct Population
+{
+    std::vector<TrainedPipeline> pipelines;
+    std::vector<HotPathPipeline> hot;
+    std::vector<SignalDataset> datasets;
+    std::vector<ServingEvent> events;
+};
+
+/**
+ * The pre-PR per-event serving path, reproduced from the retained
+ * reference APIs: frame + full DWT per event into freshly allocated
+ * vectors, per-kind statistics via computeAllFeatures() (each kind
+ * recomputing its own moments), allocating scaler transform, scalar
+ * ensemble decision. This is exactly what TrainedPipeline::classify()
+ * compiled to before the fused extractor landed; the differential
+ * harness proves the live path stayed bit-identical to it, and the
+ * bench re-checks that below.
+ */
+int
+referenceClassify(const TrainedPipeline &pipeline,
+                  const std::vector<double> &segment)
+{
+    std::vector<double> raw(featurePoolSize, 0.0);
+    const std::vector<double> frame = frameForDwt(segment);
+    const DwtDecomposition decomp =
+        dwtDecompose(frame, pipeline.extractor.wavelet(), dwtLevels);
+    for (size_t d = 0; d < featureDomainCount; ++d) {
+        const auto domain = static_cast<FeatureDomain>(d);
+        std::vector<double> signal;
+        if (domain == FeatureDomain::Time) {
+            signal = segment;
+        } else {
+            const size_t level = domainLevel(domain);
+            signal = decomp.detail[level - 1];
+            if (level == dwtLevels) {
+                signal.insert(signal.end(), decomp.approx.begin(),
+                              decomp.approx.end());
+            }
+        }
+        const auto values = computeAllFeatures(signal);
+        for (size_t k = 0; k < featureKindCount; ++k)
+            raw[featureIndex({domain, allFeatureKinds[k]})] =
+                values[k];
+    }
+    return pipeline.ensemble.predict(
+        pipeline.scaler.transform(raw));
+}
+
+Population
+buildPopulation(size_t eventsTotal)
+{
+    const TestCase cases[] = {TestCase::C1, TestCase::E1,
+                              TestCase::M1};
+    Population pop;
+    EngineConfig config; // paper defaults
+    config.subspace.candidates = 8;
+    TrainingOptions options;
+    options.maxTrainingSegments = 120;
+    options.seed = 2017;
+
+    pop.pipelines.reserve(std::size(cases));
+    pop.datasets.reserve(std::size(cases));
+    for (TestCase tc : cases) {
+        pop.datasets.push_back(makeTestCase(tc));
+        pop.pipelines.push_back(
+            trainPipeline(pop.datasets.back(), config, options));
+    }
+    pop.hot.reserve(pop.pipelines.size());
+    for (const TrainedPipeline &pipeline : pop.pipelines)
+        pop.hot.emplace_back(pipeline);
+
+    pop.events.reserve(eventsTotal);
+    for (size_t e = 0; e < eventsTotal; ++e) {
+        const size_t user = e % pop.datasets.size();
+        const SignalDataset &data = pop.datasets[user];
+        const Segment &segment =
+            data.segments[(e / pop.datasets.size()) %
+                          data.segments.size()];
+        pop.events.push_back({static_cast<uint32_t>(user),
+                              segment.samples.data(),
+                              segment.samples.size()});
+    }
+    return pop;
+}
+
+} // namespace
+
+int
+main()
+{
+    ShapeChecker checker;
+    const size_t eventsTotal = 3000;
+    Population pop = buildPopulation(eventsTotal);
+    std::printf("serving hot path: %zu events across %zu users\n\n",
+                pop.events.size(), pop.hot.size());
+
+    // Pre-PR per-event path: every event alone through the reference
+    // pipeline, including its per-call feature/DWT allocations.
+    std::vector<int> baseline(eventsTotal);
+    std::vector<double> sample; // per-event copy, as the old callers
+    SteadyTimer per_event_timer;
+    for (size_t e = 0; e < eventsTotal; ++e) {
+        const ServingEvent &event = pop.events[e];
+        sample.assign(event.segment, event.segment + event.length);
+        baseline[e] =
+            referenceClassify(pop.pipelines[event.user], sample);
+    }
+    const double per_event_s = per_event_timer.seconds();
+    const double per_event_rate = double(eventsTotal) / per_event_s;
+
+    // The retained reference must agree bit-for-bit with today's
+    // TrainedPipeline::classify() — otherwise the baseline would be
+    // timing a path the library no longer computes.
+    bool live_matches_reference = true;
+    for (size_t e = 0; e < eventsTotal; ++e) {
+        const ServingEvent &event = pop.events[e];
+        sample.assign(event.segment, event.segment + event.length);
+        live_matches_reference &=
+            pop.pipelines[event.user].classify(sample) ==
+            baseline[e];
+    }
+
+    // Hot path: packed SIMD kernels, arena scratch, cross-user
+    // batches sliced across the worker pool.
+    std::vector<const HotPathPipeline *> users;
+    for (const HotPathPipeline &hot : pop.hot)
+        users.push_back(&hot);
+    BatchServer server(users, 64, 0); // 0 = all hardware workers
+    std::vector<int> batched(eventsTotal);
+    server.serveInto(pop.events.data(), eventsTotal,
+                     batched.data()); // warmup: grow scratch arenas
+    SteadyTimer batched_timer;
+    server.serveInto(pop.events.data(), eventsTotal,
+                     batched.data());
+    const double batched_s = batched_timer.seconds();
+    const double batched_rate = double(eventsTotal) / batched_s;
+    const double speedup = batched_rate / per_event_rate;
+
+    std::printf("per-event path : %10.0f events/s\n",
+                per_event_rate);
+    std::printf("batched path   : %10.0f events/s  (%zu workers)\n",
+                batched_rate, server.workerCount());
+    std::printf("speedup        : %10.2fx\n\n", speedup);
+
+    std::printf("Shape checks:\n");
+    checker.check(live_matches_reference,
+                  "TrainedPipeline::classify matches the retained "
+                  "pre-PR reference path");
+    checker.check(batched == baseline,
+                  "batched predictions bit-identical to the "
+                  "per-event oracle");
+
+    // Identity must hold at EVERY batch size and worker count, not
+    // just the fast configuration the gate times.
+    bool identical = true;
+    for (size_t batch : {0u, 1u, 7u, 64u}) {
+        for (size_t workers : {1u, 2u, 0u}) {
+            BatchServer variant(users, batch, workers);
+            identical &= variant.serve(pop.events) == baseline;
+        }
+    }
+    checker.check(identical,
+                  "identity holds at every batch size x worker "
+                  "count");
+    checker.check(speedup >= 3.0,
+                  "batched SIMD serving is at least 3x the "
+                  "per-event path end to end");
+
+    checker.metric("per_event_events_per_sec", per_event_rate);
+    checker.metric("speedup", speedup);
+    checker.throughput(eventsTotal, batched_s);
+    return checker.finish("bench_serving_hotpath");
+}

@@ -5,8 +5,9 @@
 # tests, the ML suites (flat-matrix row views, batched kernels,
 # parallel ensemble training), the fault-injection suites (ARQ
 # callback-chain lifetimes), and the adaptive-controller suites
-# (long-lived warm flow network under repeated capacity updates).
-# Usage:
+# (long-lived warm flow network under repeated capacity updates),
+# and the serving hot-path suite (arena lifetimes, packed SV tiles,
+# cross-user batch slicing). Usage:
 #
 #   scripts/check_asan_generator.sh [build-dir]
 #
@@ -23,9 +24,9 @@ cmake --build "$build" \
              test_partitioner_property test_ml_parallel \
              test_random_subspace test_crossval \
              test_fault_injection test_trace_export \
-             test_controller \
+             test_controller test_hotpath_identity \
     -j "$(nproc)"
 ctest --test-dir "$build" \
-    -L 'generator|partitioner|flow|ml|robust|control' \
+    -L 'generator|partitioner|flow|ml|robust|control|hotpath' \
     --output-on-failure
 echo "ASan/UBSan generator pass: OK"

@@ -4,7 +4,8 @@
 # phase), the generator property tests (parallel lambda-candidate
 # evaluation, shared characterization cache), the ML suites
 # (parallel ensemble training and cross-validation), and the
-# fault-injection suites (shared-channel fleet ARQ). Usage:
+# fault-injection suites (shared-channel fleet ARQ), and the serving
+# hot-path suite (cross-user batches sliced across workers). Usage:
 #
 #   scripts/check_tsan_fleet.sh [build-dir]
 #
@@ -20,7 +21,8 @@ cmake --build "$build" \
     --target test_fleet test_partitioner_property test_ml_parallel \
              test_random_subspace test_crossval \
              test_fault_injection test_trace_export \
+             test_hotpath_identity \
     -j "$(nproc)"
-ctest --test-dir "$build" -L 'fleet|generator|ml|robust' \
+ctest --test-dir "$build" -L 'fleet|generator|ml|robust|hotpath' \
     --output-on-failure
 echo "TSan fleet pass: OK"

@@ -1,0 +1,62 @@
+#include "common/arena.hh"
+
+#include <algorithm>
+
+namespace xpro
+{
+
+namespace
+{
+
+constexpr size_t kAlign = alignof(std::max_align_t);
+
+size_t
+roundUp(size_t n)
+{
+    return (n + kAlign - 1) & ~(kAlign - 1);
+}
+
+} // namespace
+
+Arena::Arena(size_t blockBytes) : _blockBytes(roundUp(std::max<size_t>(blockBytes, kAlign)))
+{
+}
+
+void *
+Arena::alloc(size_t bytes)
+{
+    const size_t need = roundUp(std::max<size_t>(bytes, 1));
+    // Advance past blocks too full (or too small) for this request.
+    // Skipped tail space is wasted until reset(), which is fine for
+    // scratch use; blocks are revisited from the start next cycle.
+    while (_currentBlock < _blocks.size()) {
+        Block &b = _blocks[_currentBlock];
+        if (_cursor + need <= b.storage.size()) {
+            void *p = b.storage.data() + _cursor;
+            _cursor += need;
+            _bytesUsed += need;
+            return p;
+        }
+        ++_currentBlock;
+        _cursor = 0;
+    }
+    // Grow: dedicated block for oversized requests, standard
+    // granularity otherwise. This is the only path that touches the
+    // heap, and it stops firing once the high-water mark is reached.
+    Block &b = _blocks.emplace_back();
+    b.storage.resize(std::max(need, _blockBytes));
+    _bytesReserved += b.storage.size();
+    _cursor = need;
+    _bytesUsed += need;
+    return b.storage.data();
+}
+
+void
+Arena::reset()
+{
+    _currentBlock = 0;
+    _cursor = 0;
+    _bytesUsed = 0;
+}
+
+} // namespace xpro

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Chunked monotonic scratch arena for the serving hot path.
+ *
+ * Lifetime rules (see DESIGN.md §15):
+ *  - alloc() hands out raw uninitialized storage; nothing is ever
+ *    freed individually. reset() invalidates every outstanding
+ *    pointer at once but KEEPS the underlying blocks, so after the
+ *    first pass over a workload has grown the arena to its
+ *    high-water mark, steady-state reset()/alloc() cycles touch the
+ *    heap zero times. That is the property the counting-allocator
+ *    tests pin down.
+ *  - One arena per thread of execution; arenas are not synchronized.
+ *  - Only trivially-destructible payloads belong in an arena
+ *    (alloc<T> static-asserts this): reset() runs no destructors.
+ */
+
+#ifndef XPRO_COMMON_ARENA_HH
+#define XPRO_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace xpro
+{
+
+class Arena
+{
+  public:
+    /// @param blockBytes granularity of backing allocations; single
+    /// requests larger than this get a dedicated block.
+    explicit Arena(size_t blockBytes = 1 << 16);
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /// Raw storage, aligned to alignof(std::max_align_t). Valid
+    /// until the next reset().
+    void *alloc(size_t bytes);
+
+    /// Typed convenience: storage for @p count T's, uninitialized.
+    template <typename T>
+    T *
+    alloc(size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "Arena never runs destructors");
+        static_assert(alignof(T) <= alignof(std::max_align_t),
+                      "over-aligned types not supported");
+        return static_cast<T *>(alloc(count * sizeof(T)));
+    }
+
+    /// Rewind to empty, keeping every block for reuse. O(1) in the
+    /// common case (cursor back to block zero).
+    void reset();
+
+    /// Bytes currently handed out since the last reset().
+    size_t bytesUsed() const { return _bytesUsed; }
+
+    /// Total backing capacity across all blocks (the high-water
+    /// mark's footprint; never shrinks).
+    size_t bytesReserved() const { return _bytesReserved; }
+
+    /// Number of backing heap allocations made over the arena's
+    /// lifetime. Stops growing once the workload's high-water mark
+    /// is reached — the steady-state invariant the allocation tests
+    /// check.
+    size_t blockCount() const { return _blocks.size(); }
+
+  private:
+    struct Block
+    {
+        std::vector<unsigned char> storage;
+    };
+
+    size_t _blockBytes;
+    std::vector<Block> _blocks;
+    size_t _currentBlock = 0; ///< index of the block being filled
+    size_t _cursor = 0;       ///< offset into the current block
+    size_t _bytesUsed = 0;
+    size_t _bytesReserved = 0;
+};
+
+} // namespace xpro
+
+#endif // XPRO_COMMON_ARENA_HH

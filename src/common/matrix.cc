@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace xpro
 {
@@ -60,22 +61,26 @@ FlatMatrix::multiplyTransposed(const FlatMatrix &other) const
 
     FlatMatrix out(_rows, other._rows, 0.0);
     const size_t dims = _cols;
-    // Tile over the rows of the right operand: a tile of
-    // right-hand rows stays cache-resident while every left row
-    // streams past it once.
-    constexpr size_t tile = 16;
-    for (size_t jb = 0; jb < other._rows; jb += tile) {
-        const size_t je = std::min(jb + tile, other._rows);
+    // Tile over the rows of the right operand: each tile of
+    // simdPackWidth right-hand rows is transposed once into the
+    // interleaved pack layout, then every left row streams past it
+    // through the SIMD multi-dot micro-kernel. Per output the
+    // reduction stays serial left-to-right, so results are
+    // bit-identical to the scalar dot schedule.
+    std::vector<double> packed(dims * simdPackWidth);
+    const double *tileRows[simdPackWidth];
+    double lane[simdPackWidth];
+    for (size_t jb = 0; jb < other._rows; jb += simdPackWidth) {
+        const size_t count =
+            std::min(simdPackWidth, other._rows - jb);
+        for (size_t j = 0; j < count; ++j)
+            tileRows[j] = other.rowData(jb + j);
+        simdPackRows(tileRows, count, dims, packed.data());
         for (size_t i = 0; i < _rows; ++i) {
-            const double *a = rowData(i);
-            double *o = out.rowData(i);
-            for (size_t j = jb; j < je; ++j) {
-                const double *b = other.rowData(j);
-                double acc = 0.0;
-                for (size_t k = 0; k < dims; ++k)
-                    acc += a[k] * b[k];
-                o[j] = acc;
-            }
+            simdDotPacked(rowData(i), packed.data(), dims, lane);
+            double *o = out.rowData(i) + jb;
+            for (size_t j = 0; j < count; ++j)
+                o[j] = lane[j];
         }
     }
     return out;
@@ -85,12 +90,17 @@ std::vector<double>
 FlatMatrix::rowSquaredNorms() const
 {
     std::vector<double> norms(_rows);
-    for (size_t i = 0; i < _rows; ++i) {
-        const double *r = rowData(i);
-        double acc = 0.0;
-        for (size_t k = 0; k < _cols; ++k)
-            acc += r[k] * r[k];
-        norms[i] = acc;
+    std::vector<double> packed(_cols * simdPackWidth);
+    const double *tileRows[simdPackWidth];
+    double lane[simdPackWidth];
+    for (size_t ib = 0; ib < _rows; ib += simdPackWidth) {
+        const size_t count = std::min(simdPackWidth, _rows - ib);
+        for (size_t i = 0; i < count; ++i)
+            tileRows[i] = rowData(ib + i);
+        simdPackRows(tileRows, count, _cols, packed.data());
+        simdSquaredNormsPacked(packed.data(), _cols, lane);
+        for (size_t i = 0; i < count; ++i)
+            norms[ib + i] = lane[i];
     }
     return norms;
 }

@@ -165,10 +165,11 @@ class FlatMatrix
      * out(i, j) = dot(this->row(i), other.row(j)). This is the
      * cross-product step of batched kernel evaluation. Each output
      * entry accumulates left-to-right over the shared dimension in a
-     * single accumulator — bit-identical to dotProduct() — while the
-     * loop nest is tiled over the rows of @p other so a tile of
-     * right-hand rows stays cache-resident across the whole left
-     * operand.
+     * single accumulator — bit-identical to dotProduct() — while
+     * tiles of simdPackWidth right-hand rows are transposed into the
+     * packed layout and evaluated with the SIMD multi-dot
+     * micro-kernel (common/simd.hh), vectorizing across outputs
+     * without reordering any reduction.
      */
     FlatMatrix multiplyTransposed(const FlatMatrix &other) const;
 

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Portable SIMD kernels for the serving hot path.
+ *
+ * Every kernel here is **order-preserving**: vectorization runs
+ * across independent output elements while each output's reduction
+ * stays serial left-to-right, so results are bit-identical to the
+ * retained scalar references below (and to the pre-SIMD code) on
+ * every backend. That is the contract the differential test harness
+ * (tests/test_hotpath_identity.cc, ctest label `hotpath`) enforces
+ * with *exact* comparisons — no ULP slack needed.
+ *
+ * The wrapper dispatches at load time: a generic C++ fallback
+ * everywhere, hand-written SSE2 intrinsics on x86-64 (baseline ISA,
+ * no extra compile flags), and AVX2 intrinsics from a separately
+ * compiled translation unit selected with __builtin_cpu_supports()
+ * when both the compiler and the host CPU have AVX2. None of the
+ * paths uses FMA contraction, so per-lane arithmetic is identical
+ * across backends.
+ *
+ * The workhorse is the packed dot-product micro-kernel: the right
+ * operand is transposed into a fixed-width interleaved tile
+ * (simdPackWidth columns) so that out[j] += a[k] * packed[k][j]
+ * broadcasts one left element against a contiguous vector of right
+ * columns. Per output j the accumulation is serial in k — exactly
+ * dotProduct()'s schedule — which is how the blocked multiply, the
+ * batched RBF Gram and per-sample SVM decisions all stay mutually
+ * bit-identical.
+ */
+
+#ifndef XPRO_COMMON_SIMD_HH
+#define XPRO_COMMON_SIMD_HH
+
+#include <cstddef>
+
+namespace xpro
+{
+
+/**
+ * Column count of the packed right-operand tile consumed by
+ * simdDotPacked(). Pack buffers must be padded (with zeros) to this
+ * width; a multiple of every supported vector width.
+ */
+constexpr size_t simdPackWidth = 8;
+
+/** Name of the dispatched backend: "generic", "sse2" or "avx2". */
+const char *simdBackendName();
+
+/** dst[i] = c * src[i] for i in [0, n). */
+void simdScale(double *dst, const double *src, double c, size_t n);
+
+/** dst[i] += c * src[i] for i in [0, n). */
+void simdAxpy(double *dst, const double *src, double c, size_t n);
+
+/**
+ * Packed multi-dot micro-kernel:
+ * out[j] = sum_k a[k] * packed[k * simdPackWidth + j] for j in
+ * [0, simdPackWidth), each accumulated serially in k (bit-identical
+ * to simdPackWidth independent scalarDot() calls on the unpacked
+ * columns). @p packed holds @p n interleaved groups of
+ * simdPackWidth column values.
+ */
+void simdDotPacked(const double *a, const double *packed, size_t n,
+                   double *out);
+
+/**
+ * Packed squared norms: out[j] = sum_k packed[k * simdPackWidth + j]^2
+ * for j in [0, simdPackWidth), each accumulated serially in k
+ * (bit-identical to simdPackWidth independent scalar squared-norm
+ * loops over the unpacked columns).
+ */
+void simdSquaredNormsPacked(const double *packed, size_t n,
+                            double *out);
+
+/**
+ * Elementwise z-score: dst[i] = (src[i] - mu) / sigma. Subtraction
+ * and division are both exactly rounded under IEEE-754, so the
+ * vectorized lanes are bit-identical to the scalar expression — this
+ * is the one hot-path kernel that vectorizes a DIVISION (the
+ * dominant cost of the skew/kurtosis feature pass) rather than a
+ * reduction.
+ */
+void simdZScore(double *dst, const double *src, double mu,
+                double sigma, size_t n);
+
+/*
+ * Packed per-lane statistics kernels. These run one independent
+ * signal per lane of the simdPackWidth-wide tile layout (the
+ * cross-event batching trick: lane j is event j), with every lane's
+ * reduction serial left-to-right in i — so lane j's result is
+ * bit-identical to running the scalar statistics loop on signal j
+ * alone, while the loop-carried dependency chains that bound the
+ * per-event path amortize over simdPackWidth events. All
+ * simdPackWidth lanes are computed; callers ignore the padding
+ * lanes.
+ */
+
+/**
+ * Per-lane max, min and serial sum in one pass. Max/min update only
+ * when the new element strictly compares (ties keep the earlier
+ * element, matching std::max_element / std::min_element down to the
+ * sign of zero); the sum accumulates serially from 0.0 exactly like
+ * featureMean()'s loop.
+ */
+void simdMaxMinSumPacked(const double *packed, size_t n,
+                         double *maxOut, double *minOut,
+                         double *sumOut);
+
+/**
+ * Per-lane centered square sum: acc[j] = sum_i
+ * (packed[i][j] - mu[j])^2, accumulated serially in i — the
+ * variance numerator, featureVar()'s exact loop.
+ */
+void simdCenteredSquareSumPacked(const double *packed, size_t n,
+                                 const double *mu, double *accOut);
+
+/**
+ * Per-lane zero-crossing count, as a double:
+ * (prev < 0) != (cur < 0) over consecutive samples — exactly
+ * featureCzero()'s predicate.
+ */
+void simdSignCrossingsPacked(const double *packed, size_t n,
+                             double *out);
+
+/**
+ * Per-lane third and fourth standardized moments' numerators:
+ * with z = (x - mu[j]) / sigma[j] (exactly rounded, see
+ * simdZScore), acc3[j] += (z*z)*z and acc4[j] += ((z*z)*z)*z,
+ * serially in i — the association featureSkew()/featureKurt() use.
+ * Callers must pre-substitute a safe sigma (e.g. 1.0) for
+ * degenerate lanes and discard their outputs.
+ */
+void simdMoment34Packed(const double *packed, size_t n,
+                        const double *mu, const double *sigma,
+                        double *acc3, double *acc4);
+
+/**
+ * Transpose up to simdPackWidth equal-length rows into the
+ * interleaved layout simdDotPacked() consumes:
+ * packed[k * simdPackWidth + j] = rows[j][k]. Columns past @p count
+ * are zero-filled. @p packed must hold n * simdPackWidth doubles.
+ */
+void simdPackRows(const double *const *rows, size_t count, size_t n,
+                  double *packed);
+
+#if XPRO_SIMD_AVX2_AVAILABLE
+/**
+ * AVX2 implementations (simd_avx2.cc, compiled with -mavx2).
+ * Internal: reached only through the load-time dispatch in simd.cc
+ * after a __builtin_cpu_supports("avx2") check.
+ */
+namespace detail
+{
+
+void avx2Scale(double *dst, const double *src, double c, size_t n);
+void avx2Axpy(double *dst, const double *src, double c, size_t n);
+void avx2DotPacked(const double *a, const double *packed, size_t n,
+                   double *out);
+void avx2SquaredNormsPacked(const double *packed, size_t n,
+                            double *out);
+void avx2ZScore(double *dst, const double *src, double mu,
+                double sigma, size_t n);
+void avx2MaxMinSumPacked(const double *packed, size_t n,
+                         double *maxOut, double *minOut,
+                         double *sumOut);
+void avx2CenteredSquareSumPacked(const double *packed, size_t n,
+                                 const double *mu, double *accOut);
+void avx2SignCrossingsPacked(const double *packed, size_t n,
+                             double *out);
+void avx2Moment34Packed(const double *packed, size_t n,
+                        const double *mu, const double *sigma,
+                        double *acc3, double *acc4);
+
+} // namespace detail
+#endif
+
+/**
+ * Retained scalar references for the differential tests: plain
+ * left-to-right single-accumulator loops, the schedule every SIMD
+ * kernel above must reproduce exactly.
+ */
+namespace scalar_ref
+{
+
+double dot(const double *a, const double *b, size_t n);
+double squaredNorm(const double *a, size_t n);
+void scale(double *dst, const double *src, double c, size_t n);
+void axpy(double *dst, const double *src, double c, size_t n);
+void zscore(double *dst, const double *src, double mu, double sigma,
+            size_t n);
+void maxMinSumPacked(const double *packed, size_t n, double *maxOut,
+                     double *minOut, double *sumOut);
+void centeredSquareSumPacked(const double *packed, size_t n,
+                             const double *mu, double *accOut);
+void signCrossingsPacked(const double *packed, size_t n,
+                         double *out);
+void moment34Packed(const double *packed, size_t n, const double *mu,
+                    const double *sigma, double *acc3, double *acc4);
+
+} // namespace scalar_ref
+
+} // namespace xpro
+
+#endif // XPRO_COMMON_SIMD_HH

@@ -266,6 +266,35 @@ ControlReport::writeText(std::ostream &out) const
 }
 
 std::string
+ServingReport::serialize() const
+{
+    std::ostringstream out;
+    out << "serving v1\n"
+        << "events " << events << '\n'
+        << "users " << users << '\n'
+        << "positives " << positives << '\n'
+        << "node_events";
+    for (size_t count : nodeEvents)
+        out << ' ' << count;
+    out << '\n' << "node_positives";
+    for (size_t count : nodePositives)
+        out << ' ' << count;
+    out << '\n';
+    return out.str();
+}
+
+void
+ServingReport::writeText(std::ostream &out) const
+{
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "serving: %zu events over %zu users, "
+                  "%zu classified positive\n",
+                  events, users, positives);
+    out << line;
+}
+
+std::string
 FleetReport::serialize() const
 {
     std::ostringstream out;
@@ -308,6 +337,11 @@ FleetReport::serialize() const
     // Controller section only for adaptive runs, same reasoning.
     if (control.enabled)
         out << control.serialize();
+    // Serving section only when events were served, same reasoning.
+    // Its content is prediction-derived only, so the bytes are also
+    // identical at any batch size and worker count.
+    if (serving.enabled)
+        out << serving.serialize();
     return out.str();
 }
 
@@ -360,6 +394,8 @@ FleetReport::writeText(std::ostream &out) const
         robustness.writeText(out);
     if (control.enabled)
         control.writeText(out);
+    if (serving.enabled)
+        serving.writeText(out);
 }
 
 CsvTable

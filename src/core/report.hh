@@ -187,6 +187,40 @@ struct ControlReport
 };
 
 /**
+ * Outcome of the fleet's steady-state serving phase: the trained
+ * pipelines classifying a round-robin stream of segments through
+ * the allocation-free SIMD hot path (serve/), batched across users.
+ * Disabled when the run served no events, in which case serializers
+ * emit nothing so legacy reports stay byte-identical.
+ *
+ * Deliberately records only prediction-derived counts — never batch
+ * size, worker count or timings — so the serialized report is
+ * byte-identical at any --batch-events / --serve-workers setting
+ * (the cross-user batching bit-identity invariant, tested).
+ */
+struct ServingReport
+{
+    /** True when the run served at least one event. */
+    bool enabled = false;
+    /** Serving events classified fleet-wide. */
+    size_t events = 0;
+    /** Fleet nodes (users) the events were drawn from. */
+    size_t users = 0;
+    /** Events classified +1 fleet-wide. */
+    size_t positives = 0;
+    /** Per-node events served / +1 classifications. */
+    std::vector<size_t> nodeEvents;
+    std::vector<size_t> nodePositives;
+
+    /** Canonical, byte-exact serialization (same rules as
+     *  FleetReport::serialize). */
+    std::string serialize() const;
+
+    /** Human-readable summary. */
+    void writeText(std::ostream &out) const;
+};
+
+/**
  * One node's line in a fleet report. Plain data (names and SI-scaled
  * numbers) so the report stays independent of the fleet subsystem's
  * types and serializes canonically.
@@ -261,6 +295,9 @@ struct FleetReport
     /** Adaptive-controller outcome, merged over the fleet's nodes;
      *  disabled (and absent) when the controller was off. */
     ControlReport control;
+    /** Steady-state serving outcome; disabled (and absent) when the
+     *  run served no events. */
+    ServingReport serving;
 
     /**
      * Canonical, byte-exact serialization: fixed formats, no

@@ -3,7 +3,10 @@
 #include <cmath>
 #include <numbers>
 
+#include <cstring>
+
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace xpro
 {
@@ -37,6 +40,20 @@ highPassTaps(Wavelet wavelet)
         high[i] = sign * low[low.size() - 1 - i];
     }
     return high;
+}
+
+/**
+ * Cached high-pass taps; the steady-state decompose() path must not
+ * construct the tap vector per call (zero-allocation contract).
+ */
+const std::vector<double> &
+highPassTapsCached(Wavelet wavelet)
+{
+    static const std::vector<double> haar =
+        highPassTaps(Wavelet::Haar);
+    static const std::vector<double> db4 =
+        highPassTaps(Wavelet::Db4);
+    return wavelet == Wavelet::Haar ? haar : db4;
 }
 
 } // namespace
@@ -95,24 +112,101 @@ idwtStep(const DwtLevel &level, Wavelet wavelet)
     return out;
 }
 
+void
+DwtScratch::decompose(const double *signal, size_t n,
+                      Wavelet wavelet, size_t levels)
+{
+    xproAssert(levels > 0, "need at least one DWT level");
+    const size_t divisor = size_t{1} << levels;
+    xproAssert(n % divisor == 0,
+               "signal length %zu not divisible by 2^%zu", n,
+               levels);
+
+    const std::vector<double> &low = lowPassTaps(wavelet);
+    const std::vector<double> &high = highPassTapsCached(wavelet);
+    const size_t taps = low.size();
+    // Periodic extension: tap t reads phase element k + t/2, so the
+    // phase buffers carry taps/2 - 1 wrapped elements past the end.
+    const size_t ext = taps / 2 - 1;
+
+    // Grow-only sizing; no-ops once the high-water mark is reached.
+    if (_coefs.size() < n)
+        _coefs.resize(n);
+    if (_work.size() < n / 2)
+        _work.resize(n / 2);
+    if (_evenExt.size() < n / 2 + ext)
+        _evenExt.resize(n / 2 + ext);
+    if (_oddExt.size() < n / 2 + ext)
+        _oddExt.resize(n / 2 + ext);
+    if (_detailOffsets.size() < levels)
+        _detailOffsets.resize(levels);
+    _levels = levels;
+    _n = n;
+
+    const double *cur = signal;
+    size_t m = n;
+    size_t coefCursor = 0;
+    for (size_t level = 0; level < levels; ++level) {
+        xproAssert(m % 2 == 0, "DWT input length %zu must be even",
+                   m);
+        xproAssert(m >= taps, "DWT input shorter than filter");
+        const size_t half = m / 2;
+
+        // Split into phases; the split copies the input out, so the
+        // approximation may safely overwrite it in place below.
+        for (size_t k = 0; k < half; ++k) {
+            _evenExt[k] = cur[2 * k];
+            _oddExt[k] = cur[2 * k + 1];
+        }
+        for (size_t e = 0; e < ext; ++e) {
+            _evenExt[half + e] = _evenExt[e];
+            _oddExt[half + e] = _oddExt[e];
+        }
+
+        double *detail = _coefs.data() + coefCursor;
+        _detailOffsets[level] = coefCursor;
+        coefCursor += half;
+        double *approx = _work.data();
+
+        // Start each output at 0.0 and add one tap's contribution
+        // per pass, in tap order — element-for-element the schedule
+        // of dwtStep()'s scalar loop, hence bit-identical (including
+        // signed-zero behaviour, which a scale-then-add start would
+        // not preserve).
+        std::memset(approx, 0, half * sizeof(double));
+        std::memset(detail, 0, half * sizeof(double));
+        for (size_t tap = 0; tap < taps; ++tap) {
+            const double *phase = (tap % 2 == 0 ? _evenExt.data()
+                                                : _oddExt.data()) +
+                                  tap / 2;
+            simdAxpy(approx, phase, low[tap], half);
+            simdAxpy(detail, phase, high[tap], half);
+        }
+
+        cur = _work.data();
+        m = half;
+    }
+
+    _approxOffset = coefCursor;
+    std::memcpy(_coefs.data() + _approxOffset, cur,
+                m * sizeof(double));
+}
+
 DwtDecomposition
 dwtDecompose(const std::vector<double> &signal, Wavelet wavelet,
              size_t levels)
 {
-    xproAssert(levels > 0, "need at least one DWT level");
-    const size_t divisor = size_t{1} << levels;
-    xproAssert(signal.size() % divisor == 0,
-               "signal length %zu not divisible by 2^%zu",
-               signal.size(), levels);
+    DwtScratch scratch;
+    scratch.decompose(signal.data(), signal.size(), wavelet, levels);
 
     DwtDecomposition decomp;
-    std::vector<double> current = signal;
+    decomp.detail.reserve(levels);
     for (size_t level = 0; level < levels; ++level) {
-        DwtLevel step = dwtStep(current, wavelet);
-        decomp.detail.push_back(std::move(step.detail));
-        current = std::move(step.approx);
+        const double *d = scratch.detailData(level);
+        decomp.detail.emplace_back(d, d + scratch.detailSize(level));
     }
-    decomp.approx = std::move(current);
+    const double *a = scratch.approxData();
+    decomp.approx.assign(a, a + scratch.approxSize());
     return decomp;
 }
 

@@ -43,6 +43,11 @@ struct DwtLevel
 /**
  * One DWT analysis step with periodic boundary extension. The input
  * length must be even and >= the filter length.
+ *
+ * This is the retained scalar reference of the transform: plain
+ * per-output tap loops, against which the vectorized decomposition
+ * (DwtScratch / dwtDecompose) is differentially tested for exact
+ * equality.
  */
 DwtLevel dwtStep(const std::vector<double> &signal, Wavelet wavelet);
 
@@ -59,8 +64,70 @@ struct DwtDecomposition
 };
 
 /**
+ * Reusable workspace for allocation-free multi-level DWT on the
+ * serving hot path.
+ *
+ * decompose() splits each level's input into even/odd phase halves
+ * (with a periodic extension tail), then builds every output element
+ * as a sum of SIMD axpy passes — one per filter tap, in tap order —
+ * so each coefficient accumulates exactly like dwtStep()'s scalar
+ * tap loop and the results are bit-identical to it.
+ *
+ * All buffers grow to the workload's high-water mark on first use
+ * and are reused afterwards: steady-state decompose() calls perform
+ * zero heap allocations. Coefficients live inside the scratch until
+ * the next decompose() call; copy them out if they must outlive it.
+ */
+class DwtScratch
+{
+  public:
+    /**
+     * Decompose signal[0..n) into @p levels levels. @p n must be
+     * divisible by 2^levels and each level's input at least as long
+     * as the filter.
+     */
+    void decompose(const double *signal, size_t n, Wavelet wavelet,
+                   size_t levels);
+
+    /** Number of levels of the last decompose() call. */
+    size_t levels() const { return _levels; }
+
+    /** Detail coefficients of level @p level (0-based, matching
+     * DwtDecomposition::detail indexing). */
+    const double *
+    detailData(size_t level) const
+    {
+        return _coefs.data() + _detailOffsets[level];
+    }
+    size_t
+    detailSize(size_t level) const
+    {
+        return _n >> (level + 1);
+    }
+
+    /** Final approximation at the deepest level. */
+    const double *
+    approxData() const
+    {
+        return _coefs.data() + _approxOffset;
+    }
+    size_t approxSize() const { return _n >> _levels; }
+
+  private:
+    std::vector<double> _coefs;   ///< details then final approx
+    std::vector<double> _work;    ///< inter-level approx ping buffer
+    std::vector<double> _evenExt; ///< even phase + periodic tail
+    std::vector<double> _oddExt;  ///< odd phase + periodic tail
+    std::vector<size_t> _detailOffsets;
+    size_t _approxOffset = 0;
+    size_t _levels = 0;
+    size_t _n = 0;
+};
+
+/**
  * Decompose @p signal into @p levels DWT levels. The signal length
- * must be divisible by 2^levels.
+ * must be divisible by 2^levels. Runs on the vectorized DwtScratch
+ * path; results are bit-identical to chaining dwtStep().
  */
 DwtDecomposition dwtDecompose(const std::vector<double> &signal,
                               Wavelet wavelet, size_t levels);

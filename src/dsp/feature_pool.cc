@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace xpro
 {
@@ -84,32 +85,129 @@ std::vector<double>
 FeatureExtractor::extractAll(const std::vector<double> &segment) const
 {
     std::vector<double> out(featurePoolSize, 0.0);
+    DwtScratch scratch;
+    extractAllInto(segment.data(), segment.size(), out.data(),
+                   scratch);
+    return out;
+}
 
+void
+FeatureExtractor::extractAllInto(const double *segment, size_t n,
+                                 double *out,
+                                 DwtScratch &scratch) const
+{
     // Decompose once and reuse across all domains, as the shared DWT
-    // cells do in the hardware pipeline.
-    const std::vector<double> frame = frameForDwt(segment);
-    const DwtDecomposition decomp =
-        dwtDecompose(frame, _wavelet, dwtLevels);
+    // cells do in the hardware pipeline. The frame and the dwt5
+    // concatenation live on the stack; the decomposition reuses
+    // @p scratch — no heap traffic in steady state.
+    double frame[dwtFrameLength] = {};
+    const size_t copied = std::min(n, dwtFrameLength);
+    for (size_t i = 0; i < copied; ++i)
+        frame[i] = segment[i];
+    scratch.decompose(frame, dwtFrameLength, _wavelet, dwtLevels);
 
     for (size_t d = 0; d < featureDomainCount; ++d) {
         const auto domain = static_cast<FeatureDomain>(d);
-        std::vector<double> signal;
+        const double *signal;
+        size_t signalLen;
+        double dwt5[2 * (dwtFrameLength >> dwtLevels)];
         if (domain == FeatureDomain::Time) {
+            // Time-domain statistics run on the RAW segment, not the
+            // zero-padded frame.
             signal = segment;
+            signalLen = n;
         } else {
             const size_t level = domainLevel(domain);
-            signal = decomp.detail[level - 1];
+            signal = scratch.detailData(level - 1);
+            signalLen = scratch.detailSize(level - 1);
             if (level == dwtLevels) {
-                signal.insert(signal.end(), decomp.approx.begin(),
-                              decomp.approx.end());
+                // Level 5 covers both 4-sample segments: detail and
+                // final approximation.
+                for (size_t i = 0; i < signalLen; ++i)
+                    dwt5[i] = signal[i];
+                const double *approx = scratch.approxData();
+                for (size_t i = 0; i < scratch.approxSize(); ++i)
+                    dwt5[signalLen + i] = approx[i];
+                signalLen += scratch.approxSize();
+                signal = dwt5;
             }
         }
-        const auto values = computeAllFeatures(signal);
-        for (size_t k = 0; k < featureKindCount; ++k) {
-            out[featureIndex({domain, allFeatureKinds[k]})] = values[k];
+        // The pool layout is domain-major with kinds in enum order,
+        // so the fused per-domain pass writes its eight statistics
+        // straight into the pool slice.
+        computeAllKindsInto(signal, signalLen,
+                            out + d * featureKindCount);
+    }
+}
+
+void
+FeatureExtractor::extractAllPackedInto(const double *const *segments,
+                                       size_t count, size_t n,
+                                       double *outRows,
+                                       DwtScratch &scratch,
+                                       Arena &arena) const
+{
+    xproAssert(count >= 1 && count <= simdPackWidth,
+               "bad pack count %zu", count);
+
+    // Domain signal lengths are fixed by the frame length, except
+    // the time domain which runs on the raw segment.
+    size_t lens[featureDomainCount];
+    lens[0] = n;
+    for (size_t level = 1; level < dwtLevels; ++level)
+        lens[level] = dwtFrameLength >> level;
+    lens[dwtLevels] = 2 * (dwtFrameLength >> dwtLevels);
+
+    double *tiles[featureDomainCount];
+    for (size_t d = 0; d < featureDomainCount; ++d) {
+        tiles[d] = arena.alloc<double>(lens[d] * simdPackWidth);
+        // Zero the padding lanes so the packed kernels never see
+        // stale arena bytes (NaN/denormal lanes would be slow even
+        // though their results are discarded).
+        for (size_t i = 0; i < lens[d] && count < simdPackWidth;
+             ++i) {
+            for (size_t j = count; j < simdPackWidth; ++j)
+                tiles[d][i * simdPackWidth + j] = 0.0;
         }
     }
-    return out;
+
+    for (size_t j = 0; j < count; ++j) {
+        double frame[dwtFrameLength] = {};
+        const size_t copied = std::min(n, dwtFrameLength);
+        for (size_t i = 0; i < copied; ++i)
+            frame[i] = segments[j][i];
+        scratch.decompose(frame, dwtFrameLength, _wavelet,
+                          dwtLevels);
+
+        for (size_t i = 0; i < n; ++i)
+            tiles[0][i * simdPackWidth + j] = segments[j][i];
+        for (size_t level = 1; level <= dwtLevels; ++level) {
+            const double *detail = scratch.detailData(level - 1);
+            const size_t detailLen = scratch.detailSize(level - 1);
+            double *tile = tiles[level];
+            for (size_t i = 0; i < detailLen; ++i)
+                tile[i * simdPackWidth + j] = detail[i];
+            if (level == dwtLevels) {
+                // Level 5 covers both 4-sample segments: detail and
+                // final approximation.
+                const double *approx = scratch.approxData();
+                for (size_t i = 0; i < scratch.approxSize(); ++i)
+                    tile[(detailLen + i) * simdPackWidth + j] =
+                        approx[i];
+                xproAssert(detailLen + scratch.approxSize() ==
+                               lens[level],
+                           "dwt5 length mismatch");
+            } else {
+                xproAssert(detailLen == lens[level],
+                           "dwt%zu length mismatch", level);
+            }
+        }
+    }
+
+    for (size_t d = 0; d < featureDomainCount; ++d)
+        computeAllKindsPacked(tiles[d], lens[d], count,
+                              outRows + d * featureKindCount,
+                              featurePoolSize);
 }
 
 void
@@ -166,10 +264,17 @@ FeatureScaler::transformRowsInPlace(FlatMatrix &rows) const
 std::vector<double>
 FeatureScaler::transform(const std::vector<double> &row) const
 {
-    xproAssert(fitted(), "scaler not fitted");
     xproAssert(row.size() == _min.size(), "column count mismatch");
     std::vector<double> out(row.size());
-    for (size_t c = 0; c < row.size(); ++c) {
+    transformInto(row.data(), out.data());
+    return out;
+}
+
+void
+FeatureScaler::transformInto(const double *row, double *out) const
+{
+    xproAssert(fitted(), "scaler not fitted");
+    for (size_t c = 0; c < _min.size(); ++c) {
         const double range = _max[c] - _min[c];
         if (range < 1e-12) {
             out[c] = 0.0;
@@ -177,7 +282,6 @@ FeatureScaler::transform(const std::vector<double> &row) const
             out[c] = std::clamp((row[c] - _min[c]) / range, 0.0, 1.0);
         }
     }
-    return out;
 }
 
 } // namespace xpro

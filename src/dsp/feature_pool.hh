@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/matrix.hh"
 #include "dsp/dwt.hh"
 #include "dsp/features.hh"
@@ -91,6 +92,32 @@ class FeatureExtractor
     std::vector<double>
     extractAll(const std::vector<double> &segment) const;
 
+    /**
+     * Allocation-free extractAll: writes the featurePoolSize values
+     * into @p out, reusing @p scratch for the DWT (zero heap
+     * allocations once the scratch reached its high-water mark).
+     * Bit-identical to extractAll(), which delegates here.
+     */
+    void extractAllInto(const double *segment, size_t n, double *out,
+                        DwtScratch &scratch) const;
+
+    /**
+     * Cross-event extractAll: extracts the full pool for up to
+     * simdPackWidth equal-length segments at once, writing segment
+     * j's featurePoolSize values to outRows[j * featurePoolSize ..].
+     * The DWT still runs per event (into @p scratch), but each
+     * domain's signals are transposed into a packed lane tile (drawn
+     * from @p arena) and all statistics run through
+     * computeAllKindsPacked() — one event per lane, bit-identical to
+     * extractAllInto() per segment, with the reduction chains
+     * amortized across the group. Allocation-free once @p arena and
+     * @p scratch reached their high-water marks.
+     */
+    void extractAllPackedInto(const double *const *segments,
+                              size_t count, size_t n,
+                              double *outRows, DwtScratch &scratch,
+                              Arena &arena) const;
+
     Wavelet wavelet() const { return _wavelet; }
 
   private:
@@ -113,6 +140,12 @@ class FeatureScaler
 
     /** Scale one vector; columns with zero range map to 0. */
     std::vector<double> transform(const std::vector<double> &row) const;
+
+    /**
+     * Allocation-free transform: scales row[0..cols) into out[0..cols)
+     * where cols is the fitted column count. @p out may alias @p row.
+     */
+    void transformInto(const double *row, double *out) const;
 
     /** Scale every row of a flat feature matrix in place. */
     void transformRowsInPlace(FlatMatrix &rows) const;

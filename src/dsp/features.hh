@@ -44,24 +44,74 @@ constexpr std::array<FeatureKind, featureKindCount> allFeatureKinds = {
 /** Short display name, e.g. "Var". */
 const std::string &featureName(FeatureKind kind);
 
+/*
+ * Each feature exists in two forms: a pointer-span core used by the
+ * allocation-free serving hot path, and a std::vector convenience
+ * wrapper delegating to it (identical arithmetic, same accumulation
+ * order).
+ */
+
 /** Maximal sample value. */
+double featureMax(const double *signal, size_t n);
 double featureMax(const std::vector<double> &signal);
 /** Minimal sample value. */
+double featureMin(const double *signal, size_t n);
 double featureMin(const std::vector<double> &signal);
 /** Arithmetic mean. */
+double featureMean(const double *signal, size_t n);
 double featureMean(const std::vector<double> &signal);
 /** Population variance. */
+double featureVar(const double *signal, size_t n);
 double featureVar(const std::vector<double> &signal);
 /** Population standard deviation. */
+double featureStd(const double *signal, size_t n);
 double featureStd(const std::vector<double> &signal);
 /** Number of zero crossings (sign changes between samples). */
+double featureCzero(const double *signal, size_t n);
 double featureCzero(const std::vector<double> &signal);
 /** Skewness E[(x-mu)^3] / sigma^3 (zero for constant signals). */
+double featureSkew(const double *signal, size_t n);
 double featureSkew(const std::vector<double> &signal);
 /** Kurtosis E[(x-mu)^4] / sigma^4, non-excess form. */
+double featureKurt(const double *signal, size_t n);
 double featureKurt(const std::vector<double> &signal);
 
+/**
+ * All featureKindCount statistics of one signal, written to
+ * @p out[k] in allFeatureKinds order. Bit-identical to calling
+ * computeFeature() per kind — every shared moment (mean, variance,
+ * sigma) is produced by the same serial loop the per-kind function
+ * runs, and the skew/kurtosis accumulations keep the reference
+ * association — but in one fused pass set: the mean and variance
+ * loops run once instead of being recomputed by Var/Std/Skew/Kurt,
+ * and the two per-element z-score division loops collapse into a
+ * single vectorized simdZScore() pass (the dominant cost of the
+ * serving feature stage). Allocation-free.
+ */
+void computeAllKindsInto(const double *signal, size_t n, double *out);
+
+/**
+ * Cross-event form of computeAllKindsInto(): @p packed holds up to
+ * simdPackWidth independent equal-length signals in the interleaved
+ * lane layout of simdPackRows() (packed[i * simdPackWidth + j] =
+ * sample i of signal j, padding lanes zero-filled), and all
+ * featureKindCount statistics of signal j land in
+ * out[j * outStride ..] in allFeatureKinds order, for j <
+ * @p lanes. Each lane runs the same serial reduction schedule as
+ * computeAllKindsInto() on that signal alone — the packed kernels
+ * vectorize ACROSS lanes, never within one — so every lane's eight
+ * values are bit-identical to the single-signal path. This is where
+ * cross-user batching buys its throughput: the loop-carried
+ * accumulator chains that bound the per-event path advance
+ * simdPackWidth events per trip.
+ */
+void computeAllKindsPacked(const double *packed, size_t n,
+                           size_t lanes, double *out,
+                           size_t outStride);
+
 /** Dispatch by kind. */
+double computeFeature(FeatureKind kind, const double *signal,
+                      size_t n);
 double computeFeature(FeatureKind kind, const std::vector<double> &signal);
 
 /** Compute all eight features in canonical order. */

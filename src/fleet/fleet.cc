@@ -6,6 +6,8 @@
 #include "common/logging.hh"
 #include "core/transfers.hh"
 #include "platform/battery.hh"
+#include "serve/batch_server.hh"
+#include "serve/hot_path.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault_sim.hh"
 
@@ -85,7 +87,12 @@ class SharedRadio
     SharedRadio(EventQueue &queue, const RadioArbiter &arbiter,
                 FleetSimResult &result)
         : _queue(queue), _arbiter(arbiter), _result(result)
-    {}
+    {
+        // Warmup growth only: once every member has queued at least
+        // once, the steady-state loop reuses this capacity.
+        _pending.reserve(16);
+        _requests.reserve(16);
+    }
 
     /** Queue a transfer for @p node; @p on_delivered fires when the
      *  payload lands on the other end. */
@@ -121,14 +128,15 @@ class SharedRadio
         if (_busy || _pending.empty())
             return;
 
-        std::vector<RadioRequest> requests;
-        requests.reserve(_pending.size());
+        // Member scratch, not a local: the capacity survives across
+        // arbitrations so the steady-state loop never allocates.
+        _requests.clear();
         for (const Pending &pending : _pending)
-            requests.push_back(pending.request);
+            _requests.push_back(pending.request);
 
         Time start;
         const size_t chosen =
-            _arbiter.grant(requests, _queue.now(), &start);
+            _arbiter.grant(_requests, _queue.now(), &start);
         xproAssert(chosen < _pending.size(),
                    "arbiter chose request %zu of %zu", chosen,
                    _pending.size());
@@ -153,18 +161,22 @@ class SharedRadio
         }
 
         _busy = true;
-        Pending job = std::move(_pending[chosen]);
+        _current = std::move(_pending[chosen]);
         _pending.erase(_pending.begin() +
                        static_cast<ptrdiff_t>(chosen));
-        _result.radioBusy += job.request.airTime;
+        _result.radioBusy += _current.request.airTime;
         ++_result.transfers;
-        _queue.scheduleAfter(
-            job.request.airTime,
-            [this, job = std::move(job)]() mutable {
-                job.onDelivered();
-                _busy = false;
-                arbitrate();
-            });
+        // The in-flight job lives in _current (there is at most one:
+        // _busy gates arbitration) so the completion capture is just
+        // `this` — small enough for std::function's inline storage,
+        // keeping the steady-state loop allocation-free. Move the
+        // job to a local first: the handler may queue new transfers.
+        _queue.scheduleAfter(_current.request.airTime, [this]() {
+            Pending job = std::move(_current);
+            job.onDelivered();
+            _busy = false;
+            arbitrate();
+        });
     }
 
     EventQueue &_queue;
@@ -174,6 +186,8 @@ class SharedRadio
     bool _wakeupArmed = false;
     Time _wakeupAt;
     std::vector<Pending> _pending;
+    std::vector<RadioRequest> _requests; // arbitrate() scratch
+    Pending _current;                    // the one in-flight job
     uint64_t _nextSequence = 0;
 };
 
@@ -186,7 +200,9 @@ class CpuServer
   public:
     CpuServer(EventQueue &queue, FleetSimResult &result)
         : _queue(queue), _result(result)
-    {}
+    {
+        _backlog.reserve(16);
+    }
 
     /** Run a software job of length @p exec; @p done fires at its
      *  completion. */
@@ -213,20 +229,25 @@ class CpuServer
             return;
         }
         _busy = true;
-        Job job = std::move(_backlog.front());
+        _current = std::move(_backlog.front());
         _backlog.erase(_backlog.begin());
-        _result.aggregatorBusy += job.exec;
-        _queue.scheduleAfter(
-            job.exec, [this, job = std::move(job)]() mutable {
-                job.done();
-                startNext();
-            });
+        _result.aggregatorBusy += _current.exec;
+        // As in SharedRadio: the running job lives in _current so the
+        // completion capture stays within std::function's inline
+        // storage (no heap). Move out before invoking — the handler
+        // may submit new jobs.
+        _queue.scheduleAfter(_current.exec, [this]() {
+            Job job = std::move(_current);
+            job.done();
+            startNext();
+        });
     }
 
     EventQueue &_queue;
     FleetSimResult &_result;
     bool _busy = false;
     std::vector<Job> _backlog;
+    Job _current; // the one running job
 };
 
 /**
@@ -280,22 +301,57 @@ class FleetSimulator
             Member state;
             state.spec = &member;
             state.groups = broadcastGroups(member.topology);
+            // Same-end / other-end consumer splits are static under
+            // a fixed placement: computing them once (in consumer
+            // order) keeps finishNode free of per-event vectors.
+            state.splits.reserve(state.groups.size());
+            for (const BroadcastGroup &group : state.groups) {
+                GroupSplit split;
+                for (size_t v : group.consumers) {
+                    if (member.placement.inSensor(v) ==
+                        member.placement.inSensor(group.producer))
+                        split.sameEnd.push_back(v);
+                    else
+                        split.otherEnd.push_back(v);
+                }
+                state.splits.push_back(std::move(split));
+            }
             state.instances.resize(events_per_node);
             const DataflowGraph &graph = member.topology.graph;
-            for (Instance &instance : state.instances) {
-                instance.inputsPending.assign(graph.nodeCount(), 0);
-                for (size_t v = 1; v < graph.nodeCount(); ++v) {
-                    instance.inputsPending[v] =
+            // Flat per-(event, node) dataflow state, as in the
+            // single-node simulator: the setup's allocation count
+            // stays independent of events_per_node (checked by the
+            // counting-allocator tests). sensorFinishAt is per
+            // instance but fault-path-only, which is exempt from the
+            // zero-allocation claim.
+            const size_t nodes = graph.nodeCount();
+            state.graphNodes = nodes;
+            state.inputsPending.assign(events_per_node * nodes, 0);
+            state.done.assign(events_per_node * nodes, 0);
+            for (size_t k = 0; k < events_per_node; ++k) {
+                for (size_t v = 1; v < nodes; ++v) {
+                    state.inputsPending[k * nodes + v] =
                         graph.predecessors(v).size();
                 }
-                instance.done.assign(graph.nodeCount(), false);
-                if (_faults) {
-                    instance.sensorFinishAt.assign(graph.nodeCount(),
+            }
+            if (_faults) {
+                for (Instance &instance : state.instances) {
+                    instance.sensorFinishAt.assign(nodes,
                                                    std::nullopt);
                 }
             }
+            _maxGraphNodes =
+                std::max(_maxGraphNodes, graph.nodeCount());
+            _maxGroups =
+                std::max(_maxGroups, state.groups.size());
             _members.push_back(std::move(state));
         }
+        // Strides for packing (member, event, node/group) into one
+        // word so completion captures fit std::function's inline
+        // storage (the steady-state loop must not allocate).
+        _maxGraphNodes = std::max<size_t>(_maxGraphNodes, 1);
+        _maxGroups = std::max<size_t>(_maxGroups, 1);
+        _queue.reserve(members.size() * events_per_node + 64);
     }
 
     FleetSimResult
@@ -307,8 +363,10 @@ class FleetSimulator
             for (size_t k = 0; k < _eventsPerNode; ++k) {
                 _queue.schedule(
                     period * static_cast<double>(k),
-                    [this, m, k]() {
-                        completeNode(m, k, DataflowGraph::sourceId);
+                    [this, packed = m * _eventsPerNode + k]() {
+                        completeNode(packed / _eventsPerNode,
+                                     packed % _eventsPerNode,
+                                     DataflowGraph::sourceId);
                     });
             }
         }
@@ -367,8 +425,6 @@ class FleetSimulator
   private:
     struct Instance
     {
-        std::vector<size_t> inputsPending;
-        std::vector<bool> done;
         std::optional<Time> resultAt;
         /** Fault path: completion time of every node that started on
          *  the sensor end (source included), for the fallback DP. */
@@ -379,11 +435,26 @@ class FleetSimulator
         std::optional<Time> localResultAt;
     };
 
+    /** A broadcast group's consumers split by end relative to the
+     *  producer; static under a fixed placement. */
+    struct GroupSplit
+    {
+        std::vector<size_t> sameEnd;
+        std::vector<size_t> otherEnd;
+    };
+
     struct Member
     {
         const FleetMember *spec = nullptr;
         std::vector<BroadcastGroup> groups;
+        /** splits[g] belongs to groups[g]. */
+        std::vector<GroupSplit> splits;
         std::vector<Instance> instances;
+        /** Flat per-(event, node) dataflow state, indexed
+         * k * graphNodes + v. */
+        size_t graphNodes = 0;
+        std::vector<size_t> inputsPending;
+        std::vector<uint8_t> done;
         // Per-node outage detector state (fault path only).
         size_t abandonStreak = 0;
         bool degradedMode = false;
@@ -396,10 +467,12 @@ class FleetSimulator
     void
     deliverTo(size_t m, size_t k, size_t v)
     {
-        Instance &instance = _members[m].instances[k];
-        xproAssert(instance.inputsPending[v] > 0,
-                   "duplicate delivery to node %zu", v);
-        if (--instance.inputsPending[v] == 0)
+        Member &member = _members[m];
+        size_t &pending =
+            member.inputsPending[k * member.graphNodes + v];
+        xproAssert(pending > 0, "duplicate delivery to node %zu",
+                   v);
+        if (--pending == 0)
             completeNode(m, k, v);
     }
 
@@ -407,9 +480,18 @@ class FleetSimulator
     completeNode(size_t m, size_t k, size_t u)
     {
         Member &member = _members[m];
-        const auto finish = [this, m, k, u]() {
-            finishNode(m, k, u);
-        };
+        // (m, k, u) packed into one word: the capture then fits
+        // std::function's inline buffer, so scheduling a completion
+        // never touches the heap in the steady-state loop.
+        const auto finish =
+            [this, packed = (m * _eventsPerNode + k) *
+                                _maxGraphNodes +
+                            u]() {
+                const size_t rest = packed / _maxGraphNodes;
+                finishNode(rest / _eventsPerNode,
+                           rest % _eventsPerNode,
+                           packed % _maxGraphNodes);
+            };
         if (u == DataflowGraph::sourceId) {
             if (_faults) {
                 Instance &instance = member.instances[k];
@@ -443,7 +525,7 @@ class FleetSimulator
         Member &member = _members[m];
         const EngineTopology &topology = member.spec->topology;
         const Placement &placement = member.spec->placement;
-        member.instances[k].done[u] = true;
+        member.done[k * member.graphNodes + u] = 1;
 
         // Degraded instances stop propagating: everything not yet
         // started is being recomputed by the local fallback.
@@ -457,37 +539,52 @@ class FleetSimulator
                 } else {
                     const TransferCost cost =
                         _link.transfer(EngineTopology::resultBits);
-                    _radio.request(m, cost, [this, m, k]() {
-                        _members[m].instances[k].resultAt =
-                            _queue.now();
-                    });
+                    _radio.request(
+                        m, cost,
+                        [this,
+                         packed = m * _eventsPerNode + k]() {
+                            _members[packed / _eventsPerNode]
+                                .instances[packed % _eventsPerNode]
+                                .resultAt = _queue.now();
+                        });
                 }
             } else {
                 member.instances[k].resultAt = _queue.now();
             }
         }
 
-        for (const BroadcastGroup &group : member.groups) {
+        for (size_t g = 0; g < member.groups.size(); ++g) {
+            const BroadcastGroup &group = member.groups[g];
             if (group.producer != u)
                 continue;
-            std::vector<size_t> other_end;
-            for (size_t v : group.consumers) {
-                if (placement.inSensor(v) == placement.inSensor(u))
-                    deliverTo(m, k, v);
-                else
-                    other_end.push_back(v);
-            }
-            if (!other_end.empty()) {
+            const GroupSplit &split = member.splits[g];
+            for (size_t v : split.sameEnd)
+                deliverTo(m, k, v);
+            if (!split.otherEnd.empty()) {
                 if (_faults) {
                     sendPayload(m, k, u, group.bits,
-                                std::move(other_end));
+                                split.otherEnd);
                 } else {
+                    // The consumer list on the far end is static
+                    // (_members[m].splits[g]), so capturing the
+                    // packed (m, k, g) index is enough — no
+                    // per-event vector copy, no heap.
                     const TransferCost cost =
                         _link.transfer(group.bits);
                     _radio.request(
-                        m, cost, [this, m, k, other_end]() {
-                            for (size_t v : other_end)
-                                deliverTo(m, k, v);
+                        m, cost,
+                        [this,
+                         packed = (m * _eventsPerNode + k) *
+                                      _maxGroups +
+                                  g]() {
+                            const size_t rest = packed / _maxGroups;
+                            const size_t dm = rest / _eventsPerNode;
+                            const size_t dk = rest % _eventsPerNode;
+                            for (size_t v :
+                                 _members[dm]
+                                     .splits[packed % _maxGroups]
+                                     .otherEnd)
+                                deliverTo(dm, dk, v);
                         });
                 }
             }
@@ -695,6 +792,9 @@ class FleetSimulator
 
     const WirelessLink &_link;
     size_t _eventsPerNode;
+    /** Packing strides for single-word completion captures. */
+    size_t _maxGraphNodes = 0;
+    size_t _maxGroups = 0;
     EventQueue _queue;
     FleetSimResult _result;
     SharedRadio _radio;
@@ -891,6 +991,62 @@ runFleet(const FleetConfig &config)
         report.totalEvents += sim.events;
         report.totalDeadlineMisses += sim.deadlineMisses;
         report.rows.push_back(std::move(row));
+    }
+
+    // Phase 4: steady-state serving. Segments come round-robin
+    // across the nodes' regenerated datasets (makeTestCase is a pure
+    // function of (case, seed), so the stream is deterministic) and
+    // are classified through the allocation-free SIMD hot path, one
+    // cross-user batch at a time. Every event is classified by its
+    // own user's pipeline independently, so the predictions — and
+    // hence the report bytes — are identical at any batch size and
+    // worker count.
+    if (config.servingEvents > 0) {
+        std::vector<SignalDataset> datasets;
+        std::vector<HotPathPipeline> pipelines;
+        datasets.reserve(result.nodes.size());
+        pipelines.reserve(result.nodes.size());
+        for (const FleetNodeResult &node : result.nodes) {
+            datasets.push_back(
+                makeTestCase(node.spec.testCase, node.spec.seed));
+            pipelines.emplace_back(node.design.pipeline);
+        }
+        std::vector<const HotPathPipeline *> users;
+        users.reserve(pipelines.size());
+        for (const HotPathPipeline &pipeline : pipelines)
+            users.push_back(&pipeline);
+
+        std::vector<ServingEvent> events;
+        events.reserve(config.servingEvents);
+        for (size_t e = 0; e < config.servingEvents; ++e) {
+            const size_t user = e % users.size();
+            const SignalDataset &data = datasets[user];
+            const Segment &segment =
+                data.segments[(e / users.size()) %
+                              data.segments.size()];
+            events.push_back({static_cast<uint32_t>(user),
+                              segment.samples.data(),
+                              segment.samples.size()});
+        }
+
+        BatchServer server(std::move(users), config.batchEvents,
+                           config.servingWorkers);
+        const std::vector<int> labels = server.serve(events);
+
+        ServingReport &serving = report.serving;
+        serving.enabled = true;
+        serving.events = labels.size();
+        serving.users = result.nodes.size();
+        serving.nodeEvents.assign(result.nodes.size(), 0);
+        serving.nodePositives.assign(result.nodes.size(), 0);
+        for (size_t e = 0; e < labels.size(); ++e) {
+            const size_t user = events[e].user;
+            ++serving.nodeEvents[user];
+            if (labels[e] > 0) {
+                ++serving.positives;
+                ++serving.nodePositives[user];
+            }
+        }
     }
     return result;
 }

@@ -20,6 +20,11 @@
  *     policy (fleet/radio_sched), and aggregator-side cells
  *     serialize on the single aggregator CPU. Per-node deadline
  *     misses, radio occupancy and aggregator utilization fall out.
+ *  4. Serving (optional, FleetConfig::servingEvents > 0). The
+ *     trained pipelines classify a deterministic round-robin
+ *     stream of segments through the allocation-free SIMD hot path
+ *     (serve/), batched across users; per-node prediction counts
+ *     land in the report's serving section.
  *
  * Results surface as a FleetReport (core/report).
  */
@@ -110,6 +115,25 @@ struct FleetConfig
      * redesigning the cuts).
      */
     double eventRateScale = 1.0;
+    /**
+     * Steady-state serving events classified after the event
+     * simulation (phase 4): segments are drawn round-robin across
+     * the nodes' regenerated datasets and pushed through each
+     * node's trained pipeline on the allocation-free SIMD hot path
+     * (serve/). 0 disables the phase; the report is then
+     * byte-identical to a build without it.
+     */
+    size_t servingEvents = 0;
+    /**
+     * Cross-user serving batch size: one inference batch spans up
+     * to this many concurrent events from any mix of nodes. 0 means
+     * one batch over everything. Predictions and the serialized
+     * report are bit-identical at any value (tested).
+     */
+    size_t batchEvents = 0;
+    /** Serving worker threads (0 = one per hardware thread,
+     *  1 = inline). Bit-identical at any value (tested). */
+    size_t servingWorkers = 1;
     AdmissionConfig admission;
     /**
      * Fault injection on the shared channel (event simulation

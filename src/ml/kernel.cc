@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace xpro
 {
@@ -74,21 +77,33 @@ Kernel::gramSymmetric(const FlatMatrix &a) const
                                 : std::vector<double>();
 
     // Fill the upper triangle, mirror the lower: half the kernel
-    // evaluations of the dense rectangular path.
-    for (size_t i = 0; i < n; ++i) {
-        const double *ri = a.rowData(i);
-        double *oi = out.rowData(i);
-        for (size_t j = i; j < n; ++j) {
-            const double *rj = a.rowData(j);
-            double dot = 0.0;
-            for (size_t k = 0; k < dims; ++k)
-                dot += ri[k] * rj[k];
-            const double value =
-                kind == KernelKind::Rbf
-                    ? rbfFromParts(gamma, norms[i], norms[j], dot)
-                    : dot;
-            oi[j] = value;
-            out.rowData(j)[i] = value;
+    // evaluations of the dense rectangular path. Column tiles of
+    // simdPackWidth rows go through the packed SIMD multi-dot
+    // kernel; lanes below the diagonal are computed but dropped
+    // (each retained dot still accumulates serially left-to-right,
+    // so values match the scalar schedule bitwise).
+    std::vector<double> packed(dims * simdPackWidth);
+    const double *tileRows[simdPackWidth];
+    double lane[simdPackWidth];
+    for (size_t jb = 0; jb < n; jb += simdPackWidth) {
+        const size_t count = std::min(simdPackWidth, n - jb);
+        for (size_t j = 0; j < count; ++j)
+            tileRows[j] = a.rowData(jb + j);
+        simdPackRows(tileRows, count, dims, packed.data());
+        const size_t iEnd = std::min(jb + count, n);
+        for (size_t i = 0; i < iEnd; ++i) {
+            simdDotPacked(a.rowData(i), packed.data(), dims, lane);
+            double *oi = out.rowData(i);
+            const size_t jFirst = i > jb ? i - jb : 0;
+            for (size_t j = jFirst; j < count; ++j) {
+                const double value =
+                    kind == KernelKind::Rbf
+                        ? rbfFromParts(gamma, norms[i],
+                                       norms[jb + j], lane[j])
+                        : lane[j];
+                oi[jb + j] = value;
+                out.rowData(jb + j)[i] = value;
+            }
         }
     }
     return out;

@@ -96,6 +96,13 @@ class Svm
     /** alpha_i * y_i weight per support vector. */
     const std::vector<double> &weights() const { return _weights; }
 
+    /** Cached squared norm per support vector (RBF hot path). */
+    const std::vector<double> &
+    supportVectorNorms() const
+    {
+        return _svNorms;
+    }
+
   private:
     Kernel _kernel;
     double _bias = 0.0;

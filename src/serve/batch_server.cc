@@ -1,0 +1,108 @@
+#include "serve/batch_server.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/simd.hh"
+
+namespace xpro
+{
+
+BatchServer::BatchServer(std::vector<const HotPathPipeline *> users,
+                         size_t batchEvents, size_t workers)
+    : _users(std::move(users)), _batchEvents(batchEvents),
+      _pool(resolveWorkerCount(workers)),
+      _scratch(std::max<size_t>(1, _pool.workerCount()))
+{
+    xproAssert(!_users.empty(), "batch server needs users");
+    for (const HotPathPipeline *user : _users)
+        xproAssert(user != nullptr, "null user pipeline");
+}
+
+void
+BatchServer::serveInto(const ServingEvent *events, size_t count,
+                       int *out)
+{
+    const size_t batch = _batchEvents == 0 ? count : _batchEvents;
+    for (size_t begin = 0; begin < count; begin += batch) {
+        const size_t n = std::min(batch, count - begin);
+        serveBatch(events + begin, n, out + begin);
+    }
+}
+
+std::vector<int>
+BatchServer::serve(const std::vector<ServingEvent> &events)
+{
+    std::vector<int> out(events.size());
+    serveInto(events.data(), events.size(), out.data());
+    return out;
+}
+
+void
+BatchServer::serveBatch(const ServingEvent *events, size_t count,
+                        int *out)
+{
+    const size_t workers = std::max<size_t>(1, _pool.workerCount());
+    if (workers == 1 || count <= 1) {
+        workerServe(0, events, count, out);
+        return;
+    }
+    // Contiguous slices keyed by worker index: slice w always covers
+    // the same events regardless of scheduling, and results land at
+    // original positions, so output is worker-count-invariant.
+    const size_t share = (count + workers - 1) / workers;
+    _pool.run(workers, [&](size_t w) {
+        const size_t begin = w * share;
+        if (begin >= count)
+            return;
+        const size_t end = std::min(count, begin + share);
+        workerServe(w, events + begin, end - begin, out + begin);
+    });
+}
+
+void
+BatchServer::workerServe(size_t worker, const ServingEvent *events,
+                         size_t count, int *out)
+{
+    WorkerScratch &scratch = _scratch[worker];
+    for (size_t i = 0; i < count; ++i)
+        xproAssert(events[i].user < _users.size(),
+                   "event user %u out of range", events[i].user);
+    // Group by user: one pass over the slice per user keeps that
+    // user's packed SV tiles cache-hot, and runs of equal-length
+    // events feed the lane-packed classifyMany() up to simdPackWidth
+    // at a time. Grouping only reorders computation between
+    // independent events — each prediction is bit-identical to
+    // classifying its event alone — and the index buffer is
+    // grow-only, so the steady-state loop stays allocation-free.
+    for (uint32_t u = 0; u < _users.size(); ++u) {
+        const HotPathPipeline *pipeline = _users[u];
+        scratch.indices.clear();
+        for (size_t i = 0; i < count; ++i) {
+            if (events[i].user == u)
+                scratch.indices.push_back(i);
+        }
+        size_t g = 0;
+        while (g < scratch.indices.size()) {
+            const size_t length =
+                events[scratch.indices[g]].length;
+            size_t m = 1;
+            while (m < simdPackWidth &&
+                   g + m < scratch.indices.size() &&
+                   events[scratch.indices[g + m]].length == length)
+                ++m;
+            const double *segments[simdPackWidth];
+            int labels[simdPackWidth];
+            for (size_t t = 0; t < m; ++t)
+                segments[t] =
+                    events[scratch.indices[g + t]].segment;
+            pipeline->classifyMany(segments, m, length, labels,
+                                   scratch.arena, scratch.dwt);
+            for (size_t t = 0; t < m; ++t)
+                out[scratch.indices[g + t]] = labels[t];
+            g += m;
+        }
+    }
+}
+
+} // namespace xpro

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
@@ -11,7 +12,8 @@ void
 EventQueue::schedule(Time at, Handler handler)
 {
     xproAssert(at >= _now, "cannot schedule into the past");
-    _events.push({at, _nextSequence++, std::move(handler)});
+    _events.push_back({at, _nextSequence++, std::move(handler)});
+    std::push_heap(_events.begin(), _events.end(), Later{});
 }
 
 void
@@ -25,9 +27,10 @@ EventQueue::runOne()
 {
     if (_events.empty())
         return false;
-    // Copy out before popping: the handler may schedule new events.
-    Event event = _events.top();
-    _events.pop();
+    // Move out before running: the handler may schedule new events.
+    std::pop_heap(_events.begin(), _events.end(), Later{});
+    Event event = std::move(_events.back());
+    _events.pop_back();
     _now = event.at;
     event.handler();
     return true;

@@ -3,6 +3,13 @@
  * Minimal discrete-event simulation kernel: a time-ordered queue of
  * callbacks. Used by the cross-end system simulator to execute the
  * data-driven cell schedule and the serialized radio channel.
+ *
+ * The queue is a binary heap over a plain vector so storage can be
+ * reserve()d up front and reused across events: in the steady-state
+ * serving loop neither scheduling nor popping touches the heap
+ * allocator (handlers are moved, never copied, and the (time,
+ * sequence) strict total order makes the pop order identical to the
+ * former std::priority_queue implementation).
  */
 
 #ifndef XPRO_SIM_EVENT_QUEUE_HH
@@ -11,7 +18,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/units.hh"
@@ -36,6 +42,10 @@ class EventQueue
 
     /** Events currently pending. */
     size_t pending() const { return _events.size(); }
+
+    /** Pre-size the underlying storage so scheduling up to
+     * @p capacity concurrent events never reallocates. */
+    void reserve(size_t capacity) { _events.reserve(capacity); }
 
     /**
      * Pop and run the earliest event.
@@ -71,7 +81,7 @@ class EventQueue
 
     Time _now;
     uint64_t _nextSequence = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> _events;
+    std::vector<Event> _events; // heap ordered by Later
 };
 
 } // namespace xpro

@@ -19,9 +19,12 @@ namespace
 class Radio
 {
   public:
-    Radio(EventQueue &queue, SimResult &result)
-        : _queue(queue), _result(result)
-    {}
+    Radio(EventQueue &queue, SimResult &result, bool capture_trace)
+        : _queue(queue), _result(result),
+          _captureTrace(capture_trace)
+    {
+        _backlog.reserve(16);
+    }
 
     /**
      * Request a transfer of @p cost; @p on_delivered fires when the
@@ -43,7 +46,8 @@ class Radio
     occupy(Time air, const std::string &what,
            EventQueue::Handler on_done)
     {
-        _backlog.push_back({air, std::move(on_done), what});
+        _backlog.push_back(
+            {air, std::move(on_done), _captureTrace ? what : ""});
         if (!_busy)
             startNext();
     }
@@ -64,24 +68,38 @@ class Radio
             return;
         }
         _busy = true;
-        Pending job = std::move(_backlog.front());
+        // The in-flight job lives in a member, so the completion
+        // callback needs only [this] — small enough for the
+        // std::function small-buffer slot, keeping the steady-state
+        // loop free of heap allocations. The channel is half-duplex:
+        // at most one occupation is in flight at a time.
+        _current = std::move(_backlog.front());
         _backlog.erase(_backlog.begin());
-        _result.trace.push_back(
-            {_queue.now(), "radio start: " + job.what});
-        _result.radioBusy += job.air;
+        if (_captureTrace) {
+            _result.trace.push_back(
+                {_queue.now(), "radio start: " + _current.what});
+        }
+        _result.radioBusy += _current.air;
         ++_result.transfers;
-        _queue.scheduleAfter(
-            job.air, [this, job = std::move(job)]() mutable {
+        _queue.scheduleAfter(_current.air, [this]() {
+            if (_captureTrace) {
                 _result.trace.push_back(
-                    {_queue.now(), "radio done: " + job.what});
-                job.onDone();
-                startNext();
-            });
+                    {_queue.now(), "radio done: " + _current.what});
+            }
+            // Move the handler out first: it may request the next
+            // transfer, which must land in the backlog, not clobber
+            // the job being completed.
+            EventQueue::Handler on_done = std::move(_current.onDone);
+            on_done();
+            startNext();
+        });
     }
 
     EventQueue &_queue;
     SimResult &_result;
+    const bool _captureTrace;
     bool _busy = false;
+    Pending _current;
     std::vector<Pending> _backlog;
 };
 
@@ -102,30 +120,61 @@ class SystemSimulator
                     const Placement &placement,
                     const WirelessLink &link, size_t events,
                     const FaultProfile *faults = nullptr,
-                    Time probe_horizon = Time())
+                    Time probe_horizon = Time(),
+                    bool capture_trace = true)
         : _topology(topology),
           _placement(placement),
           _link(link),
           _groups(broadcastGroups(topology)),
-          _radio(_queue, _result),
+          _captureTrace(capture_trace),
+          _radio(_queue, _result, capture_trace),
           _instances(events),
           _probeHorizon(probe_horizon)
     {
         const DataflowGraph &graph = topology.graph;
         if (faults && faults->enabled)
             _faults.emplace(*faults);
-        for (Instance &instance : _instances) {
-            instance.inputsPending.assign(graph.nodeCount(), 0);
-            for (size_t v = 1; v < graph.nodeCount(); ++v) {
-                instance.inputsPending[v] =
+        // Per-instance dataflow counters live in two flat arrays so
+        // the setup's allocation count is independent of the event
+        // count (the counting-allocator tests compare stream runs of
+        // different lengths). sensorFinishAt stays per instance: it
+        // exists only on the fault path, which is exempt from the
+        // zero-allocation claim.
+        const size_t nodes = graph.nodeCount();
+        _inputsPending.assign(events * nodes, 0);
+        _done.assign(events * nodes, 0);
+        for (size_t k = 0; k < events; ++k) {
+            for (size_t v = 1; v < nodes; ++v) {
+                _inputsPending[k * nodes + v] =
                     graph.predecessors(v).size();
             }
-            instance.done.assign(graph.nodeCount(), false);
-            if (_faults) {
-                instance.sensorFinishAt.assign(graph.nodeCount(),
-                                               std::nullopt);
+        }
+        if (_faults) {
+            for (Instance &instance : _instances) {
+                instance.sensorFinishAt.assign(nodes, std::nullopt);
             }
         }
+        // Placement is fixed for the whole run, so each broadcast
+        // group's consumer split (same end as the producer vs the
+        // other end) is static: precompute it once instead of
+        // building an other-end vector per event. The same-end list
+        // preserves the group's consumer order, so deliveries happen
+        // in the original sequence.
+        _splits.resize(_groups.size());
+        for (size_t g = 0; g < _groups.size(); ++g) {
+            const BroadcastGroup &group = _groups[g];
+            const bool producer_in_sensor =
+                _placement.inSensor(group.producer);
+            for (size_t v : group.consumers) {
+                if (_placement.inSensor(v) == producer_in_sensor)
+                    _splits[g].sameEnd.push_back(v);
+                else
+                    _splits[g].otherEnd.push_back(v);
+            }
+        }
+        // Pre-size the event heap: all stream injections plus a few
+        // in-flight completions per event.
+        _queue.reserve(events + 32);
     }
 
     /** Inject event @p k's raw segment at time @p at. */
@@ -150,8 +199,9 @@ class SystemSimulator
             // fallback recomputes them outside the dataflow walk.
             if (instance.degraded)
                 continue;
-            for (size_t v = 1; v < _topology.graph.nodeCount(); ++v) {
-                xproAssert(instance.done[v],
+            const size_t nodes = _topology.graph.nodeCount();
+            for (size_t v = 1; v < nodes; ++v) {
+                xproAssert(_done[k * nodes + v],
                            "cell '%s' never executed for event %zu",
                            _topology.graph.node(v).name.c_str(), k);
             }
@@ -183,8 +233,6 @@ class SystemSimulator
   private:
     struct Instance
     {
-        std::vector<size_t> inputsPending;
-        std::vector<bool> done;
         std::optional<Time> resultAt;
         Time injectedAt;
         /** Fault path: completion time of every node that started on
@@ -199,11 +247,11 @@ class SystemSimulator
     void
     deliverTo(size_t k, size_t v)
     {
-        Instance &instance = _instances[k];
-        xproAssert(instance.inputsPending[v] > 0,
-                   "duplicate delivery to '%s'",
+        size_t &pending =
+            _inputsPending[k * _topology.graph.nodeCount() + v];
+        xproAssert(pending > 0, "duplicate delivery to '%s'",
                    _topology.graph.node(v).name.c_str());
-        if (--instance.inputsPending[v] == 0)
+        if (--pending == 0)
             completeNode(k, v);
     }
 
@@ -233,8 +281,13 @@ class SystemSimulator
                     degradeEvent(k);
             }
         }
-        _queue.scheduleAfter(exec, [this, k, u]() {
-            finishNode(k, u);
+        // Pack (event, node) into one word so the capture fits the
+        // std::function small-buffer slot (16 bytes with `this`):
+        // no allocation per node completion.
+        const size_t nodes = graph.nodeCount();
+        _queue.scheduleAfter(exec, [this, packed = k * nodes + u]() {
+            const size_t nodes2 = _topology.graph.nodeCount();
+            finishNode(packed / nodes2, packed % nodes2);
         });
     }
 
@@ -243,10 +296,12 @@ class SystemSimulator
     {
         const DataflowGraph &graph = _topology.graph;
         Instance &instance = _instances[k];
-        instance.done[u] = true;
-        _result.trace.push_back(
-            {_queue.now(), "done " + graph.node(u).name + " #" +
-                               std::to_string(k)});
+        _done[k * graph.nodeCount() + u] = 1;
+        if (_captureTrace) {
+            _result.trace.push_back(
+                {_queue.now(), "done " + graph.node(u).name + " #" +
+                                   std::to_string(k)});
+        }
 
         // Degraded instances stop propagating: everything not yet
         // started is being recomputed by the local fallback, and the
@@ -265,23 +320,22 @@ class SystemSimulator
             }
         }
 
-        for (const BroadcastGroup &group : _groups) {
+        for (size_t g = 0; g < _groups.size(); ++g) {
+            const BroadcastGroup &group = _groups[g];
             if (group.producer != u)
                 continue;
-            std::vector<size_t> other_end;
-            for (size_t v : group.consumers) {
-                if (_placement.inSensor(v) == _placement.inSensor(u))
-                    deliverTo(k, v);
-                else
-                    other_end.push_back(v);
-            }
-            if (!other_end.empty()) {
-                const std::string what = graph.node(u).name +
-                                         " payload #" +
-                                         std::to_string(k);
+            const GroupSplit &split = _splits[g];
+            for (size_t v : split.sameEnd)
+                deliverTo(k, v);
+            if (!split.otherEnd.empty()) {
+                std::string what;
+                if (_captureTrace || _faults) {
+                    what = graph.node(u).name + " payload #" +
+                           std::to_string(k);
+                }
                 if (_faults) {
-                    sendPayload(k, u, group.bits,
-                                std::move(other_end), what);
+                    sendPayload(k, u, group.bits, split.otherEnd,
+                                what);
                 } else {
                     const TransferCost cost =
                         _link.transfer(group.bits);
@@ -289,11 +343,18 @@ class SystemSimulator
                         _result.sensorEnergy.tx += cost.txEnergy;
                     else
                         _result.sensorEnergy.rx += cost.rxEnergy;
+                    // Deliveries read the static split, so the
+                    // capture is one packed (event, group) word:
+                    // allocation-free like completeNode above.
+                    const size_t groups = _groups.size();
                     _radio.request(
                         cost,
-                        [this, k, other_end]() {
-                            for (size_t v : other_end)
-                                deliverTo(k, v);
+                        [this, packed = k * groups + g]() {
+                            const size_t groups2 = _groups.size();
+                            const size_t k2 = packed / groups2;
+                            for (size_t v :
+                                 _splits[packed % groups2].otherEnd)
+                                deliverTo(k2, v);
                         },
                         what);
                 }
@@ -308,10 +369,13 @@ class SystemSimulator
         const TransferCost cost =
             _link.transfer(EngineTopology::resultBits);
         _result.sensorEnergy.tx += cost.txEnergy;
+        std::string what;
+        if (_captureTrace)
+            what = "result #" + std::to_string(k);
         _radio.request(
             cost,
             [this, k]() { _instances[k].resultAt = _queue.now(); },
-            "result #" + std::to_string(k));
+            what);
     }
 
     // ---- Fault-injected path -------------------------------------
@@ -505,14 +569,28 @@ class SystemSimulator
         });
     }
 
+    /** Static consumer split of one broadcast group under the fixed
+     * placement (consumer order preserved within each list). */
+    struct GroupSplit
+    {
+        std::vector<size_t> sameEnd;
+        std::vector<size_t> otherEnd;
+    };
+
     const EngineTopology &_topology;
     const Placement &_placement;
     const WirelessLink &_link;
     std::vector<BroadcastGroup> _groups;
+    std::vector<GroupSplit> _splits;
+    const bool _captureTrace;
     EventQueue _queue;
     SimResult _result;
     Radio _radio;
     std::vector<Instance> _instances;
+    /** Flat per-(event, node) dataflow state: pending predecessor
+     * counts and executed flags, indexed k * nodeCount + v. */
+    std::vector<size_t> _inputsPending;
+    std::vector<uint8_t> _done;
 
     // Fault-injection state (unused on the legacy path).
     std::optional<FaultState> _faults;
@@ -537,8 +615,12 @@ runStream(const EngineTopology &topology, const Placement &placement,
     // Recovery probes run at most one period past the last
     // injection; afterwards a still-down link stays down.
     const Time horizon = period * static_cast<double>(events);
+    // StreamResult carries no trace, so stream runs skip trace
+    // capture entirely: same simulation, same numbers, and the
+    // steady-state fault-free event loop stays allocation-free.
     SystemSimulator simulator(topology, placement, link, events,
-                              faults, horizon);
+                              faults, horizon,
+                              /*capture_trace=*/false);
     for (size_t k = 0; k < events; ++k)
         simulator.inject(k, period * static_cast<double>(k));
     const SimResult sim = simulator.run();

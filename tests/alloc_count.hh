@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Counting allocator for the allocation-regression tests.
+ *
+ * Linking xpro_alloc_count into a test binary replaces the global
+ * operator new/delete family with counting forwards to malloc/free.
+ * AllocScope then measures how many heap allocations a region of
+ * code performed — the tool the hot-path tests use to prove the
+ * steady-state serving and simulation loops allocate zero times per
+ * event after warmup (DESIGN.md §15).
+ *
+ * The counter is process-global and atomic; scope the measured
+ * region to a single thread (the allocation-free claims are about
+ * the inline paths) and keep gtest assertions outside it.
+ */
+
+#ifndef XPRO_TESTS_ALLOC_COUNT_HH
+#define XPRO_TESTS_ALLOC_COUNT_HH
+
+#include <cstddef>
+
+namespace xpro::testing
+{
+
+/** Heap allocations (any operator new) since program start. */
+size_t allocCount();
+
+/** Counts allocations from construction to count(). */
+class AllocScope
+{
+  public:
+    AllocScope() : _start(allocCount()) {}
+
+    size_t count() const { return allocCount() - _start; }
+
+  private:
+    size_t _start;
+};
+
+} // namespace xpro::testing
+
+#endif // XPRO_TESTS_ALLOC_COUNT_HH

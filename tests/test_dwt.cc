@@ -181,4 +181,68 @@ TEST(DwtTest, WaveletNames)
     EXPECT_EQ(waveletName(Wavelet::Db4), "Db4");
 }
 
+/** The deterministic probe shared by the golden-vector tests. */
+std::vector<double>
+goldenSignal()
+{
+    std::vector<double> signal(128);
+    for (size_t i = 0; i < 128; ++i)
+        signal[i] = std::sin(0.37 * double(i)) +
+                    0.5 * std::cos(1.3 * double(i)) +
+                    0.01 * double(i);
+    return signal;
+}
+
+// Golden vectors captured from the scalar dwtStep() chain; the
+// vectorized decomposition must keep reproducing them to the last
+// bit across backend and compiler changes (the differential tests
+// in test_hotpath_identity.cc prove SIMD == scalar; these pin the
+// scalar values themselves against silent drift).
+TEST(DwtTest, GoldenVectorsHaarTwoLevels)
+{
+    const DwtDecomposition decomp =
+        dwtDecompose(goldenSignal(), Wavelet::Haar, 2);
+    const double detail0[8] = {
+        -0.0037935191826708459, -0.20993222419541585,
+        -0.16223139259567887,   0.53977677926857759,
+        -0.17423066300534626,   0.56258211023462434,
+        -0.20512869709556925,   -0.16485421870920847,
+    };
+    const double approx[8] = {
+        0.91697045740045213,  1.8867174595831355,
+        -0.27061455282220898, -1.4330737587587672,
+        0.54488981556824001,  2.0516439796369972,
+        0.45664917512899306,  -1.0674776257659024,
+    };
+    ASSERT_EQ(decomp.detail[0].size(), 64u);
+    ASSERT_EQ(decomp.approx.size(), 32u);
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(decomp.detail[0][i], detail0[i]) << "detail " << i;
+        EXPECT_EQ(decomp.approx[i], approx[i]) << "approx " << i;
+    }
+}
+
+TEST(DwtTest, GoldenVectorsDb4TwoLevels)
+{
+    const DwtDecomposition decomp =
+        dwtDecompose(goldenSignal(), Wavelet::Db4, 2);
+    const double detail1[8] = {
+        1.2379515461654214,   0.24819665201440402,
+        -1.0346456870505429,  -0.89649484344831554,
+        0.28211013397005713,  0.85551147908204339,
+        0.37665311214455044,  -0.22315522726585424,
+    };
+    const double approx[8] = {
+        1.2871106887661801,   1.5702786081595925,
+        -0.84560187291130817, -1.3467986273010373,
+        1.1805587909437707,   2.2642769898183563,
+        0.00211432394615646,  -1.3970344552290634,
+    };
+    ASSERT_EQ(decomp.detail[1].size(), 32u);
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(decomp.detail[1][i], detail1[i]) << "detail " << i;
+        EXPECT_EQ(decomp.approx[i], approx[i]) << "approx " << i;
+    }
+}
+
 } // namespace

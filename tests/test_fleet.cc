@@ -13,6 +13,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "alloc_count.hh"
 #include "common/argparse.hh"
 #include "common/logging.hh"
 #include "fleet/fleet.hh"
@@ -293,6 +294,32 @@ TEST(FleetSimTest, TwoNodesContendOnTheSharedRadio)
     EXPECT_GT(fleet.span, single.completion);
     EXPECT_DOUBLE_EQ(fleet.radioBusy.ms(),
                      2 * single.radioBusy.ms());
+}
+
+TEST(FleetSimTest, EventLoopAllocationsIndependentOfEventCount)
+{
+    // Fault-free fleet runs only allocate during setup (flat
+    // dataflow state, group splits, queue reserve); the shared
+    // radio/CPU event loop itself is allocation-free. Setup cost is
+    // independent of the event count, so the totals must be EQUAL —
+    // any per-event heap traffic shows up as a difference of 8
+    // events times two members here.
+    const EngineTopology topology =
+        chainTopology(100.0, 200.0, 300.0);
+    const FcfsArbiter fcfs;
+    const auto measure = [&](size_t eventsPerNode) {
+        std::vector<FleetMember> members;
+        members.push_back(cutChainMember(topology, 4.0));
+        members.push_back(cutChainMember(topology, 4.0));
+        xpro::testing::AllocScope scope;
+        simulateFleet(members, link2, fcfs, eventsPerNode);
+        return scope.count();
+    };
+    measure(2); // warm process-wide caches
+    const size_t few = measure(4);
+    const size_t many = measure(12);
+    EXPECT_EQ(few, many)
+        << "the shared event loop must not touch the heap";
 }
 
 TEST(FleetSimTest, AggregatorCellsSerializeOnOneCpu)

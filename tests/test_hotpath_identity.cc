@@ -1,0 +1,756 @@
+/**
+ * @file
+ * Differential test harness for the allocation-free SIMD serving hot
+ * path (ctest label `hotpath`). Every vectorized kernel is compared
+ * against its retained scalar reference with EXACT equality — the
+ * order-preserving SIMD contract (common/simd.hh) promises
+ * bit-identical results, so no ULP slack appears anywhere in this
+ * file. The same discipline covers the compiled serving pipeline
+ * (HotPathPipeline vs TrainedPipeline), cross-user batching at every
+ * batch size and worker count, and the fleet report bytes. The
+ * counting allocator (alloc_count.hh) then pins the other half of
+ * the contract: zero steady-state heap allocations per event.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "alloc_count.hh"
+#include "common/arena.hh"
+#include "common/matrix.hh"
+#include "common/random.hh"
+#include "common/simd.hh"
+#include "core/pipeline.hh"
+#include "data/testcases.hh"
+#include "dsp/dwt.hh"
+#include "dsp/feature_pool.hh"
+#include "fleet/fleet.hh"
+#include "ml/kernel.hh"
+#include "serve/batch_server.hh"
+#include "serve/hot_path.hh"
+
+namespace
+{
+
+using namespace xpro;
+using xpro::testing::AllocScope;
+
+std::vector<double>
+randomVector(Rng &rng, size_t n)
+{
+    std::vector<double> values(n);
+    for (double &v : values)
+        v = rng.uniform(-2.0, 2.0);
+    return values;
+}
+
+FlatMatrix
+randomMatrix(Rng &rng, size_t rows, size_t cols)
+{
+    FlatMatrix m(rows, cols);
+    for (size_t i = 0; i < rows; ++i) {
+        for (size_t j = 0; j < cols; ++j)
+            m.rowData(i)[j] = rng.uniform(-2.0, 2.0);
+    }
+    return m;
+}
+
+// --- SIMD kernels vs scalar references ----------------------------
+
+TEST(SimdKernelTest, BackendNameIsKnown)
+{
+    const std::string name = simdBackendName();
+    EXPECT_TRUE(name == "generic" || name == "sse2" ||
+                name == "avx2")
+        << name;
+}
+
+TEST(SimdKernelTest, ScaleMatchesScalarReferenceExactly)
+{
+    Rng rng(40601);
+    for (size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u, 64u, 100u}) {
+        const std::vector<double> src = randomVector(rng, n);
+        const double c = rng.uniform(-3.0, 3.0);
+        std::vector<double> simd(n, -1.0), scalar(n, -1.0);
+        simdScale(simd.data(), src.data(), c, n);
+        scalar_ref::scale(scalar.data(), src.data(), c, n);
+        EXPECT_EQ(0, std::memcmp(simd.data(), scalar.data(),
+                                 n * sizeof(double)))
+            << "n=" << n;
+    }
+}
+
+TEST(SimdKernelTest, AxpyMatchesScalarReferenceExactly)
+{
+    Rng rng(40602);
+    for (size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u, 64u, 100u}) {
+        const std::vector<double> src = randomVector(rng, n);
+        const std::vector<double> base = randomVector(rng, n);
+        const double c = rng.uniform(-3.0, 3.0);
+        std::vector<double> simd = base, scalar = base;
+        simdAxpy(simd.data(), src.data(), c, n);
+        scalar_ref::axpy(scalar.data(), src.data(), c, n);
+        EXPECT_EQ(0, std::memcmp(simd.data(), scalar.data(),
+                                 n * sizeof(double)))
+            << "n=" << n;
+    }
+}
+
+TEST(SimdKernelTest, DotPackedMatchesPerColumnScalarDots)
+{
+    Rng rng(40603);
+    for (size_t n : {1u, 2u, 3u, 5u, 8u, 17u, 48u, 129u}) {
+        for (size_t count = 1; count <= simdPackWidth; ++count) {
+            std::vector<std::vector<double>> rows;
+            std::vector<const double *> rowPtrs;
+            for (size_t j = 0; j < count; ++j) {
+                rows.push_back(randomVector(rng, n));
+                rowPtrs.push_back(rows.back().data());
+            }
+            std::vector<double> packed(n * simdPackWidth);
+            simdPackRows(rowPtrs.data(), count, n, packed.data());
+
+            const std::vector<double> a = randomVector(rng, n);
+            double lanes[simdPackWidth];
+            simdDotPacked(a.data(), packed.data(), n, lanes);
+            for (size_t j = 0; j < count; ++j) {
+                EXPECT_EQ(lanes[j], scalar_ref::dot(a.data(),
+                                                    rows[j].data(),
+                                                    n))
+                    << "n=" << n << " lane " << j;
+            }
+            // Zero-filled pad lanes produce exact zero dots.
+            for (size_t j = count; j < simdPackWidth; ++j)
+                EXPECT_EQ(lanes[j], 0.0);
+        }
+    }
+}
+
+TEST(SimdKernelTest, SquaredNormsPackedMatchesScalar)
+{
+    Rng rng(40604);
+    for (size_t n : {1u, 2u, 7u, 8u, 31u, 96u}) {
+        std::vector<std::vector<double>> rows;
+        std::vector<const double *> rowPtrs;
+        for (size_t j = 0; j < simdPackWidth; ++j) {
+            rows.push_back(randomVector(rng, n));
+            rowPtrs.push_back(rows.back().data());
+        }
+        std::vector<double> packed(n * simdPackWidth);
+        simdPackRows(rowPtrs.data(), simdPackWidth, n,
+                     packed.data());
+        double lanes[simdPackWidth];
+        simdSquaredNormsPacked(packed.data(), n, lanes);
+        for (size_t j = 0; j < simdPackWidth; ++j) {
+            EXPECT_EQ(lanes[j],
+                      scalar_ref::squaredNorm(rows[j].data(), n))
+                << "n=" << n << " lane " << j;
+        }
+    }
+}
+
+TEST(SimdKernelTest, ZScoreMatchesScalarReferenceExactly)
+{
+    Rng rng(50505);
+    for (size_t n : {1u, 2u, 3u, 4u, 5u, 8u, 17u, 64u, 187u}) {
+        const std::vector<double> src = randomVector(rng, n);
+        const double mu = rng.uniform(-1.0, 1.0);
+        const double sigma = rng.uniform(0.1, 3.0);
+        std::vector<double> got(n, -1.0);
+        std::vector<double> want(n, -2.0);
+        simdZScore(got.data(), src.data(), mu, sigma, n);
+        scalar_ref::zscore(want.data(), src.data(), mu, sigma, n);
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(got[i], want[i]) << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(SimdKernelTest, PackedStatsKernelsMatchScalarReference)
+{
+    Rng rng(70707);
+    for (size_t n : {1u, 2u, 3u, 8u, 64u, 187u}) {
+        std::vector<std::vector<double>> rows;
+        std::vector<const double *> rowPtrs;
+        for (size_t j = 0; j < simdPackWidth; ++j) {
+            rows.push_back(randomVector(rng, n));
+            rowPtrs.push_back(rows.back().data());
+        }
+        std::vector<double> packed(n * simdPackWidth);
+        simdPackRows(rowPtrs.data(), simdPackWidth, n,
+                     packed.data());
+
+        double mx[simdPackWidth], mn[simdPackWidth];
+        double sum[simdPackWidth];
+        double rmx[simdPackWidth], rmn[simdPackWidth];
+        double rsum[simdPackWidth];
+        simdMaxMinSumPacked(packed.data(), n, mx, mn, sum);
+        scalar_ref::maxMinSumPacked(packed.data(), n, rmx, rmn,
+                                    rsum);
+
+        double mu[simdPackWidth], sigma[simdPackWidth];
+        for (size_t j = 0; j < simdPackWidth; ++j) {
+            mu[j] = rsum[j] / static_cast<double>(n);
+            sigma[j] = rng.uniform(0.5, 2.0);
+        }
+        double acc[simdPackWidth], racc[simdPackWidth];
+        simdCenteredSquareSumPacked(packed.data(), n, mu, acc);
+        scalar_ref::centeredSquareSumPacked(packed.data(), n, mu,
+                                            racc);
+        double cz[simdPackWidth], rcz[simdPackWidth];
+        simdSignCrossingsPacked(packed.data(), n, cz);
+        scalar_ref::signCrossingsPacked(packed.data(), n, rcz);
+        double a3[simdPackWidth], a4[simdPackWidth];
+        double ra3[simdPackWidth], ra4[simdPackWidth];
+        simdMoment34Packed(packed.data(), n, mu, sigma, a3, a4);
+        scalar_ref::moment34Packed(packed.data(), n, mu, sigma, ra3,
+                                   ra4);
+
+        for (size_t j = 0; j < simdPackWidth; ++j) {
+            EXPECT_EQ(mx[j], rmx[j]) << "max n=" << n << " j=" << j;
+            EXPECT_EQ(mn[j], rmn[j]) << "min n=" << n << " j=" << j;
+            EXPECT_EQ(sum[j], rsum[j])
+                << "sum n=" << n << " j=" << j;
+            EXPECT_EQ(acc[j], racc[j])
+                << "var acc n=" << n << " j=" << j;
+            EXPECT_EQ(cz[j], rcz[j])
+                << "crossings n=" << n << " j=" << j;
+            EXPECT_EQ(a3[j], ra3[j]) << "m3 n=" << n << " j=" << j;
+            EXPECT_EQ(a4[j], ra4[j]) << "m4 n=" << n << " j=" << j;
+        }
+    }
+}
+
+// --- Fused statistics pass ----------------------------------------
+
+TEST(FeatureIdentityTest, FusedAllKindsMatchesPerKindExactly)
+{
+    Rng rng(60606);
+    for (size_t n : {1u, 2u, 7u, 64u, 100u, 187u}) {
+        for (int trial = 0; trial < 8; ++trial) {
+            const std::vector<double> signal = randomVector(rng, n);
+            double fused[featureKindCount];
+            computeAllKindsInto(signal.data(), n, fused);
+            for (size_t k = 0; k < featureKindCount; ++k) {
+                EXPECT_EQ(fused[k],
+                          computeFeature(allFeatureKinds[k],
+                                         signal.data(), n))
+                    << "n=" << n << " kind "
+                    << featureName(allFeatureKinds[k]);
+            }
+        }
+    }
+    // Near-constant signal: sigma < 1e-12 must zero skew/kurtosis
+    // exactly like the per-kind references do.
+    const std::vector<double> flat(64, 0.75);
+    double fused[featureKindCount];
+    computeAllKindsInto(flat.data(), flat.size(), fused);
+    for (size_t k = 0; k < featureKindCount; ++k) {
+        EXPECT_EQ(fused[k],
+                  computeFeature(allFeatureKinds[k], flat.data(),
+                                 flat.size()))
+            << "flat signal, kind "
+            << featureName(allFeatureKinds[k]);
+    }
+}
+
+TEST(FeatureIdentityTest, PackedAllKindsMatchesPerLaneExactly)
+{
+    Rng rng(80808);
+    for (size_t n : {1u, 2u, 8u, 64u, 187u}) {
+        for (size_t lanes : {1u, 3u, 8u}) {
+            std::vector<std::vector<double>> rows;
+            std::vector<const double *> rowPtrs;
+            for (size_t j = 0; j < lanes; ++j) {
+                // Lane 1 gets a constant signal so the packed path
+                // must reproduce the degenerate sigma < 1e-12
+                // branch per lane.
+                rows.push_back(j == 1
+                                   ? std::vector<double>(n, 0.25)
+                                   : randomVector(rng, n));
+                rowPtrs.push_back(rows.back().data());
+            }
+            std::vector<double> packed(n * simdPackWidth);
+            simdPackRows(rowPtrs.data(), lanes, n, packed.data());
+
+            std::vector<double> out(lanes * featureKindCount,
+                                    -7.0);
+            computeAllKindsPacked(packed.data(), n, lanes,
+                                  out.data(), featureKindCount);
+            for (size_t j = 0; j < lanes; ++j) {
+                double want[featureKindCount];
+                computeAllKindsInto(rows[j].data(), n, want);
+                for (size_t k = 0; k < featureKindCount; ++k) {
+                    EXPECT_EQ(out[j * featureKindCount + k],
+                              want[k])
+                        << "n=" << n << " lanes=" << lanes
+                        << " lane " << j << " kind "
+                        << featureName(allFeatureKinds[k]);
+                }
+            }
+        }
+    }
+}
+
+// --- Arena --------------------------------------------------------
+
+TEST(ArenaTest, AllocationsAreAlignedAndAccounted)
+{
+    Arena arena(256);
+    size_t used = 0;
+    for (size_t bytes : {1u, 7u, 16u, 33u, 250u}) {
+        void *p = arena.alloc(bytes);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) %
+                      alignof(std::max_align_t),
+                  0u);
+        used += bytes;
+        EXPECT_GE(arena.bytesUsed(), used);
+    }
+}
+
+TEST(ArenaTest, ResetKeepsCapacityAndStopsAllocating)
+{
+    Arena arena(1 << 10);
+    // Warmup: grow to the workload's high-water mark.
+    for (int pass = 0; pass < 2; ++pass) {
+        arena.reset();
+        for (int i = 0; i < 40; ++i)
+            arena.alloc<double>(17);
+    }
+    const size_t blocks = arena.blockCount();
+    const size_t reserved = arena.bytesReserved();
+    AllocScope scope;
+    for (int pass = 0; pass < 10; ++pass) {
+        arena.reset();
+        for (int i = 0; i < 40; ++i) {
+            double *p = arena.alloc<double>(17);
+            p[0] = 1.0;
+            p[16] = 2.0;
+        }
+    }
+    EXPECT_EQ(scope.count(), 0u);
+    EXPECT_EQ(arena.blockCount(), blocks);
+    EXPECT_EQ(arena.bytesReserved(), reserved);
+}
+
+TEST(ArenaTest, OversizedRequestGetsItsOwnBlock)
+{
+    Arena arena(64);
+    double *big = arena.alloc<double>(100); // 800 bytes > 64
+    ASSERT_NE(big, nullptr);
+    big[0] = 1.0;
+    big[99] = 2.0;
+    EXPECT_GE(arena.bytesReserved(), 800u);
+}
+
+// --- Blocked multiply and Gram vs scalar schedules ----------------
+
+TEST(MatrixIdentityTest, MultiplyTransposedMatchesScalarDots)
+{
+    Rng rng(40610);
+    for (int trial = 0; trial < 20; ++trial) {
+        const size_t r1 = 1 + rng.below(20);
+        const size_t r2 = 1 + rng.below(20);
+        const size_t cols = 1 + rng.below(24);
+        const FlatMatrix a = randomMatrix(rng, r1, cols);
+        const FlatMatrix b = randomMatrix(rng, r2, cols);
+        const FlatMatrix out = a.multiplyTransposed(b);
+        ASSERT_EQ(out.size(), r1);
+        ASSERT_EQ(out.cols(), r2);
+        for (size_t i = 0; i < r1; ++i) {
+            for (size_t j = 0; j < r2; ++j) {
+                EXPECT_EQ(out.rowData(i)[j],
+                          scalar_ref::dot(a.rowData(i),
+                                          b.rowData(j), cols))
+                    << "trial " << trial << " (" << i << ", " << j
+                    << ")";
+            }
+        }
+    }
+}
+
+TEST(MatrixIdentityTest, RowSquaredNormsMatchScalar)
+{
+    Rng rng(40611);
+    for (int trial = 0; trial < 10; ++trial) {
+        const size_t rows = 1 + rng.below(30);
+        const size_t cols = 1 + rng.below(24);
+        const FlatMatrix a = randomMatrix(rng, rows, cols);
+        const std::vector<double> norms = a.rowSquaredNorms();
+        ASSERT_EQ(norms.size(), rows);
+        for (size_t i = 0; i < rows; ++i) {
+            EXPECT_EQ(norms[i],
+                      scalar_ref::squaredNorm(a.rowData(i), cols))
+                << "trial " << trial << " row " << i;
+        }
+    }
+}
+
+TEST(KernelIdentityTest, RbfGramMatchesScalarParts)
+{
+    Rng rng(40620);
+    Kernel kernel;
+    kernel.kind = KernelKind::Rbf;
+    kernel.gamma = 0.37;
+    for (int trial = 0; trial < 10; ++trial) {
+        const size_t r1 = 1 + rng.below(15);
+        const size_t r2 = 1 + rng.below(15);
+        const size_t cols = 1 + rng.below(16);
+        const FlatMatrix a = randomMatrix(rng, r1, cols);
+        const FlatMatrix b = randomMatrix(rng, r2, cols);
+        const FlatMatrix gram = kernel.gram(a, b);
+        for (size_t i = 0; i < r1; ++i) {
+            const double xn =
+                scalar_ref::squaredNorm(a.rowData(i), cols);
+            for (size_t j = 0; j < r2; ++j) {
+                const double zn =
+                    scalar_ref::squaredNorm(b.rowData(j), cols);
+                const double dot = scalar_ref::dot(
+                    a.rowData(i), b.rowData(j), cols);
+                EXPECT_EQ(gram.rowData(i)[j],
+                          rbfFromParts(kernel.gamma, xn, zn, dot))
+                    << "trial " << trial;
+            }
+        }
+    }
+}
+
+TEST(KernelIdentityTest, LinearGramMatchesScalarDots)
+{
+    Rng rng(40621);
+    Kernel kernel;
+    kernel.kind = KernelKind::Linear;
+    const FlatMatrix a = randomMatrix(rng, 9, 7);
+    const FlatMatrix b = randomMatrix(rng, 5, 7);
+    const FlatMatrix gram = kernel.gram(a, b);
+    for (size_t i = 0; i < a.size(); ++i) {
+        for (size_t j = 0; j < b.size(); ++j) {
+            EXPECT_EQ(gram.rowData(i)[j],
+                      scalar_ref::dot(a.rowData(i), b.rowData(j),
+                                      7));
+        }
+    }
+}
+
+TEST(KernelIdentityTest, GramSymmetricMatchesGramExactly)
+{
+    Rng rng(40622);
+    Kernel kernel;
+    kernel.kind = KernelKind::Rbf;
+    kernel.gamma = 1.1;
+    for (size_t rows : {1u, 3u, 8u, 9u, 17u, 24u}) {
+        const FlatMatrix a = randomMatrix(rng, rows, 11);
+        const FlatMatrix full = kernel.gram(a, a);
+        const FlatMatrix sym = kernel.gramSymmetric(a);
+        ASSERT_EQ(sym.size(), rows);
+        for (size_t i = 0; i < rows; ++i) {
+            EXPECT_EQ(0, std::memcmp(sym.rowData(i),
+                                     full.rowData(i),
+                                     rows * sizeof(double)))
+                << "rows=" << rows << " i=" << i;
+        }
+    }
+}
+
+// --- DWT: vectorized decomposition vs chained scalar steps --------
+
+TEST(DwtIdentityTest, DecomposeMatchesChainedDwtStepExactly)
+{
+    Rng rng(40630);
+    for (Wavelet wavelet : {Wavelet::Haar, Wavelet::Db4}) {
+        for (size_t n : {16u, 32u, 64u, 128u, 256u}) {
+            const size_t maxLevels =
+                wavelet == Wavelet::Haar ? 4u : 3u;
+            for (size_t levels = 1; levels <= maxLevels; ++levels) {
+                const std::vector<double> signal =
+                    randomVector(rng, n);
+
+                // Scalar reference: chain the retained per-level
+                // step.
+                std::vector<std::vector<double>> refDetail;
+                std::vector<double> approx = signal;
+                for (size_t l = 0; l < levels; ++l) {
+                    DwtLevel level = dwtStep(approx, wavelet);
+                    refDetail.push_back(std::move(level.detail));
+                    approx = std::move(level.approx);
+                }
+
+                DwtScratch scratch;
+                scratch.decompose(signal.data(), n, wavelet,
+                                  levels);
+                ASSERT_EQ(scratch.levels(), levels);
+                for (size_t l = 0; l < levels; ++l) {
+                    ASSERT_EQ(scratch.detailSize(l),
+                              refDetail[l].size());
+                    EXPECT_EQ(0, std::memcmp(
+                                     scratch.detailData(l),
+                                     refDetail[l].data(),
+                                     refDetail[l].size() *
+                                         sizeof(double)))
+                        << waveletName(wavelet) << " n=" << n
+                        << " level " << l;
+                }
+                ASSERT_EQ(scratch.approxSize(), approx.size());
+                EXPECT_EQ(0, std::memcmp(scratch.approxData(),
+                                         approx.data(),
+                                         approx.size() *
+                                             sizeof(double)))
+                    << waveletName(wavelet) << " n=" << n;
+
+                // And the vector wrapper rides the same path.
+                const DwtDecomposition decomp =
+                    dwtDecompose(signal, wavelet, levels);
+                for (size_t l = 0; l < levels; ++l)
+                    EXPECT_EQ(decomp.detail[l], refDetail[l]);
+                EXPECT_EQ(decomp.approx, approx);
+            }
+        }
+    }
+}
+
+TEST(DwtIdentityTest, SteadyStateDecomposeIsAllocationFree)
+{
+    Rng rng(40631);
+    const std::vector<double> signal = randomVector(rng, 128);
+    DwtScratch scratch;
+    scratch.decompose(signal.data(), 128, Wavelet::Db4, 5);
+    AllocScope scope;
+    for (int i = 0; i < 50; ++i)
+        scratch.decompose(signal.data(), 128, Wavelet::Db4, 5);
+    EXPECT_EQ(scope.count(), 0u);
+}
+
+// --- Feature extraction -------------------------------------------
+
+TEST(FeatureIdentityTest, ExtractAllIntoMatchesExtractAll)
+{
+    Rng rng(40640);
+    const FeatureExtractor extractor(Wavelet::Db4);
+    DwtScratch scratch;
+    for (size_t n : {100u, 128u, 132u, 187u}) {
+        const std::vector<double> segment = randomVector(rng, n);
+        const std::vector<double> reference =
+            extractor.extractAll(segment);
+        double fast[featurePoolSize];
+        extractor.extractAllInto(segment.data(), n, fast, scratch);
+        ASSERT_EQ(reference.size(), featurePoolSize);
+        for (size_t f = 0; f < featurePoolSize; ++f)
+            EXPECT_EQ(fast[f], reference[f]) << "n=" << n
+                                             << " feature " << f;
+    }
+}
+
+// --- Compiled hot path vs the trained pipeline --------------------
+
+TrainedPipeline
+trainTiny(TestCase testCase, uint64_t seed, size_t candidates,
+          size_t maxSegments)
+{
+    const SignalDataset dataset = makeTestCase(testCase, seed);
+    EngineConfig config;
+    config.subspace.candidates = candidates;
+    TrainingOptions options;
+    options.maxTrainingSegments = maxSegments;
+    options.seed = seed;
+    return trainPipeline(dataset, config, options);
+}
+
+TEST(HotPathTest, ClassifyMatchesTrainedPipelineOnEverySegment)
+{
+    const uint64_t seed = 2017;
+    const SignalDataset dataset = makeTestCase(TestCase::C1, seed);
+    const TrainedPipeline pipeline =
+        trainTiny(TestCase::C1, seed, 6, 60);
+    const HotPathPipeline hot(pipeline);
+    EXPECT_GT(hot.baseCount(), 0u);
+
+    Arena arena;
+    DwtScratch scratch;
+    for (const Segment &segment : dataset.segments) {
+        EXPECT_EQ(hot.classify(segment.samples, arena, scratch),
+                  pipeline.classify(segment.samples));
+    }
+}
+
+TEST(HotPathTest, ClassifyManyMatchesClassifyAtEveryGroupSize)
+{
+    const uint64_t seed = 2017;
+    const SignalDataset dataset = makeTestCase(TestCase::C1, seed);
+    const TrainedPipeline pipeline =
+        trainTiny(TestCase::C1, seed, 6, 60);
+    const HotPathPipeline hot(pipeline);
+
+    Arena arena;
+    DwtScratch scratch;
+    Rng rng(90909);
+    for (size_t count : {1u, 2u, 5u, 8u}) {
+        const double *segments[simdPackWidth];
+        size_t picked[simdPackWidth];
+        const size_t n = dataset.segments.front().samples.size();
+        for (size_t j = 0; j < count; ++j) {
+            picked[j] = rng.below(dataset.segments.size());
+            const Segment &segment = dataset.segments[picked[j]];
+            ASSERT_EQ(segment.samples.size(), n);
+            segments[j] = segment.samples.data();
+        }
+        int labels[simdPackWidth];
+        hot.classifyMany(segments, count, n, labels, arena,
+                         scratch);
+        for (size_t j = 0; j < count; ++j) {
+            EXPECT_EQ(labels[j],
+                      pipeline.classify(
+                          dataset.segments[picked[j]].samples))
+                << "count=" << count << " lane " << j;
+        }
+    }
+}
+
+TEST(HotPathTest, SteadyStateClassifyIsAllocationFree)
+{
+    const TrainedPipeline pipeline =
+        trainTiny(TestCase::C1, 2017, 6, 60);
+    const HotPathPipeline hot(pipeline);
+    const SignalDataset dataset = makeTestCase(TestCase::C1, 2017);
+
+    Arena arena;
+    DwtScratch scratch;
+    // Warmup: grow arena and scratch to their high-water marks.
+    for (size_t i = 0; i < 3 && i < dataset.segments.size(); ++i)
+        hot.classify(dataset.segments[i].samples, arena, scratch);
+
+    int sink = 0;
+    AllocScope scope;
+    for (const Segment &segment : dataset.segments) {
+        sink += hot.classify(segment.samples.data(),
+                             segment.samples.size(), arena,
+                             scratch);
+    }
+    EXPECT_EQ(scope.count(), 0u)
+        << "steady-state classify must not touch the heap";
+    EXPECT_NE(sink, 12345); // keep the loop observable
+}
+
+// --- Cross-user batching ------------------------------------------
+
+TEST(BatchServerTest, AnyBatchSizeAndWorkerCountIsBitIdentical)
+{
+    // Two users with different models and segment lengths.
+    const TrainedPipeline p0 = trainTiny(TestCase::C1, 2017, 4, 40);
+    const TrainedPipeline p1 = trainTiny(TestCase::E1, 2019, 4, 40);
+    const SignalDataset d0 = makeTestCase(TestCase::C1, 2017);
+    const SignalDataset d1 = makeTestCase(TestCase::E1, 2019);
+    const HotPathPipeline h0(p0), h1(p1);
+
+    Rng rng(40650);
+    std::vector<ServingEvent> events;
+    for (size_t e = 0; e < 57; ++e) {
+        const uint32_t user = rng.chance(0.5) ? 0 : 1;
+        const SignalDataset &data = user == 0 ? d0 : d1;
+        const Segment &segment =
+            data.segments[e % data.segments.size()];
+        events.push_back({user, segment.samples.data(),
+                          segment.samples.size()});
+    }
+
+    // Per-event oracle: each event alone through the trained
+    // pipeline (the PR-3 batch-vs-per-sample discipline).
+    std::vector<int> expected;
+    for (const ServingEvent &event : events) {
+        const TrainedPipeline &pipeline = event.user == 0 ? p0 : p1;
+        expected.push_back(pipeline.classify(
+            {event.segment, event.segment + event.length}));
+    }
+
+    for (size_t batch : {0u, 1u, 3u, 8u, 32u}) {
+        for (size_t workers : {1u, 2u, 5u}) {
+            BatchServer server({&h0, &h1}, batch, workers);
+            EXPECT_EQ(server.serve(events), expected)
+                << "batch=" << batch << " workers=" << workers;
+        }
+    }
+}
+
+TEST(BatchServerTest, SingleWorkerServeLoopIsAllocationFree)
+{
+    const TrainedPipeline pipeline =
+        trainTiny(TestCase::C1, 2017, 4, 40);
+    const SignalDataset dataset = makeTestCase(TestCase::C1, 2017);
+    const HotPathPipeline hot(pipeline);
+
+    std::vector<ServingEvent> events;
+    for (size_t e = 0; e < 32; ++e) {
+        const Segment &segment =
+            dataset.segments[e % dataset.segments.size()];
+        events.push_back({0, segment.samples.data(),
+                          segment.samples.size()});
+    }
+    std::vector<int> out(events.size(), 0);
+
+    BatchServer server({&hot}, 8, 1);
+    server.serveInto(events.data(), events.size(), out.data());
+
+    AllocScope scope;
+    for (int pass = 0; pass < 5; ++pass)
+        server.serveInto(events.data(), events.size(), out.data());
+    EXPECT_EQ(scope.count(), 0u)
+        << "inline steady-state serving must not touch the heap";
+}
+
+// --- Fleet serving phase ------------------------------------------
+
+FleetConfig
+servingFleetConfig(size_t batchEvents, size_t servingWorkers)
+{
+    FleetConfig config;
+    config.nodes = heterogeneousFleet(2);
+    for (FleetNodeSpec &node : config.nodes) {
+        node.subspaceCandidates = 4;
+        node.maxTrainingSegments = 40;
+    }
+    config.eventsPerNode = 2;
+    config.servingEvents = 24;
+    config.batchEvents = batchEvents;
+    config.servingWorkers = servingWorkers;
+    return config;
+}
+
+TEST(FleetServingTest, ReportBytesIdenticalAcrossBatchSettings)
+{
+    const FleetResult whole = runFleet(servingFleetConfig(0, 1));
+    const std::string bytes = whole.report.serialize();
+    EXPECT_NE(bytes.find("serving v1"), std::string::npos);
+
+    const ServingReport &serving = whole.report.serving;
+    EXPECT_TRUE(serving.enabled);
+    EXPECT_EQ(serving.events, 24u);
+    EXPECT_EQ(serving.users, 2u);
+    ASSERT_EQ(serving.nodeEvents.size(), 2u);
+    EXPECT_EQ(serving.nodeEvents[0] + serving.nodeEvents[1], 24u);
+
+    // Any batch size x worker count must serialize byte for byte
+    // the same: cross-user batching only reorders computation
+    // between events, never inside one.
+    for (const auto &[batch, workers] :
+         {std::pair<size_t, size_t>{1, 1}, {3, 2}, {7, 5}}) {
+        const FleetResult other =
+            runFleet(servingFleetConfig(batch, workers));
+        EXPECT_EQ(other.report.serialize(), bytes)
+            << "batch=" << batch << " workers=" << workers;
+    }
+}
+
+TEST(FleetServingTest, DisabledServingKeepsLegacyReportBytes)
+{
+    FleetConfig config = servingFleetConfig(0, 1);
+    config.servingEvents = 0;
+    const FleetResult result = runFleet(config);
+    EXPECT_FALSE(result.report.serving.enabled);
+    EXPECT_EQ(result.report.serialize().find("serving"),
+              std::string::npos);
+}
+
+} // namespace

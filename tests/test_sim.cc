@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "alloc_count.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "core/delay_model.hh"
@@ -228,6 +229,28 @@ TEST(SystemSimTest, StreamDetectsOverload)
     const StreamResult stream = simulateStream(
         topo, Placement::allInSensor(topo), link2, 10.0, 5);
     EXPECT_GT(stream.deadlineMisses, 0u);
+}
+
+TEST(SystemSimTest, EventLoopAllocationsIndependentOfEventCount)
+{
+    // The steady-state event loop is allocation-free: every heap
+    // allocation a stream run performs belongs to setup (flat
+    // dataflow state, queue reserve), whose count does not depend
+    // on how many events flow through. Equal totals across event
+    // counts pin exactly that — one extra allocation per event
+    // would show up as a difference of 30 here.
+    const EngineTopology topo = chainTopology(100, 200, 50, 4096);
+    const Placement placement = Placement::trivialCut(topo);
+    const auto measure = [&](size_t events) {
+        xpro::testing::AllocScope scope;
+        simulateStream(topo, placement, link2, 4.0, events);
+        return scope.count();
+    };
+    measure(5); // warm process-wide caches (tap tables, logging)
+    const size_t few = measure(10);
+    const size_t many = measure(40);
+    EXPECT_EQ(few, many)
+        << "the per-event loop must not touch the heap";
 }
 
 } // namespace

@@ -14,7 +14,8 @@
  *
  *   xpro_cli --fleet 6 [--workers W] [--sweep-workers W]
  *            [--policy fcfs|tdma] [--events N] [--wireless M]
- *            [--ber p] [--seed S]
+ *            [--ber p] [--seed S] [--serve-events N]
+ *            [--batch-events B] [--serve-workers W]
  *
  * Fault injection (single-node stream and fleet alike): a named
  * profile or explicit Gilbert-Elliott/outage parameters switch the
@@ -85,6 +86,18 @@ usage(const char *argv0)
         "node (default 1)\n"
         "  --policy fcfs|tdma         fleet radio arbitration "
         "(default fcfs)\n"
+        "  --serve-events <n>         steady-state serving events "
+        "classified after the fleet\n"
+        "                             event simulation on the SIMD "
+        "hot path (default 0 = off)\n"
+        "  --batch-events <n>         cross-user serving batch "
+        "size; one batch spans up to\n"
+        "                             n events from any mix of "
+        "nodes (default 0 = one batch)\n"
+        "  --serve-workers <n>        serving worker threads, 0 = "
+        "one per hardware thread\n"
+        "                             (default 1; predictions "
+        "identical at any value)\n"
         "  --events <n>               simulated events per fleet "
         "node or fault-injected stream (default 6)\n"
         "  --fault-profile <name>     fault injection preset: none, "
@@ -223,9 +236,10 @@ checkBerFeasible(double ber, size_t segment_length)
 int
 runFleetMode(size_t fleet_size, size_t workers,
              size_t sweep_workers, RadioPolicy policy, size_t events,
-             WirelessModel wireless, double ber, uint64_t seed,
-             const FaultProfile &faults, const ControlConfig &control,
-             ProcessNode process,
+             size_t serve_events, size_t batch_events,
+             size_t serve_workers, WirelessModel wireless, double ber,
+             uint64_t seed, const FaultProfile &faults,
+             const ControlConfig &control, ProcessNode process,
              const std::string &control_trace_path)
 {
     FleetConfig config;
@@ -236,6 +250,9 @@ runFleetMode(size_t fleet_size, size_t workers,
     config.workers = workers;
     config.sweepWorkers = sweep_workers;
     config.eventsPerNode = events;
+    config.servingEvents = serve_events;
+    config.batchEvents = batch_events;
+    config.servingWorkers = serve_workers;
     config.faults = faults;
 
     std::printf("designing %zu-node fleet on %zu worker(s)...\n",
@@ -287,6 +304,9 @@ main(int argc, char **argv)
     size_t sweep_workers = 1;
     RadioPolicy policy = RadioPolicy::Fcfs;
     size_t events = 6;
+    size_t serve_events = 0;
+    size_t batch_events = 0;
+    size_t serve_workers = 1;
     FaultProfile faults;
     bool max_retries_set = false;
     size_t max_retries = 0;
@@ -337,6 +357,15 @@ main(int argc, char **argv)
                 policy = parsePolicy(value());
             else if (arg == "--events")
                 events = parsePositiveArg(value(), "--events");
+            else if (arg == "--serve-events")
+                serve_events =
+                    parseCountArg(value(), "--serve-events");
+            else if (arg == "--batch-events")
+                batch_events =
+                    parseCountArg(value(), "--batch-events");
+            else if (arg == "--serve-workers")
+                serve_workers =
+                    parseCountArg(value(), "--serve-workers");
             else if (arg == "--fault-profile")
                 faults = FaultProfile::preset(value());
             else if (arg == "--loss-burst") {
@@ -393,6 +422,12 @@ main(int argc, char **argv)
         }
         if (!adaptive && !control_trace_path.empty())
             fatal("--control-trace requires --adaptive");
+        if (fleet_size == 0 &&
+            (serve_events != 0 || batch_events != 0 ||
+             serve_workers != 1)) {
+            fatal("--serve-events/--batch-events/--serve-workers "
+                  "need --fleet");
+        }
         control.enabled = adaptive;
         if (adaptive)
             control.validate();
@@ -407,8 +442,10 @@ main(int argc, char **argv)
             }
             checkBerFeasible(ber, largest_segment);
             return runFleetMode(fleet_size, workers, sweep_workers,
-                                policy, events, wireless, ber, seed,
-                                faults, control, process,
+                                policy, events, serve_events,
+                                batch_events, serve_workers,
+                                wireless, ber, seed, faults,
+                                control, process,
                                 control_trace_path);
         }
         checkBerFeasible(ber,
