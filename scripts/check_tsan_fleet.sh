@@ -1,7 +1,8 @@
 #!/bin/sh
 # Build the tree under ThreadSanitizer and run the thread-spawning
 # suites under it: the fleet tests (worker pool, parallel design
-# phase), the generator property tests (parallel lambda-candidate
+# phase, sharded population drain with per-shard wheels), the
+# generator property tests (parallel lambda-candidate
 # evaluation, shared characterization cache), the ML suites
 # (parallel ensemble training and cross-validation), and the
 # fault-injection suites (shared-channel fleet ARQ), and the serving
@@ -18,7 +19,8 @@ build=${1:-"$repo/build-tsan"}
 
 cmake -B "$build" -S "$repo" -DXPRO_SANITIZE=thread
 cmake --build "$build" \
-    --target test_fleet test_partitioner_property test_ml_parallel \
+    --target test_fleet test_event_queue \
+             test_partitioner_property test_ml_parallel \
              test_random_subspace test_crossval \
              test_fault_injection test_trace_export \
              test_hotpath_identity \

@@ -1,5 +1,6 @@
 #include "common/argparse.hh"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -16,6 +17,26 @@ parsePositiveArg(const std::string &value, const char *what)
         fatal("%s: '%s' is not a number", what, value.c_str());
     if (parsed <= 0)
         fatal("%s must be positive, got %lld", what, parsed);
+    return static_cast<size_t>(parsed);
+}
+
+size_t
+parseBoundedArg(const std::string &value, const char *what,
+                size_t max)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (!end || *end != '\0' || end == value.c_str())
+        fatal("%s: '%s' is not a number", what, value.c_str());
+    if (errno == ERANGE)
+        fatal("%s: '%s' overflows", what, value.c_str());
+    if (parsed <= 0)
+        fatal("%s must be positive, got %lld", what, parsed);
+    if (static_cast<unsigned long long>(parsed) > max) {
+        fatal("%s must be at most %zu, got %lld", what, max,
+              parsed);
+    }
     return static_cast<size_t>(parsed);
 }
 

@@ -295,6 +295,48 @@ ServingReport::writeText(std::ostream &out) const
 }
 
 std::string
+TiersReport::serialize() const
+{
+    std::ostringstream out;
+    out << "tiers v1\n"
+        << "fanout " << sensorsPerPhone << ' ' << phonesPerGateway
+        << '\n'
+        << "phones " << phones << '\n'
+        << "gateways " << gateways << '\n'
+        << "windows " << windows << '\n'
+        << "deferred " << deferredUplinks << '\n'
+        << "local_fallbacks " << localFallbacks << '\n'
+        << "duty_suppressed " << dutySuppressed << '\n'
+        << "cloud_throttled " << cloudThrottled << '\n'
+        << "phone_busy_ms " << canonical(phoneBusyMs) << '\n'
+        << "gateway_busy_ms " << canonical(gatewayBusyMs) << '\n';
+    return out.str();
+}
+
+void
+TiersReport::writeText(std::ostream &out) const
+{
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "tiers: %zu phones (x%zu sensors), %zu gateways "
+                  "(x%zu phones), %zu windows\n",
+                  phones, sensorsPerPhone, gateways,
+                  phonesPerGateway, windows);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "backpressure: %zu deferred, %zu local fallbacks, "
+                  "%zu duty-suppressed, %zu cloud-throttled\n",
+                  deferredUplinks, localFallbacks, dutySuppressed,
+                  cloudThrottled);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "tier busy: %.3f ms phone compute, %.3f ms "
+                  "gateway airtime\n",
+                  phoneBusyMs, gatewayBusyMs);
+    out << line;
+}
+
+std::string
 FleetReport::serialize() const
 {
     std::ostringstream out;
@@ -342,6 +384,11 @@ FleetReport::serialize() const
     // identical at any batch size and worker count.
     if (serving.enabled)
         out << serving.serialize();
+    // Tier section only for population-scale runs. Its content is
+    // simulation-derived only (no shard or worker counts), so the
+    // bytes are identical at any --shards / --workers setting.
+    if (tiers.enabled)
+        out << tiers.serialize();
     return out.str();
 }
 
@@ -396,6 +443,8 @@ FleetReport::writeText(std::ostream &out) const
         control.writeText(out);
     if (serving.enabled)
         serving.writeText(out);
+    if (tiers.enabled)
+        tiers.writeText(out);
 }
 
 CsvTable

@@ -221,6 +221,52 @@ struct ServingReport
 };
 
 /**
+ * Outcome of the hierarchical aggregation tiers in a
+ * population-scale fleet run (fleet/tiers, fleet/population):
+ * sensor -> phone -> edge gateway -> cloud counters. Disabled (and
+ * absent from both serializations) for the detailed per-cell fleet
+ * path, so legacy reports stay byte-identical.
+ *
+ * Deliberately records only simulation-derived counts — never shard
+ * or worker counts — so the serialized report is byte-identical at
+ * any --shards / --workers setting (a tested invariant).
+ */
+struct TiersReport
+{
+    /** True when the run went through the tier hierarchy. */
+    bool enabled = false;
+    /** Fan-out actually used. */
+    size_t sensorsPerPhone = 0;
+    size_t phonesPerGateway = 0;
+    /** Instantiated tier populations. */
+    size_t phones = 0;
+    size_t gateways = 0;
+    /** Synchronization windows the simulation ran. */
+    size_t windows = 0;
+    /** Uplinks pushed to a later window for lack of phone compute
+     *  or gateway airtime budget. */
+    size_t deferredUplinks = 0;
+    /** Events that exhausted the defer cap and were classified
+     *  locally on the sensor. */
+    size_t localFallbacks = 0;
+    /** Events suppressed by the sensors' duty-cycle gating. */
+    size_t dutySuppressed = 0;
+    /** Events bounced by the per-gateway cloud ingest quota. */
+    size_t cloudThrottled = 0;
+    /** Phone-tier analytics compute actually spent. */
+    double phoneBusyMs = 0.0;
+    /** Gateway airtime actually occupied. */
+    double gatewayBusyMs = 0.0;
+
+    /** Canonical, byte-exact serialization (same rules as
+     *  FleetReport::serialize). */
+    std::string serialize() const;
+
+    /** Human-readable summary. */
+    void writeText(std::ostream &out) const;
+};
+
+/**
  * One node's line in a fleet report. Plain data (names and SI-scaled
  * numbers) so the report stays independent of the fleet subsystem's
  * types and serializes canonically.
@@ -298,6 +344,9 @@ struct FleetReport
     /** Steady-state serving outcome; disabled (and absent) when the
      *  run served no events. */
     ServingReport serving;
+    /** Aggregation-tier outcome of a population-scale run; disabled
+     *  (and absent) on the detailed per-cell fleet path. */
+    TiersReport tiers;
 
     /**
      * Canonical, byte-exact serialization: fixed formats, no

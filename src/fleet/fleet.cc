@@ -1,8 +1,10 @@
 #include "fleet/fleet.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "core/transfers.hh"
 #include "platform/battery.hh"
@@ -326,8 +328,20 @@ class FleetSimulator
             // zero-allocation claim.
             const size_t nodes = graph.nodeCount();
             state.graphNodes = nodes;
-            state.inputsPending.assign(events_per_node * nodes, 0);
-            state.done.assign(events_per_node * nodes, 0);
+            // Struct-of-arrays: the per-(event, node) counters of
+            // all members share one arena, so a member's dataflow
+            // state costs two pointers instead of two heap vectors
+            // and the slab count stays independent of both fleet
+            // size and events_per_node (until the arena block size
+            // is exceeded, at which point the arena grows in fixed
+            // blocks — still a constant number of heap allocations
+            // for a fixed workload shape).
+            const size_t cells = events_per_node * nodes;
+            state.inputsPending = _stateArena.alloc<size_t>(cells);
+            state.done = _stateArena.alloc<uint8_t>(cells);
+            std::memset(state.inputsPending, 0,
+                        cells * sizeof(size_t));
+            std::memset(state.done, 0, cells);
             for (size_t k = 0; k < events_per_node; ++k) {
                 for (size_t v = 1; v < nodes; ++v) {
                     state.inputsPending[k * nodes + v] =
@@ -451,10 +465,11 @@ class FleetSimulator
         std::vector<GroupSplit> splits;
         std::vector<Instance> instances;
         /** Flat per-(event, node) dataflow state, indexed
-         * k * graphNodes + v. */
+         * k * graphNodes + v; arena-backed slabs shared by every
+         * member (owned by FleetSimulator::_stateArena). */
         size_t graphNodes = 0;
-        std::vector<size_t> inputsPending;
-        std::vector<uint8_t> done;
+        size_t *inputsPending = nullptr;
+        uint8_t *done = nullptr;
         // Per-node outage detector state (fault path only).
         size_t abandonStreak = 0;
         bool degradedMode = false;
@@ -799,6 +814,9 @@ class FleetSimulator
     FleetSimResult _result;
     SharedRadio _radio;
     CpuServer _cpu;
+    /** Backs every member's inputsPending/done slabs; declared
+     *  before _members so the pointers outlive their users. */
+    Arena _stateArena;
     std::vector<Member> _members;
 
     // Fault-injection state (unused on the legacy path).

@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Population-scale fleet simulation (DESIGN.md §16): a million
+ * nodes in one process, as struct-of-arrays slabs driven through a
+ * sensor -> phone -> edge gateway -> cloud hierarchy on a sharded
+ * hierarchical time wheel.
+ *
+ * Everything the inner loop touches is integer arithmetic on flat
+ * arrays: ticks are microseconds, energy is nanojoules, statistics
+ * are per-shard sums and maxima. Shards own whole gateways
+ * (gateway % shards), so every piece of mutable state — a phone
+ * cell's FCFS channel, a phone's per-window compute budget, a
+ * gateway's airtime and cloud quota — is touched by exactly one
+ * shard, and the per-shard statistics merge by commutative-
+ * associative reduction. That is the whole determinism argument:
+ * the report is a pure function of the configuration, byte-
+ * identical at any shard or worker count.
+ */
+
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace xpro
+{
+
+namespace
+{
+
+/** Wheel item kinds; part of the (at, node, kind, data) order. */
+enum : uint32_t
+{
+    kInject = 0,  ///< sensor senses event k
+    kUplink = 1,  ///< sensor -> phone transfer + phone compute
+    kGateway = 2, ///< phone -> gateway transfer + cloud ingest
+};
+
+/** data field layout: event index in the low bits, defer count
+ *  above (an event is deferred at most a handful of windows). */
+constexpr uint32_t kEventBits = 24;
+constexpr uint32_t kEventMask = (uint32_t(1) << kEventBits) - 1;
+
+uint32_t
+packData(uint64_t event, uint32_t defers)
+{
+    xproAssert(event <= kEventMask, "event index %llu overflows",
+               static_cast<unsigned long long>(event));
+    return static_cast<uint32_t>(event) | (defers << kEventBits);
+}
+
+/** splitmix64 finalizer: per-node phase stagger, so equal-rate
+ *  nodes do not inject in one synchronized mega-slot. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * AdaSense-style duty bands by battery state of charge: full duty
+ * above 60%, 3-of-5 events above 30%, 1-of-3 below. Deliberately
+ * the same ladder the adaptive controller uses (control/), but the
+ * constants are duplicated here — fleet must not depend on control
+ * (control already links fleet).
+ */
+struct DutyBand
+{
+    uint32_t num;
+    uint32_t den;
+};
+
+constexpr DutyBand kDutyBands[] = {{1, 1}, {3, 5}, {1, 3}};
+
+uint8_t
+dutyBandFor(uint64_t battery, uint64_t capacity)
+{
+    if (battery * 10 >= capacity * 6)
+        return 0;
+    if (battery * 10 >= capacity * 3)
+        return 1;
+    return 2;
+}
+
+/** Bresenham-style rational gate: of every @p band.den consecutive
+ *  events, exactly @p band.num transmit, evenly spread. */
+bool
+dutyTransmits(const DutyBand &band, uint64_t event)
+{
+    return (event * band.num) % band.den < band.num;
+}
+
+/** Per-archetype integer accumulators, kept per shard and merged by
+ *  sum/max — both commutative and associative, so any grouping of
+ *  gateways into shards produces identical totals. */
+struct ArchetypeStats
+{
+    uint64_t completed = 0;
+    uint64_t misses = 0;
+    uint64_t latencySumUs = 0;
+    uint64_t latencyMaxUs = 0;
+    uint64_t fallbacks = 0;
+    uint64_t suppressed = 0;
+};
+
+/** Shard-wide integer accumulators (same merge discipline). */
+struct ShardStats
+{
+    uint64_t deferred = 0;
+    uint64_t cloudThrottled = 0;
+    uint64_t phoneBusyUs = 0;
+    uint64_t gatewayBusyUs = 0;
+    uint64_t radioBusyUs = 0;
+    uint64_t transfers = 0;
+    uint64_t spanMaxUs = 0;
+    uint64_t items = 0;
+};
+
+} // namespace
+
+NodeSlabs::NodeSlabs(Arena &arena, uint64_t count, size_t archetypes)
+    : _count(count)
+{
+    xproAssert(count > 0, "slabs need at least one node");
+    xproAssert(archetypes > 0 && archetypes <= UINT16_MAX,
+               "archetype count %zu out of range", archetypes);
+    const size_t n = static_cast<size_t>(count);
+    _archetype = arena.alloc<uint16_t>(n);
+    _dutyLevel = arena.alloc<uint8_t>(n);
+    _eventCursor = arena.alloc<uint32_t>(n);
+    _battery = arena.alloc<uint64_t>(n);
+    _outageStreak = arena.alloc<uint16_t>(n);
+    for (size_t i = 0; i < n; ++i)
+        _archetype[i] = static_cast<uint16_t>(i % archetypes);
+    std::memset(_dutyLevel, 0, n);
+    std::memset(_eventCursor, 0, n * sizeof(uint32_t));
+    std::memset(_battery, 0, n * sizeof(uint64_t));
+    std::memset(_outageStreak, 0, n * sizeof(uint16_t));
+}
+
+std::vector<PopulationArchetype>
+syntheticArchetypes()
+{
+    // Six classes with the cost spread of the paper's test cases:
+    // heavy in-sensor ECG cuts through light accelerometer
+    // offloads, event rates from 1/s to 8/s. Gateway hops ride a
+    // fast backhaul (WiFi/wired), so their airtime is an order of
+    // magnitude below the in-cell sensor uplinks.
+    std::vector<PopulationArchetype> archetypes(6);
+    const char *symbols[6] = {"C1", "C2", "C3", "C4", "C5", "C6"};
+    const char *processes[6] = {"90nm", "45nm", "130nm",
+                                "90nm", "45nm", "130nm"};
+    const uint64_t sensorUs[6] = {4000, 2500, 1500, 3000, 1000, 2000};
+    const uint64_t phoneUs[6] = {350, 250, 500, 150, 400, 300};
+    const uint64_t uplinkUs[6] = {600, 450, 800, 300, 700, 500};
+    const uint64_t gatewayUs[6] = {40, 30, 45, 20, 35, 30};
+    const uint64_t energyNj[6] = {90000, 70000, 50000,
+                                  80000, 40000, 60000};
+    const uint64_t batteryNj[6] = {2000000000ULL, 2000000000ULL,
+                                   1500000000ULL, 2500000000ULL,
+                                   1000000000ULL, 2000000000ULL};
+    const uint64_t periodUs[6] = {500000,  1000000, 250000,
+                                  500000, 125000,  1000000};
+    const size_t sensorCells[6] = {5, 4, 3, 6, 2, 4};
+    const size_t totalCells[6] = {9, 9, 8, 9, 7, 8};
+    const double accuracy[6] = {0.93, 0.91, 0.88,
+                                0.95, 0.86, 0.90};
+    for (size_t i = 0; i < 6; ++i) {
+        PopulationArchetype &a = archetypes[i];
+        a.symbol = symbols[i];
+        a.process = processes[i];
+        a.sensorComputeUs = sensorUs[i];
+        a.phoneComputeUs = phoneUs[i];
+        a.uplinkAirtimeUs = uplinkUs[i];
+        a.gatewayAirtimeUs = gatewayUs[i];
+        a.eventEnergyNj = energyNj[i];
+        a.batteryNj = batteryNj[i];
+        a.periodUs = periodUs[i];
+        a.sensorCells = sensorCells[i];
+        a.totalCells = totalCells[i];
+        a.accuracy = accuracy[i];
+    }
+    return archetypes;
+}
+
+PopulationFleetResult
+runPopulationFleet(const PopulationFleetConfig &config)
+{
+    xproAssert(config.nodes > 0, "population fleet needs nodes");
+    xproAssert(config.nodes <= UINT32_MAX,
+               "node ids must fit the wheel's 32-bit field");
+    xproAssert(config.eventsPerNode > 0 &&
+                   config.eventsPerNode <= kEventMask,
+               "events per node out of range");
+    xproAssert(config.windowUs > 0, "need a nonzero sync window");
+
+    const std::vector<PopulationArchetype> classes =
+        config.archetypes.empty() ? syntheticArchetypes()
+                                  : config.archetypes;
+    for (const PopulationArchetype &a : classes) {
+        xproAssert(a.sensorComputeUs > 0 && a.uplinkAirtimeUs > 0 &&
+                       a.gatewayAirtimeUs > 0 && a.periodUs > 0,
+                   "archetype '%s' needs positive integer costs",
+                   a.symbol.c_str());
+    }
+
+    const TierTopology topo =
+        TierTopology::build(config.nodes, config.tiers);
+    const TierBudgets budgets =
+        TierBudgets::build(config.tiers, topo, config.windowUs);
+    const uint64_t window = config.windowUs;
+
+    // A shard owns whole gateways; more shards than gateways (or
+    // nodes) would only add empty wheels.
+    size_t shards = config.shards > 0 ? config.shards : 1;
+    shards = std::min<size_t>(
+        shards, static_cast<size_t>(
+                    std::min<uint64_t>(topo.gateways, config.nodes)));
+    ShardedEventQueue queue(shards, window);
+
+    // SoA node state: five parallel slabs, one arena.
+    Arena arena(size_t(1) << 20);
+    NodeSlabs slabs(arena, config.nodes, classes.size());
+    for (uint64_t n = 0; n < config.nodes; ++n)
+        slabs.battery()[n] = classes[slabs.archetype()[n]].batteryNj;
+
+    // Tier state: per-phone and per-gateway scalars, each touched
+    // only by the shard that owns the gateway above it. Budget
+    // resets are lazy (stamped with the window index) so the
+    // barrier has no work to do and no cross-shard writes exist.
+    const size_t phones = static_cast<size_t>(topo.phones);
+    const size_t gateways = static_cast<size_t>(topo.gateways);
+    std::vector<uint64_t> cellFreeAt(phones, 0);
+    std::vector<uint64_t> phoneBudgetUs(phones, 0);
+    std::vector<uint64_t> phoneStamp(phones, ~uint64_t(0));
+    std::vector<uint64_t> gatewayAirUs(gateways, 0);
+    std::vector<uint64_t> gatewayQuota(gateways, 0);
+    std::vector<uint64_t> gatewayStamp(gateways, ~uint64_t(0));
+
+    std::vector<std::vector<ArchetypeStats>> archStats(
+        shards, std::vector<ArchetypeStats>(classes.size()));
+    std::vector<ShardStats> shardStats(shards);
+
+    const auto phaseOf = [&](uint64_t node) {
+        const PopulationArchetype &a =
+            classes[slabs.archetype()[node]];
+        return mix64(config.seed + node) % a.periodUs;
+    };
+
+    // Seed one pending Inject per node (the event cursor's
+    // invariant: a node always has exactly one inject in flight
+    // until its last event).
+    for (uint64_t n = 0; n < config.nodes; ++n) {
+        const size_t s =
+            static_cast<size_t>(topo.gatewayOf(n)) % shards;
+        queue.shard(s).schedule(
+            {phaseOf(n), static_cast<uint32_t>(n), kInject,
+             packData(0, 0)});
+    }
+
+    const auto deferOrFallback =
+        [&](size_t s, const WheelItem &item, uint64_t now) {
+            const uint64_t event = item.data & kEventMask;
+            const uint32_t defers = item.data >> kEventBits;
+            ArchetypeStats &arch =
+                archStats[s][slabs.archetype()[item.node]];
+            if (defers >= budgets.maxDefers) {
+                // Out of patience: classify on the sensor.
+                ++arch.fallbacks;
+                if (slabs.outageStreak()[item.node] < UINT16_MAX)
+                    ++slabs.outageStreak()[item.node];
+                return;
+            }
+            ++shardStats[s].deferred;
+            const uint64_t next = (now / window + 1) * window;
+            queue.shard(s).schedule({next, item.node, item.kind,
+                                     packData(event, defers + 1)});
+        };
+
+    const auto onInject = [&](size_t s, const WheelItem &item) {
+        const uint64_t n = item.node;
+        const uint64_t event = item.data & kEventMask;
+        const PopulationArchetype &a =
+            classes[slabs.archetype()[n]];
+        slabs.eventCursor()[n] =
+            static_cast<uint32_t>(event + 1);
+        if (event + 1 < config.eventsPerNode) {
+            queue.shard(s).schedule(
+                {phaseOf(n) + (event + 1) * a.periodUs,
+                 item.node, kInject, packData(event + 1, 0)});
+        }
+        uint64_t &battery = slabs.battery()[n];
+        if (battery < a.eventEnergyNj) {
+            // Battery exhausted: the node goes dark.
+            if (slabs.outageStreak()[n] < UINT16_MAX)
+                ++slabs.outageStreak()[n];
+            return;
+        }
+        battery -= a.eventEnergyNj;
+        const uint8_t band = dutyBandFor(battery, a.batteryNj);
+        slabs.dutyLevel()[n] = band;
+        if (!dutyTransmits(kDutyBands[band], event)) {
+            ++archStats[s][slabs.archetype()[n]].suppressed;
+            return;
+        }
+        queue.shard(s).schedule(
+            {item.at + a.sensorComputeUs, item.node, kUplink,
+             packData(event, 0)});
+    };
+
+    const auto onUplink = [&](size_t s, const WheelItem &item) {
+        const uint64_t n = item.node;
+        const PopulationArchetype &a =
+            classes[slabs.archetype()[n]];
+        const size_t phone =
+            static_cast<size_t>(topo.phoneOf(n));
+        const uint64_t w = item.at / window;
+        if (phoneStamp[phone] != w) {
+            phoneStamp[phone] = w;
+            phoneBudgetUs[phone] = budgets.phoneCpuUsPerWindow;
+        }
+        if (phoneBudgetUs[phone] < a.phoneComputeUs) {
+            deferOrFallback(s, item, item.at);
+            return;
+        }
+        phoneBudgetUs[phone] -= a.phoneComputeUs;
+        // Cell-local FCFS channel: one scalar per phone cell.
+        const uint64_t start =
+            std::max(item.at, cellFreeAt[phone]);
+        cellFreeAt[phone] = start + a.uplinkAirtimeUs;
+        shardStats[s].radioBusyUs += a.uplinkAirtimeUs;
+        shardStats[s].phoneBusyUs += a.phoneComputeUs;
+        ++shardStats[s].transfers;
+        queue.shard(s).schedule(
+            {start + a.uplinkAirtimeUs + a.phoneComputeUs,
+             item.node, kGateway,
+             packData(item.data & kEventMask,
+                      item.data >> kEventBits)});
+    };
+
+    const auto onGateway = [&](size_t s, const WheelItem &item) {
+        const uint64_t n = item.node;
+        const PopulationArchetype &a =
+            classes[slabs.archetype()[n]];
+        const size_t gateway =
+            static_cast<size_t>(topo.gatewayOf(n));
+        const uint64_t w = item.at / window;
+        if (gatewayStamp[gateway] != w) {
+            gatewayStamp[gateway] = w;
+            gatewayAirUs[gateway] =
+                budgets.gatewayAirtimeUsPerWindow;
+            gatewayQuota[gateway] =
+                budgets.cloudEventsPerGatewayPerWindow;
+        }
+        if (gatewayAirUs[gateway] < a.gatewayAirtimeUs) {
+            deferOrFallback(s, item, item.at);
+            return;
+        }
+        if (gatewayQuota[gateway] == 0) {
+            ++shardStats[s].cloudThrottled;
+            deferOrFallback(s, item, item.at);
+            return;
+        }
+        gatewayAirUs[gateway] -= a.gatewayAirtimeUs;
+        --gatewayQuota[gateway];
+        shardStats[s].gatewayBusyUs += a.gatewayAirtimeUs;
+        ++shardStats[s].transfers;
+        const uint64_t completion = item.at + a.gatewayAirtimeUs;
+        const uint64_t event = item.data & kEventMask;
+        const uint64_t injectedAt =
+            phaseOf(n) + event * a.periodUs;
+        const uint64_t latency = completion - injectedAt;
+        ArchetypeStats &arch =
+            archStats[s][slabs.archetype()[n]];
+        ++arch.completed;
+        arch.latencySumUs += latency;
+        arch.latencyMaxUs = std::max(arch.latencyMaxUs, latency);
+        if (latency > a.periodUs)
+            ++arch.misses;
+        shardStats[s].spanMaxUs =
+            std::max(shardStats[s].spanMaxUs, completion);
+        slabs.outageStreak()[n] = 0;
+    };
+
+    WorkerPool pool(config.workers);
+    uint64_t windows = 0;
+    queue.run(
+        pool,
+        [&](size_t s, const WheelItem &item) {
+            ++shardStats[s].items;
+            switch (item.kind) {
+            case kInject:
+                onInject(s, item);
+                break;
+            case kUplink:
+                onUplink(s, item);
+                break;
+            case kGateway:
+                onGateway(s, item);
+                break;
+            default:
+                panic("unknown wheel item kind %u", item.kind);
+            }
+        },
+        [&](uint64_t w, uint64_t) { windows = w + 1; });
+
+    // Merge: plain sums and maxima over the per-shard accumulators,
+    // in either order — the totals are shard-grouping-independent.
+    std::vector<ArchetypeStats> arch(classes.size());
+    ShardStats total;
+    for (size_t s = 0; s < shards; ++s) {
+        for (size_t a = 0; a < classes.size(); ++a) {
+            arch[a].completed += archStats[s][a].completed;
+            arch[a].misses += archStats[s][a].misses;
+            arch[a].latencySumUs += archStats[s][a].latencySumUs;
+            arch[a].latencyMaxUs = std::max(
+                arch[a].latencyMaxUs, archStats[s][a].latencyMaxUs);
+            arch[a].fallbacks += archStats[s][a].fallbacks;
+            arch[a].suppressed += archStats[s][a].suppressed;
+        }
+        total.deferred += shardStats[s].deferred;
+        total.cloudThrottled += shardStats[s].cloudThrottled;
+        total.phoneBusyUs += shardStats[s].phoneBusyUs;
+        total.gatewayBusyUs += shardStats[s].gatewayBusyUs;
+        total.radioBusyUs += shardStats[s].radioBusyUs;
+        total.transfers += shardStats[s].transfers;
+        total.spanMaxUs =
+            std::max(total.spanMaxUs, shardStats[s].spanMaxUs);
+        total.items += shardStats[s].items;
+    }
+
+    // Report assembly is the only place doubles appear; every input
+    // is an integer that is already shard/worker-independent.
+    PopulationFleetResult result;
+    FleetReport &report = result.report;
+    report.policy = "tiered-fcfs";
+    report.nodeCount = static_cast<size_t>(config.nodes);
+    const double span_us =
+        static_cast<double>(total.spanMaxUs);
+    report.spanMs = span_us / 1000.0;
+    report.radioBusyMs =
+        static_cast<double>(total.radioBusyUs) / 1000.0;
+    // Occupancy is per cell channel (phones) — the population path
+    // has no single shared radio to saturate.
+    report.radioOccupancy =
+        span_us > 0.0 ? static_cast<double>(total.radioBusyUs) /
+                            (span_us *
+                             static_cast<double>(topo.phones))
+                      : 0.0;
+    report.transfers = static_cast<size_t>(total.transfers);
+    report.aggregatorBusyMs =
+        static_cast<double>(total.phoneBusyUs) / 1000.0;
+    report.aggregatorUtilization =
+        span_us > 0.0 ? static_cast<double>(total.phoneBusyUs) /
+                            (span_us *
+                             static_cast<double>(topo.phones))
+                      : 0.0;
+    report.aggregatorCpuShare =
+        config.tiers.phone.maxCpuUtilization;
+    report.aggregatorPowerUw = 0.0;
+    report.aggregatorLifetimeHours = 0.0;
+    for (size_t a = 0; a < classes.size(); ++a) {
+        const PopulationArchetype &cls = classes[a];
+        FleetNodeReportRow row;
+        row.symbol = cls.symbol;
+        row.process = cls.process;
+        row.admission = "tiered";
+        row.sensorCells = cls.sensorCells;
+        row.totalCells = cls.totalCells;
+        row.accuracy = cls.accuracy;
+        row.eventsPerSecond =
+            1e6 / static_cast<double>(cls.periodUs);
+        // Lifetime: battery over steady-state event energy draw.
+        const double joules_per_sec =
+            static_cast<double>(cls.eventEnergyNj) * 1e-9 *
+            row.eventsPerSecond;
+        row.sensorLifetimeHours =
+            joules_per_sec > 0.0
+                ? static_cast<double>(cls.batteryNj) * 1e-9 /
+                      joules_per_sec / 3600.0
+                : 0.0;
+        row.events = static_cast<size_t>(arch[a].completed);
+        row.deadlineMisses = static_cast<size_t>(arch[a].misses);
+        row.meanLatencyMs =
+            arch[a].completed > 0
+                ? static_cast<double>(arch[a].latencySumUs) /
+                      static_cast<double>(arch[a].completed) /
+                      1000.0
+                : 0.0;
+        row.worstLatencyMs =
+            static_cast<double>(arch[a].latencyMaxUs) / 1000.0;
+        row.aggregatorPowerUw = 0.0;
+        report.totalEvents += row.events;
+        report.totalDeadlineMisses += row.deadlineMisses;
+        report.rows.push_back(std::move(row));
+    }
+    TiersReport &tiers = report.tiers;
+    tiers.enabled = true;
+    tiers.sensorsPerPhone = topo.sensorsPerPhone;
+    tiers.phonesPerGateway = topo.phonesPerGateway;
+    tiers.phones = static_cast<size_t>(topo.phones);
+    tiers.gateways = static_cast<size_t>(topo.gateways);
+    tiers.windows = static_cast<size_t>(windows);
+    tiers.deferredUplinks = static_cast<size_t>(total.deferred);
+    tiers.cloudThrottled =
+        static_cast<size_t>(total.cloudThrottled);
+    tiers.phoneBusyMs =
+        static_cast<double>(total.phoneBusyUs) / 1000.0;
+    tiers.gatewayBusyMs =
+        static_cast<double>(total.gatewayBusyUs) / 1000.0;
+    for (size_t a = 0; a < classes.size(); ++a) {
+        tiers.localFallbacks +=
+            static_cast<size_t>(arch[a].fallbacks);
+        tiers.dutySuppressed +=
+            static_cast<size_t>(arch[a].suppressed);
+    }
+
+    result.simulatedEvents = total.items;
+    result.effectiveShards = shards;
+    result.bytesPerNode = NodeSlabs::bytesPerNode();
+    return result;
+}
+
+} // namespace xpro

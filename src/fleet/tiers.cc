@@ -1,0 +1,54 @@
+#include "fleet/tiers.hh"
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+TierTopology
+TierTopology::build(uint64_t node_count, const TierConfig &config)
+{
+    xproAssert(config.sensorsPerPhone > 0 &&
+                   config.phonesPerGateway > 0,
+               "tier fan-outs must be positive");
+    TierTopology topology;
+    topology.nodes = node_count;
+    topology.sensorsPerPhone = config.sensorsPerPhone;
+    topology.phonesPerGateway = config.phonesPerGateway;
+    topology.phones =
+        (node_count + config.sensorsPerPhone - 1) /
+        config.sensorsPerPhone;
+    topology.gateways =
+        (topology.phones + config.phonesPerGateway - 1) /
+        config.phonesPerGateway;
+    return topology;
+}
+
+TierBudgets
+TierBudgets::build(const TierConfig &config,
+                   const TierTopology &topology, uint64_t window_us)
+{
+    xproAssert(window_us > 0, "tier budgets need a nonzero window");
+    TierBudgets budgets;
+    budgets.windowUs = window_us;
+    budgets.phoneCpuUsPerWindow = static_cast<uint64_t>(
+        config.phone.maxCpuUtilization *
+        static_cast<double>(window_us));
+    budgets.gatewayAirtimeUsPerWindow = static_cast<uint64_t>(
+        config.gatewayAirtimeShare *
+        static_cast<double>(window_us));
+    // The cloud quota is provisioned per gateway, never shared
+    // across shards: a global counter would make admission depend
+    // on which shard's window drained first.
+    const uint64_t gateways =
+        topology.gateways > 0 ? topology.gateways : 1;
+    budgets.cloudEventsPerGatewayPerWindow =
+        (config.cloudEventsPerSec * window_us) /
+        (gateways * uint64_t(1000000));
+    if (budgets.cloudEventsPerGatewayPerWindow == 0)
+        budgets.cloudEventsPerGatewayPerWindow = 1;
+    budgets.maxDefers = config.maxDefers;
+    return budgets;
+}
+
+} // namespace xpro

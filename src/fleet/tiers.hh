@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Hierarchical aggregation tiers for population-scale fleets:
+ * sensor -> phone -> edge gateway -> cloud (DESIGN.md §16).
+ *
+ * The detailed fleet simulation arbitrates one shared radio across
+ * every node — faithful for a body-area network, quadratic and
+ * physically wrong for a million users. At population scale each
+ * phone serves only its own sensors, each gateway serves only its
+ * phone cell, and the cloud ingests from every gateway; contention
+ * is therefore local to a cell, and the tier topology is what lets
+ * the sharded event queue cut the fleet along gateway boundaries
+ * with no cross-shard coupling inside a time window.
+ *
+ * Per-tier capacity reuses the admission vocabulary of
+ * fleet/admission: the phone tier is budgeted with an
+ * AdmissionConfig (CPU-utilization cap, per-window compute budget),
+ * the gateway tier with an airtime share, and the cloud tier with
+ * an ingest quota provisioned per gateway so the result cannot
+ * depend on how gateways are grouped into shards.
+ */
+
+#ifndef XPRO_FLEET_TIERS_HH
+#define XPRO_FLEET_TIERS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fleet/admission.hh"
+
+namespace xpro
+{
+
+/** Fan-out and per-tier budgets of the aggregation hierarchy. */
+struct TierConfig
+{
+    /** Sensors multiplexed onto one phone (one phone cell). */
+    uint32_t sensorsPerPhone = 32;
+    /** Phone cells uplinked through one edge gateway. */
+    uint32_t phonesPerGateway = 64;
+    /**
+     * Phone-tier admission: maxCpuUtilization caps the per-window
+     * compute budget each phone spends on fleet analytics (the rest
+     * of the phone belongs to its owner, exactly as in
+     * AdmissionConfig's single-aggregator reading).
+     */
+    AdmissionConfig phone;
+    /** Fraction of a gateway's airtime the fleet may occupy. */
+    double gatewayAirtimeShare = 0.35;
+    /**
+     * Cloud ingest quota in events/sec across the WHOLE fleet;
+     * internally provisioned per gateway (quota / gateways) so the
+     * outcome is independent of the gateway-to-shard grouping.
+     */
+    uint64_t cloudEventsPerSec = 200000;
+    /**
+     * How many windows an uplink may be deferred for lack of phone
+     * or gateway budget before the event falls back to local
+     * (in-sensor) handling.
+     */
+    uint32_t maxDefers = 2;
+};
+
+/** Static sensor -> phone -> gateway assignment for a fleet. */
+struct TierTopology
+{
+    uint64_t nodes = 0;
+    uint32_t sensorsPerPhone = 1;
+    uint32_t phonesPerGateway = 1;
+    uint64_t phones = 0;
+    uint64_t gateways = 0;
+
+    /** Build the dense assignment for @p node_count nodes. */
+    static TierTopology build(uint64_t node_count,
+                              const TierConfig &config);
+
+    /** Phone cell serving @p node. */
+    uint64_t
+    phoneOf(uint64_t node) const
+    {
+        return node / sensorsPerPhone;
+    }
+
+    /** Gateway serving @p node's phone cell. */
+    uint64_t
+    gatewayOf(uint64_t node) const
+    {
+        return phoneOf(node) / phonesPerGateway;
+    }
+
+    /** First phone cell homed on @p gateway. */
+    uint64_t
+    firstPhoneOf(uint64_t gateway) const
+    {
+        return gateway * phonesPerGateway;
+    }
+};
+
+/**
+ * Per-window integer budgets derived from a TierConfig: everything
+ * the population simulation spends is pre-converted to microseconds
+ * (or event counts) per synchronization window, so the inner loop
+ * never touches floating point and the totals merge identically for
+ * any shard grouping.
+ */
+struct TierBudgets
+{
+    /** Window length in microsecond ticks. */
+    uint64_t windowUs = 0;
+    /** Phone-tier analytics compute budget per phone per window. */
+    uint64_t phoneCpuUsPerWindow = 0;
+    /** Gateway airtime budget per gateway per window. */
+    uint64_t gatewayAirtimeUsPerWindow = 0;
+    /** Cloud ingest quota per gateway per window (events). */
+    uint64_t cloudEventsPerGatewayPerWindow = 0;
+    /** Defer cap copied from the config. */
+    uint32_t maxDefers = 0;
+
+    static TierBudgets build(const TierConfig &config,
+                             const TierTopology &topology,
+                             uint64_t window_us);
+};
+
+} // namespace xpro
+
+#endif // XPRO_FLEET_TIERS_HH

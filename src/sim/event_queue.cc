@@ -47,4 +47,166 @@ EventQueue::runAll(size_t max_events)
     }
 }
 
+// --- TimeWheel ------------------------------------------------------
+
+TimeWheel::TimeWheel()
+{
+    // Drained slots are revisited one rotation later, so their
+    // vectors keep capacity; the scratch vector grows once to the
+    // densest slot ever seen.
+    _scratch.reserve(16);
+}
+
+void
+TimeWheel::setBit(size_t level, size_t slot)
+{
+    _occupied[level][slot >> 6] |= uint64_t(1) << (slot & 63);
+}
+
+void
+TimeWheel::clearBit(size_t level, size_t slot)
+{
+    _occupied[level][slot >> 6] &= ~(uint64_t(1) << (slot & 63));
+}
+
+void
+TimeWheel::file(size_t level, const WheelItem &item)
+{
+    const size_t slot = slotIndex(level, item.at);
+    _slots[level][slot].push_back(item);
+    setBit(level, slot);
+    ++_size;
+}
+
+int
+TimeWheel::nextOccupied(size_t level, size_t from) const
+{
+    if (from >= kSlots)
+        return -1;
+    size_t word = from >> 6;
+    uint64_t bits =
+        _occupied[level][word] & (~uint64_t(0) << (from & 63));
+    while (true) {
+        if (bits != 0) {
+            return static_cast<int>((word << 6) +
+                                    static_cast<size_t>(
+                                        __builtin_ctzll(bits)));
+        }
+        if (++word >= kWordsPerLevel)
+            return -1;
+        bits = _occupied[level][word];
+    }
+}
+
+uint64_t
+TimeWheel::nextCandidate()
+{
+    // The caller established that the current level-0 window holds
+    // nothing from now() onward. Every other pending item is either
+    //  (a) in a level-0 slot BEHIND the cursor — exactly one
+    //      rotation ahead (filed with delta < 256 after the cursor
+    //      passed the slot), due at base + 256 + slot;
+    //  (b) in a level >= 1 slot at-or-after that level's cursor —
+    //      due no earlier than the slot's span start (slots at the
+    //      cursor itself only hold next-rotation items, since entry
+    //      cascades emptied the current-rotation ones);
+    //  (c) in a level >= 1 slot behind that level's cursor — one
+    //      rotation of that level ahead;
+    //  (d) in the far-overflow vector.
+    // Levels >= 1 give under-estimates (the item sits somewhere in
+    // a multi-tick slot), never over-estimates, so jumping to the
+    // minimum can land early — the drain loop just computes the
+    // next candidate again — but can never skip an item.
+    uint64_t best = ~uint64_t(0);
+    const uint64_t level0_base = _now & ~kSlotMask;
+    const size_t level0_cursor = static_cast<size_t>(_now & kSlotMask);
+    {
+        const int behind = nextOccupied(0, 0);
+        if (behind >= 0 &&
+            static_cast<size_t>(behind) <= level0_cursor) {
+            best = std::min(best, level0_base + kSlots +
+                                      static_cast<uint64_t>(behind));
+        }
+    }
+    for (size_t level = 1; level < kLevels; ++level) {
+        const uint64_t base = _now & ~(span(level) - 1);
+        const size_t cursor = slotIndex(level, _now);
+        const int ahead = nextOccupied(level, cursor + 1);
+        if (ahead >= 0) {
+            best = std::min(
+                best, base + static_cast<uint64_t>(ahead) *
+                                 width(level));
+        }
+        const int behind = nextOccupied(level, 0);
+        if (behind >= 0 && static_cast<size_t>(behind) <= cursor) {
+            best = std::min(
+                best, base + span(level) +
+                          static_cast<uint64_t>(behind) *
+                              width(level));
+        }
+    }
+    if (!_far.empty())
+        best = std::min(best, _farMin);
+    xproAssert(best != ~uint64_t(0) || _size == 0,
+               "%zu items pending but none locatable", _size);
+    return best;
+}
+
+void
+TimeWheel::advanceTo(uint64_t t)
+{
+    xproAssert(t >= _now, "wheel cannot rewind");
+    const bool crossed = (t & ~kSlotMask) != (_now & ~kSlotMask);
+    _now = t;
+    if (!crossed)
+        return;
+    // Entering a new 256-tick window: cascade the entry slots top
+    // down, so items due in the window now sit at their exact
+    // level-0 slots. Re-filing is just schedule() again — the
+    // shrunken delta picks the right (lower) level. Items that hash
+    // to an entry slot but belong to a later rotation are re-filed
+    // back where they were; harmless.
+    for (size_t level = kLevels - 1; level >= 1; --level) {
+        const size_t slot = slotIndex(level, _now);
+        if (_slots[level][slot].empty())
+            continue;
+        _scratch.swap(_slots[level][slot]);
+        clearBit(level, slot);
+        _size -= _scratch.size();
+        for (const WheelItem &item : _scratch)
+            schedule(item);
+        _scratch.clear();
+    }
+    // The far overflow re-files once the top level can hold its
+    // earliest item; stragglers go back with a fresh minimum.
+    if (!_far.empty() && _farMin - _now < span(kLevels - 1)) {
+        std::vector<WheelItem> pending;
+        pending.swap(_far);
+        _size -= pending.size();
+        _farMin = 0;
+        for (const WheelItem &item : pending)
+            schedule(item);
+    }
+}
+
+// --- ShardedEventQueue ----------------------------------------------
+
+ShardedEventQueue::ShardedEventQueue(size_t shards,
+                                     uint64_t window_ticks)
+    : _wheels(shards), _window(window_ticks)
+{
+    xproAssert(shards > 0, "need at least one shard");
+    xproAssert(window_ticks > 0,
+               "conservative sync needs a nonzero window");
+}
+
+size_t
+ShardedEventQueue::pending() const
+{
+    size_t total = 0;
+    for (const TimeWheel &wheel : _wheels)
+        total += wheel.pending();
+    return total;
+}
+
 } // namespace xpro

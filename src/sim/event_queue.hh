@@ -1,26 +1,39 @@
 /**
  * @file
- * Minimal discrete-event simulation kernel: a time-ordered queue of
- * callbacks. Used by the cross-end system simulator to execute the
- * data-driven cell schedule and the serialized radio channel.
+ * Discrete-event simulation kernels.
  *
- * The queue is a binary heap over a plain vector so storage can be
- * reserve()d up front and reused across events: in the steady-state
- * serving loop neither scheduling nor popping touches the heap
- * allocator (handlers are moved, never copied, and the (time,
- * sequence) strict total order makes the pop order identical to the
- * former std::priority_queue implementation).
+ * Two queues live here:
+ *
+ *  - EventQueue: the original time-ordered queue of callbacks, a
+ *    binary heap over a plain vector. Used by the cross-end system
+ *    simulator and the detailed (per-cell) fleet simulation. Storage
+ *    is reserve()d up front and reused across events, and the (time,
+ *    sequence) strict total order makes the pop order identical to
+ *    the former std::priority_queue implementation.
+ *
+ *  - TimeWheel + ShardedEventQueue: the population-scale kernel
+ *    (DESIGN.md §16). Events are plain 24-byte records (no
+ *    std::function), times are integer ticks (microseconds), and
+ *    items pop in (tick, node, kind, data) order — a strict total
+ *    order independent of insertion order, which is what makes the
+ *    sharded drain deterministic. A hierarchical wheel (4 levels x
+ *    256 slots with occupancy bitmaps) makes schedule/pop O(1)
+ *    amortized; ShardedEventQueue runs S wheels under conservative
+ *    time-window synchronization on a WorkerPool.
  */
 
 #ifndef XPRO_SIM_EVENT_QUEUE_HH
 #define XPRO_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/units.hh"
+#include "common/worker_pool.hh"
 
 namespace xpro
 {
@@ -82,6 +95,265 @@ class EventQueue
     Time _now;
     uint64_t _nextSequence = 0;
     std::vector<Event> _events; // heap ordered by Later
+};
+
+/**
+ * One pending population-scale event: plain data, no callback. The
+ * meaning of (kind, data) belongs to the caller; the wheel only
+ * promises the pop order (at, node, kind, data) — a strict total
+ * order over distinct items, so the drain sequence is a pure
+ * function of the set of scheduled items, never of their insertion
+ * order. That is the (timestamp, node-id) tie-break the fleet
+ * report's shard/worker determinism rests on.
+ */
+struct WheelItem
+{
+    /** Absolute due time in integer ticks (microseconds in the
+     *  population fleet). */
+    uint64_t at = 0;
+    /** Owning node id: the deterministic tie-break for simultaneous
+     *  events. */
+    uint32_t node = 0;
+    /** Caller-defined event kind (secondary tie-break). */
+    uint32_t kind = 0;
+    /** Caller-defined payload (tertiary tie-break). */
+    uint32_t data = 0;
+};
+
+/**
+ * Hierarchical timing wheel over integer ticks: 4 levels of 256
+ * slots (level l spans 256^(l+1) ticks at 256^l granularity), with
+ * a 256-bit occupancy bitmap per level so empty regions are skipped
+ * in O(1) word scans rather than slot-by-slot. Items beyond the
+ * top level's 2^32-tick horizon overflow into a side vector and are
+ * re-filed when the wheel catches up.
+ *
+ * Scheduling is O(1); draining a populated slot is O(items log
+ * items) for the per-slot sort (all items in a drained slot share
+ * one tick, so the sort only orders the (node, kind, data)
+ * tie-break). Slot vectors keep their capacity, so the steady-state
+ * loop stops allocating once the high-water occupancy is reached.
+ */
+class TimeWheel
+{
+  public:
+    TimeWheel();
+
+    /** Current tick: every item handed out so far had at <= now(),
+     *  every item still pending has at >= now(). */
+    uint64_t now() const { return _now; }
+
+    size_t pending() const { return _size; }
+    bool empty() const { return _size == 0; }
+
+    /**
+     * File @p item. Must not be in the past, and while a slot is
+     * being drained new items must land strictly after the current
+     * tick (an item scheduled AT the tick being drained would have
+     * to be merged into an order that was already decided).
+     */
+    void
+    schedule(const WheelItem &item)
+    {
+        xproAssert(item.at >= _now && (!_draining || item.at > _now),
+                   "wheel item at tick %llu scheduled at now=%llu",
+                   static_cast<unsigned long long>(item.at),
+                   static_cast<unsigned long long>(_now));
+        const uint64_t delta = item.at - _now;
+        for (size_t level = 0; level < kLevels; ++level) {
+            if (delta < (uint64_t(1) << (kSlotBits * (level + 1)))) {
+                file(level, item);
+                return;
+            }
+        }
+        if (_far.empty() || item.at < _farMin)
+            _farMin = item.at;
+        _far.push_back(item);
+        ++_size;
+    }
+
+    /**
+     * Pop every item with at < @p end in (at, node, kind, data)
+     * order, invoking fn(item) for each; fn may schedule() new items
+     * (strictly after the item's tick). Advances now() to @p end.
+     */
+    template <typename Fn>
+    void
+    drainUntil(uint64_t end, Fn &&fn)
+    {
+        xproAssert(end >= _now, "drain window ends in the past");
+        while (_size > 0 && _now < end) {
+            const uint64_t base = _now & ~kSlotMask;
+            const int slot =
+                nextOccupied(0, static_cast<size_t>(_now - base));
+            if (slot >= 0) {
+                const uint64_t tick =
+                    base + static_cast<uint64_t>(slot);
+                if (tick >= end)
+                    break;
+                drainSlot(tick, static_cast<size_t>(slot), fn);
+                advanceTo(tick + 1);
+                continue;
+            }
+            // Current 256-tick window exhausted: jump to the next
+            // window that can hold an item (cascading on entry).
+            const uint64_t next = nextCandidate();
+            if (next >= end)
+                break;
+            advanceTo(next);
+        }
+        if (_now < end)
+            advanceTo(end);
+    }
+
+  private:
+    static constexpr size_t kLevels = 4;
+    static constexpr size_t kSlotBits = 8;
+    static constexpr size_t kSlots = size_t(1) << kSlotBits;
+    static constexpr uint64_t kSlotMask = kSlots - 1;
+    static constexpr size_t kWordsPerLevel = kSlots / 64;
+
+    /** Width of one slot at @p level, in ticks. */
+    static constexpr uint64_t
+    width(size_t level)
+    {
+        return uint64_t(1) << (kSlotBits * level);
+    }
+
+    /** Ticks covered by all of @p level's slots. */
+    static constexpr uint64_t
+    span(size_t level)
+    {
+        return uint64_t(1) << (kSlotBits * (level + 1));
+    }
+
+    size_t
+    slotIndex(size_t level, uint64_t at) const
+    {
+        return static_cast<size_t>((at >> (kSlotBits * level)) &
+                                   kSlotMask);
+    }
+
+    void file(size_t level, const WheelItem &item);
+
+    /** Next occupied slot index >= @p from at @p level, or -1. */
+    int nextOccupied(size_t level, size_t from) const;
+
+    /**
+     * Earliest tick (possibly an under-estimate for levels >= 1,
+     * never an over-estimate) at which any pending item can be due,
+     * given that the current level-0 window is empty.
+     */
+    uint64_t nextCandidate();
+
+    /** Move now() to @p t, cascading higher-level entry slots down
+     *  whenever a window boundary is crossed. */
+    void advanceTo(uint64_t t);
+
+    template <typename Fn>
+    void
+    drainSlot(uint64_t tick, size_t slot, Fn &&fn)
+    {
+        _now = tick;
+        // Swap out: fn may schedule items that hash to this same
+        // slot (one full rotation later); they must stay filed.
+        _scratch.swap(_slots[0][slot]);
+        clearBit(0, slot);
+        std::sort(_scratch.begin(), _scratch.end(),
+                  [](const WheelItem &a, const WheelItem &b) {
+                      if (a.node != b.node)
+                          return a.node < b.node;
+                      if (a.kind != b.kind)
+                          return a.kind < b.kind;
+                      return a.data < b.data;
+                  });
+        _draining = true;
+        for (const WheelItem &item : _scratch) {
+            xproAssert(item.at == tick,
+                       "slot %zu mixes ticks %llu and %llu", slot,
+                       static_cast<unsigned long long>(item.at),
+                       static_cast<unsigned long long>(tick));
+            --_size;
+            fn(item);
+        }
+        _draining = false;
+        _scratch.clear();
+    }
+
+    void setBit(size_t level, size_t slot);
+    void clearBit(size_t level, size_t slot);
+
+    uint64_t _now = 0;
+    size_t _size = 0;
+    bool _draining = false;
+    std::vector<WheelItem> _slots[kLevels][kSlots];
+    uint64_t _occupied[kLevels][kWordsPerLevel] = {};
+    std::vector<WheelItem> _far; ///< beyond the top level's horizon
+    uint64_t _farMin = 0;
+    std::vector<WheelItem> _scratch; ///< drainSlot working set
+};
+
+/**
+ * S independent time wheels under conservative time-window
+ * synchronization: the simulated timeline is cut into fixed windows
+ * of @p window_ticks, every shard drains its own wheel through the
+ * window (concurrently, on a WorkerPool), and a barrier runs on the
+ * calling thread between windows. Shards may only couple through
+ * state exchanged at the barrier, so the window length is the
+ * lookahead: any cross-shard influence must take at least one
+ * window to propagate (DESIGN.md §16 gives the determinism
+ * argument).
+ *
+ * Each shard's drain is a pure function of its own item set (the
+ * wheel's (at, node, kind, data) order), so the outcome is
+ * byte-identical at any worker count; and when per-shard results
+ * are merged by commutative-associative reduction keyed on stable
+ * ids (never on arrival order), the outcome is also byte-identical
+ * at any shard count.
+ */
+class ShardedEventQueue
+{
+  public:
+    ShardedEventQueue(size_t shards, uint64_t window_ticks);
+
+    size_t shardCount() const { return _wheels.size(); }
+    uint64_t windowTicks() const { return _window; }
+
+    TimeWheel &shard(size_t s) { return _wheels[s]; }
+    const TimeWheel &shard(size_t s) const { return _wheels[s]; }
+
+    /** Pending items across all shards. */
+    size_t pending() const;
+
+    /**
+     * Run windows until every shard drains. For window w covering
+     * ticks [w*W, (w+1)*W), every shard s executes
+     * shard_fn(s, item) for its due items (in wheel order) on
+     * @p pool; then barrier(w, window_end_tick) runs on the calling
+     * thread. shard_fn must only touch shard-s state; the barrier
+     * may touch everything.
+     */
+    template <typename ShardFn, typename BarrierFn>
+    void
+    run(WorkerPool &pool, ShardFn &&shard_fn, BarrierFn &&barrier)
+    {
+        uint64_t window = 0;
+        while (pending() > 0) {
+            const uint64_t end = (window + 1) * _window;
+            pool.run(_wheels.size(), [&](size_t s) {
+                _wheels[s].drainUntil(
+                    end, [&](const WheelItem &item) {
+                        shard_fn(s, item);
+                    });
+            });
+            barrier(window, end);
+            ++window;
+        }
+    }
+
+  private:
+    std::vector<TimeWheel> _wheels;
+    uint64_t _window;
 };
 
 } // namespace xpro

@@ -522,4 +522,100 @@ TEST(FleetTest, RunFleetPopulatesTheReport)
     EXPECT_GE(result.designWork, result.designMakespan);
 }
 
+TEST(ArgparseTest, BoundedArgRejectsOverflowAndOutOfRange)
+{
+    EXPECT_EQ(parseBoundedArg("100", "--nodes", 1000), 100u);
+    EXPECT_EQ(parseBoundedArg("1000", "--nodes", 1000), 1000u);
+    EXPECT_THROW(parseBoundedArg("1001", "--nodes", 1000),
+                 FatalError);
+    EXPECT_THROW(parseBoundedArg("0", "--nodes", 1000), FatalError);
+    EXPECT_THROW(parseBoundedArg("-5", "--nodes", 1000), FatalError);
+    EXPECT_THROW(parseBoundedArg("abc", "--nodes", 1000),
+                 FatalError);
+    // Larger than long long: strtoll saturates with ERANGE; must be
+    // fatal, not silently clamped.
+    EXPECT_THROW(
+        parseBoundedArg("99999999999999999999999", "--nodes", 1000),
+        FatalError);
+    EXPECT_THROW(parseBoundedArg("9223372036854775807", "--nodes",
+                                 1000),
+                 FatalError);
+}
+
+TEST(PopulationFleetTest, NodeStateCostsTensOfBytes)
+{
+    EXPECT_LE(NodeSlabs::bytesPerNode(), 64u);
+}
+
+TEST(PopulationFleetTest, ReportCoversTheWholePopulation)
+{
+    PopulationFleetConfig config;
+    config.nodes = 2048;
+    config.shards = 4;
+    config.eventsPerNode = 3;
+    const PopulationFleetResult result = runPopulationFleet(config);
+
+    EXPECT_EQ(result.report.nodeCount, 2048u);
+    EXPECT_EQ(result.report.policy, "tiered-fcfs");
+    EXPECT_TRUE(result.report.tiers.enabled);
+    EXPECT_GT(result.report.tiers.phones, 0u);
+    EXPECT_GT(result.report.tiers.gateways, 0u);
+    EXPECT_GT(result.report.tiers.windows, 0u);
+    EXPECT_GT(result.report.spanMs, 0.0);
+    EXPECT_LE(result.effectiveShards, 4u);
+    // Every offered event is accounted for: delivered or locally
+    // fallen back, never silently dropped.
+    EXPECT_EQ(result.report.totalEvents +
+                  result.report.tiers.localFallbacks,
+              2048u * 3u);
+    ASSERT_FALSE(result.report.rows.empty());
+    for (const FleetNodeReportRow &row : result.report.rows) {
+        EXPECT_EQ(row.admission, "tiered");
+        EXPECT_GT(row.accuracy, 0.5);
+    }
+    EXPECT_GE(result.simulatedEvents, 2048u * 3u);
+}
+
+TEST(PopulationFleetTest, ReportByteIdenticalAcrossShardsAndWorkers)
+{
+    // The 10k-node determinism gate: FleetReport must be a pure
+    // function of the configuration, with shard and worker counts
+    // changing only wall-clock time (DESIGN.md §16).
+    const auto runAt = [](size_t shards, size_t workers) {
+        PopulationFleetConfig config;
+        config.nodes = 10000;
+        config.shards = shards;
+        config.workers = workers;
+        config.eventsPerNode = 2;
+        return runPopulationFleet(config).report.serialize();
+    };
+
+    const std::string reference = runAt(1, 1);
+    EXPECT_FALSE(reference.empty());
+    for (size_t shards : {4, 16}) {
+        for (size_t workers : {1, 2, 4}) {
+            EXPECT_EQ(runAt(shards, workers), reference)
+                << "shards=" << shards << " workers=" << workers;
+        }
+    }
+}
+
+TEST(PopulationFleetTest, CloudQuotaThrottlesUnderProvisionedTier)
+{
+    // Starve the cloud tier: throttled uplinks must defer and
+    // eventually fall back locally rather than disappear.
+    PopulationFleetConfig config;
+    config.nodes = 4096;
+    config.shards = 4;
+    config.eventsPerNode = 2;
+    config.tiers.cloudEventsPerSec = 100;
+    const PopulationFleetResult result = runPopulationFleet(config);
+
+    EXPECT_GT(result.report.tiers.cloudThrottled, 0u);
+    EXPECT_GT(result.report.tiers.localFallbacks, 0u);
+    EXPECT_EQ(result.report.totalEvents +
+                  result.report.tiers.localFallbacks,
+              4096u * 2u);
+}
+
 } // namespace

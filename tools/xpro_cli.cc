@@ -32,6 +32,14 @@
  *   xpro_cli --case C1 --adaptive [--repartition-period s]
  *            [--hysteresis frac] [--min-dwell s]
  *            [--control-trace decisions.json]
+ *
+ * Population mode simulates N nodes (up to millions) through the
+ * sensor -> phone -> gateway -> cloud tier hierarchy on a sharded
+ * event queue; the report is byte-identical at any shard or worker
+ * count:
+ *
+ *   xpro_cli --nodes 1000000 [--shards S] [--workers W]
+ *            [--tiers sensors:phones] [--events N] [--seed S]
  */
 
 #include <algorithm>
@@ -117,7 +125,13 @@ usage(const char *argv0)
         "  --min-dwell <s>            minimum seconds between "
         "re-partitions (default 120)\n"
         "  --control-trace <file>     write a Chrome trace of the "
-        "controller's decisions\n",
+        "controller's decisions\n"
+        "  --nodes <n>                population mode: simulate n "
+        "nodes through the tier hierarchy\n"
+        "  --shards <n>               population event-queue shards "
+        "(default 1; report identical at any value)\n"
+        "  --tiers <a>:<b>            sensors per phone : phones "
+        "per gateway (default 32:64)\n",
         argv0);
     std::exit(2);
 }
@@ -284,6 +298,33 @@ runFleetMode(size_t fleet_size, size_t workers,
     return 0;
 }
 
+int
+runPopulationMode(uint64_t nodes, size_t shards, size_t workers,
+                  uint64_t events, uint64_t seed,
+                  const TierConfig &tiers)
+{
+    PopulationFleetConfig config;
+    config.nodes = nodes;
+    config.shards = shards;
+    config.workers = workers;
+    config.eventsPerNode = events;
+    config.seed = seed;
+    config.tiers = tiers;
+
+    const PopulationFleetResult result = runPopulationFleet(config);
+    // The effective count can be lower than requested: a shard owns
+    // whole gateways, so tiny fleets cannot use many shards.
+    std::printf("population: %llu nodes, %zu shard(s) effective "
+                "(%zu requested), %zu worker(s), %llu wheel "
+                "events\n\n",
+                static_cast<unsigned long long>(nodes),
+                result.effectiveShards, shards, workers,
+                static_cast<unsigned long long>(
+                    result.simulatedEvents));
+    result.report.writeText(std::cout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -300,6 +341,9 @@ main(int argc, char **argv)
     std::string trace_path;
     uint64_t seed = 2017;
     size_t fleet_size = 0;
+    size_t population_nodes = 0;
+    size_t shards = 1;
+    TierConfig tiers;
     size_t workers = 1;
     size_t sweep_workers = 1;
     RadioPolicy policy = RadioPolicy::Fcfs;
@@ -346,8 +390,27 @@ main(int argc, char **argv)
                 trace_path = value();
             else if (arg == "--seed")
                 seed = parseSeedArg(value(), "--seed");
-            else if (arg == "--fleet")
-                fleet_size = parsePositiveArg(value(), "--fleet");
+            else if (arg == "--fleet") {
+                // The detailed path multiplies fleet size into
+                // events * graph nodes; cap it well below any int
+                // overflow (and any tractable run).
+                fleet_size =
+                    parseBoundedArg(value(), "--fleet", 100000);
+            } else if (arg == "--nodes") {
+                population_nodes = parseBoundedArg(
+                    value(), "--nodes", 100000000);
+            } else if (arg == "--shards")
+                shards = parseBoundedArg(value(), "--shards", 4096);
+            else if (arg == "--tiers") {
+                const auto [sensors, phones] =
+                    splitPair(value(), "--tiers");
+                tiers.sensorsPerPhone =
+                    static_cast<uint32_t>(parseBoundedArg(
+                        sensors, "--tiers", 65536));
+                tiers.phonesPerGateway =
+                    static_cast<uint32_t>(parseBoundedArg(
+                        phones, "--tiers", 65536));
+            }
             else if (arg == "--workers")
                 workers = parsePositiveArg(value(), "--workers");
             else if (arg == "--sweep-workers")
@@ -431,6 +494,17 @@ main(int argc, char **argv)
         control.enabled = adaptive;
         if (adaptive)
             control.validate();
+
+        if (population_nodes > 0 && fleet_size > 0)
+            fatal("--nodes and --fleet are mutually exclusive");
+        if (population_nodes == 0 && shards != 1)
+            fatal("--shards needs --nodes (population mode)");
+        if (population_nodes > 0 && adaptive)
+            fatal("--adaptive runs on the detailed --fleet path");
+        if (population_nodes > 0) {
+            return runPopulationMode(population_nodes, shards,
+                                     workers, events, seed, tiers);
+        }
 
         if (fleet_size > 0) {
             size_t largest_segment = 0;
