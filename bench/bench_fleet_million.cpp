@@ -23,6 +23,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hh"
 #include "core/placement.hh"
@@ -114,7 +115,14 @@ int
 main()
 {
     ShapeChecker checker;
-    constexpr size_t kBaselineNodes = 10000;
+    // XPRO_BENCH_SMOKE=1: CI's JSON-shape check runs a reduced
+    // fleet and skips the timing-sensitive speedup gates (the
+    // shapes are too small for stable rates); the structural
+    // checks — event accounting, slab size, byte-identity — hold
+    // at any scale and stay on.
+    const bool smoke = std::getenv("XPRO_BENCH_SMOKE") != nullptr;
+    const size_t kBaselineNodes = smoke ? 1000 : 10000;
+    const size_t kMillionNodes = smoke ? 20000 : 1000000;
     constexpr uint64_t kEventsPerNode = 2;
 
     std::vector<EngineTopology> chains;
@@ -164,9 +172,11 @@ main()
     checker.check(pop_events == base_events,
                   "population path completes the same event count "
                   "the baseline simulated");
-    checker.check(speedup >= 10.0,
-                  "population path >= 10x the detailed path's "
-                  "events/sec at 10k nodes");
+    if (!smoke) {
+        checker.check(speedup >= 10.0,
+                      "population path >= 10x the detailed path's "
+                      "events/sec at 10k nodes");
+    }
     checker.check(NodeSlabs::bytesPerNode() <= 64,
                   "node state costs tens of bytes (<= 64)");
 
@@ -186,9 +196,10 @@ main()
                   "report byte-identical across shards {1,4,16} x "
                   "workers {1,4}");
 
-    std::printf("== C: population path at 1,000,000 nodes ==\n\n");
+    std::printf("== C: population path at %zu nodes ==\n\n",
+                kMillionNodes);
     PopulationFleetConfig million =
-        populationConfig(1000000, 16, 0);
+        populationConfig(kMillionNodes, 16, 0);
     // Provision the cloud tier for the fleet's ~3M events/s offered
     // load; the default quota models a smaller deployment and would
     // throttle most of the traffic.
@@ -207,14 +218,16 @@ main()
                 big.effectiveShards);
     std::printf("  peak rss %.0f MiB\n\n", peakRssMb());
 
-    const uint64_t offered = 1000000 * kEventsPerNode;
+    const uint64_t offered = kMillionNodes * kEventsPerNode;
     checker.check(million_events >=
                       static_cast<size_t>(offered * 95 / 100),
                   "1M-node run delivers >= 95% of offered events "
                   "(cloud tier provisioned)");
-    checker.check(million_rate >= base_rate * 10.0,
-                  "1M-node sustained rate still >= 10x the 10k-node "
-                  "detailed path");
+    if (!smoke) {
+        checker.check(million_rate >= base_rate * 10.0,
+                      "1M-node sustained rate still >= 10x the "
+                      "10k-node detailed path");
+    }
     checker.check(peakRssMb() < 1024.0,
                   "1M nodes fit in < 1 GiB peak RSS");
 

@@ -7,7 +7,8 @@
 # callback-chain lifetimes), and the adaptive-controller suites
 # (long-lived warm flow network under repeated capacity updates),
 # and the serving hot-path suite (arena lifetimes, packed SV tiles,
-# cross-user batch slicing). Usage:
+# cross-user batch slicing), and the stats-registry suite (fixed
+# cell array bounds, slab growth). Usage:
 #
 #   scripts/check_asan_generator.sh [build-dir]
 #
@@ -25,8 +26,9 @@ cmake --build "$build" \
              test_random_subspace test_crossval \
              test_fault_injection test_trace_export \
              test_controller test_hotpath_identity \
+             test_stats_registry \
     -j "$(nproc)"
 ctest --test-dir "$build" \
-    -L 'generator|partitioner|flow|ml|robust|control|hotpath' \
+    -L 'generator|partitioner|flow|ml|robust|control|hotpath|obs' \
     --output-on-failure
 echo "ASan/UBSan generator pass: OK"

@@ -1,0 +1,107 @@
+#!/bin/sh
+# Run every bench harness at its smallest shape (XPRO_BENCH_SMOKE=1
+# shrinks the fleet-scale benches; the figure benches are already
+# small) and validate the machine-readable contract each one must
+# keep: exactly one summary line of the form
+#
+#   {"bench":"<name>","checks":N,"failures":N,"metrics":{...}}
+#
+# with the shared "peak_rss_mb" key present and finite, and — when
+# the bench reports throughput — a finite, positive
+# "events_per_sec". CI scrapes these lines with one grep; a bench
+# that stops emitting them silently falls out of tracking, which
+# this script turns into a hard failure. Usage:
+#
+#   scripts/check_bench_json.sh [build-dir] [bench ...]
+#
+# The build directory defaults to ./build; with no bench names every
+# bench_* binary in <build-dir>/bench runs.
+set -u
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+[ $# -gt 0 ] && shift
+
+if [ ! -d "$build/bench" ]; then
+    echo "error: '$build/bench' not found (build first)" >&2
+    exit 2
+fi
+
+if [ $# -gt 0 ]; then
+    benches=$*
+else
+    benches=$(cd "$build/bench" && ls bench_* | grep -v '\.')
+fi
+
+failures=0
+for bench in $benches; do
+    bin="$build/bench/$bench"
+    if [ ! -x "$bin" ]; then
+        echo "FAIL $bench: no executable at $bin"
+        failures=$((failures + 1))
+        continue
+    fi
+    out=$(XPRO_BENCH_SMOKE=1 "$bin" 2>&1)
+    rc=$?
+    json=$(printf '%s\n' "$out" | grep '^{"bench":')
+    lines=$(printf '%s\n' "$json" | grep -c '^{"bench":' || true)
+    if [ "$lines" -ne 1 ]; then
+        echo "FAIL $bench: expected exactly 1 summary line, got" \
+             "$lines (exit $rc)"
+        failures=$((failures + 1))
+        continue
+    fi
+    # Shape-check the one-line JSON with awk: required keys exist
+    # and the shared metrics are finite numbers (printf %.9g never
+    # emits nan/inf for sane inputs, but a broken timer can).
+    if ! printf '%s\n' "$json" | awk -v bench="$bench" '
+        {
+            ok = 1
+            if ($0 !~ ("^\\{\"bench\":\"" bench "\"")) {
+                print "  wrong bench name"; ok = 0
+            }
+            if ($0 !~ /"checks":[0-9]+/) {
+                print "  missing checks count"; ok = 0
+            }
+            if ($0 !~ /"failures":[0-9]+/) {
+                print "  missing failures count"; ok = 0
+            }
+            if ($0 !~ /"metrics":\{/) {
+                print "  missing metrics object"; ok = 0
+            }
+            if (!match($0, /"peak_rss_mb":[0-9.eE+-]+\}\}$/)) {
+                print "  missing/non-numeric peak_rss_mb"; ok = 0
+            } else {
+                v = substr($0, RSTART + 14,
+                           RLENGTH - 16) + 0
+                if (!(v > 0 && v < 1e6)) {
+                    print "  peak_rss_mb not finite-positive: " v
+                    ok = 0
+                }
+            }
+            if (match($0, /"events_per_sec":[^,}]+/)) {
+                v = substr($0, RSTART + 17, RLENGTH - 17) + 0
+                if (!(v > 0 && v < 1e15)) {
+                    print "  events_per_sec not finite-positive: " v
+                    ok = 0
+                }
+            }
+            exit ok ? 0 : 1
+        }'
+    then
+        echo "FAIL $bench: summary line failed shape checks"
+        echo "  $json"
+        failures=$((failures + 1))
+        continue
+    fi
+    echo "OK   $bench (exit $rc)"
+    # A smoke run may legitimately fail its own perf gates on a
+    # loaded machine; the contract checked here is the JSON shape,
+    # so the bench exit code is reported but not fatal.
+done
+
+if [ "$failures" -gt 0 ]; then
+    echo "bench JSON check: $failures bench(es) FAILED"
+    exit 1
+fi
+echo "bench JSON check: OK"

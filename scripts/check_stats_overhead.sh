@@ -1,0 +1,75 @@
+#!/bin/sh
+# The true zero-overhead check for the stats registry: build the
+# tree twice — once as usual (XPRO_STATS=ON, the default) and once
+# with -DXPRO_STATS=OFF so every XPRO_STAT update, slab write and
+# registry cell compiles out — run bench_stats_overhead from both
+# builds, and gate the compiled-in build's baseline events/sec at
+# within 3% of the compiled-out build's. This catches costs the
+# bench's in-binary A/B cannot see (code-size growth, the `collect`
+# branches themselves, registry construction). Usage:
+#
+#   scripts/check_stats_overhead.sh [build-dir] [nostats-build-dir]
+#
+# Directories default to ./build and ./build-nostats; the
+# configurations never share object files.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+nostats=${2:-"$repo/build-nostats"}
+
+cmake -B "$build" -S "$repo" -DXPRO_STATS=ON
+cmake --build "$build" --target bench_stats_overhead -j "$(nproc)"
+cmake -B "$nostats" -S "$repo" -DXPRO_STATS=OFF
+cmake --build "$nostats" --target bench_stats_overhead \
+    -j "$(nproc)"
+
+# The compiled-out build's instrumented arm IS its baseline (every
+# stats op is a no-op), so compare the two builds' baseline keys.
+# One run per build is not enough on a shared box — identical runs
+# spread several percent — so interleave ABBA blocks of whole runs
+# and compare per-build MEDIANS, the same discipline the bench
+# applies to its in-binary slices.
+rate_of() {
+    "$1/bench/bench_stats_overhead" |
+        grep '^{"bench":' |
+        sed 's/.*"baseline_events_per_sec":\([0-9.eE+-]*\).*/\1/'
+}
+
+on_rates=""
+off_rates=""
+for round in 1 2 3; do
+    on_rates="$on_rates $(rate_of "$build")"
+    off_rates="$off_rates $(rate_of "$nostats")"
+    off_rates="$off_rates $(rate_of "$nostats")"
+    on_rates="$on_rates $(rate_of "$build")"
+done
+
+median_of() {
+    printf '%s\n' "$@" | sort -g | awk '
+        { v[NR] = $1 }
+        END {
+            if (NR == 0) { print 0; exit }
+            m = int((NR + 1) / 2)
+            print (NR % 2) ? v[m] : (v[m] + v[m + 1]) / 2
+        }'
+}
+
+# shellcheck disable=SC2086 # word splitting is the point
+on_rate=$(median_of $on_rates)
+# shellcheck disable=SC2086
+off_rate=$(median_of $off_rates)
+echo "stats ON  baseline (median of 6): $on_rate events/cpu-s"
+echo "stats OFF baseline (median of 6): $off_rate events/cpu-s"
+
+awk -v on="$on_rate" -v off="$off_rate" 'BEGIN {
+    if (!(on > 0 && off > 0)) {
+        print "stats overhead check: missing rates"; exit 1
+    }
+    pct = 100 * (off - on) / off
+    printf "cross-build overhead: %.2f%%\n", pct
+    if (on < 0.97 * off) {
+        print "stats overhead check: FAILED (> 3%)"; exit 1
+    }
+    print "stats overhead check: OK"
+}'

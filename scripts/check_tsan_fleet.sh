@@ -6,7 +6,9 @@
 # evaluation, shared characterization cache), the ML suites
 # (parallel ensemble training and cross-validation), and the
 # fault-injection suites (shared-channel fleet ARQ), and the serving
-# hot-path suite (cross-user batches sliced across workers). Usage:
+# hot-path suite (cross-user batches sliced across workers), and the
+# stats-registry suite (concurrent registration, relaxed-atomic
+# cells, snapshot determinism across shards x workers). Usage:
 #
 #   scripts/check_tsan_fleet.sh [build-dir]
 #
@@ -23,8 +25,9 @@ cmake --build "$build" \
              test_partitioner_property test_ml_parallel \
              test_random_subspace test_crossval \
              test_fault_injection test_trace_export \
-             test_hotpath_identity \
+             test_hotpath_identity test_stats_registry \
     -j "$(nproc)"
-ctest --test-dir "$build" -L 'fleet|generator|ml|robust|hotpath' \
+ctest --test-dir "$build" \
+    -L 'fleet|generator|ml|robust|hotpath|obs' \
     --output-on-failure
 echo "TSan fleet pass: OK"

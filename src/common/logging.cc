@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <vector>
@@ -24,7 +25,17 @@ defaultSink(LogLevel level, const std::string &message)
     std::fprintf(stderr, "%s: %s\n", tag, message.c_str());
 }
 
-LogSink currentSink = defaultSink;
+// Atomic: setLogSink may race with warn()/inform() calls from
+// worker-pool threads (e.g. tests swapping sinks around a parallel
+// fleet run), and a plain pointer would be a data race under TSan.
+std::atomic<LogSink> currentSink{defaultSink};
+
+/** Fetch the installed sink for one emission. */
+LogSink
+sink()
+{
+    return currentSink.load(std::memory_order_acquire);
+}
 
 /** Render a printf-style format into a std::string. */
 std::string
@@ -46,9 +57,8 @@ vformat(const char *fmt, va_list args)
 LogSink
 setLogSink(LogSink sink)
 {
-    LogSink old = currentSink;
-    currentSink = sink ? sink : defaultSink;
-    return old;
+    return currentSink.exchange(sink ? sink : defaultSink,
+                                std::memory_order_acq_rel);
 }
 
 void
@@ -58,7 +68,7 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    currentSink(LogLevel::Panic, msg);
+    sink()(LogLevel::Panic, msg);
     throw PanicError(msg);
 }
 
@@ -69,7 +79,7 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    currentSink(LogLevel::Fatal, msg);
+    sink()(LogLevel::Fatal, msg);
     throw FatalError(msg);
 }
 
@@ -81,7 +91,7 @@ panicAssertFailure(const char *condition, const char *fmt, ...)
     std::string msg = "assertion '" + std::string(condition) +
                       "' failed: " + vformat(fmt, args);
     va_end(args);
-    currentSink(LogLevel::Panic, msg);
+    sink()(LogLevel::Panic, msg);
     throw PanicError(msg);
 }
 
@@ -92,7 +102,7 @@ warn(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    currentSink(LogLevel::Warn, msg);
+    sink()(LogLevel::Warn, msg);
 }
 
 void
@@ -102,7 +112,7 @@ inform(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    currentSink(LogLevel::Inform, msg);
+    sink()(LogLevel::Inform, msg);
 }
 
 } // namespace xpro

@@ -9,11 +9,36 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/stats_registry.hh"
+
 namespace xpro
 {
 
 namespace
 {
+
+// Diag scope: how many pool runs happen and how many tasks each
+// carries depends on the shard/worker configuration, not just the
+// simulated workload.
+struct PoolStatIds
+{
+    StatId runs, tasks, depth;
+};
+
+const PoolStatIds &
+poolStatIds()
+{
+    static const PoolStatIds ids = [] {
+        StatsRegistry &reg = StatsRegistry::instance();
+        const StatScope d = StatScope::Diag;
+        return PoolStatIds{
+            reg.registerCounter("worker_pool.runs", d),
+            reg.registerCounter("worker_pool.tasks", d),
+            reg.registerGauge("worker_pool.queue_depth_highwater",
+                              d)};
+    }();
+    return ids;
+}
 
 using Clock = std::chrono::steady_clock;
 
@@ -65,6 +90,14 @@ WorkerPool::run(size_t count, const Task &task)
     _wall = Time();
     if (count == 0)
         return;
+
+    if constexpr (kStatsEnabled) {
+        StatsRegistry &reg = StatsRegistry::instance();
+        const PoolStatIds &ids = poolStatIds();
+        reg.add(ids.runs);
+        reg.add(ids.tasks, count);
+        reg.gaugeMax(ids.depth, count);
+    }
 
     std::atomic<size_t> next{0};
     std::exception_ptr first_error;

@@ -4,9 +4,42 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/stats_registry.hh"
 
 namespace xpro
 {
+
+namespace
+{
+
+// Stable scope: controller decisions are a deterministic function
+// of the telemetry stream (adaptive fleet runs are sequential per
+// node), so these match the ControlReport totals at any worker
+// count. handover_nj accumulates migration energy in integer
+// nanojoules so the counter stays exact.
+struct ControlStatIds
+{
+    StatId windows, repartitions, hysteresisHolds, dwellHolds;
+    StatId resolves, handoverNj;
+};
+
+const ControlStatIds &
+controlStatIds()
+{
+    static const ControlStatIds ids = [] {
+        StatsRegistry &reg = StatsRegistry::instance();
+        return ControlStatIds{
+            reg.registerCounter("control.windows"),
+            reg.registerCounter("control.repartitions"),
+            reg.registerCounter("control.hysteresis_holds"),
+            reg.registerCounter("control.dwell_holds"),
+            reg.registerCounter("control.resolves"),
+            reg.registerCounter("control.handover_nj")};
+    }();
+    return ids;
+}
+
+} // namespace
 
 void
 ControlConfig::validate() const
@@ -51,6 +84,7 @@ CrossEndController::CrossEndController(const EngineTopology &topology,
 {
     _config.validate();
     _placement = _generator.generate().placement;
+    StatsRegistry::instance().add(controlStatIds().resolves);
     _report.enabled = true;
 }
 
@@ -132,6 +166,7 @@ CrossEndController::observe(const ControlTelemetry &telemetry)
         std::make_pair(decision.observedScale, effective_rate);
     auto cached = _proposals.find(key);
     if (cached == _proposals.end()) {
+        StatsRegistry::instance().add(controlStatIds().resolves);
         Placement best = _generator.generate().placement;
         const Energy price = _generator.objective(best);
         cached = _proposals
@@ -156,15 +191,19 @@ CrossEndController::observe(const ControlTelemetry &telemetry)
     for (size_t u = 1; u < _topology.graph.nodeCount(); ++u)
         moved += _placement.inSensor(u) != proposal.inSensor(u);
 
+    StatsRegistry &sreg = StatsRegistry::instance();
+    const ControlStatIds &sids = controlStatIds();
     if (moved == 0) {
         decision.action = retuned ? "retune" : "steady";
     } else if (decision.improvement <= _config.hysteresis) {
         decision.action = "hold";
         ++_report.hysteresisHolds;
+        sreg.add(sids.hysteresisHolds);
     } else if (_everRepartitioned &&
                telemetry.at - _lastRepartition < _config.minDwell) {
         decision.action = "dwell";
         ++_report.dwellHolds;
+        sreg.add(sids.dwellHolds);
     } else {
         const HandoverCost handover = handoverCost(proposal);
         // Bounded cost: the projected saving over the time the new
@@ -178,6 +217,7 @@ CrossEndController::observe(const ControlTelemetry &telemetry)
         if (saving < handover.sensorEnergy) {
             decision.action = "hold";
             ++_report.hysteresisHolds;
+            sreg.add(sids.hysteresisHolds);
         } else {
             decision.action = "repartition";
             decision.movedCells = handover.movedCells;
@@ -190,11 +230,16 @@ CrossEndController::observe(const ControlTelemetry &telemetry)
             ++_report.repartitions;
             _report.handoverTotalUj += handover.sensorEnergy.uj();
             _report.handoverTotalMs += handover.airTime.ms();
+            sreg.add(sids.repartitions);
+            sreg.add(sids.handoverNj,
+                     static_cast<uint64_t>(std::llround(
+                         handover.sensorEnergy.nj())));
         }
     }
 
     decision.sensorCells = _placement.sensorCellCount();
     ++_report.windows;
+    sreg.add(sids.windows);
     if (_config.decisionTraceCap == 0 ||
         _report.decisions.size() < _config.decisionTraceCap) {
         _report.decisions.push_back(decision);

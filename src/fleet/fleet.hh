@@ -335,6 +335,13 @@ struct PopulationFleetConfig
     TierConfig tiers;
     /** Node classes; empty selects syntheticArchetypes(). */
     std::vector<PopulationArchetype> archetypes;
+    /**
+     * Record population.* stats into the global StatsRegistry
+     * (per-shard slabs on the hot path, absorbed once at the end).
+     * bench_stats_overhead flips this off for its in-binary
+     * baseline; it has no effect when stats are compiled out.
+     */
+    bool collectStats = true;
 };
 
 /**

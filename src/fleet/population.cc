@@ -23,6 +23,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "obs/stats_registry.hh"
 #include "sim/event_queue.hh"
 
 namespace xpro
@@ -121,6 +122,62 @@ struct ShardStats
     uint64_t spanMaxUs = 0;
     uint64_t items = 0;
 };
+
+/**
+ * population.* stats (DESIGN.md section 17). All Stable scope: each
+ * is a pure function of the configuration, so snapshots stay
+ * byte-identical at any shards x workers combination (tested in
+ * test_stats_registry under the obs label). The per-event ones
+ * (latency histogram, per-tier admissions/deferrals) are written to
+ * per-shard StatsSlabs on the hot path; run-level totals are added
+ * straight to the registry once the shard merge is done.
+ */
+struct PopStatIds
+{
+    StatId latencyUs;        ///< histogram: inject -> cloud, us
+    StatId admittedPhone;    ///< uplinks the phone tier admitted
+    StatId admittedGateway;  ///< events the gateway tier admitted
+    StatId deferredPhone;    ///< uplinks pushed to the next window
+    StatId deferredGateway;  ///< gateway hops pushed back
+    StatId completed;
+    StatId deadlineMisses;
+    StatId localFallbacks;
+    StatId dutySuppressed;
+    StatId cloudThrottled;
+    StatId wheelItems;
+    StatId transfers;
+};
+
+const PopStatIds &
+popStatIds()
+{
+    static const PopStatIds ids = [] {
+        StatsRegistry &reg = StatsRegistry::instance();
+        PopStatIds v;
+        v.latencyUs = reg.registerHistogram("population.latency_us");
+        v.admittedPhone =
+            reg.registerCounter("population.admitted_phone");
+        v.admittedGateway =
+            reg.registerCounter("population.admitted_gateway");
+        v.deferredPhone =
+            reg.registerCounter("population.deferred_phone");
+        v.deferredGateway =
+            reg.registerCounter("population.deferred_gateway");
+        v.completed = reg.registerCounter("population.completed");
+        v.deadlineMisses =
+            reg.registerCounter("population.deadline_misses");
+        v.localFallbacks =
+            reg.registerCounter("population.local_fallbacks");
+        v.dutySuppressed =
+            reg.registerCounter("population.duty_suppressed");
+        v.cloudThrottled =
+            reg.registerCounter("population.cloud_throttled");
+        v.wheelItems = reg.registerCounter("population.wheel_items");
+        v.transfers = reg.registerCounter("population.transfers");
+        return v;
+    }();
+    return ids;
+}
 
 } // namespace
 
@@ -247,6 +304,25 @@ runPopulationFleet(const PopulationFleetConfig &config)
         shards, std::vector<ArchetypeStats>(classes.size()));
     std::vector<ShardStats> shardStats(shards);
 
+    // Telemetry: plain per-shard accumulators — hot-path cost is
+    // an ordinary increment into a shard-owned struct, no slab or
+    // registry indirection — folded into the global registry once
+    // after the run. Folding is pure addition, so the merged totals
+    // are independent of the shard grouping (the stable-snapshot
+    // contract).
+    struct ShardObs {
+        uint64_t admittedPhone = 0;
+        uint64_t admittedGateway = 0;
+        uint64_t deferredPhone = 0;
+        uint64_t deferredGateway = 0;
+        uint64_t latencySumUs = 0;
+        uint64_t
+            latencyBuckets[StatsRegistry::kHistogramBuckets] = {};
+    };
+    const bool collect = kStatsEnabled && config.collectStats;
+    const PopStatIds &sids = popStatIds();
+    std::vector<ShardObs> obsStats(shards);
+
     const auto phaseOf = [&](uint64_t node) {
         const PopulationArchetype &a =
             classes[slabs.archetype()[node]];
@@ -278,6 +354,10 @@ runPopulationFleet(const PopulationFleetConfig &config)
                 return;
             }
             ++shardStats[s].deferred;
+            if (collect)
+                ++(item.kind == kUplink
+                       ? obsStats[s].deferredPhone
+                       : obsStats[s].deferredGateway);
             const uint64_t next = (now / window + 1) * window;
             queue.shard(s).schedule({next, item.node, item.kind,
                                      packData(event, defers + 1)});
@@ -330,6 +410,8 @@ runPopulationFleet(const PopulationFleetConfig &config)
             return;
         }
         phoneBudgetUs[phone] -= a.phoneComputeUs;
+        if (collect)
+            ++obsStats[s].admittedPhone;
         // Cell-local FCFS channel: one scalar per phone cell.
         const uint64_t start =
             std::max(item.at, cellFreeAt[phone]);
@@ -381,6 +463,12 @@ runPopulationFleet(const PopulationFleetConfig &config)
         ++arch.completed;
         arch.latencySumUs += latency;
         arch.latencyMaxUs = std::max(arch.latencyMaxUs, latency);
+        if (collect) {
+            ShardObs &obs = obsStats[s];
+            ++obs.admittedGateway;
+            obs.latencySumUs += latency;
+            ++obs.latencyBuckets[StatsRegistry::bucketOf(latency)];
+        }
         if (latency > a.periodUs)
             ++arch.misses;
         shardStats[s].spanMaxUs =
@@ -519,6 +607,37 @@ runPopulationFleet(const PopulationFleetConfig &config)
             static_cast<size_t>(arch[a].fallbacks);
         tiers.dutySuppressed +=
             static_cast<size_t>(arch[a].suppressed);
+    }
+
+    if (collect) {
+        StatsRegistry &reg = StatsRegistry::instance();
+        ShardObs folded;
+        for (const ShardObs &obs : obsStats) {
+            folded.admittedPhone += obs.admittedPhone;
+            folded.admittedGateway += obs.admittedGateway;
+            folded.deferredPhone += obs.deferredPhone;
+            folded.deferredGateway += obs.deferredGateway;
+            folded.latencySumUs += obs.latencySumUs;
+            for (uint32_t b = 0;
+                 b < StatsRegistry::kHistogramBuckets; ++b)
+                folded.latencyBuckets[b] += obs.latencyBuckets[b];
+        }
+        reg.add(sids.admittedPhone, folded.admittedPhone);
+        reg.add(sids.admittedGateway, folded.admittedGateway);
+        reg.add(sids.deferredPhone, folded.deferredPhone);
+        reg.add(sids.deferredGateway, folded.deferredGateway);
+        reg.mergeHistogram(sids.latencyUs, folded.latencySumUs,
+                           folded.latencyBuckets,
+                           StatsRegistry::kHistogramBuckets);
+        // Run-level totals, published from the merged accumulators
+        // (already shard-grouping-independent by construction).
+        reg.add(sids.completed, report.totalEvents);
+        reg.add(sids.deadlineMisses, report.totalDeadlineMisses);
+        reg.add(sids.localFallbacks, tiers.localFallbacks);
+        reg.add(sids.dutySuppressed, tiers.dutySuppressed);
+        reg.add(sids.cloudThrottled, total.cloudThrottled);
+        reg.add(sids.wheelItems, total.items);
+        reg.add(sids.transfers, total.transfers);
     }
 
     result.simulatedEvents = total.items;

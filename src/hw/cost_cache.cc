@@ -3,8 +3,35 @@
 #include <bit>
 #include <cstring>
 
+#include "obs/stats_registry.hh"
+
 namespace xpro
 {
+
+namespace
+{
+
+// Stable scope: the cache mutex is held from probe through insert,
+// so the first lookup of a key is a miss and every later one a hit
+// regardless of which worker thread gets there first — the hit/miss
+// split is a pure function of the workload.
+struct CacheStatIds
+{
+    StatId hits, misses;
+};
+
+const CacheStatIds &
+cacheStatIds()
+{
+    static const CacheStatIds ids = [] {
+        StatsRegistry &reg = StatsRegistry::instance();
+        return CacheStatIds{reg.registerCounter("cost_cache.hits"),
+                            reg.registerCounter("cost_cache.misses")};
+    }();
+    return ids;
+}
+
+} // namespace
 
 namespace
 {
@@ -53,9 +80,11 @@ CellCostCache::lookup(const CellWorkload &workload,
     auto it = _entries.find(key);
     if (it != _entries.end()) {
         ++_stats.hits;
+        StatsRegistry::instance().add(cacheStatIds().hits);
         return it->second;
     }
     ++_stats.misses;
+    StatsRegistry::instance().add(cacheStatIds().misses);
 
     Entry entry;
     for (AluMode mode : allAluModes) {

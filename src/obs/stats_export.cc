@@ -1,0 +1,145 @@
+#include "obs/stats_export.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace xpro
+{
+
+namespace
+{
+
+const char *
+kindTag(StatKind kind)
+{
+    switch (kind) {
+      case StatKind::Counter:   return "counter";
+      case StatKind::Gauge:     return "gauge";
+      case StatKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+void
+writeHistogram(const SnapshotHistogram &hist, std::ostream &out)
+{
+    out << "{\"count\":" << hist.count << ",\"sum\":" << hist.sum
+        << ",\"buckets\":[";
+    bool first = true;
+    for (const auto &[lower, count] : hist.buckets) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "[" << lower << "," << count << "]";
+    }
+    out << "]}";
+}
+
+/** One scope section: {"counters":{...},"gauges":{...},
+ *  "histograms":{...}} with names sorted (snapshot order). */
+void
+writeScope(const StatsSnapshot &snap, StatScope scope,
+           std::ostream &out)
+{
+    out << "{";
+    bool first_kind = true;
+    const struct {
+        StatKind kind;
+        const char *key;
+    } kinds[] = {
+        {StatKind::Counter, "counters"},
+        {StatKind::Gauge, "gauges"},
+        {StatKind::Histogram, "histograms"},
+    };
+    for (const auto &[kind, key] : kinds) {
+        if (!first_kind)
+            out << ",";
+        first_kind = false;
+        out << "\"" << key << "\":{";
+        bool first = true;
+        for (const SnapshotEntry &entry : snap.entries) {
+            if (entry.scope != scope || entry.kind != kind)
+                continue;
+            if (!first)
+                out << ",";
+            first = false;
+            out << "\"" << entry.name << "\":";
+            if (kind == StatKind::Histogram)
+                writeHistogram(entry.hist, out);
+            else
+                out << entry.value;
+        }
+        out << "}";
+    }
+    out << "}";
+}
+
+} // namespace
+
+void
+writeStatsJson(const StatsSnapshot &snap, std::ostream &out)
+{
+    out << "{\"stable\":";
+    writeScope(snap, StatScope::Stable, out);
+    out << ",\"diag\":";
+    writeScope(snap, StatScope::Diag, out);
+    out << "}\n";
+}
+
+std::string
+statsJson(const StatsSnapshot &snap)
+{
+    std::ostringstream out;
+    writeStatsJson(snap, out);
+    return out.str();
+}
+
+std::string
+statsStableJson(const StatsSnapshot &snap)
+{
+    std::ostringstream out;
+    writeScope(snap, StatScope::Stable, out);
+    return out.str();
+}
+
+void
+writeStatsTable(const StatsSnapshot &snap, std::ostream &out)
+{
+    if (snap.entries.empty()) {
+        out << "  (no stats"
+            << (kStatsEnabled ? " recorded" : ": compiled out")
+            << ")\n";
+        return;
+    }
+    for (int scope_pass = 0; scope_pass < 2; ++scope_pass) {
+        const StatScope scope = scope_pass == 0 ? StatScope::Stable
+                                                : StatScope::Diag;
+        bool any = false;
+        for (const SnapshotEntry &entry : snap.entries) {
+            if (entry.scope != scope)
+                continue;
+            if (!any)
+                out << (scope == StatScope::Stable ? "stable:\n"
+                                                   : "diag:\n");
+            any = true;
+            out << "  " << entry.name;
+            for (size_t pad = entry.name.size(); pad < 36; ++pad)
+                out << ' ';
+            out << " " << kindTag(entry.kind) << "  ";
+            if (entry.kind == StatKind::Histogram) {
+                const SnapshotHistogram &h = entry.hist;
+                out << "count=" << h.count << " sum=" << h.sum;
+                if (h.count > 0) {
+                    out << " mean=" << (h.sum / h.count);
+                    const auto &top = h.buckets.back();
+                    out << " max_bucket>=" << top.first;
+                }
+            } else {
+                out << entry.value;
+            }
+            out << "\n";
+        }
+    }
+}
+
+} // namespace xpro

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Snapshot serialization: stable-key JSON (the `--stats-out` format)
+ * and the human-readable table behind `xpro_cli --stats`.
+ *
+ * The JSON document has two top-level sections, "stable" and "diag"
+ * (see StatScope); within each, stats are grouped by kind and sorted
+ * by name, so two snapshots of identical stat values serialize to
+ * byte-identical documents. `statsStableJson()` serializes the
+ * stable section alone — the string the determinism tests and
+ * bench_stats_overhead compare across shards x workers runs.
+ */
+
+#ifndef XPRO_OBS_STATS_EXPORT_HH
+#define XPRO_OBS_STATS_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/stats_registry.hh"
+
+namespace xpro
+{
+
+/** Full snapshot as a two-section JSON document. */
+void writeStatsJson(const StatsSnapshot &snap, std::ostream &out);
+std::string statsJson(const StatsSnapshot &snap);
+
+/** The "stable" section alone — the byte-identity contract. */
+std::string statsStableJson(const StatsSnapshot &snap);
+
+/** Human table: one row per stat, histograms summarized. */
+void writeStatsTable(const StatsSnapshot &snap, std::ostream &out);
+
+} // namespace xpro
+
+#endif // XPRO_OBS_STATS_EXPORT_HH

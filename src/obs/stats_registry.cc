@@ -1,0 +1,224 @@
+#include "obs/stats_registry.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace xpro
+{
+
+bool
+statsCompiledIn()
+{
+    return kStatsEnabled;
+}
+
+const SnapshotEntry *
+StatsSnapshot::find(const std::string &name) const
+{
+    for (const SnapshotEntry &entry : entries)
+        if (entry.name == name)
+            return &entry;
+    return nullptr;
+}
+
+uint64_t
+StatsSnapshot::value(const std::string &name) const
+{
+    const SnapshotEntry *entry = find(name);
+    return entry ? entry->value : 0;
+}
+
+StatsRegistry &
+StatsRegistry::instance()
+{
+    static StatsRegistry registry;
+    return registry;
+}
+
+StatsRegistry::StatsRegistry()
+{
+    // Value-initialization zeroes every atomic (C++20); the array is
+    // never reallocated, so cell references stay valid for the
+    // process lifetime and slabs can index it without locks.
+    _cells = std::make_unique<std::atomic<uint64_t>[]>(kMaxCells);
+}
+
+uint32_t
+StatsRegistry::bucketOf(uint64_t value)
+{
+    return value == 0 ? 0u
+                      : static_cast<uint32_t>(std::bit_width(value));
+}
+
+uint64_t
+StatsRegistry::bucketLowerBound(uint32_t b)
+{
+    if (b == 0)
+        return 0;
+    return uint64_t(1) << (b - 1);
+}
+
+StatId
+StatsRegistry::registerStat(const std::string &name, StatKind kind,
+                            StatScope scope, uint32_t cells)
+{
+    if constexpr (!kStatsEnabled)
+        return StatId{};
+    std::lock_guard<std::mutex> lock(_mutex);
+    const auto it = _byName.find(name);
+    if (it != _byName.end()) {
+        const Meta &meta = _stats[it->second];
+        xproAssert(meta.kind == kind,
+                   "stat '%s' re-registered with a different kind",
+                   name.c_str());
+        xproAssert(meta.scope == scope,
+                   "stat '%s' re-registered with a different scope",
+                   name.c_str());
+        return StatId{meta.cell};
+    }
+    const uint32_t cell = _cellsUsed.load(std::memory_order_relaxed);
+    xproAssert(cell + cells <= kMaxCells,
+               "stats registry cell capacity (%u) exhausted "
+               "registering '%s'",
+               kMaxCells, name.c_str());
+    _stats.push_back(Meta{name, kind, scope, cell});
+    _byName.emplace(name, _stats.size() - 1);
+    _cellsUsed.store(cell + cells, std::memory_order_release);
+    return StatId{cell};
+}
+
+StatId
+StatsRegistry::registerCounter(const std::string &name,
+                               StatScope scope)
+{
+    return registerStat(name, StatKind::Counter, scope, 1);
+}
+
+StatId
+StatsRegistry::registerGauge(const std::string &name, StatScope scope)
+{
+    return registerStat(name, StatKind::Gauge, scope, 1);
+}
+
+StatId
+StatsRegistry::registerHistogram(const std::string &name,
+                                 StatScope scope)
+{
+    return registerStat(name, StatKind::Histogram, scope,
+                        kHistogramCells);
+}
+
+void
+StatsRegistry::absorb(StatsSlab &slab)
+{
+    if constexpr (!kStatsEnabled)
+        return;
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const Meta &meta : _stats) {
+        const uint32_t span = meta.kind == StatKind::Histogram
+                                  ? kHistogramCells
+                                  : 1;
+        for (uint32_t c = meta.cell;
+             c < meta.cell + span && c < slab._cells.size(); ++c) {
+            const uint64_t v = slab._cells[c];
+            if (v == 0)
+                continue;
+            if (meta.kind == StatKind::Gauge)
+                atomicMax(_cells[c], v);
+            else
+                _cells[c].fetch_add(v, std::memory_order_relaxed);
+            slab._cells[c] = 0;
+        }
+    }
+}
+
+void
+StatsRegistry::mergeHistogram(StatId id, uint64_t sum,
+                              const uint64_t *bucketCounts,
+                              uint32_t buckets)
+{
+    if constexpr (!kStatsEnabled)
+        return;
+    if (!id.valid())
+        return;
+    xproAssert(buckets <= kHistogramBuckets,
+               "mergeHistogram: %u buckets exceed the %u-bucket "
+               "layout",
+               buckets, kHistogramBuckets);
+    if (sum != 0)
+        _cells[id.cell].fetch_add(sum, std::memory_order_relaxed);
+    for (uint32_t b = 0; b < buckets; ++b) {
+        if (bucketCounts[b] != 0)
+            _cells[id.cell + 1 + b].fetch_add(
+                bucketCounts[b], std::memory_order_relaxed);
+    }
+}
+
+StatsSnapshot
+StatsRegistry::snapshot() const
+{
+    StatsSnapshot snap;
+    if constexpr (!kStatsEnabled)
+        return snap;
+    std::lock_guard<std::mutex> lock(_mutex);
+    snap.entries.reserve(_stats.size());
+    for (const Meta &meta : _stats) {
+        SnapshotEntry entry;
+        entry.name = meta.name;
+        entry.kind = meta.kind;
+        entry.scope = meta.scope;
+        if (meta.kind == StatKind::Histogram) {
+            entry.hist.sum =
+                _cells[meta.cell].load(std::memory_order_relaxed);
+            for (uint32_t b = 0; b < kHistogramBuckets; ++b) {
+                const uint64_t count =
+                    _cells[meta.cell + 1 + b].load(
+                        std::memory_order_relaxed);
+                if (count == 0)
+                    continue;
+                entry.hist.count += count;
+                entry.hist.buckets.emplace_back(bucketLowerBound(b),
+                                                count);
+            }
+        } else {
+            entry.value =
+                _cells[meta.cell].load(std::memory_order_relaxed);
+        }
+        snap.entries.push_back(std::move(entry));
+    }
+    std::sort(snap.entries.begin(), snap.entries.end(),
+              [](const SnapshotEntry &a, const SnapshotEntry &b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+void
+StatsRegistry::reset()
+{
+    if constexpr (!kStatsEnabled)
+        return;
+    std::lock_guard<std::mutex> lock(_mutex);
+    const uint32_t used = _cellsUsed.load(std::memory_order_relaxed);
+    for (uint32_t c = 0; c < used; ++c)
+        _cells[c].store(0, std::memory_order_relaxed);
+}
+
+StatsSlab::StatsSlab(const StatsRegistry &registry)
+    : _cells(registry.cellsUsed(), 0)
+{
+}
+
+void
+StatsSlab::grow()
+{
+    const size_t span = StatsRegistry::instance().cellsUsed();
+    if (span > _cells.size())
+        _cells.resize(span, 0);
+    xproAssert(_cells.size() <= StatsRegistry::kMaxCells,
+               "stats slab grew past the registry capacity");
+}
+
+} // namespace xpro

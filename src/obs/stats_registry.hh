@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Fleet-wide stats registry (DESIGN.md section 17).
+ *
+ * A process-global table of named counters, gauges and log2-bucket
+ * histograms. Three cost tiers on the update path:
+ *
+ *  - direct updates (`add`/`gaugeMax`/`observe` on the registry) are
+ *    one relaxed atomic RMW — fine for warm paths (cache lookups,
+ *    ARQ attempts, controller decisions);
+ *  - `StatsSlab` gives hot loops a plain (non-atomic) local buffer:
+ *    a slab write is an ordinary store, and `absorb()` folds the
+ *    slab into the global cells afterwards with commutative merges
+ *    (sum for counters/histograms, max for gauges), so the merged
+ *    totals are independent of absorb order — the foundation of the
+ *    deterministic-snapshot contract;
+ *  - with `-DXPRO_STATS=OFF` every update compiles to nothing
+ *    (`kStatsEnabled` is false, `XPRO_STAT(...)` expands empty) and
+ *    `bench_stats_overhead` gates the compiled-in cost at <= 3%.
+ *
+ * Stats carry a scope: `Stable` stats are pure functions of the
+ * simulated workload (byte-identical snapshots at any shards x
+ * workers combination, like FleetReport); `Diag` stats expose
+ * execution internals (wheel cascades, per-shard drains, pool queue
+ * depth) that legitimately vary with the parallel configuration.
+ * Snapshot serialization keeps the two sections separate so the
+ * determinism contract stays testable.
+ */
+
+#ifndef XPRO_OBS_STATS_REGISTRY_HH
+#define XPRO_OBS_STATS_REGISTRY_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace xpro
+{
+
+#ifdef XPRO_STATS_OFF
+constexpr bool kStatsEnabled = false;
+#define XPRO_STAT(expr) \
+    do {                \
+    } while (false)
+#else
+constexpr bool kStatsEnabled = true;
+/** Wrap a statement that exists purely for stats collection; it is
+ *  compiled out entirely under -DXPRO_STATS=OFF. */
+#define XPRO_STAT(expr) \
+    do {                \
+        expr;           \
+    } while (false)
+#endif
+
+/** Returns kStatsEnabled; a runtime spelling for code (CLI, benches)
+ *  that wants to report whether instrumentation is compiled in. */
+bool statsCompiledIn();
+
+enum class StatKind : uint8_t { Counter, Gauge, Histogram };
+
+enum class StatScope : uint8_t {
+    Stable, ///< deterministic at any shards x workers combination
+    Diag,   ///< execution diagnostics; may vary with parallelism
+};
+
+/** Opaque handle to a registered stat: an index into the registry's
+ *  cell array. Value-initialized handles are invalid until assigned
+ *  from a register*() call. */
+struct StatId {
+    uint32_t cell = UINT32_MAX;
+    bool valid() const { return cell != UINT32_MAX; }
+};
+
+/** One decoded histogram: log2 buckets, sparse (only non-empty
+ *  buckets listed, ascending lower bound). Bucket 0 holds value 0;
+ *  bucket b >= 1 holds values in [2^(b-1), 2^b - 1]. */
+struct SnapshotHistogram {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    /** (bucket lower bound, count) pairs, ascending. */
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+};
+
+struct SnapshotEntry {
+    std::string name;
+    StatKind kind = StatKind::Counter;
+    StatScope scope = StatScope::Stable;
+    uint64_t value = 0;       ///< counters and gauges
+    SnapshotHistogram hist;   ///< histograms only
+};
+
+/** A deterministic point-in-time copy of every registered stat,
+ *  sorted by name. Serialization lives in obs/stats_export.hh. */
+struct StatsSnapshot {
+    std::vector<SnapshotEntry> entries;
+
+    size_t size() const { return entries.size(); }
+    const SnapshotEntry *find(const std::string &name) const;
+    /** Convenience: counter/gauge value (0 if absent). */
+    uint64_t value(const std::string &name) const;
+};
+
+class StatsSlab;
+
+class StatsRegistry
+{
+  public:
+    /** Process-global registry. */
+    static StatsRegistry &instance();
+
+    /** Cells per histogram: one running sum + 65 log2 buckets
+     *  (bucket 0 for value 0, buckets 1..64 via bit_width). */
+    static constexpr uint32_t kHistogramBuckets = 65;
+    static constexpr uint32_t kHistogramCells = 1 + kHistogramBuckets;
+    /** Fixed cell capacity: the cell array never reallocates, so
+     *  slabs and concurrent updaters never race a resize. */
+    static constexpr uint32_t kMaxCells = 16384;
+
+    /** Register (or look up) a stat. Registration is idempotent by
+     *  name and thread-safe; re-registering with a different kind or
+     *  scope is a programming error (panics). */
+    StatId registerCounter(const std::string &name,
+                           StatScope scope = StatScope::Stable);
+    StatId registerGauge(const std::string &name,
+                         StatScope scope = StatScope::Stable);
+    StatId registerHistogram(const std::string &name,
+                             StatScope scope = StatScope::Stable);
+
+    /** Direct updates: one relaxed atomic RMW. Invalid ids (and all
+     *  updates when stats are compiled out) are no-ops. */
+    void add(StatId id, uint64_t delta = 1)
+    {
+        if constexpr (!kStatsEnabled)
+            return;
+        if (!id.valid())
+            return;
+        _cells[id.cell].fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /** Raise a gauge to at least @p value (monotone high-water). */
+    void gaugeMax(StatId id, uint64_t value)
+    {
+        if constexpr (!kStatsEnabled)
+            return;
+        if (!id.valid())
+            return;
+        atomicMax(_cells[id.cell], value);
+    }
+
+    /** Record one histogram sample. */
+    void observe(StatId id, uint64_t value)
+    {
+        if constexpr (!kStatsEnabled)
+            return;
+        if (!id.valid())
+            return;
+        _cells[id.cell].fetch_add(value, std::memory_order_relaxed);
+        _cells[id.cell + 1 + bucketOf(value)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    /** Fold a slab into the global cells (sum for counters and
+     *  histograms, max for gauges) and zero the slab so it can be
+     *  reused. Merge ops are commutative and associative, so any
+     *  absorb order yields identical totals. */
+    void absorb(StatsSlab &slab);
+
+    /**
+     * Fold a locally accumulated log2 histogram into @p id in one
+     * cold call: @p sum is the running value sum, @p bucketCounts
+     * holds per-bucket sample counts indexed by bucketOf(). The
+     * counterpart of observe() for hot loops that keep a plain
+     * local array (fleet/population.cc) instead of paying even a
+     * slab write per sample.
+     */
+    void mergeHistogram(StatId id, uint64_t sum,
+                        const uint64_t *bucketCounts,
+                        uint32_t buckets);
+
+    /** Deterministic snapshot of every registered stat, sorted by
+     *  name. */
+    StatsSnapshot snapshot() const;
+
+    /** Zero every cell (registrations survive). Tests and benches
+     *  use this to isolate runs. */
+    void reset();
+
+    /** Cells allocated so far (slabs size themselves from this). */
+    uint32_t cellsUsed() const
+    {
+        return _cellsUsed.load(std::memory_order_acquire);
+    }
+
+    /** log2 bucket index for @p value: 0 for 0, else bit_width. */
+    static uint32_t bucketOf(uint64_t value);
+    /** Inclusive lower bound of bucket @p b. */
+    static uint64_t bucketLowerBound(uint32_t b);
+
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+  private:
+    StatsRegistry();
+
+    static void atomicMax(std::atomic<uint64_t> &cell, uint64_t value)
+    {
+        uint64_t seen = cell.load(std::memory_order_relaxed);
+        while (seen < value &&
+               !cell.compare_exchange_weak(seen, value,
+                                           std::memory_order_relaxed))
+            ;
+    }
+
+    StatId registerStat(const std::string &name, StatKind kind,
+                        StatScope scope, uint32_t cells);
+
+    struct Meta {
+        std::string name;
+        StatKind kind;
+        StatScope scope;
+        uint32_t cell;
+    };
+
+    mutable std::mutex _mutex; ///< registration + snapshot metadata
+    std::vector<Meta> _stats;
+    std::unordered_map<std::string, size_t> _byName;
+    std::atomic<uint32_t> _cellsUsed{0};
+    /** Fixed-capacity cell storage; zero-initialized, never moved. */
+    std::unique_ptr<std::atomic<uint64_t>[]> _cells;
+};
+
+/**
+ * A plain-write local buffer for hot loops: one uint64 slot per
+ * registry cell, written without atomics, merged into the registry
+ * once per batch/run via StatsRegistry::absorb(). Grows lazily (out
+ * of line) the first time an id past its current size is touched,
+ * so construction order relative to stat registration doesn't
+ * matter; steady-state updates never allocate.
+ */
+class StatsSlab
+{
+  public:
+    StatsSlab() = default;
+    /** Pre-size to the registry's current cell count so the hot
+     *  path never takes the grow branch. */
+    explicit StatsSlab(const StatsRegistry &registry);
+
+    void add(StatId id, uint64_t delta = 1)
+    {
+        if constexpr (!kStatsEnabled)
+            return;
+        if (!id.valid())
+            return;
+        if (id.cell >= _cells.size())
+            grow();
+        _cells[id.cell] += delta;
+    }
+
+    void gaugeMax(StatId id, uint64_t value)
+    {
+        if constexpr (!kStatsEnabled)
+            return;
+        if (!id.valid())
+            return;
+        if (id.cell >= _cells.size())
+            grow();
+        if (_cells[id.cell] < value)
+            _cells[id.cell] = value;
+    }
+
+    void observe(StatId id, uint64_t value)
+    {
+        if constexpr (!kStatsEnabled)
+            return;
+        if (!id.valid())
+            return;
+        if (id.cell + StatsRegistry::kHistogramCells > _cells.size())
+            grow();
+        _cells[id.cell] += value;
+        _cells[id.cell + 1 + StatsRegistry::bucketOf(value)] += 1;
+    }
+
+    size_t cellCount() const { return _cells.size(); }
+
+  private:
+    friend class StatsRegistry;
+    void grow(); ///< cold: resize to the registry's current span
+
+    std::vector<uint64_t> _cells;
+};
+
+} // namespace xpro
+
+#endif // XPRO_OBS_STATS_REGISTRY_HH

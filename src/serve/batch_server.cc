@@ -8,6 +8,35 @@
 namespace xpro
 {
 
+namespace
+{
+
+// events_classified is Stable (the stream length is configuration-
+// independent); lane-group shapes are Diag — worker slicing splits
+// per-user runs at slice boundaries, so occupancy varies with the
+// batch/worker configuration.
+struct ServeStatIds
+{
+    StatId events, groups, laneIdle, groupSize;
+};
+
+const ServeStatIds &
+serveStatIds()
+{
+    static const ServeStatIds ids = [] {
+        StatsRegistry &reg = StatsRegistry::instance();
+        const StatScope d = StatScope::Diag;
+        return ServeStatIds{
+            reg.registerCounter("serve.events_classified"),
+            reg.registerCounter("serve.lane_groups", d),
+            reg.registerCounter("serve.lane_slots_idle", d),
+            reg.registerHistogram("serve.lane_group_size", d)};
+    }();
+    return ids;
+}
+
+} // namespace
+
 BatchServer::BatchServer(std::vector<const HotPathPipeline *> users,
                          size_t batchEvents, size_t workers)
     : _users(std::move(users)), _batchEvents(batchEvents),
@@ -17,6 +46,9 @@ BatchServer::BatchServer(std::vector<const HotPathPipeline *> users,
     xproAssert(!_users.empty(), "batch server needs users");
     for (const HotPathPipeline *user : _users)
         xproAssert(user != nullptr, "null user pipeline");
+    // Register ids up front so the per-worker slabs grow (one
+    // allocation each) on the first served event, never later.
+    serveStatIds();
 }
 
 void
@@ -27,6 +59,11 @@ BatchServer::serveInto(const ServingEvent *events, size_t count,
     for (size_t begin = 0; begin < count; begin += batch) {
         const size_t n = std::min(batch, count - begin);
         serveBatch(events + begin, n, out + begin);
+    }
+    if constexpr (kStatsEnabled) {
+        StatsRegistry &reg = StatsRegistry::instance();
+        for (WorkerScratch &scratch : _scratch)
+            reg.absorb(scratch.stats);
     }
 }
 
@@ -98,6 +135,13 @@ BatchServer::workerServe(size_t worker, const ServingEvent *events,
                     events[scratch.indices[g + t]].segment;
             pipeline->classifyMany(segments, m, length, labels,
                                    scratch.arena, scratch.dwt);
+            if constexpr (kStatsEnabled) {
+                const ServeStatIds &ids = serveStatIds();
+                scratch.stats.add(ids.events, m);
+                scratch.stats.add(ids.groups);
+                scratch.stats.add(ids.laneIdle, simdPackWidth - m);
+                scratch.stats.observe(ids.groupSize, m);
+            }
             for (size_t t = 0; t < m; ++t)
                 out[scratch.indices[g + t]] = labels[t];
             g += m;

@@ -33,6 +33,7 @@
 #include "common/arena.hh"
 #include "common/worker_pool.hh"
 #include "dsp/dwt.hh"
+#include "obs/stats_registry.hh"
 #include "serve/hot_path.hh"
 
 namespace xpro
@@ -93,6 +94,10 @@ class BatchServer
         /** Per-user event indices of the current slice (grow-only,
          * so the steady-state loop stays allocation-free). */
         std::vector<size_t> indices;
+        /** serve.* telemetry, plain writes; grows once on the first
+         * event and is absorbed per serveInto call, keeping the
+         * steady-state loop allocation- and atomic-free. */
+        StatsSlab stats;
     };
     std::vector<WorkerScratch> _scratch;
 };

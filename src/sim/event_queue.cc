@@ -27,6 +27,10 @@ EventQueue::runOne()
 {
     if (_events.empty())
         return false;
+    // Heap-depth high-water, sampled before the pop: the size seen
+    // here is the local maximum after any burst of schedule() calls,
+    // so per-schedule bookkeeping buys nothing (DESIGN.md §17).
+    XPRO_STAT(_maxPending = std::max(_maxPending, _events.size()));
     // Move out before running: the handler may schedule new events.
     std::pop_heap(_events.begin(), _events.end(), Later{});
     Event event = std::move(_events.back());
@@ -45,6 +49,25 @@ EventQueue::runAll(size_t max_events)
             panic("event cap %zu exceeded; simulated system loops",
                   max_events);
     }
+#if !defined(XPRO_STATS_OFF)
+    // Detailed-path queue telemetry: cumulative events executed and
+    // the deepest the heap ever got. Single-threaded per queue and
+    // deterministic per run, so Stable scope.
+    struct Ids {
+        StatId run, events, depth;
+    };
+    static const Ids ids = [] {
+        StatsRegistry &reg = StatsRegistry::instance();
+        return Ids{reg.registerCounter("sim.queue_runs"),
+                   reg.registerCounter("sim.events_run"),
+                   reg.registerGauge("sim.queue_depth_highwater")};
+    }();
+    StatsRegistry &reg = StatsRegistry::instance();
+    reg.add(ids.run);
+    reg.add(ids.events, executed);
+    reg.gaugeMax(ids.depth, _maxPending);
+    _maxPending = _events.size();
+#endif
 }
 
 // --- TimeWheel ------------------------------------------------------
@@ -173,6 +196,7 @@ TimeWheel::advanceTo(uint64_t t)
         _scratch.swap(_slots[level][slot]);
         clearBit(level, slot);
         _size -= _scratch.size();
+        XPRO_STAT(_counters.cascades += _scratch.size());
         for (const WheelItem &item : _scratch)
             schedule(item);
         _scratch.clear();
@@ -184,6 +208,7 @@ TimeWheel::advanceTo(uint64_t t)
         pending.swap(_far);
         _size -= pending.size();
         _farMin = 0;
+        XPRO_STAT(_counters.farRefiled += pending.size());
         for (const WheelItem &item : pending)
             schedule(item);
     }
@@ -207,6 +232,54 @@ ShardedEventQueue::pending() const
     for (const TimeWheel &wheel : _wheels)
         total += wheel.pending();
     return total;
+}
+
+void
+ShardedEventQueue::publishRunStats(uint64_t windows) const
+{
+#if defined(XPRO_STATS_OFF)
+    (void)windows;
+#else
+    // Wheel internals are Diag scope: cascade counts, slot sharing,
+    // the far-overflow split and per-shard high-waters all depend on
+    // how nodes hash across shards. items_drained is kept Diag too:
+    // cascaded items are counted once per drain, but the snapshot
+    // section split is about what we *promise*, and we only promise
+    // shard-invariance for the stable section.
+    struct Ids {
+        StatId runs, windows, cascades, farFiled, farRefiled;
+        StatId slotDrains, itemsDrained, maxPending, shardItems;
+    };
+    static const Ids ids = [] {
+        StatsRegistry &reg = StatsRegistry::instance();
+        const StatScope d = StatScope::Diag;
+        return Ids{
+            reg.registerCounter("event_queue.runs", d),
+            reg.registerCounter("event_queue.windows", d),
+            reg.registerCounter("event_queue.cascades", d),
+            reg.registerCounter("event_queue.far_filed", d),
+            reg.registerCounter("event_queue.far_refiled", d),
+            reg.registerCounter("event_queue.slot_drains", d),
+            reg.registerCounter("event_queue.items_drained", d),
+            reg.registerGauge("event_queue.wheel_pending_highwater",
+                              d),
+            reg.registerHistogram("event_queue.shard_items", d),
+        };
+    }();
+    StatsRegistry &reg = StatsRegistry::instance();
+    reg.add(ids.runs);
+    reg.add(ids.windows, windows);
+    for (const TimeWheel &wheel : _wheels) {
+        const TimeWheel::Counters &c = wheel.counters();
+        reg.add(ids.cascades, c.cascades);
+        reg.add(ids.farFiled, c.farFiled);
+        reg.add(ids.farRefiled, c.farRefiled);
+        reg.add(ids.slotDrains, c.slotDrains);
+        reg.add(ids.itemsDrained, c.itemsDrained);
+        reg.gaugeMax(ids.maxPending, c.maxPending);
+        reg.observe(ids.shardItems, c.itemsDrained);
+    }
+#endif
 }
 
 } // namespace xpro

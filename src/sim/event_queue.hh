@@ -34,6 +34,7 @@
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "common/worker_pool.hh"
+#include "obs/stats_registry.hh"
 
 namespace xpro
 {
@@ -70,6 +71,9 @@ class EventQueue
      * Run until the queue drains.
      * @param max_events Safety cap; exceeding it panics (an event
      *        loop in the simulated system).
+     *
+     * Publishes `sim.events_run` / `sim.queue_depth_highwater` to
+     * the stats registry when it returns (DESIGN.md section 17).
      */
     void runAll(size_t max_events = 1000000);
 
@@ -95,6 +99,7 @@ class EventQueue
     Time _now;
     uint64_t _nextSequence = 0;
     std::vector<Event> _events; // heap ordered by Later
+    size_t _maxPending = 0;     // high-water, published by runAll
 };
 
 /**
@@ -137,7 +142,30 @@ struct WheelItem
 class TimeWheel
 {
   public:
+    /**
+     * Plain per-wheel tallies, maintained with ordinary stores on
+     * the (single-threaded-per-wheel) schedule/drain path and
+     * published to the StatsRegistry by ShardedEventQueue::run once
+     * per run. All Diag scope: slot sharing, cascade count and the
+     * far-overflow split depend on how items land across shards.
+     */
+    struct Counters {
+        uint64_t cascades = 0;     ///< items re-filed on window entry
+        uint64_t farFiled = 0;     ///< items past the 2^32 horizon
+        uint64_t farRefiled = 0;   ///< overflow items pulled back in
+        uint64_t slotDrains = 0;   ///< non-empty slots drained
+        uint64_t itemsDrained = 0; ///< items handed to drain fns
+        /** pending() high-water, sampled at drainUntil() entry (the
+         *  pending count peaks right after the fill burst that
+         *  precedes a drain) — never updated per filed item, which
+         *  would put a read-modify-write on the hottest path in the
+         *  tree (DESIGN.md §17: batch-boundary sampling). */
+        uint64_t maxPending = 0;
+    };
+
     TimeWheel();
+
+    const Counters &counters() const { return _counters; }
 
     /** Current tick: every item handed out so far had at <= now(),
      *  every item still pending has at >= now(). */
@@ -170,6 +198,7 @@ class TimeWheel
             _farMin = item.at;
         _far.push_back(item);
         ++_size;
+        XPRO_STAT(++_counters.farFiled);
     }
 
     /**
@@ -182,6 +211,17 @@ class TimeWheel
     drainUntil(uint64_t end, Fn &&fn)
     {
         xproAssert(end >= _now, "drain window ends in the past");
+        // Drain-call-boundary stats (DESIGN.md §17): the high-water
+        // is sampled once per call — the pending count peaks right
+        // after the fill burst that precedes a drain — and the slot
+        // and item counts accumulate in locals the compiler keeps in
+        // registers, folded into the counter struct once at the end.
+        // Per-slot writes to _counters here measurably slowed the
+        // whole population fleet (bench_stats_overhead caught ~3%).
+        XPRO_STAT(_counters.maxPending = std::max<uint64_t>(
+                      _counters.maxPending, _size));
+        [[maybe_unused]] uint64_t slot_drains = 0;
+        [[maybe_unused]] uint64_t items_drained = 0;
         while (_size > 0 && _now < end) {
             const uint64_t base = _now & ~kSlotMask;
             const int slot =
@@ -191,7 +231,10 @@ class TimeWheel
                     base + static_cast<uint64_t>(slot);
                 if (tick >= end)
                     break;
-                drainSlot(tick, static_cast<size_t>(slot), fn);
+                [[maybe_unused]] const size_t drained =
+                    drainSlot(tick, static_cast<size_t>(slot), fn);
+                XPRO_STAT(++slot_drains);
+                XPRO_STAT(items_drained += drained);
                 advanceTo(tick + 1);
                 continue;
             }
@@ -204,6 +247,8 @@ class TimeWheel
         }
         if (_now < end)
             advanceTo(end);
+        XPRO_STAT(_counters.slotDrains += slot_drains);
+        XPRO_STAT(_counters.itemsDrained += items_drained);
     }
 
   private:
@@ -250,8 +295,11 @@ class TimeWheel
      *  whenever a window boundary is crossed. */
     void advanceTo(uint64_t t);
 
+    /** Returns the number of items handed to @p fn, so drainUntil
+     *  can count drained work without this inner loop touching the
+     *  counter struct. */
     template <typename Fn>
-    void
+    size_t
     drainSlot(uint64_t tick, size_t slot, Fn &&fn)
     {
         _now = tick;
@@ -267,6 +315,7 @@ class TimeWheel
                           return a.kind < b.kind;
                       return a.data < b.data;
                   });
+        const size_t drained = _scratch.size();
         _draining = true;
         for (const WheelItem &item : _scratch) {
             xproAssert(item.at == tick,
@@ -278,6 +327,7 @@ class TimeWheel
         }
         _draining = false;
         _scratch.clear();
+        return drained;
     }
 
     void setBit(size_t level, size_t slot);
@@ -286,6 +336,7 @@ class TimeWheel
     uint64_t _now = 0;
     size_t _size = 0;
     bool _draining = false;
+    Counters _counters;
     std::vector<WheelItem> _slots[kLevels][kSlots];
     uint64_t _occupied[kLevels][kWordsPerLevel] = {};
     std::vector<WheelItem> _far; ///< beyond the top level's horizon
@@ -349,9 +400,14 @@ class ShardedEventQueue
             barrier(window, end);
             ++window;
         }
+        publishRunStats(window);
     }
 
   private:
+    /** Fold every wheel's Counters into the stats registry
+     *  (event_queue.* Diag stats); no-op when stats are off. */
+    void publishRunStats(uint64_t windows) const;
+
     std::vector<TimeWheel> _wheels;
     uint64_t _window;
 };

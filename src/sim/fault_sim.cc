@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "graph/dataflow_graph.hh"
+#include "obs/stats_registry.hh"
 
 namespace xpro
 {
@@ -21,6 +22,30 @@ struct ArqJob
     /** 0-based index of the ongoing attempt. */
     size_t attempt = 0;
 };
+
+// Stable scope: losses are drawn from the seeded channel in a
+// deterministic single-threaded order, so attempt/retry/drop counts
+// are a pure function of the configuration. Probes are excluded,
+// mirroring RobustnessReport.
+struct ArqStatIds
+{
+    StatId attempts, delivered, retries, drops, triesHist;
+};
+
+const ArqStatIds &
+arqStatIds()
+{
+    static const ArqStatIds ids = [] {
+        StatsRegistry &reg = StatsRegistry::instance();
+        return ArqStatIds{
+            reg.registerCounter("arq.attempts"),
+            reg.registerCounter("arq.delivered"),
+            reg.registerCounter("arq.retries"),
+            reg.registerCounter("arq.drops"),
+            reg.registerHistogram("arq.tries_per_packet")};
+    }();
+    return ids;
+}
 
 } // namespace
 
@@ -50,6 +75,7 @@ runArq(EventQueue &queue, FaultState &faults, const WirelessLink &link,
                     grant = std::move(grant), note = std::move(note),
                     done = std::move(done), attemptOnce]() {
         ++faults.stats().attempts;
+        StatsRegistry::instance().add(arqStatIds().attempts);
         const Time now = queue.now();
         // The packet's fate is drawn when the attempt is initiated
         // (a deterministic single-threaded order), not when the
@@ -90,6 +116,11 @@ runArq(EventQueue &queue, FaultState &faults, const WirelessLink &link,
                     if (stats.retryHistogram.size() <= retries)
                         stats.retryHistogram.resize(retries + 1, 0);
                     ++stats.retryHistogram[retries];
+                    StatsRegistry &reg = StatsRegistry::instance();
+                    const ArqStatIds &ids = arqStatIds();
+                    reg.add(ids.delivered);
+                    reg.add(ids.retries, retries);
+                    reg.observe(ids.triesHist, retries + 1);
                 }
                 *attemptOnce = nullptr;
                 done(true, retries + 1);
@@ -99,8 +130,14 @@ runArq(EventQueue &queue, FaultState &faults, const WirelessLink &link,
             if (job->attempt >= arq.maxRetries) {
                 if (note)
                     note("drop " + job->packet.what);
-                if (!job->packet.isProbe)
+                if (!job->packet.isProbe) {
                     ++stats.packetsAbandoned;
+                    StatsRegistry &reg = StatsRegistry::instance();
+                    const ArqStatIds &ids = arqStatIds();
+                    reg.add(ids.drops);
+                    reg.add(ids.retries, job->attempt);
+                    reg.observe(ids.triesHist, job->attempt + 1);
+                }
                 const size_t attempts = job->attempt + 1;
                 *attemptOnce = nullptr;
                 done(false, attempts);

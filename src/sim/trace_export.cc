@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <vector>
 
 #include "common/logging.hh"
@@ -53,14 +54,77 @@ findNodeByName(const EngineTopology &topology, const std::string &name)
     return std::nullopt;
 }
 
+/** Track-name metadata record. */
+std::string
+trackRecord(int tid, const char *name)
+{
+    std::ostringstream out;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+        << "\"tid\":" << tid << ",\"args\":{\"name\":\"" << name
+        << "\"}}";
+    return out.str();
+}
+
+/** One duration ("X") or instant ("i") record. */
+std::string
+eventRecord(const TraceEvent &e)
+{
+    std::ostringstream out;
+    out << "{\"name\":\"" << jsonEscape(e.name) << "\",";
+    if (e.instant)
+        out << "\"ph\":\"i\",\"ts\":" << e.startUs << ",\"s\":\"t\"";
+    else
+        out << "\"ph\":\"X\",\"ts\":" << e.startUs
+            << ",\"dur\":" << e.durationUs;
+    out << ",\"pid\":0,\"tid\":" << e.tid << "}";
+    return out.str();
+}
+
+/** One counter ("C") sample: Perfetto renders each distinct name as
+ *  its own counter track with a step plot of @p value over time. */
+std::string
+counterRecord(const std::string &name, double ts_us,
+              const char *series, uint64_t value)
+{
+    std::ostringstream out;
+    out << "{\"name\":\"" << jsonEscape(name)
+        << "\",\"ph\":\"C\",\"ts\":" << ts_us << ",\"pid\":0,"
+        << "\"args\":{\"" << series << "\":" << value << "}}";
+    return out.str();
+}
+
+/**
+ * Emit the whole document: records joined with comma-newline, so the
+ * output is valid JSON for ANY record count — including zero events
+ * after the metadata, which the old inline writer got wrong (it
+ * always comma-terminated the metadata records and produced a
+ * trailing comma before the closing bracket; see
+ * test_trace_export's empty-report round trips).
+ */
+void
+emitRecords(const std::vector<std::string> &records, std::ostream &out)
+{
+    out << "[\n";
+    for (size_t i = 0; i < records.size(); ++i)
+        out << "  " << records[i]
+            << (i + 1 < records.size() ? "," : "") << "\n";
+    out << "]\n";
+}
+
 } // namespace
 
 void
 writeChromeTrace(const SimResult &result,
                  const EngineTopology &topology,
-                 const Placement &placement, std::ostream &out)
+                 const Placement &placement, std::ostream &out,
+                 const StatsSnapshot *stats)
 {
     std::vector<TraceEvent> events;
+    // Cumulative ARQ counter samples, one per retry/drop marker, so
+    // Perfetto draws the loss story as step plots under the tracks.
+    std::vector<std::string> counters;
+    uint64_t retries = 0;
+    uint64_t drops = 0;
     // Radio transfers: pair "radio start: X" with the next
     // "radio done: X" (the channel is FIFO, so order pairs them).
     std::vector<std::pair<std::string, double>> radio_starts;
@@ -92,6 +156,12 @@ writeChromeTrace(const SimResult &result,
             events.push_back({entry.what, at_us, 0.0, tid, true});
             return true;
         };
+        if (entry.what.rfind("retry ", 0) == 0)
+            counters.push_back(counterRecord("arq retries", at_us,
+                                             "count", ++retries));
+        else if (entry.what.rfind("drop ", 0) == 0)
+            counters.push_back(
+                counterRecord("arq drops", at_us, "count", ++drops));
         if (marker("retry ", tidRadio) || marker("drop ", tidRadio) ||
             marker("outage ", tidSensor) ||
             marker("fallback #", tidSensor) ||
@@ -120,32 +190,37 @@ writeChromeTrace(const SimResult &result,
         }
     }
 
-    out << "[\n";
-    // Track-name metadata.
-    const std::pair<int, const char *> tracks[] = {
-        {tidSensor, "sensor node"},
-        {tidRadio, "wireless channel"},
-        {tidAggregator, "aggregator"},
-    };
-    for (const auto &[tid, name] : tracks) {
-        out << "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
-            << "\"tid\":" << tid << ",\"args\":{\"name\":\"" << name
-            << "\"}},\n";
-    }
-    for (size_t i = 0; i < events.size(); ++i) {
-        const TraceEvent &e = events[i];
-        out << "  {\"name\":\"" << jsonEscape(e.name) << "\",";
-        if (e.instant) {
-            out << "\"ph\":\"i\",\"ts\":" << e.startUs
-                << ",\"s\":\"t\"";
-        } else {
-            out << "\"ph\":\"X\",\"ts\":" << e.startUs
-                << ",\"dur\":" << e.durationUs;
+    std::vector<std::string> records;
+    records.reserve(3 + events.size() + counters.size());
+    records.push_back(trackRecord(tidSensor, "sensor node"));
+    records.push_back(trackRecord(tidRadio, "wireless channel"));
+    records.push_back(trackRecord(tidAggregator, "aggregator"));
+    for (const TraceEvent &e : events)
+        records.push_back(eventRecord(e));
+    for (std::string &record : counters)
+        records.push_back(std::move(record));
+
+    // Registry counters (opt-in): each stable counter/gauge becomes
+    // its own flat counter track spanning the trace, so aggregate
+    // telemetry (cache hit rates, ARQ totals, tier counts) renders
+    // next to the schedule it came from.
+    if (stats != nullptr) {
+        double end_us = 0.0;
+        for (const TraceEvent &e : events)
+            end_us = std::max(end_us, e.startUs + e.durationUs);
+        for (const SnapshotEntry &entry : stats->entries) {
+            if (entry.scope != StatScope::Stable ||
+                entry.kind == StatKind::Histogram ||
+                entry.value == 0)
+                continue;
+            const std::string name = "stat " + entry.name;
+            records.push_back(
+                counterRecord(name, 0.0, "value", entry.value));
+            records.push_back(
+                counterRecord(name, end_us, "value", entry.value));
         }
-        out << ",\"pid\":0,\"tid\":" << e.tid << "}"
-            << (i + 1 < events.size() ? "," : "") << "\n";
     }
-    out << "]\n";
+    emitRecords(records, out);
 }
 
 void
@@ -153,6 +228,8 @@ writeControlTrace(const ControlReport &report, std::ostream &out)
 {
     constexpr int tid_controller = 3;
     std::vector<TraceEvent> events;
+    std::vector<std::string> counters;
+    uint64_t repartitions = 0;
     for (const ControlDecision &d : report.decisions) {
         const double at_us = d.atMs * 1e3;
         char name[128];
@@ -168,32 +245,27 @@ writeControlTrace(const ControlReport &report, std::ostream &out)
             events.push_back(
                 {name, at_us, d.handoverMs * 1e3, tidRadio});
         }
+        // Controller state as counter tracks: duty level, the cut's
+        // sensor-side cell count, and cumulative repartitions.
+        counters.push_back(counterRecord("duty level", at_us,
+                                         "level", d.dutyLevel));
+        counters.push_back(counterRecord("sensor cells", at_us,
+                                         "cells", d.sensorCells));
+        if (d.action == "repartition")
+            ++repartitions;
+        counters.push_back(counterRecord("repartitions", at_us,
+                                         "count", repartitions));
     }
 
-    out << "[\n";
-    const std::pair<int, const char *> tracks[] = {
-        {tidRadio, "wireless channel"},
-        {tid_controller, "controller"},
-    };
-    for (const auto &[tid, name] : tracks) {
-        out << "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
-            << "\"tid\":" << tid << ",\"args\":{\"name\":\"" << name
-            << "\"}},\n";
-    }
-    for (size_t i = 0; i < events.size(); ++i) {
-        const TraceEvent &e = events[i];
-        out << "  {\"name\":\"" << jsonEscape(e.name) << "\",";
-        if (e.instant) {
-            out << "\"ph\":\"i\",\"ts\":" << e.startUs
-                << ",\"s\":\"t\"";
-        } else {
-            out << "\"ph\":\"X\",\"ts\":" << e.startUs
-                << ",\"dur\":" << e.durationUs;
-        }
-        out << ",\"pid\":0,\"tid\":" << e.tid << "}"
-            << (i + 1 < events.size() ? "," : "") << "\n";
-    }
-    out << "]\n";
+    std::vector<std::string> records;
+    records.reserve(2 + events.size() + counters.size());
+    records.push_back(trackRecord(tidRadio, "wireless channel"));
+    records.push_back(trackRecord(tid_controller, "controller"));
+    for (const TraceEvent &e : events)
+        records.push_back(eventRecord(e));
+    for (std::string &record : counters)
+        records.push_back(std::move(record));
+    emitRecords(records, out);
 }
 
 void
@@ -212,12 +284,13 @@ void
 writeChromeTraceFile(const SimResult &result,
                      const EngineTopology &topology,
                      const Placement &placement,
-                     const std::string &path)
+                     const std::string &path,
+                     const StatsSnapshot *stats)
 {
     std::ofstream out(path);
     if (!out)
         fatal("cannot open '%s' for writing", path.c_str());
-    writeChromeTrace(result, topology, placement, out);
+    writeChromeTrace(result, topology, placement, out, stats);
     if (!out)
         fatal("write to '%s' failed", path.c_str());
 }

@@ -12,6 +12,7 @@
 #include <ostream>
 #include <string>
 
+#include "obs/stats_registry.hh"
 #include "sim/system_sim.hh"
 
 namespace xpro
@@ -24,22 +25,36 @@ namespace xpro
  * aggregator track; "radio start"/"radio done" pairs land on the
  * radio track. Fault-injection markers ("retry"/"drop" on the radio
  * track, "outage"/"fallback"/"local result" on the sensor track)
- * become instant events.
+ * become instant events, and each ARQ retry/drop additionally feeds
+ * a cumulative counter track ("arq retries"/"arq drops") so the
+ * loss story renders as a step plot in Perfetto.
+ *
+ * The emitted array is valid JSON at any event count (records are
+ * comma-joined, never comma-terminated), which test_trace_export
+ * round-trips through a strict parser.
  *
  * @param result Simulation result with a populated trace.
  * @param topology Topology the simulation ran on (for placement).
  * @param placement Placement used (selects the track per cell).
  * @param out Destination stream.
+ * @param stats Optional registry snapshot; when given, every
+ *        nonzero stable counter/gauge becomes a flat "stat <name>"
+ *        counter track spanning the trace (used by xpro_cli when
+ *        --stats/--stats-out accompany --trace). Not part of the
+ *        deterministic per-sim output, so byte-identity tests pass
+ *        nullptr.
  */
 void writeChromeTrace(const SimResult &result,
                       const EngineTopology &topology,
-                      const Placement &placement, std::ostream &out);
+                      const Placement &placement, std::ostream &out,
+                      const StatsSnapshot *stats = nullptr);
 
 /** Convenience: write to a file path; fatal on I/O failure. */
 void writeChromeTraceFile(const SimResult &result,
                           const EngineTopology &topology,
                           const Placement &placement,
-                          const std::string &path);
+                          const std::string &path,
+                          const StatsSnapshot *stats = nullptr);
 
 /**
  * Write a controller decision trace (control/) as Chrome

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Minimal strict JSON validator for tests.
+ *
+ * A recursive-descent checker that accepts exactly the RFC 8259
+ * grammar — in particular it REJECTS trailing commas, which is the
+ * bug class the trace-export round-trip tests guard against (the old
+ * writers emitted "...},\n]" for empty event lists and Chrome/
+ * Perfetto silently tolerated it). Validation only; no DOM is built.
+ */
+
+#ifndef XPRO_TESTS_JSON_CHECK_HH
+#define XPRO_TESTS_JSON_CHECK_HH
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+namespace xpro::test
+{
+
+namespace json_detail
+{
+
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    bool fail(const char *what)
+    {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%s at offset %zu", what,
+                      pos);
+        error = buf;
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool parseString()
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    return fail("truncated escape");
+                const char e = text[pos];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= text.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(
+                                    text[pos])))
+                            return fail("bad \\u escape");
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape");
+                }
+                ++pos;
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("control char in string");
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool digits()
+    {
+        if (pos >= text.size() ||
+            !std::isdigit(static_cast<unsigned char>(text[pos])))
+            return false;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        return true;
+    }
+
+    bool parseNumber()
+    {
+        consume('-');
+        if (pos < text.size() && text[pos] == '0') {
+            ++pos; // leading zero admits no more integer digits
+        } else if (!digits()) {
+            return fail("bad number");
+        }
+        if (consume('.') && !digits())
+            return fail("bad fraction");
+        if (pos < text.size() &&
+            (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (!digits())
+                return fail("bad exponent");
+        }
+        return true;
+    }
+
+    bool parseLiteral(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (pos >= text.size() || text[pos] != *p)
+                return fail("bad literal");
+            ++pos;
+        }
+        return true;
+    }
+
+    bool parseValue()
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("expected value");
+        switch (text[pos]) {
+        case '{':
+            return parseObject();
+        case '[':
+            return parseArray();
+        case '"':
+            return parseString();
+        case 't':
+            return parseLiteral("true");
+        case 'f':
+            return parseLiteral("false");
+        case 'n':
+            return parseLiteral("null");
+        default:
+            return parseNumber();
+        }
+    }
+
+    bool parseObject()
+    {
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            if (!parseString())
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (consume(','))
+                continue; // a '}' next iteration = trailing comma,
+                          // rejected by parseString above
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool parseArray()
+    {
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (consume(','))
+                continue; // ']' next iteration = trailing comma,
+                          // rejected by parseValue above
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+};
+
+} // namespace json_detail
+
+/** True iff @p text is one complete, strictly valid JSON value
+ *  (optionally surrounded by whitespace). On failure @p error, when
+ *  given, receives a short "what at offset N" description. */
+inline bool
+jsonValid(const std::string &text, std::string *error = nullptr)
+{
+    json_detail::Parser p(text);
+    bool ok = p.parseValue();
+    if (ok) {
+        p.skipWs();
+        if (p.pos != p.text.size())
+            ok = p.fail("trailing garbage");
+    }
+    if (!ok && error != nullptr)
+        *error = p.error;
+    return ok;
+}
+
+} // namespace xpro::test
+
+#endif // XPRO_TESTS_JSON_CHECK_HH

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "json_check.hh"
 #include "sim/trace_export.hh"
 #include "topology_fixtures.hh"
 
@@ -158,6 +159,125 @@ TEST(TraceExportTest, DisabledFaultExportMatchesLegacyByteForByte)
     EXPECT_EQ(legacy_json, exportToString(gated, topo, cut));
     // No instant events in a fault-free trace.
     EXPECT_EQ(countOccurrences(legacy_json, "\"ph\":\"i\""), 0u);
+}
+
+TEST(TraceExportTest, ChromeTraceRoundTripsStrictJson)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const Placement cut = Placement::trivialCut(topo);
+    std::string error;
+
+    // Fault-free, faulty (retries/drops feed the ARQ counter
+    // tracks) and bursty traces all parse strictly.
+    const SimResult clean = simulateEvent(topo, cut, link2);
+    EXPECT_TRUE(test::jsonValid(exportToString(clean, topo, cut),
+                                &error))
+        << error;
+    const SimResult dead =
+        simulateEvent(topo, cut, link2, deadLinkProfile());
+    const std::string dead_json = exportToString(dead, topo, cut);
+    EXPECT_TRUE(test::jsonValid(dead_json, &error)) << error;
+    // The drop markers produced cumulative ARQ counter samples.
+    EXPECT_GT(countOccurrences(dead_json, "\"ph\":\"C\""), 0u);
+    EXPECT_GT(countOccurrences(dead_json, "\"arq retries\""), 0u);
+    const SimResult bursty = simulateEvent(
+        topo, cut, link2, FaultProfile::preset("bursty"));
+    EXPECT_TRUE(test::jsonValid(exportToString(bursty, topo, cut),
+                                &error))
+        << error;
+}
+
+TEST(TraceExportTest, StatsSnapshotBecomesCounterTracks)
+{
+    const EngineTopology topo = chainTopology(100, 200, 50, 2048);
+    const Placement cut = Placement::trivialCut(topo);
+    const SimResult sim = simulateEvent(topo, cut, link2);
+
+    StatsSnapshot stats;
+    stats.entries.push_back({"demo.hits", StatKind::Counter,
+                             StatScope::Stable, 42, {}});
+    stats.entries.push_back({"demo.diag_only", StatKind::Counter,
+                             StatScope::Diag, 7, {}});
+    stats.entries.push_back(
+        {"demo.zero", StatKind::Counter, StatScope::Stable, 0, {}});
+
+    std::ostringstream out;
+    writeChromeTrace(sim, topo, cut, out, &stats);
+    const std::string json = out.str();
+    std::string error;
+    EXPECT_TRUE(test::jsonValid(json, &error)) << error;
+    // Stable nonzero stats become flat counter tracks (two samples:
+    // trace start and end); diag and zero-valued stats are skipped.
+    EXPECT_EQ(countOccurrences(json, "\"stat demo.hits\""), 2u);
+    EXPECT_EQ(countOccurrences(json, "demo.diag_only"), 0u);
+    EXPECT_EQ(countOccurrences(json, "demo.zero"), 0u);
+    // Without the snapshot the output is unchanged (opt-in).
+    EXPECT_EQ(exportToString(sim, topo, cut),
+              exportToString(sim, topo, cut));
+}
+
+TEST(TraceExportTest, ControlTraceRoundTripsStrictJson)
+{
+    ControlReport report;
+    report.enabled = true;
+    ControlDecision hold;
+    hold.window = 0;
+    hold.atMs = 10.0;
+    hold.action = "hold";
+    hold.dutyLevel = 1;
+    hold.sensorCells = 3;
+    report.decisions.push_back(hold);
+    ControlDecision repart;
+    repart.window = 1;
+    repart.atMs = 20.0;
+    repart.action = "repartition";
+    repart.dutyLevel = 1;
+    repart.sensorCells = 5;
+    repart.movedCells = 2;
+    repart.handoverUj = 1.5;
+    repart.handoverMs = 0.25;
+    report.decisions.push_back(repart);
+
+    std::ostringstream out;
+    writeControlTrace(report, out);
+    const std::string json = out.str();
+    std::string error;
+    EXPECT_TRUE(test::jsonValid(json, &error)) << error;
+    // Counter tracks: duty level + sensor cells per decision, and
+    // the cumulative repartition count.
+    EXPECT_EQ(countOccurrences(json, "\"duty level\""), 2u);
+    EXPECT_EQ(countOccurrences(json, "\"sensor cells\""), 2u);
+    EXPECT_EQ(countOccurrences(json, "\"repartitions\""), 2u);
+    EXPECT_GT(countOccurrences(json, "\"ph\":\"C\""), 0u);
+    // The handover landed on the wireless-channel track.
+    EXPECT_GT(countOccurrences(json, "\"ph\":\"X\""), 0u);
+}
+
+TEST(TraceExportTest, EmptyControlReportIsValidJson)
+{
+    // The old writer comma-terminated the metadata records, so a
+    // report with zero decisions produced a trailing comma before
+    // the closing bracket — strict parsers reject that.
+    ControlReport report;
+    std::ostringstream out;
+    writeControlTrace(report, out);
+    std::string error;
+    EXPECT_TRUE(test::jsonValid(out.str(), &error)) << error;
+}
+
+TEST(TraceExportTest, JsonCheckerRejectsTrailingCommas)
+{
+    // Sanity-check the checker itself, else the round trips above
+    // prove nothing.
+    EXPECT_TRUE(test::jsonValid("[]"));
+    EXPECT_TRUE(test::jsonValid("[\n  {\"a\":1},\n  {\"b\":2}\n]"));
+    EXPECT_TRUE(test::jsonValid("{\"x\":[1,2,3],\"y\":null}"));
+    EXPECT_TRUE(test::jsonValid("-1.5e-3"));
+    EXPECT_FALSE(test::jsonValid("[{\"a\":1},]"));
+    EXPECT_FALSE(test::jsonValid("{\"a\":1,}"));
+    EXPECT_FALSE(test::jsonValid("[1,2"));
+    EXPECT_FALSE(test::jsonValid("[] []"));
+    EXPECT_FALSE(test::jsonValid("{\"a\":01}"));
 }
 
 } // namespace

@@ -46,6 +46,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -55,6 +56,7 @@
 #include "core/pipeline.hh"
 #include "data/testcases.hh"
 #include "fleet/fleet.hh"
+#include "obs/stats_export.hh"
 #include "sim/trace_export.hh"
 #include "wireless/fault.hh"
 
@@ -131,7 +133,11 @@ usage(const char *argv0)
         "  --shards <n>               population event-queue shards "
         "(default 1; report identical at any value)\n"
         "  --tiers <a>:<b>            sensors per phone : phones "
-        "per gateway (default 32:64)\n",
+        "per gateway (default 32:64)\n"
+        "  --stats                    print the stats-registry "
+        "table after the run\n"
+        "  --stats-out <file>         write the stats-registry "
+        "snapshot as JSON\n",
         argv0);
     std::exit(2);
 }
@@ -325,6 +331,35 @@ runPopulationMode(uint64_t nodes, size_t shards, size_t workers,
     return 0;
 }
 
+/**
+ * End-of-run telemetry: print the human table (--stats) and/or the
+ * JSON snapshot (--stats-out). The path was validated at parse time,
+ * but the disk can still fill mid-write, so failures stay fatal.
+ */
+void
+emitStats(bool table, const std::string &out_path)
+{
+    if (!table && out_path.empty())
+        return;
+    if (!statsCompiledIn()) {
+        warn("stats are compiled out (-DXPRO_STATS=OFF); the "
+             "snapshot is empty");
+    }
+    const StatsSnapshot snap = StatsRegistry::instance().snapshot();
+    if (table)
+        writeStatsTable(snap, std::cout);
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out)
+            fatal("cannot open '%s' for writing", out_path.c_str());
+        writeStatsJson(snap, out);
+        if (!out)
+            fatal("write to '%s' failed", out_path.c_str());
+        std::printf("stats snapshot: %s (%zu stats)\n",
+                    out_path.c_str(), snap.size());
+    }
+}
+
 } // namespace
 
 int
@@ -358,6 +393,8 @@ main(int argc, char **argv)
     bool engine_set = false;
     ControlConfig control;
     std::string control_trace_path;
+    bool stats_table = false;
+    std::string stats_out;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -470,7 +507,20 @@ main(int argc, char **argv)
                     parseNonNegativeRealArg(value(), "--min-dwell"));
             else if (arg == "--control-trace")
                 control_trace_path = value();
-            else
+            else if (arg == "--stats")
+                stats_table = true;
+            else if (arg == "--stats-out") {
+                stats_out = value();
+                // Reject an unwritable path now (the --ber
+                // discipline: fail at parse time, not after a long
+                // run). Append mode probes writability without
+                // truncating whatever is there.
+                std::ofstream probe(stats_out, std::ios::app);
+                if (!probe)
+                    fatal("--stats-out: cannot open '%s' for "
+                          "writing",
+                          stats_out.c_str());
+            } else
                 usage(argv[0]);
         }
         if (max_retries_set)
@@ -502,8 +552,11 @@ main(int argc, char **argv)
         if (population_nodes > 0 && adaptive)
             fatal("--adaptive runs on the detailed --fleet path");
         if (population_nodes > 0) {
-            return runPopulationMode(population_nodes, shards,
-                                     workers, events, seed, tiers);
+            const int rc = runPopulationMode(
+                population_nodes, shards, workers, events, seed,
+                tiers);
+            emitStats(stats_table, stats_out);
+            return rc;
         }
 
         if (fleet_size > 0) {
@@ -515,12 +568,13 @@ main(int argc, char **argv)
                     testCaseInfo(spec.testCase).segmentLength);
             }
             checkBerFeasible(ber, largest_segment);
-            return runFleetMode(fleet_size, workers, sweep_workers,
-                                policy, events, serve_events,
-                                batch_events, serve_workers,
-                                wireless, ber, seed, faults,
-                                control, process,
-                                control_trace_path);
+            const int rc = runFleetMode(
+                fleet_size, workers, sweep_workers, policy, events,
+                serve_events, batch_events, serve_workers, wireless,
+                ber, seed, faults, control, process,
+                control_trace_path);
+            emitStats(stats_table, stats_out);
+            return rc;
         }
         checkBerFeasible(ber,
                          testCaseInfo(test_case).segmentLength);
@@ -645,13 +699,22 @@ main(int argc, char **argv)
         if (!trace_path.empty()) {
             const SimResult sim = simulateEvent(
                 topology, eval.placement, link, faults);
+            // When stats were requested alongside the trace, embed
+            // the stable counters as flat Perfetto counter tracks.
+            const bool with_stats =
+                stats_table || !stats_out.empty();
+            const StatsSnapshot snap =
+                with_stats ? StatsRegistry::instance().snapshot()
+                           : StatsSnapshot{};
             writeChromeTraceFile(sim, topology, eval.placement,
-                                 trace_path);
+                                 trace_path,
+                                 with_stats ? &snap : nullptr);
             std::printf("  trace     : %s (%zu transfers, "
                         "completion %.3f ms)\n",
                         trace_path.c_str(), sim.transfers,
                         sim.completion.ms());
         }
+        emitStats(stats_table, stats_out);
         return 0;
     } catch (const FatalError &error) {
         std::fprintf(stderr, "error: %s\n", error.what());
