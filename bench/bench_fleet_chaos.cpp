@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Chaos-resilience gate (DESIGN.md §18): does the population fleet
+ * keep its throughput and deliver (nearly) every event when
+ * gateways crash, the cloud disappears and nodes churn?
+ *
+ * Three measurements at 100k nodes:
+ *
+ *  A. Fault-free reference run: sustained events/sec with no chaos
+ *     schedule (the shared "events_per_sec" JSON key's
+ *     denominator).
+ *  B. A gateway-loss day: the flaky profile crashes every gateway
+ *     repeatedly across the trace; self-healing failover must keep
+ *     eventual event completeness >= 99% of the offered load, and
+ *     the sustained rate within 15% of the fault-free run.
+ *  C. The full harsh schedule (crashes + regional outages + cloud
+ *     windows + churn): the report must stay byte-identical across
+ *     shard/worker combinations while the chaos layer is actively
+ *     migrating nodes and re-keying queue items.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hh"
+#include "fleet/chaos.hh"
+#include "fleet/fleet.hh"
+
+using namespace xpro;
+using namespace xpro::bench;
+
+namespace
+{
+
+PopulationFleetConfig
+chaosConfig(uint64_t nodes, size_t shards, size_t workers,
+            uint64_t events, const ChaosConfig &chaos)
+{
+    PopulationFleetConfig config;
+    config.nodes = nodes;
+    config.shards = shards;
+    config.workers = workers;
+    config.eventsPerNode = events;
+    config.chaos = chaos;
+    // Provision the cloud tier for the fleet's offered load so the
+    // only throttling measured is the chaos layer's own.
+    config.tiers.cloudEventsPerSec = 5000000;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    ShapeChecker checker;
+    // XPRO_BENCH_SMOKE=1: CI's JSON-shape check runs a reduced
+    // fleet and skips the timing-sensitive rate gate; the
+    // completeness and byte-identity gates are structural and stay
+    // on at any scale.
+    const bool smoke = std::getenv("XPRO_BENCH_SMOKE") != nullptr;
+    const uint64_t kNodes = smoke ? 20000 : 100000;
+    const uint64_t kEvents = smoke ? 6 : 20;
+    const size_t kShards = 16;
+    const size_t kWorkers = 0; // one per hardware thread
+
+    const ChaosConfig none;
+    const ChaosConfig flaky = ChaosConfig::profile("flaky");
+    const ChaosConfig harsh = ChaosConfig::profile("harsh");
+
+    // Warm both paths (page in code, grow arenas/slot vectors).
+    runPopulationFleet(chaosConfig(1024, 4, 1, 2, flaky));
+
+    // Both timing gates use best-of-3 wall clock: the simulation is
+    // deterministic, so the fastest repeat is the least-preempted
+    // measurement of the same work.
+    const int kRepeats = smoke ? 1 : 3;
+    const auto bestSeconds = [&](const ChaosConfig &chaos,
+                                 PopulationFleetResult &out) {
+        double best = 0.0;
+        for (int r = 0; r < kRepeats; ++r) {
+            SteadyTimer timer;
+            out = runPopulationFleet(chaosConfig(
+                kNodes, kShards, kWorkers, kEvents, chaos));
+            const double s = timer.seconds();
+            if (r == 0 || s < best)
+                best = s;
+        }
+        return best;
+    };
+
+    std::printf("== A: fault-free reference at %llu nodes ==\n\n",
+                static_cast<unsigned long long>(kNodes));
+    PopulationFleetResult plain;
+    const double plain_s = bestSeconds(none, plain);
+    const double plain_rate =
+        static_cast<double>(plain.report.totalEvents) / plain_s;
+    std::printf("  %zu events in %.3f s -> %.0f events/s\n\n",
+                plain.report.totalEvents, plain_s, plain_rate);
+
+    std::printf("== B: gateway-loss day (flaky schedule) ==\n\n");
+    PopulationFleetResult hit;
+    const double chaos_s = bestSeconds(flaky, hit);
+    const double chaos_rate =
+        static_cast<double>(hit.report.totalEvents) / chaos_s;
+    const uint64_t offered = kNodes * kEvents;
+    const ChaosReport &cr = hit.report.chaos;
+    std::printf("  %zu events in %.3f s -> %.0f events/s "
+                "(%.1f%% of fault-free)\n",
+                hit.report.totalEvents, chaos_s, chaos_rate,
+                100.0 * chaos_rate / plain_rate);
+    std::printf("  %zu crashes, %zu failovers, %zu nodes migrated, "
+                "%zu items re-keyed, %zu retries\n\n",
+                cr.gatewayCrashes, cr.failovers, cr.migratedNodes,
+                cr.rekeyedItems, cr.retries);
+
+    checker.check(cr.gatewayCrashes > 0 && cr.failovers > 0,
+                  "the schedule actually lost gateways and the "
+                  "layer actually failed over");
+    // Gate (a): eventual completeness. Failover + retry must route
+    // >= 99% of the offered events through to a completion despite
+    // every gateway dying repeatedly along the day.
+    const double completeness =
+        static_cast<double>(hit.report.totalEvents) /
+        static_cast<double>(offered);
+    std::printf("  completeness %.3f%% of %llu offered\n\n",
+                100.0 * completeness,
+                static_cast<unsigned long long>(offered));
+    checker.check(completeness >= 0.99,
+                  ">= 99% eventual event completeness across the "
+                  "gateway-loss day");
+    // Gate (b): the chaos machinery (down-map checks, failover
+    // re-keying, backoff retries) must not cost more than 15% of
+    // the fault-free sustained rate.
+    if (!smoke) {
+        checker.check(chaos_rate >= plain_rate * 0.85,
+                      "sustained events/sec within 15% of the "
+                      "fault-free run at 100k nodes");
+    }
+
+    std::printf("== C: harsh schedule byte-identity ==\n\n");
+    const std::string reference =
+        runPopulationFleet(
+            chaosConfig(kNodes / 10, 1, 1, 6, harsh))
+            .report.serialize();
+    bool identical = true;
+    for (size_t shards : {4, 16}) {
+        for (size_t workers : {1, 4}) {
+            identical &=
+                runPopulationFleet(chaosConfig(kNodes / 10, shards,
+                                               workers, 6, harsh))
+                    .report.serialize() == reference;
+        }
+    }
+    std::printf("  report %s across shards {1,4,16} x workers "
+                "{1,4}\n\n",
+                identical ? "byte-identical" : "DIVERGED");
+    checker.check(identical,
+                  "harsh-schedule report byte-identical across "
+                  "shard/worker combinations");
+
+    checker.metric("fault_free_events_per_sec", plain_rate);
+    checker.metric("chaos_rate_fraction", chaos_rate / plain_rate);
+    checker.metric("completeness", completeness);
+    checker.metric("failovers", static_cast<double>(cr.failovers));
+    checker.metric("migrated_nodes",
+                   static_cast<double>(cr.migratedNodes));
+    checker.throughput(hit.report.totalEvents, chaos_s);
+    return checker.finish("bench_fleet_chaos");
+}

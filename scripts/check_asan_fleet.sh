@@ -3,9 +3,11 @@
 # and run the fleet-label suites under it: the detailed fleet
 # simulator (arena-backed SoA member state, radio arbitration
 # lifetimes), the population path (node slabs, per-slot wheel
-# vectors swapped during drains, tier budget arrays), and the
+# vectors swapped during drains, tier budget arrays), the
 # hierarchical time wheel itself (bitmap scans, far-overflow
-# refiling, schedule-during-drain). Usage:
+# refiling, schedule-during-drain), and the chaos layer (masked
+# cross-shard extract/re-file during failover, parked-inject replay
+# buffers). Usage:
 #
 #   scripts/check_asan_fleet.sh [build-dir]
 #
@@ -19,7 +21,7 @@ build=${1:-"$repo/build-asan"}
 
 cmake -B "$build" -S "$repo" -DXPRO_SANITIZE=address,undefined
 cmake --build "$build" \
-    --target test_fleet test_event_queue \
+    --target test_fleet test_event_queue test_fleet_chaos \
     -j "$(nproc)"
-ctest --test-dir "$build" -L fleet --output-on-failure
+ctest --test-dir "$build" -L 'fleet|chaos' --output-on-failure
 echo "ASan/UBSan fleet pass: OK"

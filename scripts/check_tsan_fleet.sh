@@ -8,7 +8,10 @@
 # fault-injection suites (shared-channel fleet ARQ), and the serving
 # hot-path suite (cross-user batches sliced across workers), and the
 # stats-registry suite (concurrent registration, relaxed-atomic
-# cells, snapshot determinism across shards x workers). Usage:
+# cells, snapshot determinism across shards x workers), and the
+# chaos suite (barrier-driven failover migration and queue re-keying
+# racing the sharded drain; its determinism test covers >= 2
+# shards x workers combinations under TSan). Usage:
 #
 #   scripts/check_tsan_fleet.sh [build-dir]
 #
@@ -26,8 +29,9 @@ cmake --build "$build" \
              test_random_subspace test_crossval \
              test_fault_injection test_trace_export \
              test_hotpath_identity test_stats_registry \
+             test_fleet_chaos \
     -j "$(nproc)"
 ctest --test-dir "$build" \
-    -L 'fleet|generator|ml|robust|hotpath|obs' \
+    -L 'fleet|generator|ml|robust|hotpath|obs|chaos' \
     --output-on-failure
 echo "TSan fleet pass: OK"

@@ -337,6 +337,68 @@ TiersReport::writeText(std::ostream &out) const
 }
 
 std::string
+ChaosReport::serialize() const
+{
+    std::ostringstream out;
+    out << "chaos v1\n"
+        << "gateway_crashes " << gatewayCrashes << '\n'
+        << "gateway_restarts " << gatewayRestarts << '\n'
+        << "failovers " << failovers << '\n'
+        << "migrated_nodes " << migratedNodes << '\n'
+        << "failback_nodes " << failbackNodes << '\n'
+        << "rekeyed_items " << rekeyedItems << '\n'
+        << "retries " << retries << '\n'
+        << "dropped_events " << droppedEvents << '\n'
+        << "parked_injects " << parkedInjects << '\n'
+        << "replayed_events " << replayedEvents << '\n'
+        << "gateway_local_events " << gatewayLocalEvents << '\n'
+        << "blackout_fallbacks " << blackoutFallbacks << '\n'
+        << "churn " << churnLeaves << ' ' << churnJoins << '\n'
+        << "gateway_down_windows " << gatewayDownWindows << '\n'
+        << "cloud_down_windows " << cloudDownWindows << '\n'
+        << "max_outage_streak " << maxOutageStreak << '\n'
+        << "handover_ms " << canonical(handoverMs) << '\n';
+    for (const ChaosEpisode &e : episodes)
+        out << "episode " << canonical(e.atMs) << ' ' << e.kind << ' '
+            << e.gateway << ' ' << e.nodes << '\n';
+    if (droppedEpisodes > 0)
+        out << "dropped_episodes " << droppedEpisodes << '\n';
+    return out.str();
+}
+
+void
+ChaosReport::writeText(std::ostream &out) const
+{
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "chaos: %zu crashes / %zu restarts, %zu failovers "
+                  "(%zu nodes migrated, %zu failed back, %zu items "
+                  "re-keyed)\n",
+                  gatewayCrashes, gatewayRestarts, failovers,
+                  migratedNodes, failbackNodes, rekeyedItems);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "healing: %zu retries, %zu gateway-local, "
+                  "%zu blackout fallbacks, %.3f ms handover, worst "
+                  "outage streak %zu\n",
+                  retries, gatewayLocalEvents, blackoutFallbacks,
+                  handoverMs, maxOutageStreak);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "churn: %zu left / %zu rejoined, %zu in-flight "
+                  "dropped, %zu injects parked, %zu replayed\n",
+                  churnLeaves, churnJoins, droppedEvents,
+                  parkedInjects, replayedEvents);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "downtime: %zu gateway-windows, %zu cloud-windows "
+                  "(%zu transitions logged, %zu dropped)\n",
+                  gatewayDownWindows, cloudDownWindows,
+                  episodes.size(), droppedEpisodes);
+    out << line;
+}
+
+std::string
 FleetReport::serialize() const
 {
     std::ostringstream out;
@@ -389,6 +451,10 @@ FleetReport::serialize() const
     // bytes are identical at any --shards / --workers setting.
     if (tiers.enabled)
         out << tiers.serialize();
+    // Chaos section only when a chaos schedule was active, so
+    // chaos-free population reports keep their pre-chaos bytes.
+    if (chaos.enabled)
+        out << chaos.serialize();
     return out.str();
 }
 
@@ -445,6 +511,8 @@ FleetReport::writeText(std::ostream &out) const
         serving.writeText(out);
     if (tiers.enabled)
         tiers.writeText(out);
+    if (chaos.enabled)
+        chaos.writeText(out);
 }
 
 CsvTable

@@ -267,6 +267,93 @@ struct TiersReport
 };
 
 /**
+ * One transition of the deterministic chaos schedule: a gateway
+ * crash/restart or a cloud reachability flip, stamped with the
+ * window boundary it happened at and the nodes it re-homed.
+ */
+struct ChaosEpisode
+{
+    /** Simulated time of the window boundary. */
+    double atMs = 0.0;
+    /** "crash", "restart", "cloud-down" or "cloud-up". */
+    std::string kind;
+    /** Gateway the transition hit (0 for cloud transitions). */
+    size_t gateway = 0;
+    /** Nodes migrated (failover) or failed back (restart) by the
+     *  transition's self-healing response. */
+    size_t nodes = 0;
+};
+
+/**
+ * Outcome of a population run under the deterministic chaos layer
+ * (fleet/chaos): injected failures, the self-healing responses they
+ * triggered, and the degradation ladder's per-rung counts. Disabled
+ * (and absent from both serializations) when chaos is off, so
+ * chaos-free reports stay byte-identical to the pre-chaos output.
+ *
+ * Like TiersReport, records only simulation-derived counts — never
+ * shard or worker counts — so the serialization is byte-identical at
+ * any --shards / --workers combination (a tested invariant).
+ */
+struct ChaosReport
+{
+    /** True when a chaos schedule drove the run. */
+    bool enabled = false;
+    /** Injected gateway transitions. */
+    size_t gatewayCrashes = 0;
+    size_t gatewayRestarts = 0;
+    /** Crashes that found a live neighbor gateway to fail over to
+     *  (the remainder were total blackouts). */
+    size_t failovers = 0;
+    /** Node re-homings, failover and fail-back combined. */
+    size_t migratedNodes = 0;
+    /** Nodes returned to their restarted native gateway. */
+    size_t failbackNodes = 0;
+    /** Pending event-queue items re-keyed to a new gateway's shard
+     *  by migrations. */
+    size_t rekeyedItems = 0;
+    /** Deferred events re-scheduled by the exponential-backoff
+     *  retry path (chaos runs retry instead of window-parking). */
+    size_t retries = 0;
+    /** In-flight transport events dropped when their node churned
+     *  out (the queue's documented drop side of the contract). */
+    size_t droppedEvents = 0;
+    /** Sensing self-events parked until their node rejoins (the
+     *  redirect side of the contract). */
+    size_t parkedInjects = 0;
+    /** Events sensed late — after a churn absence — and replayed. */
+    size_t replayedEvents = 0;
+    /** Events completed by gateway-local aggregation while the
+     *  cloud tier was unreachable (degradation rung 1). */
+    size_t gatewayLocalEvents = 0;
+    /** Events classified sensor-locally because every reachable
+     *  gateway was down (degradation rung 2). */
+    size_t blackoutFallbacks = 0;
+    /** Churn transitions actually applied. */
+    size_t churnLeaves = 0;
+    size_t churnJoins = 0;
+    /** Per-tier downtime: sum over windows of down gateways, and
+     *  windows the cloud was unreachable. */
+    size_t gatewayDownWindows = 0;
+    size_t cloudDownWindows = 0;
+    /** Worst consecutive-failure streak any node accumulated. */
+    size_t maxOutageStreak = 0;
+    /** Total handover penalty charged to re-keyed items. */
+    double handoverMs = 0.0;
+    /** Chronological transition trace, up to the retention cap. */
+    std::vector<ChaosEpisode> episodes;
+    /** Transitions beyond the cap: counted above, not retained. */
+    size_t droppedEpisodes = 0;
+
+    /** Canonical, byte-exact serialization (same rules as
+     *  FleetReport::serialize). */
+    std::string serialize() const;
+
+    /** Human-readable summary. */
+    void writeText(std::ostream &out) const;
+};
+
+/**
  * One node's line in a fleet report. Plain data (names and SI-scaled
  * numbers) so the report stays independent of the fleet subsystem's
  * types and serializes canonically.
@@ -347,6 +434,9 @@ struct FleetReport
     /** Aggregation-tier outcome of a population-scale run; disabled
      *  (and absent) on the detailed per-cell fleet path. */
     TiersReport tiers;
+    /** Chaos-layer outcome of a population-scale run; disabled (and
+     *  absent) when no chaos schedule was active. */
+    ChaosReport chaos;
 
     /**
      * Canonical, byte-exact serialization: fixed formats, no

@@ -1,0 +1,245 @@
+#include "fleet/chaos.hh"
+
+#include "common/logging.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xpro
+{
+
+namespace
+{
+
+/** splitmix64 finalizer — the same stateless hash the population
+ *  simulator uses for phase stagger; all chaos draws are hashes so
+ *  no shard grouping ever perturbs another's sequence. */
+uint64_t
+chaosMix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Domain-separation salts so gateway-interval, churn-select and
+ *  churn-phase draws never alias each other. */
+constexpr uint64_t kSaltInterval = 0x63726173682d6977ull; // "crash-iw"
+constexpr uint64_t kSaltChurnSel = 0x636875726e2d7365ull; // "churn-se"
+constexpr uint64_t kSaltChurnPhs = 0x636875726e2d7068ull; // "churn-ph"
+
+/** Top 53 bits of a hash as an integer uniform in [0, 2^53); compared
+ *  against probability * 2^53 thresholds so no float enters the
+ *  per-node decision. */
+uint64_t
+draw53(uint64_t x)
+{
+    return chaosMix(x) >> 11;
+}
+
+constexpr uint64_t kNever = ~uint64_t(0);
+
+} // namespace
+
+void
+ChaosConfig::validate() const
+{
+    if (!enabled)
+        return;
+    if (gatewayMtbfWindows > 0 && gatewayMttrWindows == 0)
+        throw FatalError("chaos: gateway MTTR must be >= 1 window");
+    if (regionPeriodWindows > 0) {
+        if (regionOutageWindows == 0)
+            throw FatalError("chaos: regional outage must last >= 1 window");
+        if (regionGateways == 0)
+            throw FatalError("chaos: region size must be >= 1 gateway");
+    }
+    for (const ChaosWindowRange &r : cloudOutages)
+        if (r.end <= r.begin)
+            throw FatalError("chaos: cloud outage window range must have "
+                             "begin < end");
+    if (churnFraction < 0.0 || churnFraction > 1.0)
+        throw FatalError("chaos: churn fraction must be in [0, 1]");
+    if (churnFraction > 0.0 &&
+        (churnSpreadWindows == 0 || churnAbsenceWindows == 0))
+        throw FatalError("chaos: churn spread and absence must be >= 1 "
+                         "window");
+    if (retryBackoffBaseUs == 0)
+        throw FatalError("chaos: retry backoff base must be >= 1 us");
+}
+
+ChaosConfig
+ChaosConfig::profile(const std::string &name)
+{
+    ChaosConfig c;
+    if (name == "none")
+        return c;
+    c.enabled = true;
+    if (name == "flaky") {
+        c.gatewayMtbfWindows = 32;
+        c.gatewayMttrWindows = 4;
+    } else if (name == "regional") {
+        c.regionPeriodWindows = 48;
+        c.regionOutageWindows = 6;
+        c.regionGateways = 8;
+    } else if (name == "churn") {
+        c.churnFraction = 0.2;
+        c.churnSpreadWindows = 24;
+        c.churnAbsenceWindows = 8;
+    } else if (name == "harsh") {
+        c.gatewayMtbfWindows = 24;
+        c.gatewayMttrWindows = 4;
+        c.regionPeriodWindows = 64;
+        c.regionOutageWindows = 6;
+        c.regionGateways = 8;
+        c.churnFraction = 0.1;
+        c.churnSpreadWindows = 24;
+        c.churnAbsenceWindows = 8;
+        c.cloudOutages.push_back({8, 16});
+    } else {
+        throw FatalError("unknown chaos profile '" + name +
+                         "' (none, flaky, regional, churn, harsh)");
+    }
+    return c;
+}
+
+const std::vector<std::string> &
+ChaosConfig::profileNames()
+{
+    static const std::vector<std::string> names = {
+        "none", "flaky", "regional", "churn", "harsh"};
+    return names;
+}
+
+ChaosSchedule::ChaosSchedule(const ChaosConfig &config, uint64_t gateways)
+    : _config(config), _gateways(gateways),
+      _down(static_cast<size_t>(gateways), 0),
+      _nextCrash(static_cast<size_t>(gateways), kNever),
+      _restartAt(static_cast<size_t>(gateways), kNever),
+      _episode(static_cast<size_t>(gateways), 0)
+{
+    assert(gateways > 0);
+    if (_config.gatewayMtbfWindows > 0)
+        for (uint64_t g = 0; g < gateways; ++g)
+            _nextCrash[static_cast<size_t>(g)] = interval(g, 0);
+}
+
+uint64_t
+ChaosSchedule::interval(uint64_t gateway, uint64_t episode) const
+{
+    const uint64_t mtbf = _config.gatewayMtbfWindows;
+    if (mtbf == 0)
+        return kNever;
+    const uint64_t lo = std::max<uint64_t>(1, mtbf / 2);
+    const uint64_t draw = chaosMix(_config.seed ^ kSaltInterval ^
+                                   (gateway * 0x9e3779b97f4a7c15ull) ^
+                                   (episode << 32));
+    return lo + draw % mtbf;
+}
+
+bool
+ChaosSchedule::cloudDown(uint64_t window) const
+{
+    for (const ChaosWindowRange &r : _config.cloudOutages)
+        if (window >= r.begin && window < r.end)
+            return true;
+    return false;
+}
+
+uint64_t
+ChaosSchedule::failoverTarget(uint64_t gateway) const
+{
+    for (uint64_t d = 1; d < _gateways; ++d) {
+        const uint64_t candidate = (gateway + d) % _gateways;
+        if (!_down[static_cast<size_t>(candidate)])
+            return candidate;
+    }
+    return _gateways;
+}
+
+bool
+ChaosSchedule::churnWindows(uint64_t node, uint64_t &leave_window,
+                            uint64_t &join_window) const
+{
+    if (_config.churnFraction <= 0.0)
+        return false;
+    const uint64_t threshold = static_cast<uint64_t>(
+        _config.churnFraction * 9007199254740992.0); // * 2^53
+    if (draw53(_config.seed ^ kSaltChurnSel ^
+               (node * 0x9e3779b97f4a7c15ull)) >= threshold)
+        return false;
+    const uint64_t phase = chaosMix(_config.seed ^ kSaltChurnPhs ^
+                                    (node * 0x9e3779b97f4a7c15ull));
+    leave_window = 1 + phase % _config.churnSpreadWindows;
+    join_window = leave_window + _config.churnAbsenceWindows;
+    return true;
+}
+
+void
+ChaosSchedule::step(uint64_t window, std::vector<uint32_t> &restarted,
+                    std::vector<uint32_t> &crashed)
+{
+    assert(window >= 1);
+    restarted.clear();
+    crashed.clear();
+
+    // Restarts due at this boundary come first so a gateway whose
+    // repair and next regional outage coincide goes through a full
+    // restart/crash cycle (both transitions observable).
+    for (uint64_t g = 0; g < _gateways; ++g) {
+        const size_t i = static_cast<size_t>(g);
+        if (_down[i] && _restartAt[i] <= window) {
+            _down[i] = 0;
+            _restartAt[i] = kNever;
+            --_downCount;
+            _nextCrash[i] = _config.gatewayMtbfWindows > 0
+                                ? window + interval(g, ++_episode[i])
+                                : kNever;
+            restarted.push_back(static_cast<uint32_t>(g));
+        }
+    }
+
+    // Correlated regional outage: every period, the next region of
+    // regionGateways consecutive gateways goes dark together.
+    if (_config.regionPeriodWindows > 0 &&
+        window % _config.regionPeriodWindows == 0) {
+        const uint64_t regions =
+            (_gateways + _config.regionGateways - 1) / _config.regionGateways;
+        const uint64_t region =
+            (window / _config.regionPeriodWindows - 1) % regions;
+        const uint64_t first = region * _config.regionGateways;
+        const uint64_t last =
+            std::min(_gateways, first + _config.regionGateways);
+        for (uint64_t g = first; g < last; ++g) {
+            const size_t i = static_cast<size_t>(g);
+            const uint64_t until = window + _config.regionOutageWindows;
+            if (!_down[i]) {
+                _down[i] = 1;
+                ++_downCount;
+                _restartAt[i] = until;
+                crashed.push_back(static_cast<uint32_t>(g));
+            } else if (_restartAt[i] < until) {
+                // Already down: the regional outage extends the
+                // repair, it does not double-count a crash.
+                _restartAt[i] = until;
+            }
+        }
+    }
+
+    // Independent per-gateway crashes.
+    for (uint64_t g = 0; g < _gateways; ++g) {
+        const size_t i = static_cast<size_t>(g);
+        if (!_down[i] && _nextCrash[i] <= window) {
+            _down[i] = 1;
+            ++_downCount;
+            _restartAt[i] = window + _config.gatewayMttrWindows;
+            crashed.push_back(static_cast<uint32_t>(g));
+        }
+    }
+
+    std::sort(restarted.begin(), restarted.end());
+    std::sort(crashed.begin(), crashed.end());
+}
+
+} // namespace xpro

@@ -41,6 +41,7 @@
 #include "core/report.hh"
 #include "data/testcases.hh"
 #include "fleet/admission.hh"
+#include "fleet/chaos.hh"
 #include "fleet/radio_sched.hh"
 #include "fleet/tiers.hh"
 #include "common/worker_pool.hh"
@@ -335,6 +336,15 @@ struct PopulationFleetConfig
     TierConfig tiers;
     /** Node classes; empty selects syntheticArchetypes(). */
     std::vector<PopulationArchetype> archetypes;
+    /** Deterministic chaos schedule (fleet/chaos); disabled by
+     *  default, in which case the run takes the exact legacy path
+     *  and the report keeps its pre-chaos bytes. */
+    ChaosConfig chaos;
+    /** Sensor-uplink channel faults: the same shared FaultProfile
+     *  the detailed path consumes, applied per-attempt at population
+     *  scale via stateless hash draws (no sequential RNG, so the
+     *  report stays shard/worker-invariant). Disabled by default. */
+    FaultProfile faults;
     /**
      * Record population.* stats into the global StatsRegistry
      * (per-shard slabs on the hot path, absorbed once at the end).
@@ -345,8 +355,8 @@ struct PopulationFleetConfig
 };
 
 /**
- * Struct-of-arrays per-node state: five parallel slabs in one arena,
- * ~17 bytes a node, so a million nodes fit in a few tens of
+ * Struct-of-arrays per-node state: nine parallel slabs in one arena,
+ * ~30 bytes a node, so a million nodes fit in a few tens of
  * megabytes. Indexed by node id; all slabs are plain old data (the
  * arena never runs destructors).
  */
@@ -367,6 +377,14 @@ class NodeSlabs
     uint64_t *battery() { return _battery; }
     /** Consecutive events lost to backpressure (outage counter). */
     uint16_t *outageStreak() { return _outageStreak; }
+    /** Serving gateway: the topology's native gateway until a chaos
+     *  failover re-homes the node. Only the barrier writes it. */
+    uint32_t *gateway() { return _gateway; }
+    /** Churn leave/rejoin windows (~0 = the node never churns). */
+    uint32_t *churnLeave() { return _churnLeave; }
+    uint32_t *churnJoin() { return _churnJoin; }
+    /** Gilbert-Elliott channel state, nonzero = bad (fault runs). */
+    uint8_t *linkBad() { return _linkBad; }
 
     /** Slab bytes per node (the "tens of bytes" contract). */
     static constexpr size_t
@@ -374,7 +392,9 @@ class NodeSlabs
     {
         return sizeof(uint16_t) + sizeof(uint8_t) +
                sizeof(uint32_t) + sizeof(uint64_t) +
-               sizeof(uint16_t);
+               sizeof(uint16_t) + sizeof(uint32_t) +
+               sizeof(uint32_t) + sizeof(uint32_t) +
+               sizeof(uint8_t);
     }
 
   private:
@@ -384,6 +404,10 @@ class NodeSlabs
     uint32_t *_eventCursor = nullptr;
     uint64_t *_battery = nullptr;
     uint16_t *_outageStreak = nullptr;
+    uint32_t *_gateway = nullptr;
+    uint32_t *_churnLeave = nullptr;
+    uint32_t *_churnJoin = nullptr;
+    uint8_t *_linkBad = nullptr;
 };
 
 /** Outcome of a population-scale run. */

@@ -94,6 +94,23 @@ struct TierTopology
     {
         return gateway * phonesPerGateway;
     }
+
+    /** First node natively homed on @p gateway. */
+    uint64_t
+    firstNodeOf(uint64_t gateway) const
+    {
+        return firstPhoneOf(gateway) * sensorsPerPhone;
+    }
+
+    /** One past the last node natively homed on @p gateway (the
+     *  dense assignment's half-open native range, used by the chaos
+     *  layer to enumerate a dead gateway's nodes). */
+    uint64_t
+    nodeEndOf(uint64_t gateway) const
+    {
+        const uint64_t end = firstNodeOf(gateway + 1);
+        return end < nodes ? end : nodes;
+    }
 };
 
 /**

@@ -214,6 +214,17 @@ TimeWheel::advanceTo(uint64_t t)
     }
 }
 
+void
+TimeWheel::recomputeFarMin()
+{
+    _farMin = 0;
+    if (_far.empty())
+        return;
+    _farMin = ~uint64_t(0);
+    for (const WheelItem &item : _far)
+        _farMin = std::min(_farMin, item.at);
+}
+
 // --- ShardedEventQueue ----------------------------------------------
 
 ShardedEventQueue::ShardedEventQueue(size_t shards,

@@ -251,6 +251,55 @@ class TimeWheel
         XPRO_STAT(_counters.itemsDrained += items_drained);
     }
 
+    /**
+     * Remove every pending item matching @p pred and append it to
+     * @p out (in unspecified order — callers re-file into wheels,
+     * whose pop order is insertion-order independent, or count).
+     * O(slots + pending). Must not be called from inside a drain;
+     * it is meant for the ShardedEventQueue barrier, where the
+     * chaos layer re-homes migrated/churned nodes.
+     */
+    template <typename Pred>
+    void
+    extractIf(Pred &&pred, std::vector<WheelItem> &out)
+    {
+        xproAssert(!_draining, "cannot extract mid-drain");
+        for (size_t level = 0; level < kLevels; ++level) {
+            for (size_t slot = 0; slot < kSlots; ++slot) {
+                std::vector<WheelItem> &items = _slots[level][slot];
+                if (items.empty())
+                    continue;
+                auto keep = items.begin();
+                for (WheelItem &item : items) {
+                    if (pred(static_cast<const WheelItem &>(item))) {
+                        out.push_back(item);
+                        --_size;
+                    } else {
+                        *keep++ = item;
+                    }
+                }
+                items.erase(keep, items.end());
+                if (items.empty())
+                    clearBit(level, slot);
+            }
+        }
+        if (!_far.empty()) {
+            auto keep = _far.begin();
+            for (WheelItem &item : _far) {
+                if (pred(static_cast<const WheelItem &>(item))) {
+                    out.push_back(item);
+                    --_size;
+                } else {
+                    *keep++ = item;
+                }
+            }
+            if (keep != _far.end()) {
+                _far.erase(keep, _far.end());
+                recomputeFarMin();
+            }
+        }
+    }
+
   private:
     static constexpr size_t kLevels = 4;
     static constexpr size_t kSlotBits = 8;
@@ -333,6 +382,10 @@ class TimeWheel
     void setBit(size_t level, size_t slot);
     void clearBit(size_t level, size_t slot);
 
+    /** Restore the _farMin invariant after extractIf removed
+     *  far-overflow items. */
+    void recomputeFarMin();
+
     uint64_t _now = 0;
     size_t _size = 0;
     bool _draining = false;
@@ -403,13 +456,128 @@ class ShardedEventQueue
         publishRunStats(window);
     }
 
+    /**
+     * The removed-node contract (DESIGN.md §18): when a node leaves
+     * the population mid-run, its pending items must not linger and
+     * pop against stale slab state. The owner decides per item
+     * between the two legal outcomes:
+     *
+     *  - **drop** — dropIf(): in-flight transport events addressed
+     *    to the departed node are discarded (they can never
+     *    complete; the accounting charges them explicitly);
+     *  - **redirect** — rekeyIf(): self-events that should survive
+     *    the absence are re-filed, possibly at a later tick and/or
+     *    into another shard (a rejoining node's parked work, or a
+     *    migrated node's items following it to the new gateway).
+     *
+     * Anything else — in particular leaving items filed and testing
+     * slab state at pop — is a bug: it makes the drain order depend
+     * on when the slab was mutated, which the determinism contract
+     * forbids. Both calls are barrier-only (single-threaded, no
+     * shard drain in flight).
+     */
+
+    /** Remove every pending item matching @p pred across all
+     *  shards. Returns the number of items dropped. */
+    template <typename Pred>
+    size_t
+    dropIf(Pred &&pred)
+    {
+        _extractScratch.clear();
+        for (TimeWheel &wheel : _wheels)
+            wheel.extractIf(pred, _extractScratch);
+        const size_t dropped = _extractScratch.size();
+        _extractScratch.clear();
+        return dropped;
+    }
+
+    /**
+     * dropIf restricted to the shards flagged in @p source_shards
+     * (one byte per shard, nonzero = scan). The caller asserts that
+     * no matching item lives outside the flagged shards — in the
+     * population fleet every item of node n sits in the shard of
+     * n's serving gateway, so the owner knows the source set
+     * exactly, and a migration barrier scans a couple of wheels
+     * instead of all of them.
+     */
+    template <typename Pred>
+    size_t
+    dropIf(const std::vector<uint8_t> &source_shards, Pred &&pred)
+    {
+        xproAssert(source_shards.size() == _wheels.size(),
+                   "shard mask size mismatch");
+        _extractScratch.clear();
+        for (size_t s = 0; s < _wheels.size(); ++s)
+            if (source_shards[s])
+                _wheels[s].extractIf(pred, _extractScratch);
+        const size_t dropped = _extractScratch.size();
+        _extractScratch.clear();
+        return dropped;
+    }
+
+    /**
+     * Extract every pending item matching @p pred across all
+     * shards, apply fn(item) — which may raise item.at and returns
+     * the target shard index — and re-file each item into its
+     * target wheel. All matches are extracted before any is
+     * re-filed, so fn may keep matching the moved items without
+     * double-processing. Returns the number of items moved.
+     */
+    template <typename Pred, typename RekeyFn>
+    size_t
+    rekeyIf(Pred &&pred, RekeyFn &&fn)
+    {
+        _extractScratch.clear();
+        for (TimeWheel &wheel : _wheels)
+            wheel.extractIf(pred, _extractScratch);
+        return refileScratch(fn);
+    }
+
+    /** rekeyIf restricted to the shards flagged in @p source_shards
+     *  — same contract as the masked dropIf: the caller guarantees
+     *  every matching item lives in a flagged shard. Targets are
+     *  unrestricted. */
+    template <typename Pred, typename RekeyFn>
+    size_t
+    rekeyIf(const std::vector<uint8_t> &source_shards, Pred &&pred,
+            RekeyFn &&fn)
+    {
+        xproAssert(source_shards.size() == _wheels.size(),
+                   "shard mask size mismatch");
+        _extractScratch.clear();
+        for (size_t s = 0; s < _wheels.size(); ++s)
+            if (source_shards[s])
+                _wheels[s].extractIf(pred, _extractScratch);
+        return refileScratch(fn);
+    }
+
   private:
+    /** Re-file the extracted scratch items through @p fn (shared
+     *  tail of both rekeyIf flavors): all matches were already
+     *  extracted, so fn may keep matching moved items without
+     *  double-processing. */
+    template <typename RekeyFn>
+    size_t
+    refileScratch(RekeyFn &&fn)
+    {
+        for (WheelItem &item : _extractScratch) {
+            const size_t target = fn(item);
+            xproAssert(target < _wheels.size(),
+                       "rekey target shard %zu out of range", target);
+            _wheels[target].schedule(item);
+        }
+        const size_t moved = _extractScratch.size();
+        _extractScratch.clear();
+        return moved;
+    }
+
     /** Fold every wheel's Counters into the stats registry
      *  (event_queue.* Diag stats); no-op when stats are off. */
     void publishRunStats(uint64_t windows) const;
 
     std::vector<TimeWheel> _wheels;
     uint64_t _window;
+    std::vector<WheelItem> _extractScratch; ///< dropIf/rekeyIf buffer
 };
 
 } // namespace xpro

@@ -281,6 +281,66 @@ writeControlTraceFile(const ControlReport &report,
 }
 
 void
+writeChaosTrace(const ChaosReport &report, std::ostream &out)
+{
+    constexpr int tid_chaos = 4;
+    std::vector<TraceEvent> events;
+    std::vector<std::string> counters;
+    uint64_t crashes = 0;
+    uint64_t restarts = 0;
+    int64_t gateways_down = 0;
+    for (const ChaosEpisode &e : report.episodes) {
+        const double at_us = e.atMs * 1e3;
+        char name[128];
+        if (e.kind == "crash" || e.kind == "restart") {
+            std::snprintf(name, sizeof(name),
+                          "%s g%llu (%llu nodes)", e.kind.c_str(),
+                          static_cast<unsigned long long>(e.gateway),
+                          static_cast<unsigned long long>(e.nodes));
+        } else {
+            std::snprintf(name, sizeof(name), "%s",
+                          e.kind.c_str());
+        }
+        events.push_back({name, at_us, 0.0, tid_chaos, true});
+        if (e.kind == "crash") {
+            ++crashes;
+            ++gateways_down;
+        } else if (e.kind == "restart") {
+            ++restarts;
+            if (gateways_down > 0)
+                --gateways_down;
+        }
+        counters.push_back(counterRecord("gateways down", at_us,
+                                         "count", gateways_down));
+        counters.push_back(
+            counterRecord("crashes", at_us, "count", crashes));
+        counters.push_back(
+            counterRecord("restarts", at_us, "count", restarts));
+    }
+
+    std::vector<std::string> records;
+    records.reserve(1 + events.size() + counters.size());
+    records.push_back(trackRecord(tid_chaos, "chaos"));
+    for (const TraceEvent &e : events)
+        records.push_back(eventRecord(e));
+    for (std::string &record : counters)
+        records.push_back(std::move(record));
+    emitRecords(records, out);
+}
+
+void
+writeChaosTraceFile(const ChaosReport &report,
+                    const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeChaosTrace(report, out);
+    if (!out)
+        fatal("write to '%s' failed", path.c_str());
+}
+
+void
 writeChromeTraceFile(const SimResult &result,
                      const EngineTopology &topology,
                      const Placement &placement,

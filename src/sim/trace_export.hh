@@ -70,6 +70,19 @@ void writeControlTrace(const ControlReport &report,
 void writeControlTraceFile(const ControlReport &report,
                            const std::string &path);
 
+/**
+ * Write a population chaos trace (fleet/chaos) as Chrome
+ * trace-event JSON: every recorded episode becomes an instant event
+ * on the chaos track ("crash g3 (2048 nodes)", "restart g3",
+ * "cloud-down", ...), and cumulative crash/restart counts plus the
+ * live down-gateway count render as counter tracks.
+ */
+void writeChaosTrace(const ChaosReport &report, std::ostream &out);
+
+/** Convenience: write to a file path; fatal on I/O failure. */
+void writeChaosTraceFile(const ChaosReport &report,
+                         const std::string &path);
+
 } // namespace xpro
 
 #endif // XPRO_SIM_TRACE_EXPORT_HH

@@ -249,4 +249,153 @@ TEST(ShardedEventQueueTest, DrainsAllShardsAcrossWindows)
     EXPECT_EQ(total, items.size());
 }
 
+TEST(TimeWheelTest, ExtractIfRemovesMatchesAcrossAllLevels)
+{
+    // Matching items vanish from every residence — level-0 slots,
+    // upper-level slots and the far-overflow vector — and the
+    // survivors still pop in wheel order with a valid far minimum.
+    TimeWheel wheel;
+    std::vector<WheelItem> kept, taken;
+    const uint64_t far_horizon = uint64_t(1) << 32;
+    const uint64_t ats[] = {3,        700,      70000,
+                            9000000,  far_horizon + 5,
+                            far_horizon + 900000};
+    uint32_t id = 0;
+    for (uint64_t at : ats) {
+        for (uint32_t node = 0; node < 2; ++node) {
+            WheelItem item;
+            item.at = at;
+            item.node = node;
+            item.data = id++;
+            wheel.schedule(item);
+            (node == 1 ? taken : kept).push_back(item);
+        }
+    }
+    std::vector<WheelItem> out;
+    wheel.extractIf(
+        [](const WheelItem &item) { return item.node == 1; }, out);
+    EXPECT_EQ(out.size(), taken.size());
+    EXPECT_EQ(wheel.pending(), kept.size());
+    expectSameItems(drainAll(wheel, far_horizon + 1000001), kept);
+    EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimeWheelTest, ExtractIfOfEveryFarItemClearsFarMinimum)
+{
+    // Removing the whole far-overflow set must reset the cached
+    // minimum; a later far item then establishes a fresh one and
+    // still pops at its exact tick.
+    TimeWheel wheel;
+    WheelItem far;
+    far.at = (uint64_t(1) << 32) + 42;
+    far.node = 9;
+    wheel.schedule(far);
+    std::vector<WheelItem> out;
+    wheel.extractIf([](const WheelItem &) { return true; }, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(wheel.empty());
+    far.at = (uint64_t(1) << 33) + 7;
+    wheel.schedule(far);
+    const std::vector<WheelItem> popped =
+        drainAll(wheel, far.at + 1);
+    ASSERT_EQ(popped.size(), 1u);
+    EXPECT_EQ(popped[0].at, far.at);
+}
+
+TEST(ShardedEventQueueTest, DropIfDiscardsTransportForDepartedNode)
+{
+    // The removed-node contract's drop arm: in-flight transport
+    // items (kind != 0) addressed to the departed node disappear,
+    // self-injects (kind == 0) and other nodes' items survive.
+    ShardedEventQueue queue(4, 1000);
+    for (uint32_t i = 0; i < 40; ++i) {
+        WheelItem item;
+        item.at = 10 + i;
+        item.node = i % 4;
+        item.kind = static_cast<uint8_t>((i / 4) % 2); // 0 or 1
+        item.data = i;
+        queue.shard(item.node % 4).schedule(item);
+    }
+    const uint32_t departed = 3;
+    const size_t dropped = queue.dropIf([&](const WheelItem &item) {
+        return item.node == departed && item.kind != 0;
+    });
+    EXPECT_EQ(dropped, 5u); // half of node 3's ten items are kind 1
+    EXPECT_EQ(queue.pending(), 35u);
+    size_t departed_pops = 0;
+    WorkerPool pool(1);
+    queue.run(pool,
+              [&](size_t, const WheelItem &item) {
+                  if (item.node == departed) {
+                      EXPECT_EQ(item.kind, 0);
+                      ++departed_pops;
+                  }
+              },
+              [](uint64_t, uint64_t) {});
+    EXPECT_EQ(departed_pops, 5u); // the kind-0 self-injects remain
+}
+
+TEST(ShardedEventQueueTest, RekeyIfMovesItemsAcrossShardsAndTicks)
+{
+    // The redirect arm: a migrated node's items follow it to the
+    // new shard, possibly at a later tick, and pop exactly once.
+    ShardedEventQueue queue(4, 1000);
+    const uint32_t mover = 2;
+    for (uint32_t i = 0; i < 12; ++i) {
+        WheelItem item;
+        item.at = 5 + i;
+        item.node = i % 4;
+        item.data = i;
+        queue.shard(item.node % 4).schedule(item);
+    }
+    const size_t moved = queue.rekeyIf(
+        [&](const WheelItem &item) { return item.node == mover; },
+        [&](WheelItem &item) {
+            item.at += 2500; // into a later window
+            return size_t(0); // re-home onto shard 0
+        });
+    EXPECT_EQ(moved, 3u);
+    EXPECT_EQ(queue.pending(), 12u); // moved, not dropped
+    std::vector<std::pair<size_t, uint64_t>> mover_pops;
+    WorkerPool pool(1);
+    queue.run(pool,
+              [&](size_t s, const WheelItem &item) {
+                  if (item.node == mover)
+                      mover_pops.push_back({s, item.at});
+              },
+              [](uint64_t, uint64_t) {});
+    ASSERT_EQ(mover_pops.size(), 3u);
+    for (const auto &[s, at] : mover_pops) {
+        EXPECT_EQ(s, 0u);
+        EXPECT_GE(at, 2505u);
+    }
+}
+
+TEST(ShardedEventQueueTest, RekeyIfAppliesOnceWhenTargetStillMatches)
+{
+    // All matches are extracted before any is re-filed: a predicate
+    // that keeps matching the moved items (the common "flag by
+    // node" case) must not see them a second time, even when the
+    // target shard was already scanned.
+    ShardedEventQueue queue(2, 1000);
+    for (uint32_t i = 0; i < 8; ++i) {
+        WheelItem item;
+        item.at = 1 + i;
+        item.node = 7; // every item matches, both shards populated
+        item.data = i;
+        queue.shard(i % 2).schedule(item);
+    }
+    size_t calls = 0;
+    const size_t moved = queue.rekeyIf(
+        [](const WheelItem &item) { return item.node == 7; },
+        [&](WheelItem &item) {
+            ++calls;
+            item.at += 10;
+            return size_t(0); // shard 0 — scanned first
+        });
+    EXPECT_EQ(moved, 8u);
+    EXPECT_EQ(calls, 8u);
+    EXPECT_EQ(queue.pending(), 8u);
+}
+
 } // namespace

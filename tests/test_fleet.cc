@@ -618,4 +618,57 @@ TEST(PopulationFleetTest, CloudQuotaThrottlesUnderProvisionedTier)
               4096u * 2u);
 }
 
+TEST(PopulationFleetTest, OutageStreakSaturatesAtSlabWidth)
+{
+    // A node dark for more events than uint16_t can count must pin
+    // its streak at UINT16_MAX, not wrap back to a healthy-looking
+    // small value. One dead-battery node misses 70000 events.
+    PopulationFleetConfig config;
+    config.nodes = 1;
+    config.eventsPerNode = 70000;
+    PopulationArchetype dead;
+    dead.symbol = "X1";
+    dead.process = "90nm";
+    dead.batteryNj = 0; // exhausted from the first event
+    dead.periodUs = 10;
+    config.archetypes = {dead};
+    config.chaos.enabled = true; // chaos report, zero scheduled
+                                 // episodes
+    const PopulationFleetResult result = runPopulationFleet(config);
+
+    EXPECT_TRUE(result.report.chaos.enabled);
+    EXPECT_EQ(result.report.chaos.maxOutageStreak, 65535u);
+    EXPECT_EQ(result.report.chaos.gatewayCrashes, 0u);
+    EXPECT_EQ(result.report.totalEvents, 0u);
+}
+
+TEST(PopulationFleetTest, WheelWraparoundSurvivesLongChaosBackoff)
+{
+    // Chaos retry backoff past the timing wheel's 2^32-tick top
+    // horizon: the first defer lands in the top level, the second in
+    // the far-overflow vector. Every event must still resolve (here:
+    // fall back after maxDefers) with the shard-invariant report.
+    const auto runAt = [](size_t shards) {
+        PopulationFleetConfig config;
+        config.nodes = 64;
+        config.shards = shards;
+        config.eventsPerNode = 4;
+        // Zero gateway airtime: every phone->gateway hop defers
+        // until maxDefers runs out, with no per-window clamp.
+        config.tiers.gatewayAirtimeShare = 0.0;
+        config.chaos.enabled = true;
+        config.chaos.retryBackoffBaseUs = 2200000000ULL; // > 2^31
+        return runPopulationFleet(config).report;
+    };
+    const FleetReport report = runAt(1);
+
+    EXPECT_EQ(report.totalEvents, 0u); // nothing reaches the cloud
+    EXPECT_EQ(report.tiers.localFallbacks, 64u * 4u);
+    EXPECT_GT(report.tiers.deferredUplinks, 0u);
+    // Two deferrals per event before the fallback, each a chaos
+    // retry with exponential backoff.
+    EXPECT_EQ(report.chaos.retries, 64u * 4u * 2u);
+    EXPECT_EQ(runAt(4).serialize(), report.serialize());
+}
+
 } // namespace

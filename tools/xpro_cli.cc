@@ -40,6 +40,16 @@
  *
  *   xpro_cli --nodes 1000000 [--shards S] [--workers W]
  *            [--tiers sensors:phones] [--events N] [--seed S]
+ *
+ * The population path takes a deterministic chaos schedule on top:
+ * gateway crash/restart episodes, correlated regional outages,
+ * cloud-unreachable windows and node churn, with self-healing
+ * failover — the report stays byte-identical at any shard or
+ * worker count, and identical to a chaos-free run when disabled:
+ *
+ *   xpro_cli --nodes 1000000 --chaos-profile harsh
+ *            [--gateway-mtbf W] [--cloud-outage a:b] [--churn f]
+ *            [--chaos-trace chaos.json]
  */
 
 #include <algorithm>
@@ -134,6 +144,16 @@ usage(const char *argv0)
         "(default 1; report identical at any value)\n"
         "  --tiers <a>:<b>            sensors per phone : phones "
         "per gateway (default 32:64)\n"
+        "  --chaos-profile <name>     population chaos preset: none, "
+        "flaky, regional, churn or harsh\n"
+        "  --gateway-mtbf <w>         mean windows between gateway "
+        "crashes (enables chaos)\n"
+        "  --cloud-outage <a>:<b>     cloud-unreachable window range "
+        "[a, b), repeatable (enables chaos)\n"
+        "  --churn <frac>             fraction of nodes that churn "
+        "out and rejoin (enables chaos)\n"
+        "  --chaos-trace <file>       write a Chrome trace of the "
+        "chaos episodes\n"
         "  --stats                    print the stats-registry "
         "table after the run\n"
         "  --stats-out <file>         write the stats-registry "
@@ -307,7 +327,9 @@ runFleetMode(size_t fleet_size, size_t workers,
 int
 runPopulationMode(uint64_t nodes, size_t shards, size_t workers,
                   uint64_t events, uint64_t seed,
-                  const TierConfig &tiers)
+                  const TierConfig &tiers, const ChaosConfig &chaos,
+                  const FaultProfile &faults,
+                  const std::string &chaos_trace_path)
 {
     PopulationFleetConfig config;
     config.nodes = nodes;
@@ -316,6 +338,8 @@ runPopulationMode(uint64_t nodes, size_t shards, size_t workers,
     config.eventsPerNode = events;
     config.seed = seed;
     config.tiers = tiers;
+    config.chaos = chaos;
+    config.faults = faults;
 
     const PopulationFleetResult result = runPopulationFleet(config);
     // The effective count can be lower than requested: a shard owns
@@ -328,6 +352,12 @@ runPopulationMode(uint64_t nodes, size_t shards, size_t workers,
                 static_cast<unsigned long long>(
                     result.simulatedEvents));
     result.report.writeText(std::cout);
+    if (!chaos_trace_path.empty()) {
+        writeChaosTraceFile(result.report.chaos, chaos_trace_path);
+        std::printf("chaos trace: %s (%zu episodes)\n",
+                    chaos_trace_path.c_str(),
+                    result.report.chaos.episodes.size());
+    }
     return 0;
 }
 
@@ -379,6 +409,8 @@ main(int argc, char **argv)
     size_t population_nodes = 0;
     size_t shards = 1;
     TierConfig tiers;
+    ChaosConfig chaos;
+    std::string chaos_trace_path;
     size_t workers = 1;
     size_t sweep_workers = 1;
     RadioPolicy policy = RadioPolicy::Fcfs;
@@ -448,6 +480,31 @@ main(int argc, char **argv)
                     static_cast<uint32_t>(parseBoundedArg(
                         phones, "--tiers", 65536));
             }
+            else if (arg == "--chaos-profile")
+                chaos = ChaosConfig::profile(value());
+            else if (arg == "--gateway-mtbf") {
+                chaos.gatewayMtbfWindows = parseBoundedArg(
+                    value(), "--gateway-mtbf", 1000000);
+                chaos.enabled = true;
+            } else if (arg == "--cloud-outage") {
+                const auto [begin, end] =
+                    splitPair(value(), "--cloud-outage");
+                ChaosWindowRange range;
+                range.begin =
+                    parseCountArg(begin, "--cloud-outage");
+                range.end = parseBoundedArg(
+                    end, "--cloud-outage", 1000000);
+                if (range.end <= range.begin)
+                    fatal("--cloud-outage: empty window '%s:%s'",
+                          begin.c_str(), end.c_str());
+                chaos.cloudOutages.push_back(range);
+                chaos.enabled = true;
+            } else if (arg == "--churn") {
+                chaos.churnFraction =
+                    parseProbabilityArg(value(), "--churn");
+                chaos.enabled = true;
+            } else if (arg == "--chaos-trace")
+                chaos_trace_path = value();
             else if (arg == "--workers")
                 workers = parsePositiveArg(value(), "--workers");
             else if (arg == "--sweep-workers")
@@ -551,10 +608,18 @@ main(int argc, char **argv)
             fatal("--shards needs --nodes (population mode)");
         if (population_nodes > 0 && adaptive)
             fatal("--adaptive runs on the detailed --fleet path");
+        if (chaos.enabled && population_nodes == 0)
+            fatal("--chaos-profile/--gateway-mtbf/--cloud-outage/"
+                  "--churn need --nodes (population mode)");
+        if (!chaos.enabled && !chaos_trace_path.empty())
+            fatal("--chaos-trace requires an enabled chaos "
+                  "schedule");
+        if (chaos.enabled)
+            chaos.validate();
         if (population_nodes > 0) {
             const int rc = runPopulationMode(
                 population_nodes, shards, workers, events, seed,
-                tiers);
+                tiers, chaos, faults, chaos_trace_path);
             emitStats(stats_table, stats_out);
             return rc;
         }
